@@ -1,0 +1,51 @@
+// Shared scaffolding for the experiment benches. Each bench binary:
+//   1. runs its deterministic parameter sweep and prints the paper-style
+//      table (the rows EXPERIMENTS.md records), then
+//   2. registers the headline configuration as a google-benchmark case (one
+//      iteration, counters for messages/rounds) so the standard benchmark
+//      tooling also sees it.
+// Sweep sizes honour the WCLE_BENCH_SCALE env var (0 = quick, 1 = default,
+// 2 = extended) so CI and laptops can trade depth for time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "wcle/support/table.hpp"
+
+namespace wcle::bench {
+
+/// 0 = quick, 1 = default, 2 = extended.
+inline int scale() {
+  if (const char* s = std::getenv("WCLE_BENCH_SCALE")) {
+    const int v = std::atoi(s);
+    if (v >= 0 && v <= 2) return v;
+  }
+  return 1;
+}
+
+/// Prints the experiment banner + table and an optional trailing note.
+inline void print_report(const std::string& title, const Table& table,
+                         const std::string& note = {}) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout.flush();
+}
+
+/// Boilerplate main: print tables (via `run_tables`), then hand over to
+/// google-benchmark for the registered cases.
+#define WCLE_BENCH_MAIN(run_tables)                          \
+  int main(int argc, char** argv) {                          \
+    run_tables();                                            \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace wcle::bench

@@ -1,0 +1,75 @@
+// E2 — Theorem 13, time complexity on expanders.
+// Paper: O(tmix log^2 n) rounds. We report measured rounds (quiescence-driven
+// execution), the paper's conservative schedule (sum of 6T per phase), and
+// the envelope tmix log^2 n. Measured rounds must sit below the schedule
+// (Lemma 12's congestion padding) and track the envelope's growth.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wcle/analysis/experiment.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/support/stats.hpp"
+#include "wcle/support/table.hpp"
+
+namespace {
+
+using namespace wcle;
+
+void run_tables() {
+  const int sc = bench::scale();
+  std::vector<NodeId> sizes{256, 512, 1024};
+  if (sc >= 1) sizes.push_back(2048);
+  if (sc >= 2) sizes.push_back(4096);
+  const int trials = sc == 0 ? 3 : 5;
+
+  Table t({"n", "tmix", "rounds(mean)", "schedule(mean)", "envelope",
+           "rounds/envelope", "final_t_u", "phases", "success"});
+  std::vector<double> xs, ys;
+  for (const NodeId n : sizes) {
+    Rng grng(0xE2000 + n);
+    const Graph g = make_random_regular(n, 6, grng);
+    const GraphProfile prof = profile_graph(g, 2);
+    ElectionParams p;
+    const ElectionTrialStats stats = run_election_trials(g, p, trials, n);
+    const double envelope = theorem13_time_envelope(n, prof.tmix);
+    t.add_row({std::to_string(n), std::to_string(prof.tmix),
+               Table::num(stats.rounds.mean),
+               Table::num(stats.scheduled_rounds.mean), Table::num(envelope),
+               Table::num(stats.rounds.mean / envelope),
+               Table::num(stats.final_length.mean, 3),
+               Table::num(stats.phases.mean, 3),
+               Table::num(stats.success_rate, 2)});
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(stats.rounds.mean);
+  }
+  const LineFit fit = fit_power_law(xs, ys);
+  bench::print_report(
+      "E2: Theorem 13 — time on 6-regular expanders", t,
+      "empirical exponent: rounds ~ n^" + Table::num(fit.slope, 3) +
+          "  (theory: polylog(n) only, exponent ~0; rounds <= schedule "
+          "verifies Lemma 12's padding)");
+}
+
+void BM_ElectionTimeExpander(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng grng(0xE2000 + n);
+  const Graph g = make_random_regular(n, 6, grng);
+  ElectionParams p;
+  std::uint64_t rounds = 0, sched = 0;
+  for (auto _ : state) {
+    p.seed += 1;
+    const ElectionResult r = run_leader_election(g, p);
+    rounds = r.totals.rounds;
+    sched = r.scheduled_rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["schedule"] = static_cast<double>(sched);
+}
+BENCHMARK(BM_ElectionTimeExpander)->Arg(512)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+WCLE_BENCH_MAIN(run_tables)

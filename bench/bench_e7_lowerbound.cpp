@@ -1,0 +1,131 @@
+// E7 — Theorem 15, the message lower bound Omega(sqrt(n)/phi^{3/4}).
+// Two views, both on the Section-4.1 graph G(alpha):
+//   (a) our algorithm's measured messages against the lower-bound envelope
+//       sqrt(n)/phi^{3/4} and the upper-bound envelope sqrt(n) polylog tmix —
+//       the measurement must sit between them (sandwich);
+//   (b) the proof's mechanism: a message-budgeted neighborhood explorer
+//       (each clique spends its budget probing random ports, as in Lemma 18)
+//       discovers few inter-clique edges when the budget is o(n^{2eps}),
+//       leaving the clique-communication graph CG shattered into components —
+//       precisely the 0-or-many-leaders failure mode of Lemmas 19-25.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wcle/analysis/experiment.hpp"
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
+#include "wcle/support/table.hpp"
+
+namespace {
+
+using namespace wcle;
+
+/// Simulates Lemma 18's port-probing bound: each clique opens `budget` of its
+/// ~s^2 ports uniformly at random; an inter-clique edge (4 per clique) is
+/// found only if one of its ports is opened. Returns the number of connected
+/// components of the resulting clique-communication graph CG.
+std::uint64_t shattered_components(const LowerBoundGraph& lb,
+                                   std::uint64_t budget_per_clique, Rng& rng) {
+  const NodeId N = lb.num_cliques;
+  const double total_ports = static_cast<double>(lb.clique_size) *
+                             static_cast<double>(lb.clique_size - 1);
+  const double p_find_one = std::min(
+      1.0, static_cast<double>(budget_per_clique) / total_ports);
+  // Union-find over cliques; each inter-clique edge is discovered if either
+  // endpoint clique probes its port.
+  std::vector<NodeId> parent(N);
+  for (NodeId i = 0; i < N; ++i) parent[i] = i;
+  std::function<NodeId(NodeId)> find = [&](NodeId x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const Edge& e : lb.inter_clique_edges) {
+    const bool found = rng.next_bool(p_find_one) || rng.next_bool(p_find_one);
+    if (!found) continue;
+    const NodeId a = find(lb.clique_of[e.a]), b = find(lb.clique_of[e.b]);
+    if (a != b) parent[a] = b;
+  }
+  std::uint64_t components = 0;
+  for (NodeId i = 0; i < N; ++i)
+    if (find(i) == i) ++components;
+  return components;
+}
+
+void run_tables() {
+  const int sc = bench::scale();
+  // Elections on G(alpha) are inherently expensive — that is the theorem —
+  // so the sweep stays small: each run costs Theta(sqrt n polylog * tmix)
+  // messages with tmix ~ 1/alpha^2 in the worst case.
+  const NodeId n = sc >= 2 ? 1200 : (sc == 1 ? 700 : 500);
+  const int trials = sc == 0 ? 1 : 2;
+
+  // (a) sandwich: lower envelope <= measured <= upper envelope.
+  Table t({"alpha", "n", "phi~alpha", "tmix", "lower env", "msgs(mean)",
+           "upper env", "msgs/lower", "success"});
+  for (const double alpha : {0.003, 0.006}) {
+    Rng grng(0xE7000 + static_cast<std::uint64_t>(alpha * 1e6));
+    const LowerBoundGraph lb = make_lower_bound_graph(n, alpha, grng);
+    const GraphProfile prof = profile_graph(lb.graph, 2);
+    ElectionParams p;
+    const ElectionTrialStats stats =
+        run_election_trials(lb.graph, p, trials, 0xE7100);
+    const double lower =
+        theorem15_message_envelope(lb.graph.node_count(), alpha);
+    const double upper =
+        theorem13_message_envelope(lb.graph.node_count(), prof.tmix);
+    t.add_row({Table::num(alpha, 3), std::to_string(lb.graph.node_count()),
+               Table::num(prof.sweep_conductance, 3),
+               std::to_string(prof.tmix), Table::num(lower),
+               Table::num(stats.congest_messages.mean), Table::num(upper),
+               Table::num(stats.congest_messages.mean / lower, 3),
+               Table::num(stats.success_rate, 2)});
+  }
+  bench::print_report(
+      "E7a: Theorem 15 — measured messages vs Omega(sqrt(n)/phi^{3/4})", t,
+      "msgs/lower must stay >= 1 (no algorithm can beat the envelope); the "
+      "upper envelope bounds it from above");
+
+  // (b) the proof mechanism: budget vs CG shattering.
+  Rng grng(0xE7999);
+  const LowerBoundGraph lb = make_lower_bound_graph(n, 0.003, grng);
+  const double s2 = static_cast<double>(lb.clique_size) *
+                    static_cast<double>(lb.clique_size);
+  Table t2({"budget/clique (x s^2)", "CG components (mean)", "shattered?"});
+  for (const double frac : {0.01, 0.05, 0.25, 1.0, 4.0}) {
+    const std::uint64_t budget = static_cast<std::uint64_t>(frac * s2);
+    double comps = 0;
+    const int reps = 20;
+    Rng rng(0xE7B00);
+    for (int i = 0; i < reps; ++i)
+      comps += static_cast<double>(shattered_components(lb, budget, rng));
+    comps /= reps;
+    t2.add_row({Table::num(frac, 3), Table::num(comps, 4),
+                comps > 1.5 ? "yes -> 0 or >=2 leaders" : "no"});
+  }
+  bench::print_report(
+      "E7b: Lemmas 18-20 — message budget vs clique-graph shattering", t2,
+      "budgets below ~s^2 = Theta(n^{2eps}) per clique leave CG disconnected "
+      "(components > 1), forcing the 0-or-multiple-leader failure of the "
+      "proof; budgets >= s^2 connect it");
+}
+
+void BM_LowerBoundElection(benchmark::State& state) {
+  Rng grng(0xE7000);
+  const LowerBoundGraph lb = make_lower_bound_graph(500, 0.006, grng);
+  ElectionParams p;
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    p.seed += 1;
+    msgs = run_leader_election(lb.graph, p).totals.congest_messages;
+  }
+  state.counters["congest_msgs"] = static_cast<double>(msgs);
+}
+BENCHMARK(BM_LowerBoundElection)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+WCLE_BENCH_MAIN(run_tables)

@@ -1,0 +1,68 @@
+// E8 — Lemma 16 / Figures 1-2: phi(G(alpha)) = Theta(alpha).
+// Sweeps alpha for fixed target n, reporting the sweep-cut conductance (an
+// upper bound on phi found by spectral partitioning — in this graph it finds
+// the inter-clique bottleneck), the Cheeger bounds, and the analytic value
+// of the whole-clique cut (4 inter-clique edges / clique volume), which the
+// proof of Claim 17 shows is the optimal cut shape.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
+#include "wcle/graph/spectral.hpp"
+#include "wcle/support/table.hpp"
+
+namespace {
+
+using namespace wcle;
+
+void run_tables() {
+  const int sc = bench::scale();
+  const NodeId n = sc >= 2 ? 4000 : (sc == 1 ? 2000 : 800);
+
+  Table t({"alpha", "eps", "cliques N", "clique size s", "sweep phi",
+           "cheeger lo", "cheeger hi", "sweep/alpha"});
+  for (const double alpha : {0.001, 0.002, 0.004, 0.006}) {
+    Rng grng(0xE8000);
+    const LowerBoundGraph lb = make_lower_bound_graph(n, alpha, grng);
+    const double sweep = conductance_sweep(lb.graph, 3000);
+    const CheegerBounds cb = cheeger_bounds(spectral_gap(lb.graph, 3000));
+    t.add_row({Table::num(alpha, 3), Table::num(lb.epsilon, 3),
+               std::to_string(lb.num_cliques), std::to_string(lb.clique_size),
+               Table::num(sweep, 4), Table::num(cb.lower, 4),
+               Table::num(cb.upper, 4), Table::num(sweep / alpha, 3)});
+  }
+  bench::print_report(
+      "E8: Lemma 16 — conductance of the lower-bound graph is Theta(alpha)",
+      t, "sweep/alpha must stay within a constant band across the sweep");
+
+  // Claim 17 illustration: the minimum whole-clique cut vs clique-splitting.
+  Rng grng(0xE8010);
+  const LowerBoundGraph lb = make_lower_bound_graph(n, 0.004, grng);
+  std::vector<char> one_clique(lb.graph.node_count(), 0);
+  for (NodeId v = 0; v < lb.clique_size; ++v) one_clique[v] = 1;
+  std::vector<char> half_clique(lb.graph.node_count(), 0);
+  for (NodeId v = 0; v < lb.clique_size / 2; ++v) half_clique[v] = 1;
+  Table t2({"cut shape", "conductance"});
+  t2.add_row({"whole clique (only inter-clique edges cut)",
+              Table::num(cut_conductance(lb.graph, one_clique), 4)});
+  t2.add_row({"half clique (cut passes through a clique)",
+              Table::num(cut_conductance(lb.graph, half_clique), 4)});
+  bench::print_report(
+      "E8b: Claim 17 — optimal cuts avoid the cliques", t2,
+      "the whole-clique cut must be far cheaper than any clique-splitting cut");
+}
+
+void BM_ConductanceSweep(benchmark::State& state) {
+  Rng grng(0xE8000);
+  const LowerBoundGraph lb = make_lower_bound_graph(1000, 0.004, grng);
+  double phi = 0;
+  for (auto _ : state) phi = conductance_sweep(lb.graph, 1500);
+  state.counters["phi"] = phi;
+}
+BENCHMARK(BM_ConductanceSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+WCLE_BENCH_MAIN(run_tables)

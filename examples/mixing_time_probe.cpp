@@ -1,0 +1,66 @@
+// Why guess-and-double instead of estimating tmix? — the paper's argument,
+// executable.
+//
+// Related work [29] (Molla & Pandurangan) can estimate the mixing time
+// distributedly, but the paper points out it "requires Omega(m) messages and
+// hence cannot be used for the purpose of achieving a small message
+// complexity". This example makes that concrete on one graph: it runs
+//   (a) the [29]-style estimator (BFS tree + walk-distribution convergecast),
+//   (b) estimate-then-elect (estimator + the known-tmix election of [25]),
+//   (c) the paper's guess-and-double election, which never learns tmix,
+// and prints the message bill of each.
+//
+//   ./build/examples/mixing_time_probe [n] [seed]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "wcle/baselines/known_tmix.hpp"
+#include "wcle/baselines/tmix_estimator.hpp"
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/spectral.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wcle;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 256;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const Graph g = make_clique(n);  // dense: where the contrast is starkest
+  std::cout << "graph: " << g.describe() << "\n";
+  const std::uint64_t exact = mixing_time_exact(g, 1u << 16);
+  std::cout << "exact tmix (centralized reference): " << exact << "\n\n";
+
+  // (a) distributed estimation.
+  const TmixEstimateResult est = run_tmix_estimator(g, 0, seed);
+  std::cout << "[29]-style estimator: t ~ " << est.estimate << " after "
+            << est.iterations << " doublings, "
+            << est.totals.congest_messages << " CONGEST messages ("
+            << (est.converged ? "converged" : "NOT converged") << ")\n";
+
+  // (b) estimate-then-elect.
+  ElectionParams p;
+  p.seed = seed;
+  const KnownTmixResult known =
+      run_known_tmix_election(g, 2 * est.estimate + 1, p);
+  const double est_elect = double(est.totals.congest_messages) +
+                           double(known.totals.congest_messages);
+
+  // (c) the paper's algorithm.
+  const ElectionResult ours = run_leader_election(g, p);
+
+  std::cout << "\n" << std::left << std::setw(38) << "approach"
+            << std::setw(16) << "CONGEST msgs" << "outcome\n"
+            << std::string(68, '-') << "\n"
+            << std::setw(38) << "estimate tmix [29] + elect [25]"
+            << std::setw(16) << static_cast<std::uint64_t>(est_elect)
+            << (known.success() ? "1 leader" : "failed") << "\n"
+            << std::setw(38) << "paper: guess-and-double election"
+            << std::setw(16) << ours.totals.congest_messages
+            << (ours.success() ? "1 leader" : "failed") << "\n\n";
+
+  std::cout << "m = " << g.edge_count()
+            << " — the estimator's BFS tree alone costs Omega(m), which is "
+               "why the paper never estimates tmix.\n";
+  return ours.success() ? 0 : 1;
+}

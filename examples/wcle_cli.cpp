@@ -1,0 +1,190 @@
+// wcle_cli — the library as a command-line tool.
+//
+//   wcle_cli elect    --family=expander --n=1024 --seed=7 [--trials=5]
+//                     [--c1=4] [--c2=2] [--wide] [--paper-schedule]
+//   wcle_cli explicit --family=clique --n=512 --seed=3
+//   wcle_cli profile  --family=torus --n=256        (tmix / conductance)
+//   wcle_cli lowerbound --n=1000 --alpha=0.004      (build G(alpha) + elect)
+//   wcle_cli sweep    --family=hypercube --from=64 --to=1024 --trials=3
+//
+// Families: clique, ring, torus, hypercube, expander (6-regular), star,
+//           barbell, ba (Barabasi-Albert m0=3), ws (Watts-Strogatz k=3).
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "wcle/analysis/cli.hpp"
+#include "wcle/analysis/experiment.hpp"
+#include "wcle/core/explicit_election.hpp"
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
+#include "wcle/support/table.hpp"
+
+namespace {
+
+using namespace wcle;
+
+Graph build_family(const std::string& family, NodeId n, std::uint64_t seed) {
+  Rng rng(seed ^ 0xFA111Cull);
+  if (family == "clique") return make_clique(n);
+  if (family == "ring") return make_ring(n);
+  if (family == "torus") {
+    NodeId side = 3;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return make_torus(side, side);
+  }
+  if (family == "hypercube") {
+    std::uint32_t d = 1;
+    while ((NodeId{1} << (d + 1)) <= n) ++d;
+    return make_hypercube(d);
+  }
+  if (family == "expander")
+    return make_random_regular(n % 2 ? n + 1 : n, 6, rng);
+  if (family == "star") return make_star(n);
+  if (family == "barbell") return make_barbell(n / 2);
+  if (family == "ba") return make_barabasi_albert(n, 3, rng);
+  if (family == "ws") return make_watts_strogatz(n, 3, 0.3, rng);
+  throw std::invalid_argument("unknown --family=" + family);
+}
+
+ElectionParams params_from(const CliArgs& args) {
+  ElectionParams p;
+  p.seed = args.get_u64("seed", 1);
+  p.c1 = args.get_double("c1", p.c1);
+  p.c2 = args.get_double("c2", p.c2);
+  p.wide_messages = args.get_bool("wide", false);
+  p.paper_schedule = args.get_bool("paper-schedule", false);
+  return p;
+}
+
+int cmd_elect(const CliArgs& args) {
+  const Graph g = build_family(args.get("family", "expander"),
+                               static_cast<NodeId>(args.get_u64("n", 512)),
+                               args.get_u64("seed", 1));
+  std::cout << g.describe() << "\n";
+  const int trials = static_cast<int>(args.get_u64("trials", 1));
+  if (trials <= 1) {
+    const ElectionResult r = run_leader_election(g, params_from(args));
+    std::cout << (r.success()
+                      ? "leader: node " + std::to_string(r.leaders[0])
+                      : "FAILED (" + std::to_string(r.leaders.size()) +
+                            " leaders)")
+              << "\nmessages=" << r.totals.congest_messages
+              << " rounds=" << r.totals.rounds << " phases=" << r.phases
+              << " stop_t_u=" << r.final_length << "\n";
+    return r.success() ? 0 : 1;
+  }
+  const ElectionTrialStats s = run_election_trials(
+      g, params_from(args), trials, args.get_u64("seed", 1));
+  Table t({"metric", "mean", "min", "max"});
+  t.add_row({"congest messages", Table::num(s.congest_messages.mean),
+             Table::num(s.congest_messages.min),
+             Table::num(s.congest_messages.max)});
+  t.add_row({"rounds", Table::num(s.rounds.mean), Table::num(s.rounds.min),
+             Table::num(s.rounds.max)});
+  t.add_row({"stop t_u", Table::num(s.final_length.mean),
+             Table::num(s.final_length.min), Table::num(s.final_length.max)});
+  t.add_row({"contenders", Table::num(s.contenders.mean),
+             Table::num(s.contenders.min), Table::num(s.contenders.max)});
+  t.print(std::cout);
+  std::cout << "success rate: " << s.success_rate << "\n";
+  return s.success_rate > 0.5 ? 0 : 1;
+}
+
+int cmd_explicit(const CliArgs& args) {
+  const Graph g = build_family(args.get("family", "clique"),
+                               static_cast<NodeId>(args.get_u64("n", 256)),
+                               args.get_u64("seed", 1));
+  const ExplicitElectionResult r = run_explicit_election(g, params_from(args));
+  std::cout << g.describe() << "\n"
+            << "election:  " << r.election.totals.congest_messages
+            << " msgs, " << r.election.totals.rounds << " rounds\n"
+            << "broadcast: " << r.broadcast.totals.congest_messages
+            << " msgs, " << r.broadcast.rounds << " rounds\n"
+            << (r.success ? "success" : "FAILED") << "\n";
+  return r.success ? 0 : 1;
+}
+
+int cmd_profile(const CliArgs& args) {
+  const Graph g = build_family(args.get("family", "torus"),
+                               static_cast<NodeId>(args.get_u64("n", 256)),
+                               args.get_u64("seed", 1));
+  const GraphProfile p = profile_graph(
+      g, static_cast<std::uint32_t>(args.get_u64("samples", 4)));
+  std::cout << g.describe() << "\n"
+            << "tmix ~ " << p.tmix << "\n"
+            << "conductance: cheeger [" << p.cheeger_lower << ", "
+            << p.cheeger_upper << "], sweep-cut " << p.sweep_conductance
+            << "\n"
+            << "Theorem 13 envelopes: "
+            << theorem13_message_envelope(p.n, p.tmix) << " msgs, "
+            << theorem13_time_envelope(p.n, p.tmix) << " rounds\n";
+  return 0;
+}
+
+int cmd_lowerbound(const CliArgs& args) {
+  Rng rng(args.get_u64("seed", 42));
+  const LowerBoundGraph lb = make_lower_bound_graph(
+      static_cast<NodeId>(args.get_u64("n", 1000)),
+      args.get_double("alpha", 0.004), rng);
+  std::cout << lb.graph.describe() << "  (eps=" << lb.epsilon << ", "
+            << lb.num_cliques << " cliques x " << lb.clique_size << ")\n";
+  const ElectionResult r = run_leader_election(lb.graph, params_from(args));
+  std::cout << (r.success() ? "elected 1 leader" : "FAILED") << " with "
+            << r.totals.congest_messages << " msgs; Theorem 15 envelope "
+            << theorem15_message_envelope(lb.graph.node_count(), lb.alpha)
+            << "\n";
+  return r.success() ? 0 : 1;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const std::string family = args.get("family", "hypercube");
+  const NodeId from = static_cast<NodeId>(args.get_u64("from", 64));
+  const NodeId to = static_cast<NodeId>(args.get_u64("to", 512));
+  const int trials = static_cast<int>(args.get_u64("trials", 3));
+  Table t({"n", "tmix", "msgs(mean)", "rounds(mean)", "stop_t_u", "success"});
+  for (NodeId n = from; n <= to; n *= 2) {
+    const Graph g = build_family(family, n, args.get_u64("seed", 1));
+    const GraphProfile prof = profile_graph(g, 2);
+    ElectionParams p = params_from(args);
+    const ElectionTrialStats s =
+        run_election_trials(g, p, trials, args.get_u64("seed", 1));
+    t.add_row({std::to_string(g.node_count()), std::to_string(prof.tmix),
+               Table::num(s.congest_messages.mean), Table::num(s.rounds.mean),
+               Table::num(s.final_length.mean, 3),
+               Table::num(s.success_rate, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: wcle_cli <elect|explicit|profile|lowerbound|sweep> [options]\n"
+      "  common: --family=<clique|ring|torus|hypercube|expander|star|barbell"
+      "|ba|ws>\n"
+      "          --n=<nodes> --seed=<u64> --c1= --c2= --wide "
+      "--paper-schedule\n"
+      "  elect:      --trials=<k>\n"
+      "  lowerbound: --alpha=<conductance target>\n"
+      "  sweep:      --from= --to= --trials=\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    if (args.command() == "elect") return cmd_elect(args);
+    if (args.command() == "explicit") return cmd_explicit(args);
+    if (args.command() == "profile") return cmd_profile(args);
+    if (args.command() == "lowerbound") return cmd_lowerbound(args);
+    if (args.command() == "sweep") return cmd_sweep(args);
+    usage();
+    return args.command().empty() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,81 @@
+#include "wcle/analysis/cli.hpp"
+
+#include <stdexcept>
+
+namespace wcle {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      if (args.command_.empty())
+        args.command_ = token;
+      else
+        args.positionals_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+               !args.command_.empty()) {
+      // `--key value` form (only after a command, so bare flags before the
+      // command never swallow it).
+      args.options_[body] = argv[++i];
+    } else {
+      args.options_[body] = "";  // bare flag
+    }
+  }
+  return args;
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  std::size_t used = 0;
+  const std::uint64_t v = std::stoull(it->second, &used);
+  if (used != it->second.size())
+    throw std::invalid_argument("CliArgs: bad integer for --" + key);
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  std::size_t used = 0;
+  const double v = std::stod(it->second, &used);
+  if (used != it->second.size())
+    throw std::invalid_argument("CliArgs: bad number for --" + key);
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1")
+    return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("CliArgs: bad boolean for --" + key);
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& [k, v] : options_) out.push_back(k);
+  return out;
+}
+
+}  // namespace wcle

@@ -1,0 +1,42 @@
+// Minimal dependency-free command-line option parsing for the wcle driver
+// binary and examples: `--key=value` / `--key value` / bare flags, with typed
+// accessors and defaulting. Kept in the library so it is unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wcle {
+
+/// Parsed command line: one optional positional command followed by options.
+class CliArgs {
+ public:
+  /// Parses argv[1..). The first token not starting with "--" becomes the
+  /// command; later bare tokens are positional arguments.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const;
+
+  /// Typed accessors; return `fallback` when absent. Throw
+  /// std::invalid_argument on malformed numeric values.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys the caller never consumed (for unknown-option warnings).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace wcle

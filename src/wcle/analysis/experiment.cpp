@@ -1,0 +1,75 @@
+#include "wcle/analysis/experiment.hpp"
+
+#include <cmath>
+
+#include "wcle/graph/spectral.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+ElectionTrialStats run_election_trials(const Graph& g, ElectionParams params,
+                                       int trials, std::uint64_t base_seed) {
+  ElectionTrialStats stats;
+  stats.trials = trials;
+  std::vector<double> msgs, rounds, sched, len, phases, cont;
+  int ok = 0, zero = 0, multi = 0;
+  for (int t = 0; t < trials; ++t) {
+    params.seed = base_seed + static_cast<std::uint64_t>(t);
+    const ElectionResult r = run_leader_election(g, params);
+    if (r.success())
+      ++ok;
+    else if (r.leaders.empty())
+      ++zero;
+    else
+      ++multi;
+    msgs.push_back(static_cast<double>(r.totals.congest_messages));
+    rounds.push_back(static_cast<double>(r.totals.rounds));
+    sched.push_back(static_cast<double>(r.scheduled_rounds));
+    len.push_back(static_cast<double>(r.final_length));
+    phases.push_back(static_cast<double>(r.phases));
+    cont.push_back(static_cast<double>(r.contenders.size()));
+  }
+  const double dn = trials > 0 ? static_cast<double>(trials) : 1.0;
+  stats.success_rate = ok / dn;
+  stats.zero_leader_rate = zero / dn;
+  stats.multi_leader_rate = multi / dn;
+  stats.congest_messages = summarize(std::move(msgs));
+  stats.rounds = summarize(std::move(rounds));
+  stats.scheduled_rounds = summarize(std::move(sched));
+  stats.final_length = summarize(std::move(len));
+  stats.phases = summarize(std::move(phases));
+  stats.contenders = summarize(std::move(cont));
+  return stats;
+}
+
+GraphProfile profile_graph(const Graph& g, std::uint32_t mix_samples,
+                           std::uint64_t max_t) {
+  GraphProfile p;
+  p.n = g.node_count();
+  p.m = g.edge_count();
+  Rng rng(0x9a99);
+  p.tmix = mixing_time_estimate(g, mix_samples, rng, max_t);
+  const double gap = spectral_gap(g);
+  const CheegerBounds cb = cheeger_bounds(gap);
+  p.cheeger_lower = cb.lower;
+  p.cheeger_upper = cb.upper;
+  p.sweep_conductance = conductance_sweep(g);
+  return p;
+}
+
+double theorem13_message_envelope(std::uint64_t n, std::uint64_t tmix) {
+  const double lg = std::log2(std::max<double>(2.0, static_cast<double>(n)));
+  return std::sqrt(static_cast<double>(n)) * std::pow(lg, 3.5) *
+         static_cast<double>(tmix);
+}
+
+double theorem13_time_envelope(std::uint64_t n, std::uint64_t tmix) {
+  const double lg = std::log2(std::max<double>(2.0, static_cast<double>(n)));
+  return static_cast<double>(tmix) * lg * lg;
+}
+
+double theorem15_message_envelope(std::uint64_t n, double phi) {
+  return std::sqrt(static_cast<double>(n)) / std::pow(phi, 0.75);
+}
+
+}  // namespace wcle

@@ -1,0 +1,62 @@
+// Experiment harness: repeated seeded trials with aggregation, plus the graph
+// characterization (tmix, conductance bounds) every bench row reports next to
+// measured costs so the paper's shapes can be checked directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wcle/core/leader_election.hpp"
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/stats.hpp"
+
+namespace wcle {
+
+/// Aggregates of repeated election trials on one graph.
+struct ElectionTrialStats {
+  int trials = 0;
+  double success_rate = 0.0;   ///< fraction electing exactly one leader
+  double zero_leader_rate = 0.0;
+  double multi_leader_rate = 0.0;
+  Summary congest_messages;
+  Summary rounds;
+  Summary scheduled_rounds;
+  Summary final_length;        ///< stopping t_u
+  Summary phases;
+  Summary contenders;
+};
+
+/// Runs `trials` elections with seeds base_seed+i and aggregates.
+ElectionTrialStats run_election_trials(const Graph& g, ElectionParams params,
+                                       int trials,
+                                       std::uint64_t base_seed = 1000);
+
+/// Graph characterization for bench rows.
+struct GraphProfile {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t tmix = 0;        ///< estimated mixing time (lazy walk)
+  double cheeger_lower = 0.0;    ///< spectral lower bound on phi
+  double cheeger_upper = 0.0;
+  double sweep_conductance = 0.0;  ///< sweep-cut upper bound on phi
+};
+
+/// Profiles `g` (spectral gap + sampled mixing time). `mix_samples` point-mass
+/// sources are tried; `max_t` caps the mixing-time search.
+GraphProfile profile_graph(const Graph& g, std::uint32_t mix_samples = 4,
+                           std::uint64_t max_t = 1u << 22);
+
+/// Theoretical message envelope of Theorem 13: sqrt(n) log^{7/2} n * tmix
+/// (constant-free; used to normalize measured curves).
+double theorem13_message_envelope(std::uint64_t n, std::uint64_t tmix);
+
+/// Theoretical time envelope of Theorem 13: tmix log^2 n.
+double theorem13_time_envelope(std::uint64_t n, std::uint64_t tmix);
+
+/// Lower-bound envelope of Theorem 15: sqrt(n) / phi^{3/4}.
+double theorem15_message_envelope(std::uint64_t n, double phi);
+
+}  // namespace wcle

@@ -1,0 +1,53 @@
+#include "wcle/baselines/bfs_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagBfs = 0x24;
+}
+
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root) {
+  const NodeId n = g.node_count();
+  if (root >= n) throw std::invalid_argument("run_bfs_tree: root out of range");
+
+  Network net(g, CongestConfig::standard(n));
+  BfsTreeResult res;
+  res.parent_port.assign(n, BfsTreeResult::kNoParent);
+  std::vector<char> joined(n, 0);
+  joined[root] = 1;
+  res.tree_nodes = 1;
+
+  const std::uint32_t bits = ceil_log2(n) + 8;
+  auto announce = [&](NodeId v, std::uint64_t level, Port skip) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      if (p == skip) continue;
+      Message msg;
+      msg.tag = kTagBfs;
+      msg.a = level;
+      msg.bits = bits;
+      net.send(v, p, msg);
+    }
+  };
+  announce(root, 0, BfsTreeResult::kNoParent);
+
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    if (joined[d.dst]) return;
+    joined[d.dst] = 1;
+    ++res.tree_nodes;
+    res.parent_port[d.dst] = d.port;
+    res.depth = std::max(res.depth, d.msg.a + 1);
+    announce(d.dst, d.msg.a + 1, d.port);
+  });
+
+  res.complete = res.tree_nodes == n;
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,28 @@
+// Distributed BFS spanning-tree construction by level flooding: the
+// comparator for Corollary 27 (spanning tree needs Omega(n/sqrt(phi))
+// messages on the lower-bound graph). Theta(m) messages, O(D) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct BfsTreeResult {
+  bool complete = false;            ///< all nodes joined the tree
+  std::uint64_t tree_nodes = 0;
+  std::uint64_t depth = 0;          ///< max level reached
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  /// parent_port[v] = port through which v reached its parent
+  /// (root and unreached nodes hold the sentinel kNoParent).
+  std::vector<Port> parent_port;
+  static constexpr Port kNoParent = ~Port{0};
+};
+
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root);
+
+}  // namespace wcle

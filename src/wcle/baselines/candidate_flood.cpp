@@ -1,0 +1,71 @@
+#include "wcle/baselines/candidate_flood.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagCandId = 0x23;
+}
+
+CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
+                                         double candidate_rate_multiplier) {
+  const NodeId n = g.node_count();
+  Network net(g, CongestConfig::standard(n));
+  Rng rng(seed);
+
+  const std::uint64_t space =
+      static_cast<std::uint64_t>(std::min<double>(
+          9.0e18, std::pow(static_cast<double>(n < 2 ? 2 : n), 4.0)));
+  const double lg = std::log2(std::max<double>(2.0, n));
+  const double rate =
+      std::min(1.0, candidate_rate_multiplier * lg / static_cast<double>(n));
+
+  std::vector<std::uint64_t> rid(n), best(n, 0);
+  std::vector<char> candidate(n, 0), superseded(n, 0);
+  CandidateFloodResult res;
+  for (NodeId v = 0; v < n; ++v) {
+    rid[v] = rng.next_in(1, space);
+    if (rng.next_bool(rate)) {
+      candidate[v] = 1;
+      best[v] = rid[v];
+      res.candidates.push_back(v);
+    }
+  }
+  if (res.candidates.empty()) {
+    res.totals = net.metrics();
+    return res;  // fails (probability n^{-c1})
+  }
+
+  const std::uint32_t bits = id_bits(n);
+  auto broadcast_from = [&](NodeId v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      Message msg;
+      msg.tag = kTagCandId;
+      msg.a = best[v];
+      msg.bits = bits;
+      net.send(v, p, msg);
+    }
+  };
+  for (const NodeId v : res.candidates) broadcast_from(v);
+
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    if (d.msg.a > best[d.dst]) {
+      best[d.dst] = d.msg.a;
+      if (candidate[d.dst]) superseded[d.dst] = 1;
+      broadcast_from(d.dst);
+    }
+  });
+
+  for (const NodeId v : res.candidates)
+    if (!superseded[v]) res.leaders.push_back(v);
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,28 @@
+// CandidateFlood: randomized flooding election in the Omega(m) message regime
+// of Kutten et al. [24]. Only nodes that self-select as candidates (with the
+// same c1 log n / n rate as the paper's algorithm) flood their ids; everyone
+// relays improvements. Succeeds w.h.p. with Theta(m)-to-Theta(m log log n)
+// messages — the strongest flooding-style comparator for bench E4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct CandidateFloodResult {
+  std::vector<NodeId> leaders;
+  std::vector<NodeId> candidates;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// `candidate_rate_multiplier` plays the paper's c1 role.
+CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
+                                         double candidate_rate_multiplier = 4.0);
+
+}  // namespace wcle

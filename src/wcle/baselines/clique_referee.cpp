@@ -1,0 +1,92 @@
+#include "wcle/baselines/clique_referee.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagNominate = 0x27;
+constexpr std::uint8_t kTagKill = 0x28;
+}  // namespace
+
+CliqueRefereeResult run_clique_referee(const Graph& g,
+                                       const ElectionParams& params) {
+  const NodeId n = g.node_count();
+  CliqueRefereeResult res;
+  Rng root(params.seed);
+  Rng id_rng = root.fork(0x1d5);
+  Rng coin_rng = root.fork(0xc01);
+  Rng port_rng = root.fork(0x907);
+
+  std::vector<std::uint64_t> rid(n);
+  const std::uint64_t space = params.id_space(n);
+  for (NodeId v = 0; v < n; ++v) rid[v] = id_rng.next_in(1, space);
+
+  const double pc = params.contender_probability(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (coin_rng.next_bool(pc)) res.candidates.push_back(v);
+  if (res.candidates.empty()) return res;
+
+  Network net(g, CongestConfig::standard(n));
+  const std::uint32_t bits = id_bits(n) + 8;
+
+  // Step 2: candidates nominate themselves to random referees (sampling
+  // ports with replacement, as [25] does — duplicates waste a message).
+  const std::uint64_t fanout = params.walk_count(n);
+  for (const NodeId c : res.candidates) {
+    for (std::uint64_t k = 0; k < fanout; ++k) {
+      const Port p = static_cast<Port>(port_rng.next_below(g.degree(c)));
+      Message msg;
+      msg.tag = kTagNominate;
+      msg.a = rid[c];
+      msg.bits = bits;
+      net.send(c, p, msg);
+    }
+  }
+
+  // Step 3, phase A: referees collect the nomination wave (one synchronous
+  // round in [25]; here: until the wave quiesces).
+  struct RefereeState {
+    std::uint64_t max_id = 0;
+    std::vector<std::pair<Port, std::uint64_t>> senders;
+  };
+  std::unordered_map<NodeId, RefereeState> referees;
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    RefereeState& st = referees[d.dst];
+    st.max_id = std::max(st.max_id, d.msg.a);
+    st.senders.emplace_back(d.port, d.msg.a);
+  });
+
+  // Phase B: each referee kills every dominated nominator it heard from.
+  std::vector<NodeId> referee_nodes;
+  referee_nodes.reserve(referees.size());
+  for (const auto& [node, st] : referees) referee_nodes.push_back(node);
+  std::sort(referee_nodes.begin(), referee_nodes.end());
+  for (const NodeId node : referee_nodes) {
+    const RefereeState& st = referees.at(node);
+    for (const auto& [port, id] : st.senders) {
+      if (id == st.max_id) continue;
+      Message msg;
+      msg.tag = kTagKill;
+      msg.bits = 8;
+      net.send(node, port, msg);
+    }
+  }
+
+  // Step 4: killed candidates drop out.
+  std::vector<char> killed(n, 0);
+  res.rounds += net.run_until_idle(
+      [&](const Delivery& d) { killed[d.dst] = 1; });
+
+  for (const NodeId c : res.candidates)
+    if (!killed[c]) res.leaders.push_back(c);
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

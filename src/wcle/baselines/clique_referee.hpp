@@ -1,0 +1,43 @@
+// The complete-network election of Kutten, Pandurangan, Peleg, Robinson,
+// Trehan [25]: O(1) rounds and O(sqrt(n) log^{3/2} n) messages on cliques.
+//
+//   1. Each node becomes a *candidate* with probability c1 log n / n.
+//   2. Each candidate sends its random id through c2 sqrt(n log n) uniformly
+//      random ports; the receivers act as referees.
+//   3. A referee that has seen a larger id replies "kill" to the smaller
+//      candidate (one message per dominated candidate-message).
+//   4. A candidate that receives no kill declares itself leader.
+//
+// By the birthday paradox any two candidates share a referee w.h.p., so the
+// non-maximal ones are killed. Correctness leans on the clique property that
+// every port is a uniformly random distinct node — this is the specialized
+// algorithm the paper generalizes to arbitrary graphs via random walks, and
+// the E4 comparator for the "nearly matches the Omega(sqrt n) clique bound"
+// claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct CliqueRefereeResult {
+  std::vector<NodeId> leaders;
+  std::vector<NodeId> candidates;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// Runs the referee election. `g` should be a complete graph for the w.h.p.
+/// guarantee (the function itself runs on any graph; on non-cliques the
+/// referee sampling is only neighbourhood-local and may elect several
+/// leaders — which is precisely the failure the paper's walks fix).
+CliqueRefereeResult run_clique_referee(const Graph& g,
+                                       const ElectionParams& params);
+
+}  // namespace wcle

@@ -1,0 +1,49 @@
+#include "wcle/baselines/flood_broadcast.hpp"
+
+#include <stdexcept>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagFlood = 0x25;
+}
+
+FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
+                                         std::uint32_t value_bits) {
+  const NodeId n = g.node_count();
+  if (source >= n)
+    throw std::invalid_argument("run_flood_broadcast: source out of range");
+
+  Network net(g, CongestConfig::standard(n));
+  std::vector<char> informed(n, 0);
+  FloodBroadcastResult res;
+  informed[source] = 1;
+  res.informed = 1;
+
+  const std::uint32_t bits = value_bits ? value_bits : id_bits(n);
+  auto forward = [&](NodeId v, Port skip) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      if (p == skip) continue;
+      Message msg;
+      msg.tag = kTagFlood;
+      msg.bits = bits;
+      net.send(v, p, msg);
+    }
+  };
+  forward(source, ~Port{0});
+
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    if (informed[d.dst]) return;
+    informed[d.dst] = 1;
+    ++res.informed;
+    forward(d.dst, d.port);
+  });
+  res.complete = res.informed == n;
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,27 @@
+// Flooding broadcast: every node forwards the rumor once over all its other
+// ports. Theta(m) messages, O(D) rounds — the deterministic comparator for
+// Corollary 26 next to push-pull (which pays n log n / phi): on the
+// lower-bound graph both are Omega(n / sqrt(phi)); on well-connected graphs
+// flooding still pays m while push-pull pays ~n log n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct FloodBroadcastResult {
+  bool complete = false;
+  std::uint64_t informed = 0;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+};
+
+/// Floods a rumor of `value_bits` bits from `source` until quiescence.
+FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
+                                         std::uint32_t value_bits);
+
+}  // namespace wcle

@@ -1,0 +1,55 @@
+#include "wcle/baselines/flood_max.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagMaxId = 0x22;
+}
+
+FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed) {
+  const NodeId n = g.node_count();
+  Network net(g, CongestConfig::standard(n));
+  Rng rng(seed);
+
+  std::vector<std::uint64_t> rid(n), best(n);
+  const std::uint64_t space =
+      static_cast<std::uint64_t>(std::min<double>(
+          9.0e18, std::pow(static_cast<double>(n < 2 ? 2 : n), 4.0)));
+  for (NodeId v = 0; v < n; ++v) best[v] = rid[v] = rng.next_in(1, space);
+  std::vector<char> superseded(n, 0);
+
+  const std::uint32_t bits = id_bits(n);
+  auto broadcast_from = [&](NodeId v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      Message msg;
+      msg.tag = kTagMaxId;
+      msg.a = best[v];
+      msg.bits = bits;
+      net.send(v, p, msg);
+    }
+  };
+  for (NodeId v = 0; v < n; ++v) broadcast_from(v);
+
+  FloodElectionResult res;
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    if (d.msg.a > best[d.dst]) {
+      best[d.dst] = d.msg.a;
+      superseded[d.dst] = 1;
+      broadcast_from(d.dst);
+    }
+  });
+
+  for (NodeId v = 0; v < n; ++v)
+    if (!superseded[v]) res.leaders.push_back(v);
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

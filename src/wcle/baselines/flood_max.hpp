@@ -1,0 +1,26 @@
+// FloodMax: the classic deterministic flooding election. Every node floods
+// the largest id it has seen; at quiescence the unique maximum-id node is the
+// only one that never saw a larger id. Theta(m)-per-wave messages — the
+// Omega(m)-regime comparator that the paper's algorithm beats on
+// well-connected graphs (cf. [24] and bench E4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct FloodElectionResult {
+  std::vector<NodeId> leaders;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// Runs FloodMax with random ids drawn from [1, n^4].
+FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed);
+
+}  // namespace wcle

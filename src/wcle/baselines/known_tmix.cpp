@@ -1,0 +1,76 @@
+#include "wcle/baselines/known_tmix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wcle/rw/walk_engine.hpp"
+#include "wcle/sim/network.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+KnownTmixResult run_known_tmix_election(const Graph& g,
+                                        std::uint32_t walk_length,
+                                        const ElectionParams& params) {
+  const NodeId n = g.node_count();
+  if (walk_length == 0)
+    throw std::invalid_argument("run_known_tmix_election: walk_length >= 1");
+
+  KnownTmixResult res;
+  Rng root(params.seed);
+  Rng id_rng = root.fork(0x1d5);
+  Rng coin_rng = root.fork(0xc01);
+  Rng walk_rng = root.fork(0x3a1);
+
+  std::vector<std::uint64_t> rid(n);
+  const std::uint64_t space = params.id_space(n);
+  for (NodeId v = 0; v < n; ++v) rid[v] = id_rng.next_in(1, space);
+
+  const double pc = params.contender_probability(n);
+  for (NodeId v = 0; v < n; ++v)
+    if (coin_rng.next_bool(pc)) res.contenders.push_back(v);
+  if (res.contenders.empty()) return res;
+
+  Network net(g, params.wide_messages ? CongestConfig::wide(n)
+                                      : CongestConfig::standard(n));
+  WalkEngine engine(g, net, walk_rng,
+                    {params.lazy_walks, params.coalesce_tokens});
+
+  std::vector<WalkOrder> orders;
+  const std::uint64_t walks = params.walk_count(n);
+  for (const NodeId v : res.contenders)
+    orders.push_back({v, walks, walk_length});
+  engine.run_walk_stage(orders);
+
+  // One convergecast: each proxy reports the other contenders it serves.
+  const ProxyPayloadFn payload = [&](NodeId proxy, NodeId origin,
+                                     std::uint64_t /*units*/) {
+    ReplyPayload p;
+    p.proxy_nodes = 1;
+    for (const auto& [x, cnt] : engine.registrations(proxy))
+      if (x != origin) p.add_id(rid[x]);
+    return p;
+  };
+  std::vector<std::pair<NodeId, std::uint64_t>> adjacency_max;
+  auto react = [&](const std::vector<WalkEvent>& events) {
+    for (const WalkEvent& ev : events) {
+      if (ev.kind != WalkEvent::Kind::kConvergecastDone) continue;
+      const std::uint64_t max_adj =
+          ev.reply.ids.empty() ? 0 : ev.reply.ids.back();
+      adjacency_max.emplace_back(ev.origin, max_adj);
+    }
+  };
+  react(engine.begin_convergecast(res.contenders, payload));
+  net.run_until_idle(
+      [&](const Delivery& d) { react(engine.handle(d)); });
+
+  for (const auto& [v, max_adj] : adjacency_max)
+    if (rid[v] > max_adj) res.leaders.push_back(v);
+  std::sort(res.leaders.begin(), res.leaders.end());
+
+  res.rounds = net.metrics().rounds;
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

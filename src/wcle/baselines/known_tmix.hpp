@@ -1,0 +1,31 @@
+// Known-tmix election (Kutten et al. [25], the paper's main point of
+// comparison): identical contender sampling and walk fan-out, but the walk
+// length is FIXED to c3 * tmix, supplied a priori — the knowledge the paper's
+// guess-and-double machinery exists to avoid. One walk stage plus one
+// convergecast; a contender wins iff its id beats every adjacent contender's.
+// Bench E12 measures what knowing tmix is worth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct KnownTmixResult {
+  std::vector<NodeId> leaders;
+  std::vector<NodeId> contenders;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// `walk_length` should be c3 * tmix (c3 > 1) for the w.h.p. guarantee.
+KnownTmixResult run_known_tmix_election(const Graph& g,
+                                        std::uint32_t walk_length,
+                                        const ElectionParams& params);
+
+}  // namespace wcle

@@ -1,0 +1,51 @@
+#include "wcle/baselines/port_prober.hpp"
+
+#include <algorithm>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagProbe = 0x26;
+}
+
+ProbeResult run_port_prober(
+    const Graph& g, std::uint64_t budget_per_node, std::uint64_t seed,
+    const std::function<bool(NodeId, NodeId)>& is_target_edge) {
+  const NodeId n = g.node_count();
+  Network net(g, CongestConfig::standard(n));
+  Rng rng(seed);
+  ProbeResult res;
+
+  // Each node opens a random subset of its ports (partial Fisher-Yates).
+  const std::uint32_t bits = ceil_log2(n) + 8;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t deg = g.degree(v);
+    const std::uint64_t opens =
+        std::min<std::uint64_t>(budget_per_node, deg);
+    std::vector<Port> ports(deg);
+    for (Port p = 0; p < deg; ++p) ports[p] = p;
+    for (std::uint64_t k = 0; k < opens; ++k) {
+      const std::uint64_t j = k + rng.next_below(deg - k);
+      std::swap(ports[k], ports[j]);
+      Message msg;
+      msg.tag = kTagProbe;
+      msg.a = v;
+      msg.bits = bits;
+      net.send(v, ports[k], msg);
+      ++res.probes_sent;
+    }
+  }
+
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    const NodeId from = static_cast<NodeId>(d.msg.a);
+    if (is_target_edge(from, d.dst)) ++res.target_edges_found;
+  });
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,32 @@
+// Port-probing explorer: the mechanism inside Lemma 18 as a real CONGEST
+// protocol. Every node spends a per-node probe budget opening previously
+// unopened ports in random order (one probe message each); probed neighbours
+// ack with their id. Because nodes cannot tell which ports lead outside
+// their own dense neighbourhood, discovering one of the few "long" edges
+// (inter-clique edges in G(alpha), bridges in a dumbbell) takes Theta(ports)
+// probes in expectation — the engine of both Theorem 15 and Theorem 28.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct ProbeResult {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t target_edges_found = 0;  ///< probes that crossed a target edge
+  std::uint64_t rounds = 0;
+  Metrics totals;
+};
+
+/// Every node probes up to `budget_per_node` distinct random ports.
+/// `is_target_edge(u, v)` classifies discovered edges (e.g. inter-clique).
+ProbeResult run_port_prober(
+    const Graph& g, std::uint64_t budget_per_node, std::uint64_t seed,
+    const std::function<bool(NodeId, NodeId)>& is_target_edge);
+
+}  // namespace wcle

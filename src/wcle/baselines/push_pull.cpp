@@ -1,0 +1,90 @@
+#include "wcle/baselines/push_pull.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagRumor = 0x20;
+constexpr std::uint8_t kTagPull = 0x21;
+}  // namespace
+
+BroadcastResult run_push_pull(const Graph& g,
+                              const std::vector<NodeId>& sources,
+                              std::uint32_t value_bits, std::uint64_t seed,
+                              std::uint64_t max_rounds) {
+  const NodeId n = g.node_count();
+  if (sources.empty())
+    throw std::invalid_argument("run_push_pull: need at least one source");
+  if (max_rounds == 0) {
+    const std::uint64_t lg = ceil_log2(n) ? ceil_log2(n) : 1;
+    max_rounds = 64 * lg * static_cast<std::uint64_t>(n);  // >= O(log n / phi)
+  }
+
+  Network net(g, CongestConfig::standard(n));
+  Rng rng(seed);
+  std::vector<char> informed(n, 0);
+  std::uint64_t informed_count = 0;
+  for (const NodeId s : sources) {
+    if (!informed[s]) {
+      informed[s] = 1;
+      ++informed_count;
+    }
+  }
+
+  const std::uint32_t rumor_bits = value_bits ? value_bits : id_bits(n);
+  // Pull replies owed from the previous round: (node, port).
+  std::vector<std::pair<NodeId, Port>> owed, next_owed;
+
+  BroadcastResult res;
+  while (informed_count < n && res.rounds < max_rounds) {
+    // Each node contacts one uniformly random neighbour per round.
+    for (NodeId v = 0; v < n; ++v) {
+      const Port p = static_cast<Port>(rng.next_below(g.degree(v)));
+      Message msg;
+      if (informed[v]) {
+        msg.tag = kTagRumor;
+        msg.bits = rumor_bits;
+      } else {
+        msg.tag = kTagPull;
+        msg.bits = 8;
+      }
+      net.send(v, p, std::move(msg));
+    }
+    // Answer pulls that arrived last round.
+    for (const auto& [v, p] : owed) {
+      if (!informed[v]) continue;
+      Message msg;
+      msg.tag = kTagRumor;
+      msg.bits = rumor_bits;
+      net.send(v, p, std::move(msg));
+    }
+    owed.clear();
+
+    const std::vector<Delivery>& delivered = net.step();
+    res.rounds += 1;
+    for (const Delivery& d : delivered) {
+      if (d.msg.tag == kTagRumor) {
+        if (!informed[d.dst]) {
+          informed[d.dst] = 1;
+          ++informed_count;
+        }
+      } else {
+        next_owed.emplace_back(d.dst, d.port);
+      }
+    }
+    owed.swap(next_owed);
+  }
+
+  res.complete = informed_count == n;
+  res.informed = informed_count;
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,31 @@
+// Push-pull rumor spreading (Karp et al. [22]; conductance-tight analysis by
+// Giakkoupis [17]): every round each informed node pushes the rumor through a
+// uniformly random port and each uninformed node pulls through a uniformly
+// random port (informed nodes answer pulls). Completes in O(log n / phi)
+// rounds, i.e. O(n log n / phi) messages — the broadcast stage of the
+// explicit variant (Corollary 14) and the comparator of Corollary 26.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct BroadcastResult {
+  bool complete = false;       ///< every node informed
+  std::uint64_t informed = 0;  ///< nodes informed at the end
+  std::uint64_t rounds = 0;
+  Metrics totals;
+};
+
+/// Spreads a rumor of `value_bits` bits from `sources` until every node is
+/// informed or `max_rounds` elapse (0 = 64 * log2(n)^2 / a generous default).
+BroadcastResult run_push_pull(const Graph& g,
+                              const std::vector<NodeId>& sources,
+                              std::uint32_t value_bits, std::uint64_t seed,
+                              std::uint64_t max_rounds = 0);
+
+}  // namespace wcle

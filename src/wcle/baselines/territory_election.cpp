@@ -1,0 +1,121 @@
+#include "wcle/baselines/territory_election.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+
+constexpr std::uint8_t kTagTerritory = 0x2a;
+constexpr std::uint64_t kAdvance = 0;
+constexpr std::uint64_t kBacktrack = 1;
+constexpr Port kRoot = std::numeric_limits<Port>::max();
+
+/// Per-(node, candidate) DFS cursor.
+struct DfsState {
+  Port parent_port = kRoot;
+  Port next_port = 0;
+};
+
+}  // namespace
+
+TerritoryElectionResult run_territory_election(const Graph& g,
+                                               const ElectionParams& params) {
+  const NodeId n = g.node_count();
+  TerritoryElectionResult res;
+  Rng root(params.seed);
+  Rng id_rng = root.fork(0x1d5);
+  Rng coin_rng = root.fork(0xc01);
+
+  std::vector<std::uint64_t> rid(n);
+  const std::uint64_t space = params.id_space(n);
+  for (NodeId v = 0; v < n; ++v) rid[v] = id_rng.next_in(1, space);
+
+  const double pc = params.contender_probability(n);
+  std::unordered_map<std::uint64_t, NodeId> candidate_of_rid;
+  for (NodeId v = 0; v < n; ++v) {
+    if (coin_rng.next_bool(pc)) {
+      res.candidates.push_back(v);
+      candidate_of_rid[rid[v]] = v;
+    }
+  }
+  if (res.candidates.empty()) return res;
+
+  Network net(g, CongestConfig::standard(n));
+  const std::uint32_t bits = id_bits(n) + ceil_log2(n) + 8;
+
+  std::vector<std::uint64_t> owner(n, 0);
+  // DFS cursors keyed by (node, candidate rid).
+  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, DfsState>>
+      state;
+
+  auto send_token = [&](NodeId v, Port p, std::uint64_t r,
+                        std::uint64_t kind, std::uint64_t count) {
+    Message msg;
+    msg.tag = kTagTerritory;
+    msg.a = r;
+    msg.b = kind;
+    msg.c = count;
+    msg.bits = bits;
+    net.send(v, p, msg);
+  };
+
+  // Advances the DFS of candidate-rid r sitting at v; returns true when the
+  // root finished with a full census (leader).
+  auto continue_dfs = [&](NodeId v, std::uint64_t r,
+                          std::uint64_t count) -> bool {
+    DfsState& st = state[v][r];
+    while (st.next_port < g.degree(v)) {
+      const Port port = st.next_port++;
+      if (port == st.parent_port) continue;
+      send_token(v, port, r, kAdvance, count);
+      return false;
+    }
+    if (st.parent_port == kRoot) return count == n;  // census complete?
+    send_token(v, st.parent_port, r, kBacktrack, count);
+    return false;
+  };
+
+  // Launch: each candidate owns itself and starts its DFS.
+  for (const NodeId c : res.candidates) owner[c] = rid[c];
+  for (const NodeId c : res.candidates) {
+    state[c][rid[c]] = DfsState{};  // root cursor
+    if (continue_dfs(c, rid[c], 1)) res.leaders.push_back(c);
+  }
+
+  res.rounds = net.run_until_idle([&](const Delivery& d) {
+    const std::uint64_t r = d.msg.a;
+    const NodeId v = d.dst;
+    if (d.msg.b == kBacktrack) {
+      if (continue_dfs(v, r, d.msg.c))
+        res.leaders.push_back(candidate_of_rid.at(r));
+      return;
+    }
+    // Advance into v.
+    if (owner[v] > r) return;  // stronger territory: the token dies
+    owner[v] = r;
+    auto& per_node = state[v];
+    const auto it = per_node.find(r);
+    if (it != per_node.end()) {
+      // Already visited by this candidate (non-tree edge): bounce back
+      // without counting.
+      send_token(v, d.port, r, kBacktrack, d.msg.c);
+      return;
+    }
+    DfsState st;
+    st.parent_port = d.port;
+    per_node.emplace(r, st);
+    if (continue_dfs(v, r, d.msg.c + 1))
+      res.leaders.push_back(candidate_of_rid.at(r));
+  });
+
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,40 @@
+// Territory-growing DFS election — the O(m)-message / slow-time point of
+// [24]'s tradeoff space ("an algorithm that requires only O(m) messages
+// though it could take arbitrary (albeit finite) time").
+//
+// Each candidate launches a single sequential DFS token carrying its random
+// id. A token entering a node owned by a larger id dies silently; otherwise
+// it (re)claims the node and continues its depth-first traversal (each
+// candidate's DFS visits a node once, crossing every edge at most twice).
+// The candidate whose token completes a DFS that visited all n nodes — n is
+// known — declares itself leader. The strongest candidate always completes;
+// weaker tokens die on first contact with stronger territory, so the total
+// message count is O(m) per *surviving prefix*, O(m log k) in expectation
+// over k candidates — while the single sequential token makes the running
+// time Theta(m): the message-optimal/time-poor extreme the paper contrasts
+// its O~(tmix)-time algorithm against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+struct TerritoryElectionResult {
+  std::vector<NodeId> leaders;
+  std::vector<NodeId> candidates;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// Candidates self-select at rate c1 log n / n (params.c1); ids from
+/// [1, n^4]. Requires a connected graph.
+TerritoryElectionResult run_territory_election(const Graph& g,
+                                               const ElectionParams& params);
+
+}  // namespace wcle

@@ -1,0 +1,99 @@
+#include "wcle/baselines/tmix_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "wcle/baselines/bfs_tree.hpp"
+#include "wcle/rw/walk_engine.hpp"
+#include "wcle/sim/network.hpp"
+#include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::uint8_t kTagReport = 0x29;
+}
+
+TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
+                                      std::uint64_t seed,
+                                      std::uint64_t walks_per_round,
+                                      std::uint32_t max_t) {
+  const NodeId n = g.node_count();
+  if (initiator >= n)
+    throw std::invalid_argument("run_tmix_estimator: initiator out of range");
+  if (walks_per_round == 0) walks_per_round = 64ull * n;
+
+  TmixEstimateResult res;
+
+  // 1. BFS spanning tree from the initiator: the Omega(m) entry fee.
+  const BfsTreeResult tree = run_bfs_tree(g, initiator);
+  res.totals += tree.totals;
+  res.rounds += tree.rounds;
+
+  // 2+3. Doubling walk lengths with tree convergecast of the L-inf distance.
+  Network net(g, CongestConfig::standard(n));
+  Rng rng(seed);
+  WalkEngine engine(g, net, rng);
+  const double vol = static_cast<double>(g.volume());
+  const std::uint32_t report_bits = 2 * ceil_log2(n) + 24;
+
+  for (std::uint32_t t = 1; t <= max_t; t *= 2) {
+    res.iterations += 1;
+    engine.run_walk_stage({{initiator, walks_per_round, t}});
+
+    // Local statistic: |count/K - d_v/(2m)|, scaled to a fixed-point value
+    // so it fits an O(log n)-bit message.
+    std::vector<double> local(n, 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& regs = engine.registrations(v);
+      const auto it = regs.find(initiator);
+      const double mass =
+          it == regs.end()
+              ? 0.0
+              : static_cast<double>(it->second) /
+                    static_cast<double>(walks_per_round);
+      local[v] =
+          std::fabs(mass - static_cast<double>(g.degree(v)) / vol);
+    }
+
+    // Convergecast up the BFS tree with flood-max style filtering: a node
+    // forwards a value to its parent only when it beats what it forwarded
+    // before (at most depth improvements per node).
+    std::vector<double> best(n, -1.0);
+    auto forward_up = [&](NodeId v, double value) {
+      if (value <= best[v]) return;
+      best[v] = value;
+      if (tree.parent_port[v] == BfsTreeResult::kNoParent) return;  // root
+      Message msg;
+      msg.tag = kTagReport;
+      msg.a = static_cast<std::uint64_t>(value * 1e12);
+      msg.bits = report_bits;
+      net.send(v, tree.parent_port[v], msg);
+    };
+    for (NodeId v = 0; v < n; ++v) forward_up(v, local[v]);
+    net.run_until_idle([&](const Delivery& d) {
+      forward_up(d.dst, static_cast<double>(d.msg.a) / 1e12);
+    });
+
+    const double linf = best[initiator];
+    // Mixing test at the initiator: the paper's 1/(2n) plus the sampling
+    // tolerance of the K-walk empirical distribution.
+    const double pi_max = static_cast<double>(g.max_degree()) / vol;
+    const double tolerance =
+        2.0 * std::sqrt(pi_max / static_cast<double>(walks_per_round));
+    if (linf <= 1.0 / (2.0 * static_cast<double>(n)) + tolerance) {
+      res.converged = true;
+      res.estimate = t;
+      break;
+    }
+  }
+
+  res.totals += net.metrics();
+  res.rounds += net.metrics().rounds;
+  return res;
+}
+
+}  // namespace wcle

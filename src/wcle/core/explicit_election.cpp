@@ -1,0 +1,20 @@
+#include "wcle/core/explicit_election.hpp"
+
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+ExplicitElectionResult run_explicit_election(const Graph& g,
+                                             const ElectionParams& params) {
+  ExplicitElectionResult res;
+  res.election = run_leader_election(g, params);
+  if (res.election.leaders.empty()) return res;  // nothing to broadcast
+
+  const std::uint32_t leader_id_bits = id_bits(g.node_count());
+  res.broadcast = run_push_pull(g, res.election.leaders, leader_id_bits,
+                                params.seed ^ 0xb40adca57ull);
+  res.success = res.election.success() && res.broadcast.complete;
+  return res;
+}
+
+}  // namespace wcle

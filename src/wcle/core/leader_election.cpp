@@ -1,0 +1,330 @@
+#include "wcle/core/leader_election.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "wcle/rw/walk_engine.hpp"
+#include "wcle/sim/network.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+
+/// Winner marks travel inside id sets with the top bit set ("appends it to
+/// all future messages", Algorithm 2 step 7). Random ids are < n^4 <= 9e18,
+/// so the top bit is always free.
+constexpr std::uint64_t kWinnerBit = 1ull << 63;
+
+struct Contender {
+  NodeId node = 0;
+  std::uint32_t length = 1;    ///< current guess t_u
+  bool active = true;          ///< still guess-and-doubling
+  bool stopped = false;        ///< properties satisfied (or cap-forced)
+  bool leader = false;
+  bool has_winner = false;     ///< received a winner message
+  std::uint64_t distinct = 0;  ///< distinct proxies reported in Round 1
+  std::vector<std::uint64_t> i2;  ///< adjacent contenders' random ids
+  std::vector<std::uint64_t> i4;  ///< union of I3 sets
+};
+
+enum class Stage { kRound1, kRound2, kRound3, kWinner };
+
+void split_marks(const std::vector<std::uint64_t>& ids,
+                 std::vector<std::uint64_t>& plain,
+                 std::vector<std::uint64_t>& marks) {
+  plain.clear();
+  marks.clear();
+  for (const std::uint64_t id : ids)
+    (id & kWinnerBit ? marks : plain).push_back(id);
+}
+
+void sorted_union_into(std::vector<std::uint64_t>& dst,
+                       const std::vector<std::uint64_t>& src) {
+  std::vector<std::uint64_t> merged;
+  merged.reserve(dst.size() + src.size());
+  std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  dst = std::move(merged);
+}
+
+}  // namespace
+
+ElectionResult run_leader_election(const Graph& g,
+                                   const ElectionParams& params) {
+  const NodeId n = g.node_count();
+  if (n < 2)
+    throw std::invalid_argument("run_leader_election: need n >= 2");
+  if (!g.is_connected())
+    throw std::invalid_argument("run_leader_election: graph must be connected");
+
+  ElectionResult res;
+  Rng root(params.seed);
+  Rng id_rng = root.fork(0x1d5);
+  Rng coin_rng = root.fork(0xc01);
+  Rng walk_rng = root.fork(0x3a1);
+
+  // Algorithm 1: random ids from [1, n^4]; contenders with prob c1 log n / n.
+  std::vector<std::uint64_t> rid(n);
+  const std::uint64_t space = params.id_space(n);
+  for (NodeId v = 0; v < n; ++v) rid[v] = id_rng.next_in(1, space);
+
+  const double pc = params.contender_probability(n);
+  std::vector<NodeId> contender_nodes;
+  for (NodeId v = 0; v < n; ++v)
+    if (coin_rng.next_bool(pc)) contender_nodes.push_back(v);
+  res.contenders = contender_nodes;
+  if (contender_nodes.empty()) return res;  // fails; probability n^{-c1}
+
+  Network net(g, params.wide_messages ? CongestConfig::wide(n)
+                                      : CongestConfig::standard(n));
+  WalkEngine engine(g, net, walk_rng,
+                    {params.lazy_walks, params.coalesce_tokens});
+
+  std::unordered_map<NodeId, Contender> state;
+  for (const NodeId v : contender_nodes) {
+    Contender c;
+    c.node = v;
+    c.length = params.initial_length;
+    state.emplace(v, std::move(c));
+  }
+
+  const std::uint64_t walks = params.walk_count(n);
+  const std::uint64_t need_intersect = params.intersection_threshold(n);
+  const std::uint64_t need_distinct =
+      std::min<std::uint64_t>(params.distinct_threshold(n), walks);
+  const std::uint32_t max_len = params.effective_max_length(n);
+
+  std::vector<char> winner_at(n, 0);            // node-level winner knowledge
+  std::vector<std::uint64_t> winner_mark_at(n, 0);
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> proxy_i3;
+
+  Stage stage = Stage::kRound1;
+
+  // Uniform event reactor: captures stage results and runs the winner cascade
+  // (steps 5-7 of Algorithm 2) in whatever stage a winner mark shows up.
+  std::function<void(std::vector<WalkEvent>)> process_events =
+      [&](std::vector<WalkEvent> initial) {
+        std::deque<WalkEvent> q(std::make_move_iterator(initial.begin()),
+                                std::make_move_iterator(initial.end()));
+        auto enqueue = [&](std::vector<WalkEvent> more) {
+          for (WalkEvent& e : more) q.push_back(std::move(e));
+        };
+        // Step 6: the first time any node learns of a winner it notifies
+        // every contender it is a proxy for (unicast up their trails).
+        auto node_learns_winner = [&](NodeId node,
+                                      const std::vector<std::uint64_t>& marks) {
+          if (winner_at[node]) return;
+          winner_at[node] = 1;
+          winner_mark_at[node] = marks.front();
+          std::vector<NodeId> origins;
+          for (const auto& [x, cnt] : engine.registrations(node))
+            origins.push_back(x);
+          std::sort(origins.begin(), origins.end());
+          for (const NodeId x : origins)
+            enqueue(engine.begin_unicast_up(node, x, marks));
+        };
+        // Step 7: the first time a contender learns of a winner it forwards
+        // the mark to all its proxies (and appends it to future messages).
+        auto contender_learns_winner =
+            [&](Contender& c, const std::vector<std::uint64_t>& marks) {
+              node_learns_winner(c.node, marks);
+              if (c.has_winner) return;
+              c.has_winner = true;
+              enqueue(engine.begin_flood_down(c.node, marks));
+            };
+
+        std::vector<std::uint64_t> plain, marks;
+        while (!q.empty()) {
+          WalkEvent ev = std::move(q.front());
+          q.pop_front();
+          switch (ev.kind) {
+            case WalkEvent::Kind::kConvergecastDone: {
+              Contender& c = state.at(ev.origin);
+              split_marks(ev.reply.ids, plain, marks);
+              if (stage == Stage::kRound1) {
+                c.i2 = plain;
+                c.distinct = ev.reply.distinct_proxies;
+              } else if (stage == Stage::kRound3) {
+                c.i4 = plain;
+              }
+              if (!marks.empty()) contender_learns_winner(c, marks);
+              break;
+            }
+            case WalkEvent::Kind::kFloodAtProxy: {
+              split_marks(ev.ids, plain, marks);
+              if (stage == Stage::kRound2 && !plain.empty())
+                sorted_union_into(proxy_i3[ev.node], plain);
+              if (!marks.empty()) node_learns_winner(ev.node, marks);
+              break;
+            }
+            case WalkEvent::Kind::kUnicastAtOrigin: {
+              Contender& c = state.at(ev.origin);
+              split_marks(ev.ids, plain, marks);
+              if (!marks.empty()) contender_learns_winner(c, marks);
+              break;
+            }
+          }
+        }
+      };
+
+  auto pump_network = [&]() {
+    net.run_until_idle([&](const Delivery& d) {
+      assert(WalkEngine::owns_tag(d.msg.tag));
+      process_events(engine.handle(d));
+    });
+  };
+
+  // Paper-schedule mode: idle-step the network to the sub-phase boundary
+  // (messages are unaffected; only the clock advances, exactly as nodes
+  // sleeping out the congestion pad would).
+  auto pad_to = [&](std::uint64_t absolute_round) {
+    if (!params.paper_schedule) return;
+    while (net.round() < absolute_round) net.step();
+  };
+
+  // Round-1/Round-3 proxy payload builders.
+  const ProxyPayloadFn round1_payload = [&](NodeId proxy, NodeId origin,
+                                            std::uint64_t units) {
+    ReplyPayload p;
+    p.proxy_nodes = 1;
+    p.distinct_proxies = (units == 1) ? 1 : 0;
+    for (const auto& [x, cnt] : engine.registrations(proxy))
+      if (x != origin) p.add_id(rid[x]);
+    if (winner_at[proxy]) p.add_id(winner_mark_at[proxy]);
+    return p;
+  };
+  const ProxyPayloadFn round3_payload = [&](NodeId proxy, NodeId /*origin*/,
+                                            std::uint64_t /*units*/) {
+    ReplyPayload p;
+    const auto it = proxy_i3.find(proxy);
+    if (it != proxy_i3.end()) p.ids = it->second;
+    if (winner_at[proxy]) p.add_id(winner_mark_at[proxy]);
+    return p;
+  };
+
+  std::uint64_t stopped_count = 0;
+  bool any_active = true;
+  while (any_active && res.phases < params.max_phases) {
+    res.phases += 1;
+    std::vector<NodeId> walkers;
+    std::uint32_t phase_len = 0;
+    for (const NodeId v : contender_nodes) {
+      const Contender& c = state.at(v);
+      if (c.active) {
+        walkers.push_back(v);
+        phase_len = std::max(phase_len, c.length);
+      }
+    }
+    assert(!walkers.empty());
+    const Metrics before = net.metrics();
+    const std::uint64_t phase_start = net.round();
+    const std::uint64_t T = params.scheduled_T(n, phase_len);
+
+    // Walk stage: all active contenders run their parallel walks.
+    std::vector<WalkOrder> orders;
+    orders.reserve(walkers.size());
+    for (const NodeId v : walkers)
+      orders.push_back({v, walks, state.at(v).length});
+    engine.run_walk_stage(orders);
+    pad_to(phase_start + T);
+
+    // Round 1: proxies report d and I1 back along the trails.
+    stage = Stage::kRound1;
+    for (const NodeId v : walkers) {
+      state.at(v).i2.clear();
+      state.at(v).i4.clear();
+      state.at(v).distinct = 0;
+    }
+    proxy_i3.clear();
+    process_events(engine.begin_convergecast(walkers, round1_payload));
+    pump_network();
+    pad_to(phase_start + 2 * T);
+
+    // Round 2: contenders flood I2 (plus their own id and any winner mark).
+    stage = Stage::kRound2;
+    for (const NodeId v : walkers) {
+      Contender& c = state.at(v);
+      std::vector<std::uint64_t> payload = c.i2;
+      payload.push_back(rid[v]);
+      std::sort(payload.begin(), payload.end());
+      if (c.has_winner) payload.push_back(winner_mark_at[v]);
+      process_events(engine.begin_flood_down(v, std::move(payload)));
+    }
+    pump_network();
+    pad_to(phase_start + 3 * T);
+
+    // Round 3: proxies report I3 = union of received I2 sets.
+    stage = Stage::kRound3;
+    process_events(engine.begin_convergecast(walkers, round3_payload));
+    pump_network();
+    pad_to(phase_start + 4 * T);
+
+    // Stopping decision + winner rule (steps 4-5).
+    stage = Stage::kWinner;
+    std::vector<NodeId> new_leaders;
+    for (const NodeId v : walkers) {
+      Contender& c = state.at(v);
+      const std::uint64_t adjacent = c.i2.size();
+      const bool properties_met =
+          adjacent >= need_intersect && c.distinct >= need_distinct;
+      const bool cap_forced = !properties_met && 2ull * c.length > max_len;
+      if (!properties_met && !cap_forced) {
+        c.length *= 2;
+        continue;
+      }
+      c.active = false;
+      c.stopped = true;
+      ++stopped_count;
+      if (cap_forced) res.hit_phase_cap = true;
+      std::uint64_t max_known = 0;
+      for (const std::uint64_t id : c.i4)
+        if (id != rid[v]) max_known = std::max(max_known, id);
+      if (!c.has_winner && rid[v] > max_known) {
+        c.leader = true;
+        new_leaders.push_back(v);
+      }
+    }
+
+    // Winner stage: leaders notify proxies; cascade runs to quiescence
+    // (the paper's 2T wait).
+    for (const NodeId v : new_leaders) {
+      winner_at[v] = 1;
+      winner_mark_at[v] = rid[v] | kWinnerBit;
+      state.at(v).has_winner = true;
+      process_events(
+          engine.begin_flood_down(v, {rid[v] | kWinnerBit}));
+    }
+    pump_network();
+    pad_to(phase_start + 6 * T);  // the paper's 2T winner-propagation wait
+
+    PhaseStats ps;
+    ps.length = phase_len;
+    ps.active = walkers.size();
+    ps.stopped_after = stopped_count;
+    ps.metrics = net.metrics().since(before);
+    res.phase_stats.push_back(ps);
+    res.final_length = std::max(res.final_length, phase_len);
+    res.scheduled_rounds += 6 * params.scheduled_T(n, phase_len);
+
+    any_active = false;
+    for (const NodeId v : contender_nodes)
+      if (state.at(v).active) any_active = true;
+  }
+  if (any_active) res.hit_phase_cap = true;
+
+  for (const NodeId v : contender_nodes) {
+    if (state.at(v).leader) {
+      res.leaders.push_back(v);
+      if (res.leader_random_id == 0) res.leader_random_id = rid[v];
+    }
+  }
+  res.totals = net.metrics();
+  return res;
+}
+
+}  // namespace wcle

@@ -1,0 +1,64 @@
+// The paper's randomized implicit leader-election algorithm (Algorithms 1+2):
+//
+//   1. Every node draws a random id from [1, n^4] and becomes a *contender*
+//      with probability c1 log n / n (Lemma 1 bounds the contender count).
+//   2. Each active contender u runs c2 sqrt(n log n) parallel lazy random
+//      walks of its current guess t_u, then exchanges three synchronized
+//      rounds with its proxies (walk endpoints):
+//        Round 1 (proxies -> u): distinctness booleans d and the sets I1 of
+//                 other contenders registered at each proxy;
+//        Round 2 (u -> proxies): I2, the union of the I1 sets;
+//        Round 3 (proxies -> u): I3, the union of the I2 sets the proxy saw.
+//      u stops once the Intersection property (adjacent to >= (3/4) c1 log n
+//      other contenders) and the Distinctness property (>= (c2/2) sqrt(n log n)
+//      distinct proxies) hold; otherwise it doubles t_u (guess-and-double, so
+//      no knowledge of tmix is needed — the paper's key contribution).
+//   3. A stopping contender that holds the largest id in I4 (union of the I3
+//      sets) and has never seen a winner message elects itself leader and
+//      notifies its proxies; proxies notify their contenders, contenders their
+//      proxies, and every later message carries the winner mark, which is what
+//      makes "at most one leader" hold across phases (Lemmas 7-11).
+//
+// The implementation runs on the CONGEST transport with real congestion and
+// the message-coalescing tricks of Lemma 12 (see rw/walk_engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+/// Per-phase observability for experiments (E2/E6 time decomposition).
+struct PhaseStats {
+  std::uint32_t length = 0;          ///< t_u of the active contenders
+  std::uint64_t active = 0;          ///< contenders walking this phase
+  std::uint64_t stopped_after = 0;   ///< cumulative stopped contenders
+  Metrics metrics;                   ///< network delta for this phase
+};
+
+/// Outcome of one election run.
+struct ElectionResult {
+  std::vector<NodeId> leaders;     ///< nodes whose flag is raised
+  std::vector<NodeId> contenders;  ///< nodes that competed
+  std::uint64_t leader_random_id = 0;  ///< random id of the (first) leader
+  std::uint32_t final_length = 0;  ///< largest t_u used by any contender
+  std::uint64_t phases = 0;
+  bool hit_phase_cap = false;      ///< guess-and-double guard triggered
+  Metrics totals;                  ///< whole-run network metrics
+  std::vector<PhaseStats> phase_stats;
+  /// Paper-schedule round bound: sum over phases of 6T, T = O(t_u log^2 n).
+  /// Measured totals.rounds must stay below this (asserted in tests).
+  std::uint64_t scheduled_rounds = 0;
+
+  bool success() const { return leaders.size() == 1; }
+};
+
+/// Runs implicit leader election on `g` (which the nodes know only through
+/// ports plus the value n, per the model). Deterministic in params.seed.
+ElectionResult run_leader_election(const Graph& g, const ElectionParams& params);
+
+}  // namespace wcle

@@ -1,0 +1,59 @@
+// Tunable constants of the leader-election algorithm (Section 3). The paper
+// leaves c1 ("sufficiently large"), c2 (>= 2) and the congestion padding as
+// constants; they are exposed here so experiments can ablate them. All
+// logarithms are base 2.
+#pragma once
+
+#include <cstdint>
+
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+struct ElectionParams {
+  /// Contender sampling rate multiplier: Pr[contender] = c1 * log2(n) / n.
+  double c1 = 4.0;
+  /// Walk-count multiplier: each contender runs ceil(c2 * sqrt(n log2 n))
+  /// parallel walks. The paper requires c2 >= 2.
+  double c2 = 2.0;
+  /// First guess for the walk length t_u.
+  std::uint32_t initial_length = 1;
+  /// Cap on guess-and-double iterations (engineering guard; the algorithm
+  /// stops by t_u = O(tmix) w.h.p. long before this).
+  std::uint32_t max_phases = 30;
+  /// Cap on t_u (0 = choose 8*n^2 clamped to 2^24, enough for any connected
+  /// graph since tmix = O(n^2 log n) in the worst case at our scales).
+  std::uint32_t max_length = 0;
+  /// Use the O(log^3 n)-bit message regime of Lemma 12's second bound.
+  bool wide_messages = false;
+  /// Ablation (DESIGN.md §5 item 4): lazy walks (paper) vs non-lazy. Non-lazy
+  /// walks carry a parity trap on bipartite graphs and break stopping there.
+  bool lazy_walks = true;
+  /// Ablation (DESIGN.md §5 item 1): token coalescing (paper) vs naive
+  /// per-walk tokens; changes message accounting only.
+  bool coalesce_tokens = true;
+  /// Execute the paper's literal lockstep schedule: every sub-phase is padded
+  /// to its full congestion-safe duration (walk: T, exchanges: 3T, winner
+  /// wait: 2T, T = (25/16) c1 t_u log^2 n). Message counts are unchanged;
+  /// measured rounds become exactly the scheduled bound. Default false: run
+  /// each sub-phase to quiescence and *assert* it fits inside T.
+  bool paper_schedule = false;
+  /// Root seed; all ids, coin flips, and walks derive from it.
+  std::uint64_t seed = 1;
+
+  double log2_n(NodeId n) const;
+  double contender_probability(NodeId n) const;
+  std::uint64_t walk_count(NodeId n) const;
+  /// Intersection property threshold: ceil((3/4) c1 log2 n) adjacent others.
+  std::uint64_t intersection_threshold(NodeId n) const;
+  /// Distinctness property threshold: ceil((c2/2) sqrt(n log2 n)).
+  std::uint64_t distinct_threshold(NodeId n) const;
+  /// Effective t_u cap (resolves the max_length=0 default).
+  std::uint32_t effective_max_length(NodeId n) const;
+  /// The paper's congestion-padded sub-phase duration T = (25/16) c1 t log2^2 n.
+  std::uint64_t scheduled_T(NodeId n, std::uint32_t t) const;
+  /// Random node ids are drawn uniformly from [1, id_space(n)] ~ n^4.
+  std::uint64_t id_space(NodeId n) const;
+};
+
+}  // namespace wcle

@@ -1,0 +1,60 @@
+#include "wcle/graph/dumbbell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wcle {
+
+namespace {
+
+bool same_edge(const Edge& x, const Edge& y) {
+  return (x.a == y.a && x.b == y.b) || (x.a == y.b && x.b == y.a);
+}
+
+}  // namespace
+
+DumbbellGraph make_dumbbell(const Graph& g0, Edge left_cut, Edge right_cut,
+                            Rng* port_rng) {
+  if (!g0.is_two_connected())
+    throw std::invalid_argument("make_dumbbell: base graph not 2-connected");
+  const std::vector<Edge> base_edges = g0.edges();
+  auto has = [&](const Edge& e) {
+    return std::any_of(base_edges.begin(), base_edges.end(),
+                       [&](const Edge& x) { return same_edge(x, e); });
+  };
+  if (!has(left_cut) || !has(right_cut))
+    throw std::invalid_argument("make_dumbbell: cut edge not in base graph");
+
+  DumbbellGraph out;
+  out.base_n = g0.node_count();
+  out.left_cut = left_cut;
+  out.right_cut = right_cut;
+
+  std::vector<Edge> edges;
+  edges.reserve(2 * base_edges.size());
+  for (const Edge& e : base_edges)
+    if (!same_edge(e, left_cut)) edges.push_back(e);
+  for (const Edge& e : base_edges)
+    if (!same_edge(e, right_cut))
+      edges.push_back({e.a + out.base_n, e.b + out.base_n});
+
+  out.bridge1 = {left_cut.a, out.base_n + right_cut.a};
+  out.bridge2 = {left_cut.b, out.base_n + right_cut.b};
+  edges.push_back(out.bridge1);
+  edges.push_back(out.bridge2);
+
+  out.graph = Graph::from_edges(2 * out.base_n, edges, port_rng);
+  return out;
+}
+
+DumbbellGraph make_random_dumbbell(const Graph& g0, Rng& rng, Rng* port_rng) {
+  const std::vector<Edge> base_edges = g0.edges();
+  if (base_edges.size() < 2)
+    throw std::invalid_argument("make_random_dumbbell: need >= 2 edges");
+  const std::size_t i = rng.next_below(base_edges.size());
+  std::size_t j = rng.next_below(base_edges.size() - 1);
+  if (j >= i) ++j;
+  return make_dumbbell(g0, base_edges[i], base_edges[j], port_rng);
+}
+
+}  // namespace wcle

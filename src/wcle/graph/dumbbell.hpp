@@ -1,0 +1,37 @@
+// Dumbbell graphs (Section 5, Theorem 28): two "open graphs" — copies of a
+// 2-connected base graph G0 each with one edge erased — joined by two bridge
+// edges across the freed ports. Running an algorithm that does not know n on
+// Dumbbell(G0[e'], G0[e'']) is indistinguishable from running it on G0 alone
+// until a message crosses a bridge ("bridge crossing"), which is the engine of
+// the Omega(m) unknown-n lower bound.
+#pragma once
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+/// A dumbbell plus the bookkeeping needed by the indistinguishability
+/// experiments: which side each node lies on and the two bridge edges.
+struct DumbbellGraph {
+  Graph graph;
+  NodeId base_n = 0;             ///< |V(G0)|; left side is [0, base_n)
+  Edge left_cut;                 ///< edge removed from the left copy
+  Edge right_cut;                ///< edge removed from the right copy (base ids)
+  Edge bridge1;                  ///< (left_cut.a, base_n + right_cut.a)
+  Edge bridge2;                  ///< (left_cut.b, base_n + right_cut.b)
+
+  bool on_left(NodeId v) const noexcept { return v < base_n; }
+};
+
+/// Builds Dumbbell(G0[left_cut], G0[right_cut]). `g0` must be 2-connected
+/// (checked) and both cuts must be edges of g0 (checked). Right-copy node v of
+/// the base graph becomes node base_n + v.
+DumbbellGraph make_dumbbell(const Graph& g0, Edge left_cut, Edge right_cut,
+                            Rng* port_rng = nullptr);
+
+/// Convenience: picks two random (distinct) edges of g0 as the cuts.
+DumbbellGraph make_random_dumbbell(const Graph& g0, Rng& rng,
+                                   Rng* port_rng = nullptr);
+
+}  // namespace wcle

@@ -1,0 +1,282 @@
+#include "wcle/graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wcle {
+
+namespace {
+
+std::uint64_t edge_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+Graph make_ring(NodeId n, Rng* port_rng) {
+  if (n < 3) throw std::invalid_argument("make_ring: n must be >= 3");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_path(NodeId n, Rng* port_rng) {
+  if (n < 2) throw std::invalid_argument("make_path: n must be >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_clique(NodeId n, Rng* port_rng) {
+  if (n < 2) throw std::invalid_argument("make_clique: n must be >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) edges.push_back({i, j});
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_hypercube(std::uint32_t dim, Rng* port_rng) {
+  if (dim < 1 || dim > 30)
+    throw std::invalid_argument("make_hypercube: dim must be in [1,30]");
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId i = 0; i < n; ++i)
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const NodeId j = i ^ (NodeId{1} << b);
+      if (i < j) edges.push_back({i, j});
+    }
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_torus(NodeId rows, NodeId cols, Rng* port_rng) {
+  if (rows < 3 || cols < 3)
+    throw std::invalid_argument("make_torus: rows, cols must be >= 3");
+  const NodeId n = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(2ull * n);
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.push_back({id(r, c), id(r, (c + 1) % cols)});
+      edges.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_grid(NodeId rows, NodeId cols, Rng* port_rng) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument("make_grid: rows, cols must be >= 2");
+  const NodeId n = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng, Rng* port_rng) {
+  if (d >= n) throw std::invalid_argument("make_random_regular: need d < n");
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0)
+    throw std::invalid_argument("make_random_regular: n*d must be even");
+  if (d == 0) throw std::invalid_argument("make_random_regular: d must be > 0");
+
+  // Steger-Wormald incremental pairing: repeatedly match two random unused
+  // stubs that form a "suitable" pair (no loop, no duplicate edge); fall back
+  // to an exhaustive scan when random probing fails near the end, restarting
+  // only in the rare case no suitable pair remains. Asymptotically uniform
+  // for constant d and succeeds w.h.p. without restarts.
+  const std::uint64_t stubs_count = static_cast<std::uint64_t>(n) * d;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    std::vector<NodeId> stubs(stubs_count);
+    std::uint64_t idx = 0;
+    for (NodeId u = 0; u < n; ++u)
+      for (std::uint32_t k = 0; k < d; ++k) stubs[idx++] = u;
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs_count);
+    std::vector<Edge> edges;
+    edges.reserve(stubs_count / 2);
+
+    auto remove_stub = [&](std::uint64_t i) {
+      stubs[i] = stubs.back();
+      stubs.pop_back();
+    };
+
+    bool stuck = false;
+    while (!stubs.empty()) {
+      bool matched = false;
+      for (int probe = 0; probe < 64 && !matched; ++probe) {
+        const std::uint64_t i = rng.next_below(stubs.size());
+        std::uint64_t j = rng.next_below(stubs.size() - 1);
+        if (j >= i) ++j;
+        const NodeId a = stubs[i], b = stubs[j];
+        if (a == b || !seen.insert(edge_key(a, b)).second) continue;
+        edges.push_back({a, b});
+        remove_stub(std::max(i, j));
+        remove_stub(std::min(i, j));
+        matched = true;
+      }
+      if (matched) continue;
+      // Exhaustive scan (only reached when few stubs remain).
+      for (std::uint64_t i = 0; i < stubs.size() && !matched; ++i) {
+        for (std::uint64_t j = i + 1; j < stubs.size() && !matched; ++j) {
+          const NodeId a = stubs[i], b = stubs[j];
+          if (a == b || !seen.insert(edge_key(a, b)).second) continue;
+          edges.push_back({a, b});
+          remove_stub(j);
+          remove_stub(i);
+          matched = true;
+        }
+      }
+      if (!matched) {
+        stuck = true;
+        break;
+      }
+    }
+    if (stuck) continue;
+    Graph g = Graph::from_edges(n, edges, port_rng);
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error(
+      "make_random_regular: failed to build a connected simple graph");
+}
+
+Graph make_connected_gnp(NodeId n, double p, Rng& rng, Rng* port_rng,
+                         int max_attempts) {
+  if (n < 2) throw std::invalid_argument("make_connected_gnp: n must be >= 2");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<Edge> edges;
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j)
+        if (rng.next_bool(p)) edges.push_back({i, j});
+    if (edges.empty()) continue;
+    Graph g = Graph::from_edges(n, edges, port_rng);
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error("make_connected_gnp: no connected sample");
+}
+
+Graph make_barbell(NodeId k, Rng* port_rng) {
+  return make_lollipop_pair(k, 1, port_rng);
+}
+
+Graph make_lollipop_pair(NodeId k, NodeId bridge_len, Rng* port_rng) {
+  if (k < 3) throw std::invalid_argument("make_lollipop_pair: k must be >= 3");
+  if (bridge_len < 1)
+    throw std::invalid_argument("make_lollipop_pair: bridge_len must be >= 1");
+  // Nodes [0,k) form clique A, [k, k+bridge_len-1) are path nodes, the last k
+  // form clique B. bridge_len edges connect A's node 0 ... B's node 0.
+  const NodeId path_nodes = bridge_len - 1;
+  const NodeId n = 2 * k + path_nodes;
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < k; ++i)
+    for (NodeId j = i + 1; j < k; ++j) edges.push_back({i, j});
+  const NodeId b0 = k + path_nodes;  // first node of clique B
+  for (NodeId i = 0; i < k; ++i)
+    for (NodeId j = i + 1; j < k; ++j) edges.push_back({b0 + i, b0 + j});
+  NodeId prev = 0;
+  for (NodeId s = 0; s < path_nodes; ++s) {
+    edges.push_back({prev, k + s});
+    prev = k + s;
+  }
+  edges.push_back({prev, b0});
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_star(NodeId n, Rng* port_rng) {
+  if (n < 3) throw std::invalid_argument("make_star: n must be >= 3");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v});
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b, Rng* port_rng) {
+  if (a < 1 || b < 1 || a + b < 3)
+    throw std::invalid_argument("make_complete_bipartite: need a,b >= 1");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b; ++j) edges.push_back({i, a + j});
+  return Graph::from_edges(a + b, edges, port_rng);
+}
+
+Graph make_barabasi_albert(NodeId n, std::uint32_t m0, Rng& rng,
+                           Rng* port_rng) {
+  if (m0 < 1) throw std::invalid_argument("make_barabasi_albert: m0 >= 1");
+  if (n < m0 + 2)
+    throw std::invalid_argument("make_barabasi_albert: need n >= m0 + 2");
+  std::vector<Edge> edges;
+  // Seed: clique on the first m0+1 nodes.
+  for (NodeId i = 0; i <= m0; ++i)
+    for (NodeId j = i + 1; j <= m0; ++j) edges.push_back({i, j});
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // edge endpoint appears once in `endpoints`, so a uniform draw from it is
+  // a degree-weighted draw over nodes.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * m0);
+  for (const Edge& e : edges) {
+    endpoints.push_back(e.a);
+    endpoints.push_back(e.b);
+  }
+  for (NodeId v = m0 + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m0) {
+      const NodeId t = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (const NodeId t : targets) {
+      edges.push_back({v, t});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges, port_rng);
+}
+
+Graph make_watts_strogatz(NodeId n, std::uint32_t k, double beta, Rng& rng,
+                          Rng* port_rng, int max_attempts) {
+  if (k < 1 || 2ull * k >= n)
+    throw std::invalid_argument("make_watts_strogatz: need 1 <= k < n/2");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(n) * k);
+    bool ok = true;
+    for (NodeId i = 0; i < n && ok; ++i) {
+      for (std::uint32_t d = 1; d <= k && ok; ++d) {
+        NodeId j = (i + d) % n;
+        if (rng.next_bool(beta)) {
+          // Rewire: keep i, pick a fresh random other endpoint.
+          int tries = 0;
+          do {
+            j = static_cast<NodeId>(rng.next_below(n));
+          } while ((j == i || seen.count(edge_key(i, j))) && ++tries < 64);
+          if (j == i || seen.count(edge_key(i, j))) {
+            ok = false;
+            break;
+          }
+        } else if (seen.count(edge_key(i, j))) {
+          continue;  // lattice edge already present via a rewire collision
+        }
+        seen.insert(edge_key(i, j));
+        edges.push_back({i, j});
+      }
+    }
+    if (!ok) continue;
+    Graph g = Graph::from_edges(n, edges, port_rng);
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error("make_watts_strogatz: no connected simple sample");
+}
+
+}  // namespace wcle

@@ -1,0 +1,163 @@
+#include "wcle/graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wcle {
+
+Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges,
+                        Rng* port_rng) {
+  Graph g;
+  g.n_ = n;
+  g.m_ = edges.size();
+  std::vector<std::uint32_t> deg(n, 0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.a >= n || e.b >= n)
+      throw std::invalid_argument("Graph::from_edges: endpoint out of range");
+    if (e.a == e.b)
+      throw std::invalid_argument("Graph::from_edges: self-loop");
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(e.a, e.b)) << 32) |
+        std::max(e.a, e.b);
+    if (!seen.insert(key).second)
+      throw std::invalid_argument("Graph::from_edges: duplicate edge");
+    ++deg[e.a];
+    ++deg[e.b];
+  }
+
+  g.offset_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) g.offset_[u + 1] = g.offset_[u] + deg[u];
+  g.adj_.assign(2 * g.m_, 0);
+  g.mirror_.assign(2 * g.m_, 0);
+
+  // First lay out neighbours, remembering for each slot the paired slot on the
+  // other endpoint so mirror ports survive the shuffle below.
+  std::vector<std::uint64_t> cursor(g.offset_.begin(), g.offset_.end() - 1);
+  std::vector<std::uint64_t> pair_slot(2 * g.m_, 0);
+  for (const Edge& e : edges) {
+    const std::uint64_t sa = cursor[e.a]++;
+    const std::uint64_t sb = cursor[e.b]++;
+    g.adj_[sa] = e.b;
+    g.adj_[sb] = e.a;
+    pair_slot[sa] = sb;
+    pair_slot[sb] = sa;
+  }
+
+  if (port_rng != nullptr) {
+    // Shuffle each node's slots independently: asymmetric port numbering.
+    for (NodeId u = 0; u < n; ++u) {
+      const std::uint64_t lo = g.offset_[u], hi = g.offset_[u + 1];
+      for (std::uint64_t i = hi - lo; i > 1; --i) {
+        const std::uint64_t j = port_rng->next_below(i);
+        const std::uint64_t x = lo + i - 1, y = lo + j;
+        if (x == y) continue;
+        std::swap(g.adj_[x], g.adj_[y]);
+        std::swap(pair_slot[x], pair_slot[y]);
+        pair_slot[pair_slot[x]] = x;
+        pair_slot[pair_slot[y]] = y;
+      }
+    }
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint64_t s = g.offset_[u]; s < g.offset_[u + 1]; ++s) {
+      const NodeId v = g.adj_[s];
+      g.mirror_[s] = static_cast<Port>(pair_slot[s] - g.offset_[v]);
+    }
+  }
+  return g;
+}
+
+std::uint32_t Graph::min_degree() const noexcept {
+  std::uint32_t d = n_ > 0 ? degree(0) : 0;
+  for (NodeId u = 1; u < n_; ++u) d = std::min(d, degree(u));
+  return d;
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t d = 0;
+  for (NodeId u = 0; u < n_; ++u) d = std::max(d, degree(u));
+  return d;
+}
+
+bool Graph::is_connected() const {
+  if (n_ == 0) return true;
+  std::vector<char> vis(n_, 0);
+  std::vector<NodeId> stack{0};
+  vis[0] = 1;
+  NodeId reached = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : neighbors(u)) {
+      if (!vis[v]) {
+        vis[v] = 1;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+bool Graph::is_two_connected() const {
+  if (n_ < 3 || !is_connected()) return false;
+  // Iterative Tarjan articulation-point detection.
+  std::vector<std::uint32_t> disc(n_, 0), low(n_, 0);
+  std::vector<NodeId> parent(n_, n_);
+  std::uint32_t timer = 1;
+  struct Frame {
+    NodeId u;
+    std::uint32_t next_port;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  disc[0] = low[0] = timer++;
+  std::uint32_t root_children = 0;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_port < degree(f.u)) {
+      const NodeId v = neighbor(f.u, f.next_port++);
+      if (disc[v] == 0) {
+        parent[v] = f.u;
+        if (f.u == 0) ++root_children;
+        disc[v] = low[v] = timer++;
+        stack.push_back({v, 0});
+      } else if (v != parent[f.u]) {
+        low[f.u] = std::min(low[f.u], disc[v]);
+      }
+    } else {
+      const NodeId u = f.u;
+      stack.pop_back();
+      if (!stack.empty()) {
+        const NodeId p = stack.back().u;
+        low[p] = std::min(low[p], low[u]);
+        if (p != 0 && low[u] >= disc[p]) return false;  // articulation point
+      }
+    }
+  }
+  return root_children < 2;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m_);
+  for (NodeId u = 0; u < n_; ++u)
+    for (NodeId v : neighbors(u))
+      if (u < v) out.push_back({u, v});
+  return out;
+}
+
+std::string Graph::describe() const {
+  std::ostringstream os;
+  os << "graph(n=" << n_ << ", m=" << m_ << ", deg=[" << min_degree() << ","
+     << max_degree() << "])";
+  return os.str();
+}
+
+}  // namespace wcle

@@ -1,0 +1,93 @@
+// Undirected graph with explicit *port numbering*, the communication substrate
+// of the paper's model: each node u of degree d_u owns ports 0..d_u-1, each
+// port leads to exactly one neighbour, and the two endpoints of an edge need
+// not use the same port number (asymmetric port mapping). Nodes in the
+// simulator address neighbours only through ports; they never see neighbour
+// identities, matching the anonymous CONGEST/port-numbering model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+using NodeId = std::uint32_t;
+using Port = std::uint32_t;
+
+/// An undirected edge as a pair of node ids (order irrelevant).
+struct Edge {
+  NodeId a = 0;
+  NodeId b = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected multigraph-free graph in CSR form with per-node port
+/// permutations. Construction validates simplicity (no loops, no parallel
+/// edges) and optionally randomizes port orders.
+class Graph {
+ public:
+  /// An empty graph (0 nodes); useful as a placeholder before assignment.
+  Graph() = default;
+
+  /// Builds a graph on `n` nodes from an edge list. Throws std::invalid_argument
+  /// on self-loops, duplicate edges, or out-of-range endpoints. If `port_rng`
+  /// is non-null each node's port order is independently shuffled (asymmetric
+  /// port numbering); otherwise ports follow neighbour-id order.
+  static Graph from_edges(NodeId n, const std::vector<Edge>& edges,
+                          Rng* port_rng = nullptr);
+
+  NodeId node_count() const noexcept { return n_; }
+  std::uint64_t edge_count() const noexcept { return m_; }
+
+  std::uint32_t degree(NodeId u) const noexcept {
+    return static_cast<std::uint32_t>(offset_[u + 1] - offset_[u]);
+  }
+
+  /// Neighbour reached through port p of node u.
+  NodeId neighbor(NodeId u, Port p) const noexcept {
+    return adj_[offset_[u] + p];
+  }
+
+  /// The port on which `neighbor(u,p)` sees u (the reverse direction of the
+  /// same physical link). Needed by the simulator to report arrival ports.
+  Port mirror_port(NodeId u, Port p) const noexcept {
+    return mirror_[offset_[u] + p];
+  }
+
+  /// All neighbours of u in port order.
+  std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return {adj_.data() + offset_[u], adj_.data() + offset_[u + 1]};
+  }
+
+  /// Sum of degrees of all nodes (= 2m). "Volume" in conductance formulas.
+  std::uint64_t volume() const noexcept { return 2 * m_; }
+
+  std::uint32_t min_degree() const noexcept;
+  std::uint32_t max_degree() const noexcept;
+
+  bool is_connected() const;
+
+  /// True if the graph is 2-vertex-connected (no articulation points and
+  /// connected, n >= 3). Used to validate dumbbell base graphs (Section 5).
+  bool is_two_connected() const;
+
+  /// Enumerates each undirected edge once (a < b), in unspecified order.
+  std::vector<Edge> edges() const;
+
+  /// Human-readable one-line description (for logging in benches/examples).
+  std::string describe() const;
+
+ private:
+  NodeId n_ = 0;
+  std::uint64_t m_ = 0;
+  std::vector<std::uint64_t> offset_;  // size n_+1
+  std::vector<NodeId> adj_;            // size 2m_, port order per node
+  std::vector<Port> mirror_;           // size 2m_
+};
+
+}  // namespace wcle

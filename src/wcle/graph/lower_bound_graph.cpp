@@ -1,0 +1,94 @@
+#include "wcle/graph/lower_bound_graph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+
+LowerBoundGraph make_lower_bound_graph(NodeId n_target, double alpha, Rng& rng,
+                                       Rng* port_rng) {
+  if (n_target < 25)
+    throw std::invalid_argument("make_lower_bound_graph: n_target too small");
+  const double n = static_cast<double>(n_target);
+  if (!(alpha > 1.0 / (n * n)) || !(alpha < 1.0 / 144.0))
+    throw std::invalid_argument(
+        "make_lower_bound_graph: alpha outside (1/n^2, 1/144)");
+
+  LowerBoundGraph out;
+  out.alpha = alpha;
+  out.epsilon = std::log(1.0 / alpha) / (2.0 * std::log(n));
+  const NodeId s =
+      static_cast<NodeId>(std::ceil(std::pow(n, out.epsilon)));
+  const NodeId N =
+      static_cast<NodeId>(std::floor(std::pow(n, 1.0 - out.epsilon)));
+  if (s < 5)
+    throw std::invalid_argument(
+        "make_lower_bound_graph: clique size < 5 (alpha too large for n)");
+  if (N < 5)
+    throw std::invalid_argument(
+        "make_lower_bound_graph: fewer than 5 cliques (alpha too small for n)");
+  out.clique_size = s;
+  out.num_cliques = N;
+
+  // GS: random 4-regular super-node graph (Figure 1). 4N is even for any N.
+  out.supernode_graph = make_random_regular(N, 4, rng);
+
+  const NodeId total = N * s;
+  out.clique_of.resize(total);
+  for (NodeId c = 0; c < N; ++c)
+    for (NodeId i = 0; i < s; ++i) out.clique_of[c * s + i] = c;
+
+  // Choose, per clique, a random assignment of its 4 incident GS-edges to 4
+  // distinct member nodes (the external-edged nodes, "previously unchosen").
+  std::vector<std::array<NodeId, 4>> externals(N);
+  for (NodeId c = 0; c < N; ++c) {
+    // Sample 4 distinct offsets in [0, s) by partial Fisher-Yates.
+    std::vector<NodeId> pool(s);
+    for (NodeId i = 0; i < s; ++i) pool[i] = i;
+    for (int k = 0; k < 4; ++k) {
+      const std::uint64_t j = k + rng.next_below(s - k);
+      std::swap(pool[k], pool[j]);
+      externals[c][static_cast<std::size_t>(k)] = c * s + pool[k];
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(N) * s * (s - 1) / 2 + 2ull * N);
+
+  // Intra-clique edges: K_s minus the two removed external pairs (Figure 2).
+  for (NodeId c = 0; c < N; ++c) {
+    const NodeId base = c * s;
+    const auto& ext = externals[c];
+    auto removed = [&](NodeId a, NodeId b) {
+      const auto eq = [](NodeId x, NodeId y, NodeId p, NodeId q) {
+        return (x == p && y == q) || (x == q && y == p);
+      };
+      return eq(a, b, ext[0], ext[1]) || eq(a, b, ext[2], ext[3]);
+    };
+    for (NodeId i = 0; i < s; ++i)
+      for (NodeId j = i + 1; j < s; ++j) {
+        const NodeId u = base + i, v = base + j;
+        if (!removed(u, v)) edges.push_back({u, v});
+      }
+  }
+
+  // Inter-clique edges: one per GS edge, consuming each clique's externals in
+  // GS-port order so every external node carries exactly one inter-clique edge.
+  std::vector<int> next_ext(N, 0);
+  out.inter_clique_edges.reserve(2ull * N);
+  for (const Edge& se : out.supernode_graph.edges()) {
+    const NodeId ua = externals[se.a][static_cast<std::size_t>(next_ext[se.a]++)];
+    const NodeId ub = externals[se.b][static_cast<std::size_t>(next_ext[se.b]++)];
+    edges.push_back({ua, ub});
+    out.inter_clique_edges.push_back({std::min(ua, ub), std::max(ua, ub)});
+  }
+
+  out.graph = Graph::from_edges(total, edges, port_rng);
+  return out;
+}
+
+}  // namespace wcle

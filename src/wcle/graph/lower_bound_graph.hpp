@@ -1,0 +1,39 @@
+// The lower-bound construction of Section 4.1 (Figures 1 and 2): a random
+// 4-regular "super-node" graph GS on N = floor(n^{1-eps}) super-nodes, where
+// each super-node is expanded into a clique of s = ceil(n^eps) nodes. Each
+// GS-edge becomes one inter-clique edge between distinct, randomly chosen
+// "external-edged" nodes of the two cliques; to keep node degrees uniform,
+// two intra-clique edges are removed (one between each pair of the four
+// external-edged nodes). The resulting graph has conductance Theta(alpha)
+// with alpha = 1/n^{2 eps}   (Lemma 16), where eps = log(1/alpha)/(2 log n).
+#pragma once
+
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+/// The constructed graph plus the bookkeeping the lower-bound experiments
+/// need (clique membership, inter-clique edges, the super-node graph).
+struct LowerBoundGraph {
+  Graph graph;
+  Graph supernode_graph;                ///< GS: random 4-regular on N nodes
+  NodeId clique_size = 0;               ///< s = ceil(n^eps)
+  NodeId num_cliques = 0;               ///< N = floor(n^{1-eps})
+  double epsilon = 0.0;                 ///< eps = log(1/alpha) / (2 log n)
+  double alpha = 0.0;                   ///< requested conductance scale
+  std::vector<NodeId> clique_of;        ///< node -> clique index
+  std::vector<Edge> inter_clique_edges; ///< the N*2 cross edges (a<b per edge)
+};
+
+/// Builds G(alpha) targeting ~`n_target` nodes. Requires
+/// 1/n^2 < alpha < 1/12^2 (the theorem's range) adjusted so that the clique
+/// size is at least 5 (needed for 4 distinct external-edged nodes with two
+/// removable intra-clique edges) and N >= 5. Throws std::invalid_argument if
+/// the requested (n, alpha) cannot satisfy these structural minima.
+LowerBoundGraph make_lower_bound_graph(NodeId n_target, double alpha, Rng& rng,
+                                       Rng* port_rng = nullptr);
+
+}  // namespace wcle

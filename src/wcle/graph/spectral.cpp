@@ -1,0 +1,223 @@
+#include "wcle/graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace wcle {
+
+void lazy_walk_step(const Graph& g, const std::vector<double>& in,
+                    std::vector<double>& out) {
+  const NodeId n = g.node_count();
+  out.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const double mass = in[u];
+    if (mass == 0.0) continue;
+    out[u] += mass * 0.5;
+    const double share = mass * 0.5 / static_cast<double>(g.degree(u));
+    for (NodeId v : g.neighbors(u)) out[v] += share;
+  }
+}
+
+std::vector<double> stationary_distribution(const Graph& g) {
+  const double vol = static_cast<double>(g.volume());
+  std::vector<double> pi(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    pi[u] = static_cast<double>(g.degree(u)) / vol;
+  return pi;
+}
+
+std::uint64_t mixing_time_from(const Graph& g, NodeId source, double eps,
+                               std::uint64_t max_t) {
+  const NodeId n = g.node_count();
+  const std::vector<double> pi_star = stationary_distribution(g);
+  std::vector<double> cur(n, 0.0), next;
+  cur[source] = 1.0;
+  for (std::uint64_t t = 0; t <= max_t; ++t) {
+    double dist = 0.0;
+    for (NodeId v = 0; v < n; ++v)
+      dist = std::max(dist, std::fabs(cur[v] - pi_star[v]));
+    if (dist <= eps) return t;
+    lazy_walk_step(g, cur, next);
+    cur.swap(next);
+  }
+  return max_t + 1;
+}
+
+std::uint64_t mixing_time_exact(const Graph& g, std::uint64_t max_t) {
+  const double eps = 1.0 / (2.0 * static_cast<double>(g.node_count()));
+  std::uint64_t worst = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s)
+    worst = std::max(worst, mixing_time_from(g, s, eps, max_t));
+  return worst;
+}
+
+std::uint64_t mixing_time_estimate(const Graph& g, std::uint32_t samples,
+                                   Rng& rng, std::uint64_t max_t) {
+  const NodeId n = g.node_count();
+  const double eps = 1.0 / (2.0 * static_cast<double>(n));
+  NodeId min_v = 0, max_v = 0;
+  for (NodeId u = 1; u < n; ++u) {
+    if (g.degree(u) < g.degree(min_v)) min_v = u;
+    if (g.degree(u) > g.degree(max_v)) max_v = u;
+  }
+  std::uint64_t worst =
+      std::max(mixing_time_from(g, min_v, eps, max_t),
+               mixing_time_from(g, max_v, eps, max_t));
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(n));
+    worst = std::max(worst, mixing_time_from(g, s, eps, max_t));
+  }
+  return worst;
+}
+
+namespace {
+
+/// Applies the symmetric operator S = D^{1/2} P D^{-1/2} where P is the lazy
+/// walk: (Sx)_v = x_v/2 + sum_{u~v} x_u / (2 sqrt(d_u d_v)).
+void symmetric_step(const Graph& g, const std::vector<double>& in,
+                    std::vector<double>& out,
+                    const std::vector<double>& inv_sqrt_deg) {
+  const NodeId n = g.node_count();
+  out.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    out[u] += in[u] * 0.5;
+    const double scaled = in[u] * 0.5 * inv_sqrt_deg[u];
+    for (NodeId v : g.neighbors(u)) out[v] += scaled * inv_sqrt_deg[v];
+  }
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+/// Power iteration for lambda_2 of S; also writes the (approximate)
+/// eigenvector into `vec_out` if non-null.
+double second_eigenvalue(const Graph& g, std::uint32_t iters,
+                         std::vector<double>* vec_out) {
+  const NodeId n = g.node_count();
+  if (n < 2) return 0.0;
+  std::vector<double> top(n), inv_sqrt_deg(n);
+  for (NodeId u = 0; u < n; ++u) {
+    top[u] = std::sqrt(static_cast<double>(g.degree(u)));
+    inv_sqrt_deg[u] = 1.0 / top[u];
+  }
+  const double top_norm = norm2(top);
+  for (double& x : top) x /= top_norm;
+
+  // Deterministic pseudo-random start vector, deflated against `top`.
+  std::vector<double> x(n), next;
+  Rng rng(0xc0ffee ^ (static_cast<std::uint64_t>(n) << 20));
+  for (double& xi : x) xi = rng.next_double() - 0.5;
+  auto deflate = [&](std::vector<double>& v) {
+    double dot = 0.0;
+    for (NodeId u = 0; u < n; ++u) dot += v[u] * top[u];
+    for (NodeId u = 0; u < n; ++u) v[u] -= dot * top[u];
+  };
+  deflate(x);
+  double nx = norm2(x);
+  if (nx == 0.0) return 0.0;
+  for (double& xi : x) xi /= nx;
+
+  double lambda = 0.0;
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    symmetric_step(g, x, next, inv_sqrt_deg);
+    deflate(next);
+    const double nn = norm2(next);
+    if (nn < 1e-300) return 0.0;
+    lambda = 0.0;
+    for (NodeId u = 0; u < n; ++u) lambda += next[u] * x[u];
+    for (double& v : next) v /= nn;
+    x.swap(next);
+  }
+  if (vec_out != nullptr) *vec_out = x;
+  // S is PSD (lazy), so lambda_2 >= 0; clamp numerical noise.
+  return std::clamp(lambda, 0.0, 1.0);
+}
+
+}  // namespace
+
+double spectral_gap(const Graph& g, std::uint32_t iters) {
+  return 1.0 - second_eigenvalue(g, iters, nullptr);
+}
+
+CheegerBounds cheeger_bounds(double lazy_gap) {
+  // Non-lazy normalized-adjacency gap is twice the lazy gap. Cheeger:
+  // gap_nonlazy / 2 <= phi <= sqrt(2 * gap_nonlazy).
+  const double gap_nonlazy = std::clamp(2.0 * lazy_gap, 0.0, 1.0);
+  return {gap_nonlazy / 2.0, std::sqrt(2.0 * gap_nonlazy)};
+}
+
+double cut_conductance(const Graph& g, const std::vector<char>& in_s) {
+  std::uint64_t vol_s = 0, cut = 0;
+  const std::uint64_t vol_total = g.volume();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!in_s[u]) continue;
+    vol_s += g.degree(u);
+    for (NodeId v : g.neighbors(u))
+      if (!in_s[v]) ++cut;
+  }
+  const std::uint64_t vol_min = std::min(vol_s, vol_total - vol_s);
+  if (vol_min == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(cut) / static_cast<double>(vol_min);
+}
+
+double conductance_exact(const Graph& g) {
+  const NodeId n = g.node_count();
+  if (n > 24) throw std::invalid_argument("conductance_exact: n > 24");
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<char> in_s(n, 0);
+  // Fix vertex 0 on one side to halve the enumeration.
+  const std::uint64_t limit = 1ull << (n - 1);
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    for (NodeId v = 0; v + 1 < n; ++v)
+      in_s[v + 1] = static_cast<char>((mask >> v) & 1);
+    best = std::min(best, cut_conductance(g, in_s));
+  }
+  return best;
+}
+
+double conductance_sweep(const Graph& g, std::uint32_t iters) {
+  const NodeId n = g.node_count();
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  std::vector<double> vec;
+  second_eigenvalue(g, iters, &vec);
+  if (vec.empty()) vec.assign(n, 0.0);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    // Embedding coordinate is v / sqrt(d); tie-break by id for determinism.
+    const double xa = vec[a] / std::sqrt(static_cast<double>(g.degree(a)));
+    const double xb = vec[b] / std::sqrt(static_cast<double>(g.degree(b)));
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  // Incremental sweep: maintain volume and cut size as vertices move into S.
+  std::vector<char> in_s(n, 0);
+  std::uint64_t vol_s = 0, cut = 0;
+  const std::uint64_t vol_total = g.volume();
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    const NodeId u = order[i];
+    in_s[u] = 1;
+    vol_s += g.degree(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (in_s[v])
+        --cut;
+      else
+        ++cut;
+    }
+    const std::uint64_t vol_min = std::min(vol_s, vol_total - vol_s);
+    if (vol_min == 0) continue;
+    best = std::min(best,
+                    static_cast<double>(cut) / static_cast<double>(vol_min));
+  }
+  return best;
+}
+
+}  // namespace wcle

@@ -1,0 +1,71 @@
+// Spectral and random-walk analysis of graphs: lazy-walk transition operator,
+// mixing time (the paper's exact definition: minimum t with
+// ||P pi_t - pi*||_inf <= 1/(2n) for every start), spectral gap via power
+// iteration, Cheeger bounds relating the gap to conductance, and conductance
+// itself (exact for tiny graphs, sweep-cut upper bound otherwise). These
+// implement Section 2 of the paper, including equation (1):
+//   Theta(1/phi) <= tmix <= Theta(1/phi^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+/// One step of the lazy random walk: out[v] = in[v]/2 + sum_{u~v} in[u]/(2 d_u).
+/// `out` is resized to n. This is the paper's transition matrix P.
+void lazy_walk_step(const Graph& g, const std::vector<double>& in,
+                    std::vector<double>& out);
+
+/// Stationary distribution pi*_v = d_v / (2m).
+std::vector<double> stationary_distribution(const Graph& g);
+
+/// Mixing time from a single point-mass start at `source`: minimum t such that
+/// ||pi_t - pi*||_inf <= eps (paper: eps = 1/(2n)). Returns max_t+1 if not
+/// reached within max_t steps.
+std::uint64_t mixing_time_from(const Graph& g, NodeId source, double eps,
+                               std::uint64_t max_t);
+
+/// Exact mixing time per the paper's definition (max over all point-mass
+/// starts; point masses are the extreme points of the simplex, so this equals
+/// the max over all starting distributions). O(n^2 * tmix) time — intended for
+/// n up to a few thousand.
+std::uint64_t mixing_time_exact(const Graph& g, std::uint64_t max_t);
+
+/// Estimated mixing time: max over `samples` random sources plus the min- and
+/// max-degree vertices. A lower bound on the exact value; tight in practice on
+/// vertex-transitive and random regular families.
+std::uint64_t mixing_time_estimate(const Graph& g, std::uint32_t samples,
+                                   Rng& rng, std::uint64_t max_t);
+
+/// Spectral gap 1 - lambda_2 of the lazy walk (equivalently of the symmetric
+/// normalized operator S = D^{1/2} P D^{-1/2}), computed by power iteration
+/// with deflation of the known top eigenvector D^{1/2} 1. `iters` power steps.
+double spectral_gap(const Graph& g, std::uint32_t iters = 2000);
+
+/// Cheeger bounds on conductance from the lazy-walk spectral gap `gap`:
+/// for the lazy chain, 1 - lambda_2(lazy) = (1 - lambda_2(nonlazy))/2, and the
+/// standard Cheeger inequality gives gap <= phi and phi <= 2*sqrt(gap).
+struct CheegerBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+CheegerBounds cheeger_bounds(double lazy_gap);
+
+/// Conductance of the cut (S, V\S): |E(S, V\S)| / min(vol S, vol V\S).
+/// `in_s[v]` nonzero marks membership. Returns +inf for trivial cuts.
+double cut_conductance(const Graph& g, const std::vector<char>& in_s);
+
+/// Exact conductance by enumerating all 2^(n-1)-1 nontrivial cuts. n <= 24.
+double conductance_exact(const Graph& g);
+
+/// Sweep-cut upper bound on conductance: order vertices by the (approximate)
+/// second eigenvector of S, scan prefix cuts, return the best. Standard
+/// spectral-partitioning heuristic; an upper bound on phi, within the Cheeger
+/// factor of optimal.
+double conductance_sweep(const Graph& g, std::uint32_t iters = 2000);
+
+}  // namespace wcle

@@ -1,0 +1,410 @@
+#include "wcle/rw/walk_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+void ReplyPayload::merge(const ReplyPayload& other) {
+  distinct_proxies += other.distinct_proxies;
+  proxy_nodes += other.proxy_nodes;
+  if (other.ids.empty()) return;
+  std::vector<std::uint64_t> merged;
+  merged.reserve(ids.size() + other.ids.size());
+  std::set_union(ids.begin(), ids.end(), other.ids.begin(), other.ids.end(),
+                 std::back_inserter(merged));
+  ids = std::move(merged);
+}
+
+void ReplyPayload::add_id(std::uint64_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) ids.insert(it, id);
+}
+
+WalkEngine::WalkEngine(const Graph& g, Network& net, Rng& rng,
+                       WalkConfig config)
+    : g_(&g), net_(&net), rng_(&rng), config_(config) {
+  id_bits_ = id_bits(g.node_count());
+  base_bits_ = id_bits_ + 2 * ceil_log2(g.node_count()) + 8;
+}
+
+std::uint32_t WalkEngine::token_bits(std::uint32_t /*remaining*/) const {
+  return base_bits_;
+}
+
+std::uint32_t WalkEngine::payload_bits(std::size_t id_count) const {
+  return base_bits_ + static_cast<std::uint32_t>(id_count) * id_bits_;
+}
+
+WalkEngine::Level& WalkEngine::level_at(NodeId node, NodeId origin,
+                                        std::uint32_t r) {
+  const std::uint64_t k = key(node, origin);
+  auto [it, inserted] = trails_.try_emplace(k);
+  if (inserted) touched_[origin].push_back(node);
+  return it->second[r];
+}
+
+const WalkEngine::Level* WalkEngine::find_level(NodeId node, NodeId origin,
+                                                std::uint32_t r) const {
+  const auto t = trails_.find(key(node, origin));
+  if (t == trails_.end()) return nullptr;
+  const auto l = t->second.find(r);
+  return l == t->second.end() ? nullptr : &l->second;
+}
+
+void WalkEngine::clear_origin(NodeId origin) {
+  if (const auto t = touched_.find(origin); t != touched_.end()) {
+    for (NodeId node : t->second) trails_.erase(key(node, origin));
+    touched_.erase(t);
+  }
+  if (const auto p = proxy_nodes_.find(origin); p != proxy_nodes_.end()) {
+    for (NodeId node : p->second) {
+      const auto r = registrations_.find(node);
+      if (r != registrations_.end()) {
+        r->second.erase(origin);
+        if (r->second.empty()) registrations_.erase(r);
+      }
+    }
+    proxy_nodes_.erase(p);
+  }
+  walk_length_.erase(origin);
+}
+
+const std::unordered_map<NodeId, std::uint64_t>& WalkEngine::registrations(
+    NodeId node) const {
+  const auto it = registrations_.find(node);
+  return it == registrations_.end() ? empty_regs_ : it->second;
+}
+
+const std::vector<NodeId>& WalkEngine::proxy_nodes(NodeId origin) const {
+  const auto it = proxy_nodes_.find(origin);
+  return it == proxy_nodes_.end() ? empty_nodes_ : it->second;
+}
+
+void WalkEngine::dispose_units(
+    NodeId node, NodeId origin, std::uint32_t r, std::uint64_t count,
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint32_t, std::uint64_t>>&
+        next_buckets,
+    std::vector<std::uint64_t>& next_hot) {
+  Level& lv = level_at(node, origin, r);
+  if (r == 0) {
+    lv.proxy_units += count;
+    auto& regs = registrations_[node];
+    auto [it, inserted] = regs.try_emplace(origin, 0);
+    if (inserted) proxy_nodes_[origin].push_back(node);
+    it->second += count;
+    return;
+  }
+
+  const std::uint64_t stays =
+      config_.lazy ? rng_->next_binomial(count, 0.5) : 0;
+  const std::uint64_t movers = count - stays;
+  if (stays > 0) {
+    lv.stay_out += stays;
+    level_at(node, origin, r - 1).stay_in += stays;
+    const std::uint64_t k = key(node, origin);
+    auto [bucket, fresh] = next_buckets.try_emplace(k);
+    if (fresh) next_hot.push_back(k);
+    (*bucket).second[r - 1] += stays;
+  }
+  if (movers == 0) return;
+
+  const std::uint32_t deg = g_->degree(node);
+  std::uint64_t left = movers;
+  for (Port p = 0; p < deg && left > 0; ++p) {
+    const std::uint64_t sent =
+        (p + 1 == deg) ? left
+                       : rng_->next_binomial(left, 1.0 / double(deg - p));
+    if (sent == 0) continue;
+    left -= sent;
+    if (std::find(lv.out_ports.begin(), lv.out_ports.end(), p) ==
+        lv.out_ports.end())
+      lv.out_ports.push_back(p);
+    lv.sent_total += sent;
+    Message msg;
+    msg.tag = kTagWalkToken;
+    msg.a = origin;
+    msg.b = r - 1;
+    msg.c = sent;
+    // Without coalescing every walk unit pays for its own token (the naive
+    // transport Lemma 12 improves on); with it the count rides along free.
+    msg.bits = config_.coalesce
+                   ? token_bits(r - 1)
+                   : static_cast<std::uint32_t>(
+                         std::min<std::uint64_t>(sent, 1u << 20) *
+                         token_bits(r - 1));
+    net_->send(node, p, std::move(msg));
+  }
+}
+
+std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
+  using Buckets =
+      std::unordered_map<std::uint64_t,
+                         std::unordered_map<std::uint32_t, std::uint64_t>>;
+  Buckets buckets, next_buckets;
+  std::vector<std::uint64_t> hot, next_hot;
+
+  for (const WalkOrder& o : orders) {
+    if (o.count == 0 || o.length == 0)
+      throw std::invalid_argument("run_walk_stage: count/length must be >= 1");
+    clear_origin(o.origin);
+  }
+  for (const WalkOrder& o : orders) {
+    level_at(o.origin, o.origin, o.length).origin_inject += o.count;
+    const std::uint64_t k = key(o.origin, o.origin);
+    auto [bucket, fresh] = buckets.try_emplace(k);
+    if (fresh) hot.push_back(k);
+    (*bucket).second[o.length] += o.count;
+    walk_length_[o.origin] =
+        std::max(walk_length_[o.origin], o.length);
+  }
+
+  const std::uint64_t round0 = net_->round();
+  while (!buckets.empty() || !net_->idle()) {
+    // Deterministic processing order: sorted (node, origin) keys, then
+    // descending remaining-length within a bucket.
+    std::sort(hot.begin(), hot.end());
+    for (const std::uint64_t k : hot) {
+      const NodeId node = static_cast<NodeId>(k >> 32);
+      const NodeId origin = static_cast<NodeId>(k & 0xffffffffu);
+      auto& levels = buckets[k];
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> items(
+          levels.begin(), levels.end());
+      std::sort(items.begin(), items.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      for (const auto& [r, count] : items)
+        dispose_units(node, origin, r, count, next_buckets, next_hot);
+    }
+    buckets.clear();
+    hot.clear();
+
+    const std::vector<Delivery>& delivered = net_->step();
+    for (const Delivery& d : delivered) {
+      assert(d.msg.tag == kTagWalkToken);
+      const NodeId origin = static_cast<NodeId>(d.msg.a);
+      const std::uint32_t r = static_cast<std::uint32_t>(d.msg.b);
+      const std::uint64_t count = d.msg.c;
+      Level& lv = level_at(d.dst, origin, r);
+      const auto in = std::find_if(
+          lv.in_ports.begin(), lv.in_ports.end(),
+          [&](const auto& e) { return e.first == d.port; });
+      if (in == lv.in_ports.end())
+        lv.in_ports.emplace_back(d.port, count);
+      else
+        in->second += count;
+      const std::uint64_t k = key(d.dst, origin);
+      auto [bucket, fresh] = next_buckets.try_emplace(k);
+      if (fresh) next_hot.push_back(k);
+      (*bucket).second[r] += count;
+    }
+    buckets.swap(next_buckets);
+    hot.swap(next_hot);
+  }
+  return net_->round() - round0;
+}
+
+std::vector<WalkEvent> WalkEngine::begin_convergecast(
+    const std::vector<NodeId>& origins, const ProxyPayloadFn& at_proxy) {
+  cc_.clear();
+  std::vector<WalkEvent> events;
+  for (const NodeId origin : origins) {
+    for (const NodeId proxy : proxy_nodes(origin)) {
+      const auto& regs = registrations(proxy);
+      const auto it = regs.find(origin);
+      assert(it != regs.end());
+      ReplyPayload payload = at_proxy(proxy, origin, it->second);
+      // Seed distribution from the trail's terminal level.
+      credit(proxy, origin, 0, it->second, std::move(payload), events);
+    }
+  }
+  return events;
+}
+
+void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
+                        std::uint64_t units, ReplyPayload payload,
+                        std::vector<WalkEvent>& events) {
+  struct Work {
+    NodeId node;
+    std::uint32_t r;
+    std::uint64_t units;
+    ReplyPayload payload;
+  };
+  std::vector<Work> stack;
+  stack.push_back({node, r, units, std::move(payload)});
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    const Level* lv = find_level(w.node, origin, w.r);
+    assert(lv != nullptr);
+
+    ReplyPayload agg;
+    if (w.r == 0) {
+      // Terminal level: all proxy units report at once; no counting needed.
+      agg = std::move(w.payload);
+    } else {
+      CcState& st = cc_[key(w.node, origin)][w.r];
+      st.got += w.units;
+      st.agg.merge(w.payload);
+      const std::uint64_t need = lv->stay_out + lv->sent_total;
+      assert(st.got <= need);
+      if (st.got < need) continue;
+      agg = std::move(st.agg);
+    }
+
+    // Completed: partition units over the parents; the full aggregate
+    // travels with the first parent, the rest carry unit counts only.
+    bool first = true;
+    if (lv->stay_in > 0) {
+      stack.push_back({w.node, w.r + 1, lv->stay_in,
+                       first ? std::move(agg) : ReplyPayload{}});
+      first = false;
+    }
+    for (const auto& [port, cnt] : lv->in_ports) {
+      Message msg;
+      msg.tag = kTagReplyUp;
+      msg.a = origin;
+      msg.b = w.r + 1;
+      msg.c = cnt;
+      if (first) {
+        msg.d = (agg.distinct_proxies << 32) | agg.proxy_nodes;
+        msg.ids = std::move(agg.ids);
+        first = false;
+      }
+      msg.bits = payload_bits(msg.ids.size());
+      net_->send(w.node, port, std::move(msg));
+    }
+    if (lv->origin_inject > 0) {
+      WalkEvent ev;
+      ev.kind = WalkEvent::Kind::kConvergecastDone;
+      ev.node = w.node;
+      ev.origin = origin;
+      if (first) ev.reply = std::move(agg);
+      events.push_back(std::move(ev));
+    }
+  }
+}
+
+std::vector<WalkEvent> WalkEngine::begin_flood_down(
+    NodeId origin, std::vector<std::uint64_t> ids) {
+  std::vector<WalkEvent> events;
+  const auto len = walk_length_.find(origin);
+  if (len == walk_length_.end()) return events;
+  const std::uint32_t gen = ++flood_gen_[origin];
+  flood_at(origin, origin, len->second, gen, ids, events);
+  return events;
+}
+
+void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
+                          std::uint32_t gen,
+                          const std::vector<std::uint64_t>& ids,
+                          std::vector<WalkEvent>& events) {
+  NodeId cur = node;
+  std::uint32_t level = r;
+  for (;;) {
+    std::uint32_t& seen = flood_seen_[key(cur, origin)][level];
+    if (seen == gen) return;
+    seen = gen;
+    const Level* lv = find_level(cur, origin, level);
+    if (lv == nullptr) return;
+    if (level == 0) {
+      if (lv->proxy_units > 0) {
+        WalkEvent ev;
+        ev.kind = WalkEvent::Kind::kFloodAtProxy;
+        ev.node = cur;
+        ev.origin = origin;
+        ev.ids = ids;
+        events.push_back(std::move(ev));
+      }
+      return;
+    }
+    for (const Port p : lv->out_ports) {
+      Message msg;
+      msg.tag = kTagFloodDown;
+      msg.a = origin;
+      msg.b = level - 1;
+      msg.c = gen;
+      msg.ids = ids;
+      msg.bits = payload_bits(ids.size());
+      net_->send(cur, p, std::move(msg));
+    }
+    if (lv->stay_out == 0) return;
+    --level;  // continue locally through the lazy self-step link
+  }
+}
+
+std::vector<WalkEvent> WalkEngine::begin_unicast_up(
+    NodeId node, NodeId origin, std::vector<std::uint64_t> ids) {
+  std::vector<WalkEvent> events;
+  unicast_at(node, origin, 0, std::move(ids), events);
+  return events;
+}
+
+void WalkEngine::unicast_at(NodeId node, NodeId origin, std::uint32_t r,
+                            std::vector<std::uint64_t> ids,
+                            std::vector<WalkEvent>& events) {
+  NodeId cur = node;
+  std::uint32_t level = r;
+  for (;;) {
+    const Level* lv = find_level(cur, origin, level);
+    if (lv == nullptr) return;  // stale trail; drop
+    if (lv->origin_inject > 0) {
+      WalkEvent ev;
+      ev.kind = WalkEvent::Kind::kUnicastAtOrigin;
+      ev.node = cur;
+      ev.origin = origin;
+      ev.ids = std::move(ids);
+      events.push_back(std::move(ev));
+      return;
+    }
+    if (lv->stay_in > 0) {
+      ++level;  // lazy self-step: ascend locally
+      continue;
+    }
+    if (!lv->in_ports.empty()) {
+      Message msg;
+      msg.tag = kTagUnicastUp;
+      msg.a = origin;
+      msg.b = level + 1;
+      msg.ids = std::move(ids);
+      msg.bits = payload_bits(msg.ids.size());
+      net_->send(cur, lv->in_ports.front().first, std::move(msg));
+      return;
+    }
+    return;  // orphan level (should not happen on complete trails)
+  }
+}
+
+std::vector<WalkEvent> WalkEngine::handle(const Delivery& d) {
+  std::vector<WalkEvent> events;
+  switch (d.msg.tag) {
+    case kTagReplyUp: {
+      ReplyPayload payload;
+      payload.distinct_proxies = d.msg.d >> 32;
+      payload.proxy_nodes = d.msg.d & 0xffffffffu;
+      payload.ids = d.msg.ids;
+      credit(d.dst, static_cast<NodeId>(d.msg.a),
+             static_cast<std::uint32_t>(d.msg.b), d.msg.c, std::move(payload),
+             events);
+      break;
+    }
+    case kTagFloodDown:
+      flood_at(d.dst, static_cast<NodeId>(d.msg.a),
+               static_cast<std::uint32_t>(d.msg.b),
+               static_cast<std::uint32_t>(d.msg.c), d.msg.ids, events);
+      break;
+    case kTagUnicastUp:
+      unicast_at(d.dst, static_cast<NodeId>(d.msg.a),
+                 static_cast<std::uint32_t>(d.msg.b), d.msg.ids, events);
+      break;
+    default:
+      assert(false && "WalkEngine::handle: unexpected tag");
+  }
+  return events;
+}
+
+}  // namespace wcle

@@ -1,0 +1,222 @@
+// Parallel lazy random walks over the CONGEST transport, with the paper's two
+// message-saving devices built in:
+//
+//  * Token coalescing — a node never forwards per-walk tokens; all walks of
+//    one origin at the same node with the same remaining length travel as a
+//    single (origin, remaining, count) token (Lemma 12: "sends only one token
+//    along with a count of tokens").
+//  * Trail routing — every node records, per (origin, remaining-level), which
+//    ports tokens arrived on and which ports they left on. These breadcrumbs
+//    let the three "synchronized rounds of information exchange" of
+//    Algorithm 2 retrace the walks: convergecast (proxies -> origin, exact
+//    unit-accounted aggregation; Rounds 1 and 3), flood-down (origin ->
+//    proxies; Round 2 and winner notifications), and unicast-up (proxy ->
+//    origin along a single trail; winner forwarding to contenders).
+//
+// Proxy registrations — which nodes terminate how many of an origin's walks —
+// persist across walk stages until that origin walks again, which is exactly
+// the lifetime the algorithm needs (inactive contenders keep their proxies;
+// active contenders re-walk with doubled length and re-register).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/network.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+/// Message tags owned by the walk engine. Protocols must not reuse these.
+inline constexpr std::uint8_t kTagWalkToken = 0x10;
+inline constexpr std::uint8_t kTagReplyUp = 0x11;
+inline constexpr std::uint8_t kTagFloodDown = 0x12;
+inline constexpr std::uint8_t kTagUnicastUp = 0x13;
+
+/// A request to run `count` parallel lazy walks of `length` steps from
+/// `origin`. Any previous trails/registrations of `origin` are discarded.
+struct WalkOrder {
+  NodeId origin = 0;
+  std::uint64_t count = 0;
+  std::uint32_t length = 0;
+};
+
+/// Aggregate carried by convergecast replies (Rounds 1 and 3 of Algorithm 2).
+/// Sums are partitioned exactly over the trail DAG (each proxy contributes
+/// once); id sets are unions.
+struct ReplyPayload {
+  std::uint64_t distinct_proxies = 0; ///< sum of the per-proxy booleans d
+  std::uint64_t proxy_nodes = 0;      ///< distinct proxy nodes covered
+  std::vector<std::uint64_t> ids;     ///< union of id sets (sorted, unique)
+
+  void merge(const ReplyPayload& other);
+  void add_id(std::uint64_t id);
+};
+
+/// High-level events surfaced by the engine while the protocol pumps the
+/// network loop. The protocol reacts (possibly issuing new engine operations,
+/// e.g. cascading winner notifications) and keeps pumping until idle.
+struct WalkEvent {
+  enum class Kind {
+    kConvergecastDone,  ///< `origin`'s aggregation finished; see `reply`
+    kFloodAtProxy,      ///< flood from `origin` reached proxy `node`
+    kUnicastAtOrigin,   ///< unicast-up along `origin`'s trail reached it
+  };
+  Kind kind = Kind::kConvergecastDone;
+  NodeId node = 0;    ///< proxy node (kFloodAtProxy) or origin node (others)
+  NodeId origin = 0;  ///< origin owning the trail the message travelled on
+  std::vector<std::uint64_t> ids;  ///< payload ids (flood / unicast)
+  ReplyPayload reply;              ///< payload (kConvergecastDone)
+};
+
+/// Builds a proxy's Round-1 payload: called once per (proxy node, origin)
+/// holding `units` walk endpoints there. Typically fills ids with the random
+/// ids of the *other* contenders registered at the proxy (the set I1).
+using ProxyPayloadFn =
+    std::function<ReplyPayload(NodeId proxy, NodeId origin, std::uint64_t units)>;
+
+/// Ablation switches (DESIGN.md §5). Defaults reproduce the paper.
+struct WalkConfig {
+  /// Lazy walks (stay w.p. 1/2) — the paper's chain. Non-lazy walks fail to
+  /// mix on bipartite graphs (parity trap): ablation 4.
+  bool lazy = true;
+  /// Token coalescing (one (origin, remaining, count) token per edge) —
+  /// Lemma 12's device. When false, each walk unit is charged as its own
+  /// O(log n)-bit token, modelling the naive per-walk transport: ablation 1.
+  bool coalesce = true;
+};
+
+class WalkEngine {
+ public:
+  WalkEngine(const Graph& g, Network& net, Rng& rng,
+             WalkConfig config = {});
+
+  /// Runs all orders' walks in parallel to completion (every token reaches
+  /// remaining==0 and registers at its proxy). Returns rounds consumed.
+  /// Clears previous trails and registrations of the ordered origins first.
+  std::uint64_t run_walk_stage(const std::vector<WalkOrder>& orders);
+
+  /// Origins registered at `node` with their unit counts (walk endpoints from
+  /// each origin's latest stage). Empty map reference if none.
+  const std::unordered_map<NodeId, std::uint64_t>& registrations(
+      NodeId node) const;
+
+  /// Proxy nodes of `origin` from its latest walk stage.
+  const std::vector<NodeId>& proxy_nodes(NodeId origin) const;
+
+  /// Begins a convergecast for every origin in `origins`: each of its proxies
+  /// produces a payload via `at_proxy`, aggregates flow back along the trails
+  /// with exact unit accounting (sums are partitioned over parents; id sets
+  /// are unioned). Returns events completed without network traffic; the rest
+  /// surface via handle(). Resets any previous convergecast state.
+  std::vector<WalkEvent> begin_convergecast(const std::vector<NodeId>& origins,
+                                            const ProxyPayloadFn& at_proxy);
+
+  /// Begins flooding `ids` from `origin` down its trails toward its proxies
+  /// (Round 2 / winner dissemination). Each begin_flood_down is a fresh
+  /// "generation": it traverses every trail level exactly once, independent
+  /// of earlier floods of the same origin. Returns locally-completed events.
+  std::vector<WalkEvent> begin_flood_down(NodeId origin,
+                                          std::vector<std::uint64_t> ids);
+
+  /// Routes `ids` from proxy `node` up a single path of `origin`'s trail to
+  /// the origin (winner forwarding from a proxy to a contender).
+  std::vector<WalkEvent> begin_unicast_up(NodeId node, NodeId origin,
+                                          std::vector<std::uint64_t> ids);
+
+  /// True if `msg.tag` belongs to the walk engine.
+  static bool owns_tag(std::uint8_t tag) {
+    return tag >= kTagWalkToken && tag <= kTagUnicastUp;
+  }
+
+  /// Processes one delivery of an engine-owned message, returning any events
+  /// it completes. Must be called for every such delivery.
+  std::vector<WalkEvent> handle(const Delivery& d);
+
+ private:
+  /// Static breadcrumbs for one (node, origin, remaining-level).
+  struct Level {
+    std::uint64_t stay_in = 0;       ///< units arriving by a lazy self-step
+    std::uint64_t origin_inject = 0; ///< units injected here (origin, r=len)
+    std::uint64_t stay_out = 0;      ///< units leaving by a lazy self-step
+    std::uint64_t sent_total = 0;    ///< units forwarded over out_ports
+    std::uint64_t proxy_units = 0;   ///< units terminating here (r==0)
+    std::vector<std::pair<Port, std::uint64_t>> in_ports;  ///< arrivals
+    std::vector<Port> out_ports;                           ///< departures
+  };
+  /// Trail of one origin at one node: remaining-level -> breadcrumbs.
+  using Trail = std::unordered_map<std::uint32_t, Level>;
+
+  /// Convergecast runtime per (node, origin, level).
+  struct CcState {
+    std::uint64_t got = 0;
+    ReplyPayload agg;
+  };
+
+  static std::uint64_t key(NodeId node, NodeId origin) {
+    return (static_cast<std::uint64_t>(node) << 32) | origin;
+  }
+
+  void clear_origin(NodeId origin);
+  Level& level_at(NodeId node, NodeId origin, std::uint32_t r);
+  const Level* find_level(NodeId node, NodeId origin, std::uint32_t r) const;
+
+  /// Walk-stage helper: disposes `count` units at (node, origin, r).
+  void dispose_units(NodeId node, NodeId origin, std::uint32_t r,
+                     std::uint64_t count,
+                     std::unordered_map<std::uint64_t,
+                                        std::unordered_map<std::uint32_t,
+                                                           std::uint64_t>>&
+                         next_buckets,
+                     std::vector<std::uint64_t>& next_hot);
+
+  /// Convergecast helper: credits `units`/`payload` to (node, origin, r) and
+  /// cascades completions (locally through stay-links, remotely via sends).
+  void credit(NodeId node, NodeId origin, std::uint32_t r, std::uint64_t units,
+              ReplyPayload payload, std::vector<WalkEvent>& events);
+
+  /// Flood helper: processes payload at (node, origin, r) cascading locally
+  /// through stay-links and remotely via out_ports. `gen` identifies the
+  /// flood generation for deduplication.
+  void flood_at(NodeId node, NodeId origin, std::uint32_t r, std::uint32_t gen,
+                const std::vector<std::uint64_t>& ids,
+                std::vector<WalkEvent>& events);
+
+  /// Unicast helper: advances toward the origin from (node, origin, r).
+  void unicast_at(NodeId node, NodeId origin, std::uint32_t r,
+                  std::vector<std::uint64_t> ids,
+                  std::vector<WalkEvent>& events);
+
+  std::uint32_t token_bits(std::uint32_t remaining) const;
+  std::uint32_t payload_bits(std::size_t id_count) const;
+
+  const Graph* g_;
+  Network* net_;
+  Rng* rng_;
+  WalkConfig config_;
+  std::uint32_t id_bits_;
+  std::uint32_t base_bits_;
+
+  std::unordered_map<std::uint64_t, Trail> trails_;  ///< key(node,origin)
+  std::unordered_map<NodeId, std::vector<NodeId>> touched_;  ///< origin->nodes
+  std::unordered_map<NodeId, std::unordered_map<NodeId, std::uint64_t>>
+      registrations_;  ///< node -> origin -> units
+  std::unordered_map<NodeId, std::vector<NodeId>> proxy_nodes_;  ///< by origin
+
+  std::unordered_map<NodeId, std::uint32_t> walk_length_;  ///< latest length
+
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint32_t, CcState>>
+      cc_;  ///< convergecast runtime
+  std::unordered_map<NodeId, std::uint32_t> flood_gen_;  ///< per-origin counter
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint32_t, std::uint32_t>>
+      flood_seen_;  ///< (node,origin) -> level -> last generation forwarded
+
+  const std::unordered_map<NodeId, std::uint64_t> empty_regs_;
+  const std::vector<NodeId> empty_nodes_;
+};
+
+}  // namespace wcle

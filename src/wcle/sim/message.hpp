@@ -1,0 +1,34 @@
+// Message representation for the CONGEST transport. Protocols declare the
+// *bit size* of each message themselves (from the model's encoding, e.g. an id
+// costs 4*ceil(log2 n) bits); the network charges bandwidth from that
+// declaration, fragmenting anything larger than the per-edge budget B into
+// ceil(bits/B) CONGEST messages, exactly the accounting Lemma 12 performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+/// A protocol message. The scalar fields and the id list are interpreted by
+/// the owning protocol via `tag`; the transport only reads `tag` and `bits`.
+struct Message {
+  std::uint8_t tag = 0;           ///< protocol discriminator / metrics bucket
+  std::uint64_t a = 0;            ///< protocol-defined scalar
+  std::uint64_t b = 0;            ///< protocol-defined scalar
+  std::uint64_t c = 0;            ///< protocol-defined scalar
+  std::uint64_t d = 0;            ///< protocol-defined scalar
+  std::vector<std::uint64_t> ids; ///< protocol-defined variable-length part
+  std::uint32_t bits = 0;         ///< declared encoded size; must be >= 1
+};
+
+/// A message arriving at `dst` through its local `port` in the current round.
+struct Delivery {
+  NodeId dst = 0;
+  Port port = 0;
+  Message msg;
+};
+
+}  // namespace wcle

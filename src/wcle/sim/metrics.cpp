@@ -1,0 +1,39 @@
+#include "wcle/sim/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wcle {
+
+Metrics Metrics::since(const Metrics& earlier) const {
+  Metrics d;
+  d.rounds = rounds - earlier.rounds;
+  d.congest_messages = congest_messages - earlier.congest_messages;
+  d.logical_messages = logical_messages - earlier.logical_messages;
+  d.total_bits = total_bits - earlier.total_bits;
+  d.max_edge_backlog = max_edge_backlog;
+  for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
+    d.congest_messages_by_tag[i] =
+        congest_messages_by_tag[i] - earlier.congest_messages_by_tag[i];
+  return d;
+}
+
+Metrics& Metrics::operator+=(const Metrics& other) {
+  rounds += other.rounds;
+  congest_messages += other.congest_messages;
+  logical_messages += other.logical_messages;
+  total_bits += other.total_bits;
+  max_edge_backlog = std::max(max_edge_backlog, other.max_edge_backlog);
+  for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
+    congest_messages_by_tag[i] += other.congest_messages_by_tag[i];
+  return *this;
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " congest_msgs=" << congest_messages
+     << " logical_msgs=" << logical_messages << " bits=" << total_bits;
+  return os.str();
+}
+
+}  // namespace wcle

@@ -1,0 +1,31 @@
+// Metrics collected by the CONGEST transport: rounds elapsed, CONGEST message
+// count (the unit the paper's bounds are stated in: one B-bit transmission on
+// one edge in one round), logical protocol messages, and total declared bits,
+// with a per-tag breakdown so benches can attribute cost to protocol stages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wcle {
+
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t congest_messages = 0;  ///< B-bit transmissions (paper's unit)
+  std::uint64_t logical_messages = 0;  ///< protocol-level send() calls
+  std::uint64_t total_bits = 0;        ///< sum of declared message sizes
+  std::uint64_t max_edge_backlog = 0;  ///< peak per-edge queue (congestion)
+  std::array<std::uint64_t, 256> congest_messages_by_tag{};
+
+  /// Component-wise difference (this - earlier); used for stage breakdowns.
+  Metrics since(const Metrics& earlier) const;
+
+  /// Component-wise accumulation (rounds add; backlog takes the max). Used
+  /// to combine metrics of protocols composed from multiple sub-protocols.
+  Metrics& operator+=(const Metrics& other);
+
+  std::string summary() const;
+};
+
+}  // namespace wcle

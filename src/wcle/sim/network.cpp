@@ -1,0 +1,91 @@
+#include "wcle/sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wcle {
+
+Network::Network(const Graph& g, CongestConfig cfg) : g_(&g), cfg_(cfg) {
+  if (cfg_.bandwidth_bits == 0)
+    throw std::invalid_argument("Network: bandwidth_bits must be >= 1");
+  first_lane_.resize(g.node_count() + 1);
+  std::uint64_t acc = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    first_lane_[u] = acc;
+    acc += g.degree(u);
+  }
+  first_lane_[g.node_count()] = acc;
+  lanes_.resize(acc);
+}
+
+void Network::send(NodeId from, Port port, Message msg) {
+  assert(from < g_->node_count());
+  assert(port < g_->degree(from));
+  assert(msg.bits >= 1);
+  metrics_.logical_messages += 1;
+  metrics_.total_bits += msg.bits;
+  const std::uint64_t lane = lane_index(from, port);
+  Lane& l = lanes_[lane];
+  l.fifo.push_back(std::move(msg));
+  metrics_.max_edge_backlog =
+      std::max<std::uint64_t>(metrics_.max_edge_backlog, l.fifo.size());
+  if (!l.active) {
+    l.active = true;
+    active_.push_back(lane);
+    ++active_count_;
+  }
+}
+
+const std::vector<Delivery>& Network::step() {
+  delivered_.clear();
+  metrics_.rounds += 1;
+  const std::uint32_t B = cfg_.bandwidth_bits;
+
+  // Serve one quantum per backlogged directed edge. New sends triggered by the
+  // caller happen strictly after step() returns, so iterating a snapshot of
+  // the active list is safe; lanes drained this round are compacted out.
+  std::uint64_t write = 0;
+  const std::uint64_t count = active_.size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t lane = active_[i];
+    Lane& l = lanes_[lane];
+    if (l.fifo.empty()) {
+      l.active = false;
+      --active_count_;
+      continue;
+    }
+    Message& head = l.fifo.front();
+    metrics_.congest_messages += 1;
+    metrics_.congest_messages_by_tag[head.tag] += 1;
+    l.served_bits += B;
+    if (l.served_bits >= head.bits) {
+      // Fully transmitted: deliver to the other endpoint this round.
+      // Recover (from, port) from the lane index by binary search on bases.
+      const auto it = std::upper_bound(first_lane_.begin(), first_lane_.end(),
+                                       lane);
+      const NodeId from = static_cast<NodeId>(
+          std::distance(first_lane_.begin(), it) - 1);
+      const Port port = static_cast<Port>(lane - first_lane_[from]);
+      Delivery d;
+      d.dst = g_->neighbor(from, port);
+      d.port = g_->mirror_port(from, port);
+      d.msg = std::move(head);
+      delivered_.push_back(std::move(d));
+      l.fifo.pop_front();
+      l.served_bits = 0;
+    }
+    if (l.fifo.empty()) {
+      l.active = false;
+      --active_count_;
+    } else {
+      active_[write++] = lane;
+    }
+  }
+  // No sends can interleave with the loop (the caller regains control only
+  // after step() returns), so every live lane has been compacted to [0,write).
+  active_.resize(write);
+  return delivered_;
+}
+
+}  // namespace wcle

@@ -1,0 +1,99 @@
+// Synchronous CONGEST transport. Each directed edge carries at most B bits
+// per round; protocols `send()` messages through (node, port) pairs — never by
+// neighbour identity, honoring the port-numbering model — and drive rounds by
+// calling `step()`, which returns that round's deliveries. Congestion is
+// modeled for real: each directed edge serves one B-bit quantum per round from
+// a FIFO, so oversized or bursty traffic queues exactly as Lemma 12 assumes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/message.hpp"
+#include "wcle/sim/metrics.hpp"
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+/// CONGEST bandwidth configuration.
+struct CongestConfig {
+  /// Bits per edge per direction per round (the model's B = Theta(log n)).
+  std::uint32_t bandwidth_bits = 0;
+
+  /// Standard CONGEST budget for an n-node network: enough for one id from
+  /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".
+  static CongestConfig standard(std::uint64_t n) {
+    return {id_bits(n) + 2 * ceil_log2(n) + 8};
+  }
+
+  /// The relaxed O(log^3 n) regime of Lemma 12's second bound.
+  static CongestConfig wide(std::uint64_t n) {
+    const std::uint32_t lg = ceil_log2(n) > 0 ? ceil_log2(n) : 1;
+    return {(id_bits(n) + 2 * lg + 8) * lg * lg};
+  }
+};
+
+/// The transport. Owns per-directed-edge FIFOs and all metrics.
+class Network {
+ public:
+  Network(const Graph& g, CongestConfig cfg);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Enqueues `msg` for transmission from `from` through its local `port`.
+  /// Requires msg.bits >= 1 and port < degree(from).
+  void send(NodeId from, Port port, Message msg);
+
+  /// Advances one synchronous round: every backlogged directed edge serves one
+  /// B-bit quantum; fully-served messages are delivered. Returns this round's
+  /// deliveries (valid until the next call).
+  const std::vector<Delivery>& step();
+
+  /// True when no message is queued or in flight.
+  bool idle() const noexcept { return active_count_ == 0; }
+
+  /// Runs step() until idle, dispatching deliveries to `handler`
+  /// (callable as handler(const Delivery&)). Returns rounds consumed.
+  /// Stops (returning the rounds so far) if `max_rounds` elapse first.
+  template <typename Handler>
+  std::uint64_t run_until_idle(Handler&& handler,
+                               std::uint64_t max_rounds = ~0ull) {
+    std::uint64_t used = 0;
+    while (!idle() && used < max_rounds) {
+      const std::vector<Delivery>& delivered = step();
+      ++used;
+      for (const Delivery& d : delivered) handler(d);
+    }
+    return used;
+  }
+
+  std::uint64_t round() const noexcept { return metrics_.rounds; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  const Graph& graph() const noexcept { return *g_; }
+  const CongestConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Lane {
+    std::deque<Message> fifo;
+    std::uint32_t served_bits = 0;  ///< bits of the head already transmitted
+    bool active = false;            ///< registered in active_ list
+  };
+
+  std::uint64_t lane_index(NodeId from, Port port) const noexcept {
+    return first_lane_[from] + port;
+  }
+
+  const Graph* g_;
+  CongestConfig cfg_;
+  std::vector<std::uint64_t> first_lane_;  ///< per-node base into lanes_
+  std::vector<Lane> lanes_;                ///< one per directed edge
+  std::vector<std::uint64_t> active_;      ///< lane indices with traffic
+  std::uint64_t active_count_ = 0;
+  std::vector<Delivery> delivered_;
+  Metrics metrics_;
+};
+
+}  // namespace wcle

@@ -1,0 +1,40 @@
+// Bit-size accounting helpers for CONGEST message budgeting.
+#pragma once
+
+#include <cstdint>
+
+namespace wcle {
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  std::uint32_t bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// floor(log2(x)) for x >= 1; 0 for x == 0.
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  std::uint32_t bits = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Number of bits needed to encode an id drawn from [1, n^4]: 4*ceil(log2 n).
+constexpr std::uint32_t id_bits(std::uint64_t n) noexcept {
+  return 4 * ceil_log2(n > 1 ? n : 2);
+}
+
+/// True if x is a power of two (x >= 1).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace wcle

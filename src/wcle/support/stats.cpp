@@ -1,0 +1,81 @@
+#include "wcle/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcle {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(n));
+  return s;
+}
+
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LineFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LineFit fit_power_law(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return fit_line(lx, ly);
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace wcle

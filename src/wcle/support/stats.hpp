@@ -1,0 +1,42 @@
+// Small statistics toolkit used by the experiment harness: summary statistics
+// over repeated trials and least-squares fits on log-log data (to recover
+// empirical complexity exponents, e.g. "messages ~ n^0.52").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wcle {
+
+/// Summary of a sample: count, mean, stddev (population), min/median/max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary. Empty input yields a zeroed Summary.
+Summary summarize(std::vector<double> values);
+
+/// Result of an ordinary least-squares line fit y = slope*x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// OLS fit. Requires xs.size() == ys.size(); fewer than 2 points yields zeros.
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fit y = C * x^k by regressing log y on log x; returns {k, log C, r2}.
+/// Non-positive values are skipped.
+LineFit fit_power_law(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+/// Quantile of a sample via linear interpolation, q in [0,1].
+double quantile(std::vector<double> values, double q);
+
+}  // namespace wcle

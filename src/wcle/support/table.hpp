@@ -1,0 +1,32 @@
+// Paper-style table printing and CSV export for bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wcle {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII table
+/// (for terminal output, mirroring the rows a paper table would show) or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wcle

@@ -1,0 +1,75 @@
+// Tests for the experiment harness: aggregation correctness, determinism,
+// graph profiling, and the theorem envelopes used to normalize bench rows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wcle/analysis/experiment.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Analysis, TrialsAreDeterministicInBaseSeed) {
+  const Graph g = make_clique(48);
+  ElectionParams p;
+  const ElectionTrialStats a = run_election_trials(g, p, 6, 500);
+  const ElectionTrialStats b = run_election_trials(g, p, 6, 500);
+  EXPECT_EQ(a.congest_messages.mean, b.congest_messages.mean);
+  EXPECT_EQ(a.rounds.max, b.rounds.max);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  const ElectionTrialStats c = run_election_trials(g, p, 6, 501);
+  EXPECT_NE(a.congest_messages.mean, c.congest_messages.mean);
+}
+
+TEST(Analysis, TrialStatsFieldsAreConsistent) {
+  const Graph g = make_hypercube(6);
+  ElectionParams p;
+  const ElectionTrialStats s = run_election_trials(g, p, 8, 42);
+  EXPECT_EQ(s.trials, 8);
+  EXPECT_EQ(s.congest_messages.count, 8u);
+  EXPECT_LE(s.congest_messages.min, s.congest_messages.mean);
+  EXPECT_GE(s.congest_messages.max, s.congest_messages.mean);
+  EXPECT_GE(s.rounds.min, 1.0);
+  // Scheduled rounds always dominate measured rounds.
+  EXPECT_GE(s.scheduled_rounds.min, s.rounds.max * 0.99);
+  EXPECT_GT(s.contenders.mean, 1.0);
+  EXPECT_GE(s.phases.mean, 1.0);
+}
+
+TEST(Analysis, ProfileOnLowerBoundGraphMatchesAlpha) {
+  Rng rng(9);
+  const LowerBoundGraph lb = make_lower_bound_graph(700, 0.005, rng);
+  const GraphProfile prof = profile_graph(lb.graph, 2);
+  EXPECT_EQ(prof.n, lb.graph.node_count());
+  EXPECT_EQ(prof.m, lb.graph.edge_count());
+  EXPECT_GT(prof.sweep_conductance, 0.005 / 8);
+  EXPECT_LT(prof.sweep_conductance, 0.005 * 8);
+  // Equation (1): tmix between ~1/phi and ~1/phi^2.
+  EXPECT_GT(static_cast<double>(prof.tmix), 0.05 / 0.005);
+  EXPECT_LT(static_cast<double>(prof.tmix), 40.0 / (0.005 * 0.005));
+}
+
+TEST(Analysis, EnvelopeFormulas) {
+  // Exact arithmetic of the envelopes at a hand-computable point.
+  const double lg = 10.0;  // n = 1024
+  EXPECT_NEAR(theorem13_message_envelope(1024, 7),
+              32.0 * std::pow(lg, 3.5) * 7.0, 1e-6);
+  EXPECT_NEAR(theorem13_time_envelope(1024, 7), 700.0, 1e-9);
+  EXPECT_NEAR(theorem15_message_envelope(1024, 1.0 / 16.0),
+              32.0 * std::pow(16.0, 0.75), 1e-9);
+}
+
+TEST(Analysis, FailureRatesPartitionUnity) {
+  const Graph g = make_clique(40);
+  ElectionParams p;
+  p.c1 = 0.0;  // guarantee failure: no contenders
+  const ElectionTrialStats s = run_election_trials(g, p, 4, 1);
+  EXPECT_EQ(s.success_rate, 0.0);
+  EXPECT_EQ(s.zero_leader_rate, 1.0);
+  EXPECT_EQ(s.multi_leader_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace wcle

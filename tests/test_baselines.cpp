@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "wcle/baselines/bfs_tree.hpp"
+#include "wcle/baselines/candidate_flood.hpp"
+#include "wcle/baselines/flood_max.hpp"
+#include "wcle/baselines/known_tmix.hpp"
+#include "wcle/baselines/push_pull.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/spectral.hpp"
+
+namespace wcle {
+namespace {
+
+// ---------------------------------------------------------------- FloodMax
+
+TEST(FloodMax, AlwaysElectsExactlyOne) {
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    const FloodElectionResult r = run_flood_max(make_torus(8, 8), s);
+    EXPECT_EQ(r.leaders.size(), 1u) << "seed " << s;
+  }
+}
+
+TEST(FloodMax, MessagesAreOmegaM) {
+  // Every edge carries at least the initial wave: >= 2m logical messages.
+  const Graph g = make_hypercube(6);
+  const FloodElectionResult r = run_flood_max(g, 3);
+  EXPECT_GE(r.totals.logical_messages, 2 * g.edge_count());
+}
+
+TEST(FloodMax, RoundsScaleWithDiameter) {
+  const FloodElectionResult ring = run_flood_max(make_ring(64), 1);
+  const FloodElectionResult clique = run_flood_max(make_clique(64), 1);
+  EXPECT_GT(ring.rounds, clique.rounds);
+}
+
+// ----------------------------------------------------------- CandidateFlood
+
+TEST(CandidateFlood, ElectsUniqueLeaderWhp) {
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const CandidateFloodResult r = run_candidate_flood(make_torus(8, 8), s);
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 1u);
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(CandidateFlood, LeaderIsACandidate) {
+  const CandidateFloodResult r = run_candidate_flood(make_clique(64), 2);
+  ASSERT_TRUE(r.success());
+  EXPECT_NE(
+      std::find(r.candidates.begin(), r.candidates.end(), r.leaders[0]),
+      r.candidates.end());
+}
+
+TEST(CandidateFlood, ZeroRateYieldsNoLeader) {
+  const CandidateFloodResult r = run_candidate_flood(make_clique(16), 1, 0.0);
+  EXPECT_TRUE(r.candidates.empty());
+  EXPECT_TRUE(r.leaders.empty());
+}
+
+TEST(CandidateFlood, CheaperThanFloodMaxButStillOmegaM) {
+  const Graph g = make_hypercube(7);
+  const CandidateFloodResult c = run_candidate_flood(g, 4);
+  const FloodElectionResult f = run_flood_max(g, 4);
+  ASSERT_TRUE(c.success());
+  EXPECT_LT(c.totals.logical_messages, f.totals.logical_messages);
+  EXPECT_GE(c.totals.logical_messages, 2 * g.edge_count());
+}
+
+// -------------------------------------------------------------- KnownTmix
+
+TEST(KnownTmix, ElectsWithCorrectTmix) {
+  const Graph g = make_clique(128);
+  const std::uint32_t tmix =
+      static_cast<std::uint32_t>(mixing_time_exact(g, 1u << 16));
+  ElectionParams p;
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    p.seed = s;
+    const KnownTmixResult r = run_known_tmix_election(g, 2 * tmix + 1, p);
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 1u);
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(KnownTmix, TooShortWalksRiskMultipleLeaders) {
+  // With walk length 1 on a large torus, contenders far apart never become
+  // adjacent, so several elect themselves: exactly the failure mode the
+  // guess-and-double machinery exists to prevent.
+  const Graph g = make_torus(16, 16);
+  ElectionParams p;
+  int multi = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    p.seed = s;
+    const KnownTmixResult r = run_known_tmix_election(g, 1, p);
+    if (r.leaders.size() > 1) ++multi;
+  }
+  EXPECT_GE(multi, 5);
+}
+
+TEST(KnownTmix, RejectsZeroLength) {
+  ElectionParams p;
+  EXPECT_THROW(run_known_tmix_election(make_clique(8), 0, p),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- PushPull
+
+TEST(PushPull, InformsEveryoneOnExpander) {
+  Rng grng(5);
+  const Graph g = make_random_regular(200, 6, grng);
+  const BroadcastResult r = run_push_pull(g, {0}, 32, 1);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.informed, 200u);
+}
+
+TEST(PushPull, RoundsLogarithmicOnClique) {
+  const Graph g = make_clique(256);
+  const BroadcastResult r = run_push_pull(g, {0}, 32, 2);
+  ASSERT_TRUE(r.complete);
+  EXPECT_LE(r.rounds, 40u);  // O(log n) with generous constant
+}
+
+TEST(PushPull, SlowerOnPoorConductance) {
+  const BroadcastResult fast = run_push_pull(make_clique(64), {0}, 32, 3);
+  const BroadcastResult slow = run_push_pull(make_barbell(32), {0}, 32, 3);
+  ASSERT_TRUE(fast.complete);
+  ASSERT_TRUE(slow.complete);
+  EXPECT_GT(slow.rounds, fast.rounds);
+}
+
+TEST(PushPull, MultipleSourcesAreFaster) {
+  const Graph g = make_torus(10, 10);
+  const BroadcastResult one = run_push_pull(g, {0}, 32, 4);
+  const BroadcastResult many = run_push_pull(g, {0, 37, 55, 99}, 32, 4);
+  ASSERT_TRUE(one.complete);
+  ASSERT_TRUE(many.complete);
+  EXPECT_LE(many.rounds, one.rounds);
+}
+
+TEST(PushPull, RespectsMaxRounds) {
+  const BroadcastResult r = run_push_pull(make_ring(64), {0}, 32, 5, 2);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.rounds, 2u);
+}
+
+TEST(PushPull, ThrowsWithoutSource) {
+  EXPECT_THROW(run_push_pull(make_ring(8), {}, 32, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- BfsTree
+
+TEST(BfsTree, SpansEveryNode) {
+  Rng grng(7);
+  const Graph g = make_connected_gnp(60, 0.1, grng);
+  const BfsTreeResult r = run_bfs_tree(g, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.tree_nodes, 60u);
+}
+
+TEST(BfsTree, ParentPortsFormTree) {
+  const Graph g = make_torus(6, 6);
+  const BfsTreeResult r = run_bfs_tree(g, 5);
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.parent_port[5], BfsTreeResult::kNoParent);
+  // Follow parents to the root from every node; no cycles, bounded length.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    NodeId cur = v;
+    int hops = 0;
+    while (cur != 5) {
+      ASSERT_NE(r.parent_port[cur], BfsTreeResult::kNoParent);
+      cur = g.neighbor(cur, r.parent_port[cur]);
+      ASSERT_LE(++hops, 36);
+    }
+  }
+}
+
+TEST(BfsTree, DepthMatchesEccentricity) {
+  const Graph g = make_ring(12);
+  const BfsTreeResult r = run_bfs_tree(g, 0);
+  EXPECT_EQ(r.depth, 6u);
+}
+
+TEST(BfsTree, MessagesThetaM) {
+  const Graph g = make_hypercube(6);
+  const BfsTreeResult r = run_bfs_tree(g, 0);
+  // Every node announces on degree-1 ports (root on all): ~2m total.
+  EXPECT_GE(r.totals.logical_messages, g.edge_count());
+  EXPECT_LE(r.totals.logical_messages, 2 * g.edge_count() + g.node_count());
+}
+
+TEST(BfsTree, RejectsBadRoot) {
+  EXPECT_THROW(run_bfs_tree(make_ring(8), 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,226 @@
+// Tests for the second wave of baselines: flooding broadcast, the Lemma-18
+// port prober, the [25] clique-referee election, and the [29]-style
+// distributed mixing-time estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wcle/baselines/clique_referee.hpp"
+#include "wcle/baselines/flood_broadcast.hpp"
+#include "wcle/baselines/port_prober.hpp"
+#include "wcle/baselines/tmix_estimator.hpp"
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/dumbbell.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
+#include "wcle/graph/spectral.hpp"
+
+namespace wcle {
+namespace {
+
+// --------------------------------------------------------- FloodBroadcast
+
+TEST(FloodBroadcast, InformsEveryNode) {
+  Rng grng(3);
+  const Graph g = make_connected_gnp(80, 0.08, grng);
+  const FloodBroadcastResult r = run_flood_broadcast(g, 5, 32);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.informed, 80u);
+}
+
+TEST(FloodBroadcast, MessagesAreThetaM) {
+  const Graph g = make_hypercube(7);
+  const FloodBroadcastResult r = run_flood_broadcast(g, 0, 32);
+  EXPECT_GE(r.totals.logical_messages, g.edge_count());
+  EXPECT_LE(r.totals.logical_messages, 2 * g.edge_count());
+}
+
+TEST(FloodBroadcast, RoundsEqualEccentricityPlusDrain) {
+  // All nodes informed after ecc = 8 rounds; the antipodal node's duplicate
+  // forward drains one round later (flooding's classic wasted crossing).
+  const FloodBroadcastResult r = run_flood_broadcast(make_ring(16), 0, 32);
+  EXPECT_EQ(r.rounds, 9u);
+}
+
+TEST(FloodBroadcast, RejectsBadSource) {
+  EXPECT_THROW(run_flood_broadcast(make_ring(8), 8, 32),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ PortProber
+
+TEST(PortProber, FullBudgetFindsAllTargetEdges) {
+  Rng grng(5);
+  const LowerBoundGraph lb = make_lower_bound_graph(400, 0.006, grng);
+  auto inter = [&](NodeId a, NodeId b) {
+    return lb.clique_of[a] != lb.clique_of[b];
+  };
+  const ProbeResult r =
+      run_port_prober(lb.graph, lb.graph.max_degree(), 1, inter);
+  // Probing every port crosses every inter-clique edge twice (once per side).
+  EXPECT_EQ(r.target_edges_found, 2 * lb.inter_clique_edges.size());
+}
+
+TEST(PortProber, SmallBudgetRarelyFindsLongEdges) {
+  // Lemma 18: with o(s) probes per node (out of s ports), the expected number
+  // of inter-clique discoveries is proportional to the opened fraction.
+  Rng grng(7);
+  const LowerBoundGraph lb = make_lower_bound_graph(500, 0.004, grng);
+  auto inter = [&](NodeId a, NodeId b) {
+    return lb.clique_of[a] != lb.clique_of[b];
+  };
+  double found = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i)
+    found += static_cast<double>(
+        run_port_prober(lb.graph, 1, 100 + i, inter).target_edges_found);
+  found /= reps;
+  const double open_fraction = 1.0 / lb.graph.max_degree();
+  const double expect = 2.0 * lb.inter_clique_edges.size() * open_fraction;
+  EXPECT_NEAR(found, expect, std::max(2.0, expect));
+  EXPECT_LT(found, 0.25 * 2 * lb.inter_clique_edges.size());
+}
+
+TEST(PortProber, ProbeCountMatchesBudget) {
+  const Graph g = make_clique(16);
+  const ProbeResult r =
+      run_port_prober(g, 4, 1, [](NodeId, NodeId) { return false; });
+  EXPECT_EQ(r.probes_sent, 16u * 4u);
+  EXPECT_EQ(r.target_edges_found, 0u);
+}
+
+TEST(PortProber, BridgeDiscoveryOnDumbbellNeedsHighBudget) {
+  // Theorem 28's engine: the two bridges hide among 2m ports.
+  const Graph base = make_torus(6, 6);
+  Rng drng(9);
+  const DumbbellGraph d = make_random_dumbbell(base, drng);
+  auto is_bridge = [&](NodeId a, NodeId b) {
+    auto same = [&](Edge e, NodeId x, NodeId y) {
+      return (e.a == x && e.b == y) || (e.a == y && e.b == x);
+    };
+    return same(d.bridge1, a, b) || same(d.bridge2, a, b);
+  };
+  int found_low = 0, found_full = 0;
+  for (int i = 0; i < 10; ++i) {
+    found_low += run_port_prober(d.graph, 1, 50 + i, is_bridge)
+                     .target_edges_found > 0;
+    found_full += run_port_prober(d.graph, 4, 50 + i, is_bridge)
+                      .target_edges_found > 0;
+  }
+  EXPECT_LE(found_low, found_full);
+  EXPECT_EQ(found_full, 10);  // budget = max degree: every port probed
+}
+
+// --------------------------------------------------------- CliqueReferee
+
+TEST(CliqueReferee, ElectsUniqueLeaderOnCliqueWhp) {
+  const Graph g = make_clique(128);
+  ElectionParams p;
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    p.seed = s;
+    const CliqueRefereeResult r = run_clique_referee(g, p);
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 2u);
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(CliqueReferee, LeaderIsMaxIdCandidateMostly) {
+  const Graph g = make_clique(96);
+  ElectionParams p;
+  p.seed = 4;
+  const CliqueRefereeResult r = run_clique_referee(g, p);
+  ASSERT_TRUE(r.success());
+  EXPECT_NE(std::find(r.candidates.begin(), r.candidates.end(), r.leaders[0]),
+            r.candidates.end());
+}
+
+TEST(CliqueReferee, SublinearMessagesOnClique) {
+  // [25]: O(sqrt(n) log^{3/2} n) messages — far below m on a clique.
+  const Graph g = make_clique(512);
+  ElectionParams p;
+  p.seed = 2;
+  const CliqueRefereeResult r = run_clique_referee(g, p);
+  ASSERT_TRUE(r.success());
+  EXPECT_LT(r.totals.congest_messages, g.edge_count() / 4);
+}
+
+TEST(CliqueReferee, CheaperThanGeneralAlgorithmOnClique) {
+  // The specialized algorithm must beat the paper's general one on its home
+  // turf (no walks, no guess-and-double, O(1) rounds).
+  const Graph g = make_clique(256);
+  ElectionParams p;
+  p.seed = 6;
+  const CliqueRefereeResult referee = run_clique_referee(g, p);
+  const ElectionResult general = run_leader_election(g, p);
+  ASSERT_TRUE(referee.success());
+  ASSERT_TRUE(general.success());
+  EXPECT_LT(referee.totals.congest_messages,
+            general.totals.congest_messages);
+  EXPECT_LT(referee.rounds, general.totals.rounds);
+}
+
+TEST(CliqueReferee, MayElectMultipleLeadersOffClique) {
+  // On a large torus the referee's "random port = random node" assumption
+  // collapses to a 4-neighbourhood: distant candidates never meet.
+  const Graph g = make_torus(16, 16);
+  ElectionParams p;
+  int multi = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    p.seed = s;
+    if (run_clique_referee(g, p).leaders.size() > 1) ++multi;
+  }
+  EXPECT_GE(multi, 5);
+}
+
+TEST(CliqueReferee, NoCandidatesNoLeader) {
+  ElectionParams p;
+  p.c1 = 0.0;
+  const CliqueRefereeResult r = run_clique_referee(make_clique(32), p);
+  EXPECT_TRUE(r.candidates.empty());
+  EXPECT_TRUE(r.leaders.empty());
+}
+
+// --------------------------------------------------------- TmixEstimator
+
+TEST(TmixEstimator, EstimateBracketsExactOnClique) {
+  const Graph g = make_clique(64);
+  const std::uint64_t exact = mixing_time_exact(g, 1u << 12);
+  const TmixEstimateResult r = run_tmix_estimator(g, 0, 1);
+  ASSERT_TRUE(r.converged);
+  // Doubling + sampling tolerance: within [exact/4, 4*exact] up to rounding.
+  EXPECT_LE(r.estimate, std::max<std::uint64_t>(4, 4 * exact));
+}
+
+TEST(TmixEstimator, OrdersFamiliesCorrectly) {
+  const TmixEstimateResult clique = run_tmix_estimator(make_clique(64), 0, 2);
+  const TmixEstimateResult torus =
+      run_tmix_estimator(make_torus(8, 8), 0, 2);
+  ASSERT_TRUE(clique.converged);
+  ASSERT_TRUE(torus.converged);
+  EXPECT_LT(clique.estimate, torus.estimate);
+}
+
+TEST(TmixEstimator, CostsOmegaM) {
+  // The paper's complaint about [29]: estimation alone costs >= m messages
+  // (the BFS tree), dwarfing the election's sqrt(n) polylog on dense graphs.
+  const Graph g = make_clique(128);
+  const TmixEstimateResult r = run_tmix_estimator(g, 0, 3);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GE(r.totals.logical_messages, g.edge_count());
+}
+
+TEST(TmixEstimator, RespectsMaxT) {
+  const Graph g = make_ring(64);  // tmix in the thousands
+  const TmixEstimateResult r = run_tmix_estimator(g, 0, 4, 512, 4);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3u);  // t = 1, 2, 4
+}
+
+TEST(TmixEstimator, RejectsBadInitiator) {
+  EXPECT_THROW(run_tmix_estimator(make_ring(8), 9, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcle

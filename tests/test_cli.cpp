@@ -1,0 +1,80 @@
+#include "wcle/analysis/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wcle {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"wcle_cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, CommandAndPositionals) {
+  const CliArgs a = parse({"elect", "extra1", "extra2"});
+  EXPECT_EQ(a.command(), "elect");
+  EXPECT_EQ(a.positionals(),
+            (std::vector<std::string>{"extra1", "extra2"}));
+}
+
+TEST(Cli, EqualsForm) {
+  const CliArgs a = parse({"elect", "--n=1024", "--family=torus"});
+  EXPECT_EQ(a.get_u64("n", 0), 1024u);
+  EXPECT_EQ(a.get("family", ""), "torus");
+}
+
+TEST(Cli, SeparatedValueForm) {
+  const CliArgs a = parse({"elect", "--n", "256"});
+  EXPECT_EQ(a.get_u64("n", 0), 256u);
+}
+
+TEST(Cli, BareFlag) {
+  const CliArgs a = parse({"elect", "--wide", "--n=4"});
+  EXPECT_TRUE(a.get_bool("wide", false));
+  EXPECT_FALSE(a.get_bool("absent", false));
+  EXPECT_TRUE(a.get_bool("absent", true));
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(parse({"x", "--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"x", "--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"x", "--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"x", "--f=0"}).get_bool("f", true));
+  EXPECT_THROW(parse({"x", "--f=maybe"}).get_bool("f", true),
+               std::invalid_argument);
+}
+
+TEST(Cli, Doubles) {
+  const CliArgs a = parse({"lowerbound", "--alpha=0.004"});
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 1.0), 0.004);
+  EXPECT_DOUBLE_EQ(a.get_double("absent", 2.5), 2.5);
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  EXPECT_THROW(parse({"x", "--n=12abc"}).get_u64("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"x", "--a=1.2.3"}).get_double("a", 0),
+               std::invalid_argument);
+}
+
+TEST(Cli, FlagBeforeCommandDoesNotSwallowIt) {
+  const CliArgs a = parse({"--verbose", "elect", "--n=8"});
+  EXPECT_EQ(a.command(), "elect");
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get_u64("n", 0), 8u);
+}
+
+TEST(Cli, DefaultsWhenEmpty) {
+  const CliArgs a = parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_EQ(a.get("family", "expander"), "expander");
+}
+
+TEST(Cli, KeysEnumeration) {
+  const CliArgs a = parse({"elect", "--b=1", "--a=2"});
+  EXPECT_EQ(a.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace wcle

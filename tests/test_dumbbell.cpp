@@ -1,0 +1,94 @@
+#include "wcle/graph/dumbbell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Dumbbell, StructureFromRing) {
+  const Graph base = make_ring(8);
+  const DumbbellGraph d = make_dumbbell(base, {0, 1}, {3, 4});
+  EXPECT_EQ(d.graph.node_count(), 16u);
+  // 2*(m-1) retained edges + 2 bridges = 2m.
+  EXPECT_EQ(d.graph.edge_count(), 2u * base.edge_count());
+  EXPECT_TRUE(d.graph.is_connected());
+  EXPECT_EQ(d.base_n, 8u);
+  EXPECT_TRUE(d.on_left(7));
+  EXPECT_FALSE(d.on_left(8));
+}
+
+TEST(Dumbbell, BridgesConnectTheCutEndpoints) {
+  const Graph base = make_torus(4, 4);
+  const DumbbellGraph d = make_dumbbell(base, {0, 1}, {5, 6});
+  EXPECT_EQ(d.bridge1.a, 0u);
+  EXPECT_EQ(d.bridge1.b, 16u + 5u);
+  EXPECT_EQ(d.bridge2.a, 1u);
+  EXPECT_EQ(d.bridge2.b, 16u + 6u);
+  // The bridges exist as edges.
+  auto has_edge = [&](NodeId a, NodeId b) {
+    for (NodeId w : d.graph.neighbors(a))
+      if (w == b) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_edge(d.bridge1.a, d.bridge1.b));
+  EXPECT_TRUE(has_edge(d.bridge2.a, d.bridge2.b));
+}
+
+TEST(Dumbbell, CutEdgesAreRemoved) {
+  const Graph base = make_ring(6);
+  const DumbbellGraph d = make_dumbbell(base, {2, 3}, {4, 5});
+  auto has_edge = [&](NodeId a, NodeId b) {
+    for (NodeId w : d.graph.neighbors(a))
+      if (w == b) return true;
+    return false;
+  };
+  EXPECT_FALSE(has_edge(2, 3));
+  EXPECT_FALSE(has_edge(6 + 4, 6 + 5));
+}
+
+TEST(Dumbbell, DegreesPreserved) {
+  // Cut endpoints lose one edge and gain a bridge; all degrees unchanged.
+  const Graph base = make_torus(3, 5);
+  const DumbbellGraph d = make_dumbbell(base, {1, 2}, {7, 8});
+  for (NodeId v = 0; v < d.graph.node_count(); ++v)
+    EXPECT_EQ(d.graph.degree(v), 4u);
+}
+
+TEST(Dumbbell, RequiresTwoConnectedBase) {
+  EXPECT_THROW(make_dumbbell(make_path(5), {0, 1}, {2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Dumbbell, RequiresCutEdgesExist) {
+  const Graph base = make_ring(6);
+  EXPECT_THROW(make_dumbbell(base, {0, 2}, {3, 4}), std::invalid_argument);
+}
+
+TEST(Dumbbell, RandomDumbbellIsValid) {
+  Rng rng(17);
+  const Graph base = make_hypercube(4);
+  const DumbbellGraph d = make_random_dumbbell(base, rng);
+  EXPECT_EQ(d.graph.node_count(), 32u);
+  EXPECT_TRUE(d.graph.is_connected());
+  EXPECT_EQ(d.graph.edge_count(), 2u * base.edge_count());
+}
+
+TEST(Dumbbell, LeftCopyIsIsomorphicMinusCut) {
+  // Every base edge except the cut must exist inside the left copy.
+  const Graph base = make_ring(7);
+  const DumbbellGraph d = make_dumbbell(base, {0, 1}, {2, 3});
+  auto has_edge = [&](NodeId a, NodeId b) {
+    for (NodeId w : d.graph.neighbors(a))
+      if (w == b) return true;
+    return false;
+  };
+  for (const Edge& e : base.edges()) {
+    const bool is_cut = (std::min(e.a, e.b) == 0 && std::max(e.a, e.b) == 1);
+    EXPECT_EQ(has_edge(e.a, e.b), !is_cut);
+  }
+}
+
+}  // namespace
+}  // namespace wcle

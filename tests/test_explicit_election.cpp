@@ -1,0 +1,78 @@
+#include "wcle/core/explicit_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+ElectionParams params_with_seed(std::uint64_t seed) {
+  ElectionParams p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(ExplicitElection, SucceedsOnClique) {
+  const Graph g = make_clique(128);
+  const ExplicitElectionResult r =
+      run_explicit_election(g, params_with_seed(1));
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.broadcast.complete);
+  EXPECT_EQ(r.broadcast.informed, 128u);
+}
+
+TEST(ExplicitElection, SucceedsOnExpander) {
+  Rng grng(11);
+  const Graph g = make_random_regular(150, 6, grng);
+  const ExplicitElectionResult r =
+      run_explicit_election(g, params_with_seed(2));
+  EXPECT_TRUE(r.success);
+}
+
+TEST(ExplicitElection, TotalsAreSums) {
+  const Graph g = make_hypercube(6);
+  const ExplicitElectionResult r =
+      run_explicit_election(g, params_with_seed(3));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.total_congest_messages(),
+            r.election.totals.congest_messages +
+                r.broadcast.totals.congest_messages);
+  EXPECT_EQ(r.total_rounds(),
+            r.election.totals.rounds + r.broadcast.rounds);
+}
+
+TEST(ExplicitElection, BroadcastDominatesMessagesOnWellConnected) {
+  // The paper's concluding observation (Cor. 14): for the explicit variant
+  // on well-connected graphs, the broadcast's n log n / phi messages dominate
+  // the election's ~sqrt(n) polylog(n) messages once n is large enough.
+  const Graph g = make_clique(512);
+  const ExplicitElectionResult r =
+      run_explicit_election(g, params_with_seed(4));
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.broadcast.totals.logical_messages,
+            r.election.totals.logical_messages / 4);
+}
+
+TEST(ExplicitElection, FailedElectionSkipsBroadcast) {
+  const Graph g = make_clique(32);
+  ElectionParams p = params_with_seed(5);
+  p.c1 = 0.0;  // no contenders -> no leader
+  const ExplicitElectionResult r = run_explicit_election(g, p);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.broadcast.rounds, 0u);
+  EXPECT_EQ(r.broadcast.totals.congest_messages, 0u);
+}
+
+TEST(ExplicitElection, DeterministicForFixedSeed) {
+  const Graph g = make_torus(8, 8);
+  const ExplicitElectionResult a =
+      run_explicit_election(g, params_with_seed(6));
+  const ExplicitElectionResult b =
+      run_explicit_election(g, params_with_seed(6));
+  EXPECT_EQ(a.election.leaders, b.election.leaders);
+  EXPECT_EQ(a.total_congest_messages(), b.total_congest_messages());
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,128 @@
+#include "wcle/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wcle {
+namespace {
+
+TEST(Generators, Ring) {
+  const Graph g = make_ring(10);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(Generators, Path) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, Clique) {
+  const Graph g = make_clique(7);
+  EXPECT_EQ(g.edge_count(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // n*d/2
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Neighbors differ in exactly one bit.
+  for (NodeId v = 0; v < 16; ++v)
+    for (NodeId w : g.neighbors(v)) {
+      const NodeId x = v ^ w;
+      EXPECT_EQ(x & (x - 1), 0u);
+      EXPECT_NE(x, 0u);
+    }
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW(make_hypercube(31), std::invalid_argument);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 40u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // rows*(cols-1)+cols*(rows-1)
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_TRUE(g.is_connected());
+}
+
+class RandomRegularParam
+    : public ::testing::TestWithParam<std::pair<NodeId, std::uint32_t>> {};
+
+TEST_P(RandomRegularParam, DegreesAndConnectivity) {
+  const auto [n, d] = GetParam();
+  Rng rng(1234 + n + d);
+  const Graph g = make_random_regular(n, d, rng);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(g.edge_count(), static_cast<std::uint64_t>(n) * d / 2);
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(g.degree(v), d);
+  EXPECT_TRUE(g.is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRegularParam,
+    ::testing::Values(std::pair<NodeId, std::uint32_t>{10, 3},
+                      std::pair<NodeId, std::uint32_t>{64, 4},
+                      std::pair<NodeId, std::uint32_t>{101, 4},
+                      std::pair<NodeId, std::uint32_t>{256, 8},
+                      std::pair<NodeId, std::uint32_t>{1000, 6}));
+
+TEST(Generators, RandomRegularRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_regular(5, 3, rng), std::invalid_argument);  // odd
+  EXPECT_THROW(make_random_regular(4, 4, rng), std::invalid_argument);  // d>=n
+  EXPECT_THROW(make_random_regular(4, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomRegularVariesWithSeed) {
+  Rng r1(1), r2(2);
+  const Graph a = make_random_regular(50, 4, r1);
+  const Graph b = make_random_regular(50, 4, r2);
+  const std::vector<Edge> ea = a.edges(), eb = b.edges();
+  std::set<std::pair<NodeId, NodeId>> sa, sb;
+  for (const Edge& e : ea) sa.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  for (const Edge& e : eb) sb.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  EXPECT_NE(sa, sb);
+}
+
+TEST(Generators, ConnectedGnp) {
+  Rng rng(3);
+  const Graph g = make_connected_gnp(40, 0.2, rng);
+  EXPECT_EQ(g.node_count(), 40u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = make_barbell(5);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 2u * 10 + 1);  // two K5s + bridge
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, LollipopPairWithLongBridge) {
+  const Graph g = make_lollipop_pair(4, 3);
+  EXPECT_EQ(g.node_count(), 2u * 4 + 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_lollipop_pair(2, 1), std::invalid_argument);
+  EXPECT_THROW(make_lollipop_pair(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,118 @@
+// Tests for the second wave of graph families: star, complete bipartite,
+// Barabasi-Albert, Watts-Strogatz — including the spectral behaviours that
+// make them interesting election substrates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/spectral.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Star, Shape) {
+  const Graph g = make_star(10);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_star(2), std::invalid_argument);
+}
+
+TEST(Star, MixesFastDespiteIrregularity) {
+  // Every leaf is one lazy hop from the hub: tmix = O(log n)-ish.
+  EXPECT_LE(mixing_time_exact(make_star(64), 1u << 12), 32u);
+}
+
+TEST(CompleteBipartite, Shape) {
+  const Graph g = make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (NodeId i = 0; i < 3; ++i) EXPECT_EQ(g.degree(i), 5u);
+  for (NodeId j = 3; j < 8; ++j) EXPECT_EQ(g.degree(j), 3u);
+  // No edge within a side.
+  for (NodeId i = 0; i < 3; ++i)
+    for (NodeId w : g.neighbors(i)) EXPECT_GE(w, 3u);
+  EXPECT_THROW(make_complete_bipartite(0, 3), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  Rng rng(11);
+  const Graph g = make_barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.node_count(), 300u);
+  // Seed clique C(4,2)=6 edges + 296 arrivals x 3 edges.
+  EXPECT_EQ(g.edge_count(), 6u + 296u * 3u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.min_degree(), 3u);
+}
+
+TEST(BarabasiAlbert, DegreeDistributionIsHeavyTailed) {
+  Rng rng(13);
+  const Graph g = make_barabasi_albert(500, 2, rng);
+  // A hub must emerge: max degree far above the median (= m0-ish).
+  std::vector<std::uint32_t> degs;
+  for (NodeId v = 0; v < g.node_count(); ++v) degs.push_back(g.degree(v));
+  std::sort(degs.begin(), degs.end());
+  EXPECT_LE(degs[degs.size() / 2], 4u);
+  EXPECT_GE(degs.back(), 20u);
+}
+
+TEST(BarabasiAlbert, RejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(make_barabasi_albert(3, 2, rng), std::invalid_argument);
+  EXPECT_THROW(make_barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, BetaZeroIsRingLattice) {
+  Rng rng(17);
+  const Graph g = make_watts_strogatz(20, 2, 0.0, rng);
+  EXPECT_EQ(g.edge_count(), 40u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatz, RewiringShrinksMixingTime) {
+  Rng r1(19), r2(19);
+  const Graph lattice = make_watts_strogatz(64, 2, 0.0, r1);
+  const Graph small_world = make_watts_strogatz(64, 2, 0.3, r2);
+  const std::uint64_t t_lat = mixing_time_exact(lattice, 1u << 16);
+  const std::uint64_t t_sw = mixing_time_exact(small_world, 1u << 16);
+  EXPECT_LT(t_sw, t_lat / 2);
+}
+
+TEST(WattsStrogatz, StaysConnectedAndSimple) {
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    Rng rng(s);
+    const Graph g = make_watts_strogatz(100, 3, 0.2, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.node_count(), 100u);
+  }
+}
+
+TEST(WattsStrogatz, RejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(make_watts_strogatz(10, 5, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_watts_strogatz(10, 0, 0.1, rng), std::invalid_argument);
+}
+
+TEST(NewFamilies, ElectionSucceedsOnAll) {
+  // The paper's algorithm is family-agnostic: it must elect on irregular,
+  // heavy-tailed, and small-world graphs too.
+  Rng rng(23);
+  std::vector<Graph> graphs;
+  graphs.push_back(make_star(128));
+  graphs.push_back(make_complete_bipartite(40, 60));
+  graphs.push_back(make_barabasi_albert(200, 3, rng));
+  graphs.push_back(make_watts_strogatz(150, 3, 0.3, rng));
+  for (const Graph& g : graphs) {
+    ElectionParams p;
+    p.seed = 9;
+    const ElectionResult r = run_leader_election(g, p);
+    EXPECT_TRUE(r.success()) << g.describe();
+    EXPECT_LE(r.leaders.size(), 1u) << g.describe();
+  }
+}
+
+}  // namespace
+}  // namespace wcle

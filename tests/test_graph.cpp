@@ -1,0 +1,122 @@
+#include "wcle/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.volume(), 6u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, MirrorPortsAreInvolutive) {
+  Rng rng(5);
+  const Graph g = make_torus(5, 7, &rng);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (Port p = 0; p < g.degree(u); ++p) {
+      const NodeId v = g.neighbor(u, p);
+      const Port q = g.mirror_port(u, p);
+      EXPECT_EQ(g.neighbor(v, q), u);
+      EXPECT_EQ(g.mirror_port(v, q), p);
+    }
+  }
+}
+
+TEST(Graph, PortShuffleKeepsNeighborSet) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}};
+  const Graph plain = Graph::from_edges(4, edges);
+  Rng rng(9);
+  const Graph shuffled = Graph::from_edges(4, edges, &rng);
+  for (NodeId u = 0; u < 4; ++u) {
+    std::multiset<NodeId> a, b;
+    for (NodeId v : plain.neighbors(u)) a.insert(v);
+    for (NodeId v : shuffled.neighbors(u)) b.insert(v);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Graph, PortShuffleIsAsymmetric) {
+  // On a large clique, shuffled port numbering should make at least one edge
+  // have different port numbers at its two endpoints.
+  Rng rng(11);
+  const Graph g = make_clique(20, &rng);
+  bool asymmetric = false;
+  for (NodeId u = 0; u < g.node_count() && !asymmetric; ++u)
+    for (Port p = 0; p < g.degree(u); ++p)
+      if (g.mirror_port(u, p) != p) {
+        asymmetric = true;
+        break;
+      }
+  EXPECT_TRUE(asymmetric);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  const std::vector<Edge> in{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Graph g = Graph::from_edges(4, in);
+  std::vector<Edge> out = g.edges();
+  EXPECT_EQ(out.size(), in.size());
+  const auto norm = [](Edge e) {
+    return std::pair<NodeId, NodeId>{std::min(e.a, e.b), std::max(e.a, e.b)};
+  };
+  std::set<std::pair<NodeId, NodeId>> sin, sout;
+  for (const Edge& e : in) sin.insert(norm(e));
+  for (const Edge& e : out) sout.insert(norm(e));
+  EXPECT_EQ(sin, sout);
+}
+
+TEST(Graph, TwoConnectedness) {
+  EXPECT_TRUE(make_ring(8).is_two_connected());
+  EXPECT_TRUE(make_clique(5).is_two_connected());
+  EXPECT_TRUE(make_torus(4, 4).is_two_connected());
+  // A path has articulation points.
+  EXPECT_FALSE(make_path(5).is_two_connected());
+  // A barbell's bridge endpoints are articulation points.
+  EXPECT_FALSE(make_barbell(4).is_two_connected());
+  // Star graph: center is an articulation point.
+  const Graph star = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_FALSE(star.is_two_connected());
+}
+
+TEST(Graph, DegreeExtremes) {
+  const Graph star = Graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(star.max_degree(), 4u);
+  EXPECT_EQ(star.min_degree(), 1u);
+}
+
+TEST(Graph, DescribeMentionsCounts) {
+  const Graph g = make_ring(10);
+  const std::string d = g.describe();
+  EXPECT_NE(d.find("n=10"), std::string::npos);
+  EXPECT_NE(d.find("m=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcle

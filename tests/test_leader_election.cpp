@@ -1,0 +1,249 @@
+#include "wcle/core/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "wcle/graph/generators.hpp"
+#include "wcle/graph/spectral.hpp"
+
+namespace wcle {
+namespace {
+
+ElectionParams params_with_seed(std::uint64_t seed) {
+  ElectionParams p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(LeaderElection, ElectsExactlyOneLeaderOnClique) {
+  const Graph g = make_clique(128);
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const ElectionResult r = run_leader_election(g, params_with_seed(s));
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 1u) << "seed " << s;
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(LeaderElection, ElectsOnHypercube) {
+  const Graph g = make_hypercube(7);  // 128 nodes
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const ElectionResult r = run_leader_election(g, params_with_seed(s));
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 1u);
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(LeaderElection, ElectsOnExpander) {
+  Rng grng(77);
+  const Graph g = make_random_regular(200, 6, grng);
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const ElectionResult r = run_leader_election(g, params_with_seed(s));
+    if (r.success()) ++ok;
+  }
+  EXPECT_GE(ok, 9);
+}
+
+TEST(LeaderElection, ElectsOnTorus) {
+  const Graph g = make_torus(12, 12);
+  const ElectionResult r = run_leader_election(g, params_with_seed(3));
+  EXPECT_TRUE(r.success());
+}
+
+TEST(LeaderElection, LeaderIsAContender) {
+  const Graph g = make_clique(96);
+  const ElectionResult r = run_leader_election(g, params_with_seed(2));
+  ASSERT_TRUE(r.success());
+  EXPECT_NE(std::find(r.contenders.begin(), r.contenders.end(), r.leaders[0]),
+            r.contenders.end());
+  EXPECT_NE(r.leader_random_id, 0u);
+}
+
+TEST(LeaderElection, DeterministicForFixedSeed) {
+  const Graph g = make_hypercube(6);
+  const ElectionResult a = run_leader_election(g, params_with_seed(9));
+  const ElectionResult b = run_leader_election(g, params_with_seed(9));
+  EXPECT_EQ(a.leaders, b.leaders);
+  EXPECT_EQ(a.totals.congest_messages, b.totals.congest_messages);
+  EXPECT_EQ(a.totals.rounds, b.totals.rounds);
+  EXPECT_EQ(a.phases, b.phases);
+}
+
+TEST(LeaderElection, SeedsChangeOutcome) {
+  const Graph g = make_hypercube(6);
+  const ElectionResult a = run_leader_election(g, params_with_seed(1));
+  const ElectionResult b = run_leader_election(g, params_with_seed(2));
+  EXPECT_NE(a.totals.congest_messages, b.totals.congest_messages);
+}
+
+TEST(LeaderElection, ContenderCountNearExpectation) {
+  // Lemma 1 at test scale: E[contenders] = c1 log2 n.
+  const Graph g = make_clique(256);
+  ElectionParams p = params_with_seed(1);
+  double total = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    p.seed = 100 + t;
+    total += static_cast<double>(run_leader_election(g, p).contenders.size());
+  }
+  const double expect = p.c1 * std::log2(256.0);
+  EXPECT_NEAR(total / trials, expect, expect * 0.25);
+}
+
+TEST(LeaderElection, StopsByMixingTime) {
+  // Lemma 6: final walk length is O(tmix); with guess-and-double it is at
+  // most ~2 * c3 * tmix. Verified on graphs with very different tmix.
+  struct Case {
+    Graph g;
+    const char* name;
+  };
+  for (auto& [g, name] : std::vector<Case>{{make_clique(128), "clique"},
+                                           {make_hypercube(7), "hypercube"},
+                                           {make_torus(10, 10), "torus"}}) {
+    const std::uint64_t tmix = mixing_time_exact(g, 1u << 20);
+    const ElectionResult r = run_leader_election(g, params_with_seed(5));
+    ASSERT_TRUE(r.success()) << name;
+    EXPECT_LE(r.final_length, std::max<std::uint64_t>(8, 8 * tmix)) << name;
+    EXPECT_FALSE(r.hit_phase_cap) << name;
+  }
+}
+
+TEST(LeaderElection, MeasuredRoundsWithinScheduledBound) {
+  // Lemma 12's congestion padding: the real execution must fit within the
+  // paper's schedule of 6T per phase.
+  const Graph g = make_hypercube(7);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    const ElectionResult r = run_leader_election(g, params_with_seed(s));
+    EXPECT_LE(r.totals.rounds, r.scheduled_rounds) << "seed " << s;
+  }
+}
+
+TEST(LeaderElection, PhaseStatsAreCoherent) {
+  const Graph g = make_clique(100);
+  const ElectionResult r = run_leader_election(g, params_with_seed(4));
+  ASSERT_EQ(r.phase_stats.size(), r.phases);
+  std::uint64_t rounds = 0, msgs = 0;
+  std::uint32_t prev_len = 0;
+  for (const PhaseStats& ps : r.phase_stats) {
+    EXPECT_GT(ps.length, prev_len);  // guess-and-double
+    prev_len = ps.length;
+    rounds += ps.metrics.rounds;
+    msgs += ps.metrics.congest_messages;
+    EXPECT_GT(ps.active, 0u);
+  }
+  EXPECT_EQ(rounds, r.totals.rounds);
+  EXPECT_EQ(msgs, r.totals.congest_messages);
+}
+
+TEST(LeaderElection, WideMessagesReduceMessageCount) {
+  // Lemma 12, second regime: O(log^3 n) links collapse the fragmentation.
+  const Graph g = make_clique(128);
+  ElectionParams narrow = params_with_seed(6);
+  ElectionParams wide = params_with_seed(6);
+  wide.wide_messages = true;
+  const ElectionResult rn = run_leader_election(g, narrow);
+  const ElectionResult rw = run_leader_election(g, wide);
+  ASSERT_TRUE(rn.success());
+  ASSERT_TRUE(rw.success());
+  EXPECT_LT(rw.totals.congest_messages, rn.totals.congest_messages);
+  EXPECT_LE(rw.totals.rounds, rn.totals.rounds);
+}
+
+TEST(LeaderElection, SublinearInEdgesOnClique) {
+  // Theorem 13's headline: on constant-conductance graphs message cost is
+  // O~(sqrt(n)) — asymptotically far below m = Theta(n^2). At simulable n
+  // the polylog constants still dominate, so we check the crossover: the
+  // messages/m ratio must fall steeply and drop below 1 by n = 1024.
+  const Graph small = make_clique(256);
+  const Graph large = make_clique(1024);
+  const ElectionResult rs = run_leader_election(small, params_with_seed(7));
+  const ElectionResult rl = run_leader_election(large, params_with_seed(7));
+  ASSERT_TRUE(rs.success());
+  ASSERT_TRUE(rl.success());
+  const double ratio_small = double(rs.totals.congest_messages) /
+                             double(small.edge_count());
+  const double ratio_large = double(rl.totals.congest_messages) /
+                             double(large.edge_count());
+  EXPECT_LT(ratio_large, 1.0);
+  EXPECT_LT(ratio_large, ratio_small / 2.0);
+}
+
+TEST(LeaderElection, HigherC2GivesMoreWalksAndMessages) {
+  const Graph g = make_clique(64);
+  ElectionParams small_c2 = params_with_seed(8);
+  small_c2.c2 = 2.0;
+  ElectionParams big_c2 = params_with_seed(8);
+  big_c2.c2 = 4.0;
+  const ElectionResult rs = run_leader_election(g, small_c2);
+  const ElectionResult rb = run_leader_election(g, big_c2);
+  EXPECT_LT(rs.totals.congest_messages, rb.totals.congest_messages);
+}
+
+TEST(LeaderElection, ThrowsOnBadInput) {
+  EXPECT_THROW(run_leader_election(Graph::from_edges(4, {{0, 1}, {2, 3}}),
+                                   params_with_seed(1)),
+               std::invalid_argument);  // disconnected
+}
+
+TEST(LeaderElection, ParamsDerivedQuantities) {
+  ElectionParams p;
+  p.c1 = 4.0;
+  p.c2 = 2.0;
+  EXPECT_DOUBLE_EQ(p.log2_n(1024), 10.0);
+  EXPECT_DOUBLE_EQ(p.contender_probability(1024), 4.0 * 10.0 / 1024.0);
+  EXPECT_EQ(p.walk_count(1024),
+            static_cast<std::uint64_t>(std::ceil(2.0 * std::sqrt(10240.0))));
+  // Intersection threshold: paper's ceil(0.75*c1*log n) capped at the
+  // 3-sigma lower binomial quantile of the contender count.
+  {
+    const double mu = 4.0 * 10.0;
+    const double sigma = std::sqrt(mu * (1.0 - 40.0 / 1024.0));
+    const double expect =
+        std::max(1.0, std::min(std::ceil(0.75 * mu),
+                               std::floor(mu - 3.0 * sigma) - 1.0));
+    EXPECT_EQ(p.intersection_threshold(1024),
+              static_cast<std::uint64_t>(expect));
+    EXPECT_LE(p.intersection_threshold(1024), 30u);
+  }
+  // Finite-size distinctness threshold: half the expected distinct proxies.
+  const double w = static_cast<double>(p.walk_count(1024));
+  const std::uint64_t expect_distinct = static_cast<std::uint64_t>(
+      std::ceil(0.5 * w * std::pow(1.0 - 1.0 / 1024.0, w - 1.0)));
+  EXPECT_EQ(p.distinct_threshold(1024), expect_distinct);
+  EXPECT_LT(p.distinct_threshold(1024), p.walk_count(1024) / 2 + 1);
+  EXPECT_GT(p.scheduled_T(1024, 16), 16u * 100u);  // (25/16)*4*16*100
+  EXPECT_EQ(p.id_space(10), 10000u);
+}
+
+TEST(LeaderElection, SmallRingStillElects) {
+  // Poorly connected but tiny: guess-and-double must push past tmix ~ n^2.
+  const Graph g = make_ring(24);
+  int ok = 0;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    const ElectionResult r = run_leader_election(g, params_with_seed(s));
+    if (r.success()) ++ok;
+    EXPECT_LE(r.leaders.size(), 1u);
+  }
+  EXPECT_GE(ok, 4);
+}
+
+TEST(LeaderElection, NoContendersMeansNoLeader) {
+  // c1 = 0 forces zero contenders; the algorithm reports a failed election
+  // rather than crashing (the paper's n^{-c1} failure mode).
+  const Graph g = make_clique(32);
+  ElectionParams p = params_with_seed(1);
+  p.c1 = 0.0;
+  const ElectionResult r = run_leader_election(g, p);
+  EXPECT_TRUE(r.leaders.empty());
+  EXPECT_TRUE(r.contenders.empty());
+  EXPECT_FALSE(r.success());
+}
+
+}  // namespace
+}  // namespace wcle

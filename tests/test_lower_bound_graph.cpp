@@ -1,0 +1,123 @@
+#include "wcle/graph/lower_bound_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "wcle/graph/spectral.hpp"
+
+namespace wcle {
+namespace {
+
+LowerBoundGraph build(NodeId n, double alpha, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return make_lower_bound_graph(n, alpha, rng);
+}
+
+TEST(LowerBoundGraph, SizesMatchConstruction) {
+  const LowerBoundGraph lb = build(1000, 0.004);
+  EXPECT_EQ(lb.graph.node_count(), lb.num_cliques * lb.clique_size);
+  EXPECT_GE(lb.clique_size, 5u);
+  EXPECT_GE(lb.num_cliques, 5u);
+  // eps = log(1/alpha) / (2 log n)
+  const double eps = std::log(1.0 / 0.004) / (2.0 * std::log(1000.0));
+  EXPECT_NEAR(lb.epsilon, eps, 1e-12);
+  EXPECT_EQ(lb.clique_size,
+            static_cast<NodeId>(std::ceil(std::pow(1000.0, eps))));
+}
+
+TEST(LowerBoundGraph, SupernodeGraphIsFourRegular) {
+  const LowerBoundGraph lb = build(2000, 0.003);
+  const Graph& gs = lb.supernode_graph;
+  EXPECT_EQ(gs.node_count(), lb.num_cliques);
+  for (NodeId s = 0; s < gs.node_count(); ++s) EXPECT_EQ(gs.degree(s), 4u);
+  EXPECT_TRUE(gs.is_connected());
+}
+
+TEST(LowerBoundGraph, UniformDegrees) {
+  // Figure 2's surgery: every node ends with degree exactly s-1
+  // (internal: clique degree; external: clique degree - removed + inter).
+  const LowerBoundGraph lb = build(1500, 0.004);
+  const std::uint32_t expect = lb.clique_size - 1;
+  for (NodeId v = 0; v < lb.graph.node_count(); ++v)
+    ASSERT_EQ(lb.graph.degree(v), expect) << "node " << v;
+}
+
+TEST(LowerBoundGraph, ExactlyFourExternalNodesPerClique) {
+  const LowerBoundGraph lb = build(1200, 0.005);
+  std::vector<int> externals(lb.num_cliques, 0);
+  for (const Edge& e : lb.inter_clique_edges) {
+    EXPECT_NE(lb.clique_of[e.a], lb.clique_of[e.b]);
+    ++externals[lb.clique_of[e.a]];
+    ++externals[lb.clique_of[e.b]];
+  }
+  for (const int count : externals) EXPECT_EQ(count, 4);
+  EXPECT_EQ(lb.inter_clique_edges.size(), 2u * lb.num_cliques);
+}
+
+TEST(LowerBoundGraph, InterCliqueEdgesMirrorSupernodeEdges) {
+  const LowerBoundGraph lb = build(1000, 0.005);
+  std::multiset<std::pair<NodeId, NodeId>> from_gs, from_g;
+  for (const Edge& e : lb.supernode_graph.edges())
+    from_gs.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  for (const Edge& e : lb.inter_clique_edges) {
+    const NodeId ca = lb.clique_of[e.a], cb = lb.clique_of[e.b];
+    from_g.insert({std::min(ca, cb), std::max(ca, cb)});
+  }
+  EXPECT_EQ(from_gs, from_g);
+}
+
+TEST(LowerBoundGraph, Connected) {
+  EXPECT_TRUE(build(800, 0.006).graph.is_connected());
+}
+
+TEST(LowerBoundGraph, Lemma16ConductanceScalesWithAlpha) {
+  // phi(G) = Theta(alpha): the sweep-cut upper bound and the Cheeger lower
+  // bound must both track alpha within constant factors.
+  for (const double alpha : {0.0015, 0.003, 0.006}) {
+    const LowerBoundGraph lb = build(1500, alpha, 11);
+    const double sweep = conductance_sweep(lb.graph);
+    const CheegerBounds cb = cheeger_bounds(spectral_gap(lb.graph, 3000));
+    EXPECT_GT(sweep, alpha / 8.0) << "alpha=" << alpha;
+    EXPECT_LT(sweep, alpha * 8.0) << "alpha=" << alpha;
+    EXPECT_LT(cb.lower, alpha * 8.0) << "alpha=" << alpha;
+  }
+}
+
+TEST(LowerBoundGraph, OptimalCutAvoidsCliques) {
+  // Claim 17: the sweep-optimal cut uses only inter-clique edges, i.e. the
+  // cut that groups whole cliques beats any clique-splitting cut. Verify the
+  // analytically best whole-clique cut is at most the in-clique sweep value.
+  const LowerBoundGraph lb = build(1000, 0.005, 13);
+  // Cut on a single clique boundary: 4 inter-clique edges cut.
+  std::vector<char> in_s(lb.graph.node_count(), 0);
+  for (NodeId v = 0; v < lb.graph.node_count(); ++v)
+    if (lb.clique_of[v] == 0) in_s[v] = 1;
+  const double whole_clique_cut = cut_conductance(lb.graph, in_s);
+  // Same volume but splitting a clique in half instead.
+  std::vector<char> split(lb.graph.node_count(), 0);
+  for (NodeId v = 0; v < lb.clique_size / 2; ++v) split[v] = 1;
+  for (NodeId v = lb.clique_size; v < lb.clique_size + lb.clique_size / 2; ++v)
+    split[v] = 1;
+  const double split_cut = cut_conductance(lb.graph, split);
+  EXPECT_LT(whole_clique_cut, split_cut);
+}
+
+TEST(LowerBoundGraph, RejectsOutOfRangeAlpha) {
+  Rng rng(1);
+  EXPECT_THROW(make_lower_bound_graph(1000, 1e-7, rng),
+               std::invalid_argument);  // alpha <= 1/n^2
+  EXPECT_THROW(make_lower_bound_graph(1000, 0.5, rng),
+               std::invalid_argument);  // alpha >= 1/144
+  EXPECT_THROW(make_lower_bound_graph(10, 0.004, rng), std::invalid_argument);
+}
+
+TEST(LowerBoundGraph, CliqueOfIsConsistent) {
+  const LowerBoundGraph lb = build(900, 0.006);
+  for (NodeId v = 0; v < lb.graph.node_count(); ++v)
+    EXPECT_EQ(lb.clique_of[v], v / lb.clique_size);
+}
+
+}  // namespace
+}  // namespace wcle

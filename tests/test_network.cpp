@@ -1,0 +1,180 @@
+#include "wcle/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+Message small_msg(std::uint8_t tag = 1, std::uint32_t bits = 8) {
+  Message m;
+  m.tag = tag;
+  m.bits = bits;
+  return m;
+}
+
+TEST(Network, SingleHopDelivery) {
+  const Graph g = make_path(2);
+  Network net(g, {32});
+  Message m = small_msg(3, 16);
+  m.a = 42;
+  net.send(0, 0, m);
+  EXPECT_FALSE(net.idle());
+  const auto& d = net.step();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].dst, 1u);
+  EXPECT_EQ(d[0].msg.a, 42u);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.metrics().rounds, 1u);
+  EXPECT_EQ(net.metrics().congest_messages, 1u);
+  EXPECT_EQ(net.metrics().logical_messages, 1u);
+}
+
+TEST(Network, ArrivalPortIsReceiversPort) {
+  Rng rng(3);
+  const Graph g = make_torus(4, 4, &rng);
+  Network net(g, {64});
+  // Send over every directed edge once; check arrival port mirrors.
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (Port p = 0; p < g.degree(u); ++p) {
+      Message m = small_msg();
+      m.a = (static_cast<std::uint64_t>(u) << 32) | p;
+      net.send(u, p, m);
+    }
+  const auto& d = net.step();
+  ASSERT_EQ(d.size(), 2 * g.edge_count());
+  for (const Delivery& del : d) {
+    const NodeId from = static_cast<NodeId>(del.msg.a >> 32);
+    const Port from_port = static_cast<Port>(del.msg.a & 0xffffffffu);
+    EXPECT_EQ(g.neighbor(del.dst, del.port), from);
+    EXPECT_EQ(g.mirror_port(from, from_port), del.port);
+  }
+}
+
+TEST(Network, FragmentationDelaysLargeMessages) {
+  const Graph g = make_path(2);
+  Network net(g, {10});
+  net.send(0, 0, small_msg(1, 35));  // ceil(35/10) = 4 quanta
+  EXPECT_EQ(net.step().size(), 0u);
+  EXPECT_EQ(net.step().size(), 0u);
+  EXPECT_EQ(net.step().size(), 0u);
+  EXPECT_EQ(net.step().size(), 1u);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.metrics().congest_messages, 4u);
+  EXPECT_EQ(net.metrics().total_bits, 35u);
+}
+
+TEST(Network, FifoOrderPerLane) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Message m = small_msg(1, 8);
+    m.a = i;
+    net.send(0, 0, m);
+  }
+  std::vector<std::uint64_t> got;
+  net.run_until_idle([&](const Delivery& d) { got.push_back(d.msg.a); });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Network, OnePerRoundPerLaneCongestion) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  for (int i = 0; i < 5; ++i) net.send(0, 0, small_msg(1, 8));
+  std::uint64_t deliveries = 0, rounds = 0;
+  while (!net.idle()) {
+    deliveries += net.step().size();
+    ++rounds;
+  }
+  EXPECT_EQ(deliveries, 5u);
+  EXPECT_EQ(rounds, 5u);  // exactly one B-bit quantum per round
+  EXPECT_EQ(net.metrics().max_edge_backlog, 5u);
+}
+
+TEST(Network, OppositeDirectionsDontContend) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  net.send(0, 0, small_msg());
+  net.send(1, 0, small_msg());
+  EXPECT_EQ(net.step().size(), 2u);  // both delivered in the same round
+}
+
+TEST(Network, DistinctLanesServeInParallel) {
+  const Graph g = make_clique(4);
+  Network net(g, {8});
+  for (Port p = 0; p < 3; ++p) net.send(0, p, small_msg());
+  EXPECT_EQ(net.step().size(), 3u);
+}
+
+TEST(Network, RunUntilIdleRespectsMaxRounds) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  for (int i = 0; i < 10; ++i) net.send(0, 0, small_msg(1, 8));
+  const std::uint64_t used =
+      net.run_until_idle([](const Delivery&) {}, 3);
+  EXPECT_EQ(used, 3u);
+  EXPECT_FALSE(net.idle());
+}
+
+TEST(Network, TagMetricsBreakdown) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  net.send(0, 0, small_msg(5, 8));
+  net.send(0, 0, small_msg(6, 16));
+  net.run_until_idle([](const Delivery&) {});
+  EXPECT_EQ(net.metrics().congest_messages_by_tag[5], 1u);
+  EXPECT_EQ(net.metrics().congest_messages_by_tag[6], 2u);
+}
+
+TEST(Network, MetricsSinceDiffs) {
+  const Graph g = make_path(2);
+  Network net(g, {8});
+  net.send(0, 0, small_msg());
+  net.run_until_idle([](const Delivery&) {});
+  const Metrics snap = net.metrics();
+  net.send(0, 0, small_msg());
+  net.send(0, 0, small_msg());
+  net.run_until_idle([](const Delivery&) {});
+  const Metrics delta = net.metrics().since(snap);
+  EXPECT_EQ(delta.congest_messages, 2u);
+  EXPECT_EQ(delta.logical_messages, 2u);
+}
+
+TEST(Network, StandardConfigScalesWithLogN) {
+  EXPECT_GT(CongestConfig::standard(1u << 16).bandwidth_bits,
+            CongestConfig::standard(1u << 4).bandwidth_bits);
+  EXPECT_GT(CongestConfig::wide(1024).bandwidth_bits,
+            CongestConfig::standard(1024).bandwidth_bits);
+}
+
+TEST(Network, RejectsZeroBandwidth) {
+  const Graph g = make_path(2);
+  EXPECT_THROW(Network(g, {0}), std::invalid_argument);
+}
+
+TEST(Network, RelayChainTakesOneRoundPerHop) {
+  const Graph g = make_path(4);
+  Network net(g, {32});
+  net.send(0, 0, small_msg());
+  std::uint64_t rounds = 0;
+  bool done = false;
+  while (!done && rounds < 10) {
+    const auto& d = net.step();
+    ++rounds;
+    for (const Delivery& del : d) {
+      if (del.dst == 3) {
+        done = true;
+      } else {
+        // forward to the "other" port (port-numbering-only routing)
+        const Port out = (g.degree(del.dst) == 1) ? 0 : 1 - del.port;
+        net.send(del.dst, out, small_msg());
+      }
+    }
+  }
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rounds, 3u);
+}
+
+}  // namespace
+}  // namespace wcle

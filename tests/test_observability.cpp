@@ -1,0 +1,91 @@
+// Observability invariants: the per-tag CONGEST message breakdown must
+// partition the totals, and each protocol stage must show up under the tags
+// the walk engine owns — this is what makes the bench cost attributions
+// trustworthy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/rw/walk_engine.hpp"
+#include "wcle/sim/network.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Observability, TagBreakdownPartitionsTotals) {
+  const Graph g = make_hypercube(6);
+  ElectionParams p;
+  p.seed = 21;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  const std::uint64_t tag_sum =
+      std::accumulate(r.totals.congest_messages_by_tag.begin(),
+                      r.totals.congest_messages_by_tag.end(), std::uint64_t{0});
+  EXPECT_EQ(tag_sum, r.totals.congest_messages);
+}
+
+TEST(Observability, ElectionUsesExactlyTheWalkEngineTags) {
+  const Graph g = make_clique(64);
+  ElectionParams p;
+  p.seed = 22;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  const auto& by_tag = r.totals.congest_messages_by_tag;
+  // All four engine tags must be exercised by a successful election...
+  EXPECT_GT(by_tag[kTagWalkToken], 0u);
+  EXPECT_GT(by_tag[kTagReplyUp], 0u);
+  EXPECT_GT(by_tag[kTagFloodDown], 0u);
+  EXPECT_GT(by_tag[kTagUnicastUp], 0u);  // winner notifications to contenders
+  // ...and nothing else may appear.
+  for (std::size_t tag = 0; tag < by_tag.size(); ++tag) {
+    if (WalkEngine::owns_tag(static_cast<std::uint8_t>(tag))) continue;
+    EXPECT_EQ(by_tag[tag], 0u) << "unexpected tag " << tag;
+  }
+}
+
+TEST(Observability, WalkTokensDominateReplyCostOnLowFanout) {
+  // Rounds 1-3 retrace the trails, so reply+flood cost is within a small
+  // multiple of the forward walk cost (the Lemma 12 accounting).
+  const Graph g = make_torus(8, 8);
+  ElectionParams p;
+  p.seed = 23;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  const auto& by_tag = r.totals.congest_messages_by_tag;
+  const std::uint64_t walk = by_tag[kTagWalkToken];
+  const std::uint64_t exchanges =
+      by_tag[kTagReplyUp] + by_tag[kTagFloodDown] + by_tag[kTagUnicastUp];
+  EXPECT_GT(walk, 0u);
+  // Each phase retraces the trails ~4x (R1, R2, R3, winner), each message
+  // fragmenting into O(log n) quanta for its id payload: exchanges stay
+  // within 4 * O(log n) of the walk bill (here log2(64) = 6, measured ~21x).
+  EXPECT_LT(exchanges, walk * 4 * 12);
+}
+
+TEST(Observability, PhaseMetricsRoundsArePositive) {
+  const Graph g = make_hypercube(6);
+  ElectionParams p;
+  p.seed = 24;
+  const ElectionResult r = run_leader_election(g, p);
+  for (const PhaseStats& ps : r.phase_stats) {
+    EXPECT_GT(ps.metrics.rounds, 0u);
+    EXPECT_GT(ps.metrics.congest_messages, 0u);
+    EXPECT_GE(ps.metrics.congest_messages, ps.metrics.logical_messages);
+  }
+}
+
+TEST(Observability, BacklogReflectsCongestion) {
+  // A clique election funnels many origins' tokens over shared lanes:
+  // max_edge_backlog must register the queueing Lemma 12 pads for.
+  const Graph g = make_clique(128);
+  ElectionParams p;
+  p.seed = 25;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  EXPECT_GT(r.totals.max_edge_backlog, 1u);
+}
+
+}  // namespace
+}  // namespace wcle

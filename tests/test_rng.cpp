@@ -1,0 +1,163 @@
+#include "wcle/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace wcle {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++hist[rng.next_below(kBuckets)];
+  const double expected = kSamples / static_cast<double>(kBuckets);
+  for (int h : hist) EXPECT_NEAR(h, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+    EXPECT_FALSE(rng.next_bool(-0.5));
+    EXPECT_TRUE(rng.next_bool(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMeanMatchesP) {
+  Rng rng(23);
+  const double p = 0.3;
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(p);
+  EXPECT_NEAR(hits / static_cast<double>(trials), p, 0.01);
+}
+
+TEST(Rng, BinomialBoundaryCases) {
+  Rng rng(29);
+  EXPECT_EQ(rng.next_binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.next_binomial(100, 1.0), 100u);
+}
+
+class RngBinomialParam
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(RngBinomialParam, MeanAndRangeMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(31 + n);
+  const int trials = 4000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t k = rng.next_binomial(n, p);
+    ASSERT_LE(k, n);
+    sum += static_cast<double>(k);
+  }
+  const double mean = sum / trials;
+  const double expect = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(expect * (1 - p));
+  EXPECT_NEAR(mean, expect, 5 * sigma / std::sqrt(trials) + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RngBinomialParam,
+    ::testing::Values(std::pair<std::uint64_t, double>{1, 0.5},
+                      std::pair<std::uint64_t, double>{10, 0.5},
+                      std::pair<std::uint64_t, double>{10, 0.05},
+                      std::pair<std::uint64_t, double>{100, 0.9},
+                      std::pair<std::uint64_t, double>{1000, 0.5},
+                      std::pair<std::uint64_t, double>{100000, 0.125},
+                      std::pair<std::uint64_t, double>{1000000, 0.01}));
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(101);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (child1.next() == child2.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleIsUnbiasedOnFirstPosition) {
+  Rng rng(41);
+  std::vector<int> counts(5, 0);
+  for (int t = 0; t < 50000; ++t) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    rng.shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+  EXPECT_NE(splitmix64(s2), first);  // state advanced
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,75 @@
+// Paper-schedule execution mode: padding every sub-phase to the full
+// T = (25/16) c1 t_u log^2 n must reproduce the paper's literal clock without
+// changing a single message.
+#include <gtest/gtest.h>
+
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(PaperSchedule, RoundsEqualScheduleMessagesUnchanged) {
+  const Graph g = make_clique(96);
+  ElectionParams quiesce;
+  quiesce.seed = 11;
+  ElectionParams lockstep = quiesce;
+  lockstep.paper_schedule = true;
+
+  const ElectionResult rq = run_leader_election(g, quiesce);
+  const ElectionResult rl = run_leader_election(g, lockstep);
+
+  // Same randomness, same protocol: identical outcome and message bill.
+  EXPECT_EQ(rq.leaders, rl.leaders);
+  EXPECT_EQ(rq.contenders, rl.contenders);
+  EXPECT_EQ(rq.totals.congest_messages, rl.totals.congest_messages);
+  EXPECT_EQ(rq.totals.total_bits, rl.totals.total_bits);
+  EXPECT_EQ(rq.phases, rl.phases);
+
+  // The lockstep clock runs the full schedule; quiescence runs inside it.
+  EXPECT_EQ(rl.totals.rounds, rl.scheduled_rounds);
+  EXPECT_LT(rq.totals.rounds, rl.totals.rounds);
+}
+
+TEST(PaperSchedule, HoldsAcrossFamilies) {
+  Rng grng(13);
+  for (const Graph& g : {make_hypercube(6), make_torus(8, 8),
+                         make_random_regular(100, 6, grng)}) {
+    ElectionParams p;
+    p.seed = 17;
+    p.paper_schedule = true;
+    const ElectionResult r = run_leader_election(g, p);
+    EXPECT_EQ(r.totals.rounds, r.scheduled_rounds) << g.describe();
+    EXPECT_TRUE(r.success()) << g.describe();
+  }
+}
+
+TEST(Metrics, AccumulationOperator) {
+  Metrics a, b;
+  a.rounds = 10;
+  a.congest_messages = 5;
+  a.max_edge_backlog = 3;
+  a.congest_messages_by_tag[7] = 5;
+  b.rounds = 2;
+  b.congest_messages = 1;
+  b.max_edge_backlog = 9;
+  b.congest_messages_by_tag[7] = 1;
+  a += b;
+  EXPECT_EQ(a.rounds, 12u);
+  EXPECT_EQ(a.congest_messages, 6u);
+  EXPECT_EQ(a.max_edge_backlog, 9u);
+  EXPECT_EQ(a.congest_messages_by_tag[7], 6u);
+}
+
+TEST(Metrics, SummaryMentionsCounters) {
+  Metrics m;
+  m.rounds = 3;
+  m.congest_messages = 4;
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("rounds=3"), std::string::npos);
+  EXPECT_NE(s.find("congest_msgs=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,158 @@
+#include "wcle/graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Spectral, LazyWalkStepConservesMass) {
+  const Graph g = make_torus(4, 4);
+  std::vector<double> pi(g.node_count(), 0.0), next;
+  pi[3] = 1.0;
+  for (int t = 0; t < 10; ++t) {
+    lazy_walk_step(g, pi, next);
+    pi.swap(next);
+    const double mass = std::accumulate(pi.begin(), pi.end(), 0.0);
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+  }
+}
+
+TEST(Spectral, StationaryIsFixedPoint) {
+  Rng rng(7);
+  const Graph g = make_connected_gnp(30, 0.2, rng);
+  const std::vector<double> pi = stationary_distribution(g);
+  std::vector<double> next;
+  lazy_walk_step(g, pi, next);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_NEAR(next[v], pi[v], 1e-12);
+}
+
+TEST(Spectral, StationarySumsToOne) {
+  const Graph g = make_barbell(6);
+  const std::vector<double> pi = stationary_distribution(g);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Spectral, MixingTimeCliqueIsTiny) {
+  const Graph g = make_clique(64);
+  EXPECT_LE(mixing_time_exact(g, 1000), 8u);
+}
+
+TEST(Spectral, MixingTimeOrdering) {
+  // Conductance ordering ring < torus < hypercube < clique must be reflected
+  // in mixing times (equation (1) of the paper).
+  const std::uint64_t ring = mixing_time_exact(make_ring(64), 1u << 20);
+  const std::uint64_t torus = mixing_time_exact(make_torus(8, 8), 1u << 20);
+  const std::uint64_t cube = mixing_time_exact(make_hypercube(6), 1u << 20);
+  const std::uint64_t clique = mixing_time_exact(make_clique(64), 1u << 20);
+  EXPECT_GT(ring, torus);
+  EXPECT_GT(torus, cube);
+  EXPECT_GE(cube, clique);
+}
+
+TEST(Spectral, MixingTimeRingScalesQuadratically) {
+  const std::uint64_t t1 = mixing_time_exact(make_ring(16), 1u << 20);
+  const std::uint64_t t2 = mixing_time_exact(make_ring(32), 1u << 20);
+  const double ratio = static_cast<double>(t2) / static_cast<double>(t1);
+  EXPECT_GT(ratio, 2.8);  // ~4x for doubling n
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Spectral, MixingTimeEstimateLowerBoundsExact) {
+  Rng rng(11);
+  const Graph g = make_torus(6, 6);
+  const std::uint64_t exact = mixing_time_exact(g, 1u << 20);
+  Rng sample_rng(13);
+  const std::uint64_t est = mixing_time_estimate(g, 4, sample_rng, 1u << 20);
+  EXPECT_LE(est, exact);
+  // Vertex-transitive graph: every start is worst-case, so it's tight.
+  EXPECT_EQ(est, exact);
+}
+
+TEST(Spectral, MixingTimeFromReturnsSentinelWhenCapped) {
+  const Graph g = make_ring(128);
+  const std::uint64_t capped = mixing_time_from(g, 0, 1e-9, 5);
+  EXPECT_EQ(capped, 6u);  // max_t + 1
+}
+
+TEST(Spectral, SpectralGapCliqueLarge) {
+  EXPECT_GT(spectral_gap(make_clique(32)), 0.4);
+}
+
+TEST(Spectral, SpectralGapRingSmall) {
+  EXPECT_LT(spectral_gap(make_ring(64)), 0.01);
+}
+
+TEST(Spectral, CheegerBoundsSandwichTrueConductance) {
+  // Exact conductance via enumeration on small graphs must lie within the
+  // Cheeger bounds derived from the lazy spectral gap.
+  for (const Graph& g :
+       {make_ring(12), make_clique(10), make_barbell(6), make_torus(3, 4)}) {
+    const double phi = conductance_exact(g);
+    const CheegerBounds cb = cheeger_bounds(spectral_gap(g, 4000));
+    EXPECT_LE(cb.lower, phi * 1.0001) << g.describe();
+    EXPECT_GE(cb.upper, phi * 0.9999) << g.describe();
+  }
+}
+
+TEST(Spectral, ConductanceExactKnownValues) {
+  // Ring of n: best cut halves it: 2 cut edges / volume n.
+  const double phi_ring = conductance_exact(make_ring(12));
+  EXPECT_NEAR(phi_ring, 2.0 / 12.0, 1e-9);
+  // Barbell of k=6: 1 bridge edge / min-side volume (6*5+1).
+  const double phi_barbell = conductance_exact(make_barbell(6));
+  EXPECT_NEAR(phi_barbell, 1.0 / 31.0, 1e-9);
+}
+
+TEST(Spectral, ConductanceExactRejectsLarge) {
+  EXPECT_THROW(conductance_exact(make_ring(30)), std::invalid_argument);
+}
+
+TEST(Spectral, SweepUpperBoundsExact) {
+  for (const Graph& g :
+       {make_ring(16), make_barbell(6), make_torus(4, 4), make_clique(12)}) {
+    const double exact = conductance_exact(g);
+    const double sweep = conductance_sweep(g);
+    EXPECT_GE(sweep, exact * 0.9999) << g.describe();
+  }
+}
+
+TEST(Spectral, SweepFindsBarbellBottleneck) {
+  // The sweep cut should find the barbell's bridge exactly.
+  const Graph g = make_barbell(8);
+  EXPECT_NEAR(conductance_sweep(g), conductance_exact(g), 1e-9);
+}
+
+TEST(Spectral, CutConductanceTrivialCutIsInfinite) {
+  const Graph g = make_ring(6);
+  std::vector<char> none(6, 0);
+  EXPECT_TRUE(std::isinf(cut_conductance(g, none)));
+}
+
+TEST(Spectral, CutConductanceHandComputed) {
+  // Path 0-1-2-3; S={0,1}: cut=1, vol(S)=1+2=3, vol(V\S)=3 -> phi=1/3.
+  const Graph g = make_path(4);
+  std::vector<char> s{1, 1, 0, 0};
+  EXPECT_NEAR(cut_conductance(g, s), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Spectral, EquationOneRelation) {
+  // Theta(1/phi) <= tmix <= Theta(1/phi^2), checked with generous constants.
+  for (const Graph& g : {make_ring(32), make_torus(6, 6), make_clique(24)}) {
+    const double phi = g.node_count() <= 24 ? conductance_exact(g)
+                                            : conductance_sweep(g);
+    const double tmix =
+        static_cast<double>(mixing_time_exact(g, 1u << 22));
+    EXPECT_GE(tmix, 0.05 / phi) << g.describe();
+    const double logn = std::log2(static_cast<double>(g.node_count()));
+    EXPECT_LE(tmix, 40.0 * logn / (phi * phi)) << g.describe();
+  }
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,133 @@
+#include "wcle/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wcle/support/bits.hpp"
+#include "wcle/support/table.hpp"
+
+#include <sstream>
+
+namespace wcle {
+namespace {
+
+TEST(Summary, EmptyInputIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, KnownValues) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, OddCountMedian) {
+  const Summary s = summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(LineFit, PerfectLine) {
+  const LineFit f = fit_line({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LineFit, DegenerateInputs) {
+  EXPECT_EQ(fit_line({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_line({1.0}, {2.0}).slope, 0.0);
+  EXPECT_EQ(fit_line({1.0, 1.0}, {2.0, 3.0}).slope, 0.0);  // vertical
+}
+
+TEST(PowerLaw, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 1024; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.5));
+  }
+  const LineFit f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-9);
+}
+
+TEST(PowerLaw, SkipsNonPositive) {
+  const LineFit f = fit_power_law({-1, 0, 2, 4, 8}, {1, 1, 4, 16, 64});
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+}
+
+TEST(Quantile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(2047), 10u);
+}
+
+TEST(Bits, IdBitsMatchesFourLogN) {
+  EXPECT_EQ(id_bits(1024), 40u);
+  EXPECT_EQ(id_bits(2), 4u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t({"n", "messages"});
+  t.add_row({"100", "2345"});
+  t.add_row({"200", "5678"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("messages"), std::string::npos);
+  EXPECT_NE(os.str().find("5678"), std::string::npos);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("100,2345"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(0.0), "0");
+  EXPECT_NE(Table::num(1.0e9).find("e"), std::string::npos);
+  EXPECT_EQ(Table::num(12.5), "12.5");
+}
+
+}  // namespace
+}  // namespace wcle

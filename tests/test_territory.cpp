@@ -1,0 +1,105 @@
+// Territory-growing DFS election ([24]'s O(m)-message / slow-time regime).
+#include <gtest/gtest.h>
+
+#include "wcle/baselines/territory_election.hpp"
+#include "wcle/core/leader_election.hpp"
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Territory, ElectsUniqueLeaderAcrossFamilies) {
+  Rng grng(31);
+  for (const Graph& g : {make_clique(64), make_torus(8, 8), make_ring(48),
+                         make_hypercube(6),
+                         make_random_regular(100, 6, grng)}) {
+    ElectionParams p;
+    p.seed = 5;
+    const TerritoryElectionResult r = run_territory_election(g, p);
+    EXPECT_EQ(r.leaders.size(), 1u) << g.describe();
+  }
+}
+
+TEST(Territory, LeaderIsTheMaxIdCandidate) {
+  // The strongest token can never die, and weaker tokens can never complete
+  // the census (the strongest candidate's own node blocks them).
+  const Graph g = make_torus(10, 10);
+  ElectionParams p;
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    p.seed = s;
+    const TerritoryElectionResult r = run_territory_election(g, p);
+    ASSERT_EQ(r.leaders.size(), 1u) << "seed " << s;
+    EXPECT_NE(std::find(r.candidates.begin(), r.candidates.end(),
+                        r.leaders[0]),
+              r.candidates.end());
+  }
+}
+
+TEST(Territory, MessagesAreOrderMNotMTimesCandidates) {
+  // Weak tokens die early: total logical messages stay within a small
+  // multiple of 2m (each edge twice for the winner, plus dying prefixes),
+  // far below candidates * 2m.
+  const Graph g = make_hypercube(7);  // m = 448
+  ElectionParams p;
+  p.seed = 3;
+  const TerritoryElectionResult r = run_territory_election(g, p);
+  ASSERT_TRUE(r.success());
+  ASSERT_GE(r.candidates.size(), 3u);
+  EXPECT_GE(r.totals.logical_messages, 2 * g.edge_count());
+  EXPECT_LT(r.totals.logical_messages,
+            r.candidates.size() * 2 * g.edge_count());
+}
+
+TEST(Territory, TimeIsThetaM) {
+  // The sequential token makes rounds scale with m — the "arbitrary (albeit
+  // finite) time" cost [24] accepts and the paper's algorithm avoids.
+  const Graph small = make_clique(32);   // m = 496
+  const Graph large = make_clique(64);   // m = 2016
+  ElectionParams p;
+  p.seed = 7;
+  const TerritoryElectionResult rs = run_territory_election(small, p);
+  const TerritoryElectionResult rl = run_territory_election(large, p);
+  ASSERT_TRUE(rs.success());
+  ASSERT_TRUE(rl.success());
+  EXPECT_GE(rs.rounds, small.edge_count());
+  EXPECT_GE(rl.rounds, large.edge_count());
+  EXPECT_GT(rl.rounds, 2 * rs.rounds);
+}
+
+TEST(Territory, SlowerButLeanerThanPaperOnSparseGraphs) {
+  // The tradeoff the paper stakes out: on sparse graphs territory-DFS spends
+  // fewer messages (O(m)) but vastly more time than the O~(tmix) algorithm.
+  Rng grng(41);
+  const Graph g = make_random_regular(256, 6, grng);
+  ElectionParams p;
+  p.seed = 9;
+  const TerritoryElectionResult dfs = run_territory_election(g, p);
+  const ElectionResult ours = run_leader_election(g, p);
+  ASSERT_TRUE(dfs.success());
+  ASSERT_TRUE(ours.success());
+  EXPECT_LT(dfs.totals.congest_messages, ours.totals.congest_messages);
+  EXPECT_GT(dfs.rounds, ours.totals.rounds / 4);
+}
+
+TEST(Territory, NoCandidatesNoLeader) {
+  ElectionParams p;
+  p.c1 = 0.0;
+  const TerritoryElectionResult r =
+      run_territory_election(make_clique(16), p);
+  EXPECT_TRUE(r.candidates.empty());
+  EXPECT_TRUE(r.leaders.empty());
+}
+
+TEST(Territory, DeterministicInSeed) {
+  const Graph g = make_torus(6, 6);
+  ElectionParams p;
+  p.seed = 13;
+  const TerritoryElectionResult a = run_territory_election(g, p);
+  const TerritoryElectionResult b = run_territory_election(g, p);
+  EXPECT_EQ(a.leaders, b.leaders);
+  EXPECT_EQ(a.totals.congest_messages, b.totals.congest_messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace wcle
