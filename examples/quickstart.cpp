@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "wcle/analysis/experiment.hpp"
+#include "wcle/api/registry.hpp"
+#include "wcle/api/trials.hpp"
 #include "wcle/core/leader_election.hpp"
 #include "wcle/graph/generators.hpp"
 
@@ -50,5 +52,18 @@ int main(int argc, char** argv) {
             << "Theorem 13 envelopes: "
             << theorem13_message_envelope(n, profile.tmix) << " messages, "
             << theorem13_time_envelope(n, profile.tmix) << " rounds\n";
+
+  // 4. The same election through the unified registry API — the surface the
+  // CLI, the trial engine, and every baseline share (`wcle_cli list`).
+  const Algorithm& flood = AlgorithmRegistry::instance().at("flood_max");
+  RunOptions options;
+  options.set_seed(seed);
+  const TrialStats baseline = run_trials(flood, g, options, 3, seed);
+  std::cout << "baseline " << baseline.algorithm << ": "
+            << baseline.congest_messages.mean << " msgs mean over "
+            << baseline.trials << " trials ("
+            << baseline.congest_messages.mean /
+                   static_cast<double>(result.totals.congest_messages)
+            << "x the paper's algorithm on this run)\n";
   return result.success() ? 0 : 1;
 }

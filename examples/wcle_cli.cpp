@@ -1,23 +1,36 @@
-// wcle_cli — the library as a command-line tool.
+// wcle_cli — the library as a command-line tool, driven by the algorithm
+// registry: every protocol (the paper's election and all baselines) is
+// runnable through one surface.
 //
+//   wcle_cli list                                   all registered algorithms
+//   wcle_cli run    --algo=election --family=expander --n=1024 --seed=7
+//   wcle_cli trials --algo=flood_max --family=hypercube --n=256 --trials=20
+//                   [--threads=8] [--base-seed=1000] [--format=json]
+//
+// Legacy commands (pre-registry spellings, kept working):
 //   wcle_cli elect    --family=expander --n=1024 --seed=7 [--trials=5]
-//                     [--c1=4] [--c2=2] [--wide] [--paper-schedule]
 //   wcle_cli explicit --family=clique --n=512 --seed=3
 //   wcle_cli profile  --family=torus --n=256        (tmix / conductance)
 //   wcle_cli lowerbound --n=1000 --alpha=0.004      (build G(alpha) + elect)
 //   wcle_cli sweep    --family=hypercube --from=64 --to=1024 --trials=3
 //
-// Families: clique, ring, torus, hypercube, expander (6-regular), star,
-//           barbell, ba (Barabasi-Albert m0=3), ws (Watts-Strogatz k=3).
+// Common options: --family=<see `wcle_cli list`> --n= --seed= --c1= --c2=
+//                 --wide --paper-schedule --source= --tmix= --budget=
+// Unrecognized options produce a warning on stderr (typo protection).
 #include <cstdint>
 #include <iostream>
+#include <limits>
+#include <stdexcept>
 #include <string>
 
 #include "wcle/analysis/cli.hpp"
 #include "wcle/analysis/experiment.hpp"
+#include "wcle/api/registry.hpp"
+#include "wcle/api/serialize.hpp"
+#include "wcle/api/trials.hpp"
 #include "wcle/core/explicit_election.hpp"
 #include "wcle/core/leader_election.hpp"
-#include "wcle/graph/generators.hpp"
+#include "wcle/graph/families.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/support/table.hpp"
 
@@ -25,29 +38,109 @@ namespace {
 
 using namespace wcle;
 
-Graph build_family(const std::string& family, NodeId n, std::uint64_t seed) {
-  Rng rng(seed ^ 0xFA111Cull);
-  if (family == "clique") return make_clique(n);
-  if (family == "ring") return make_ring(n);
-  if (family == "torus") {
-    NodeId side = 3;
-    while ((side + 1) * (side + 1) <= n) ++side;
-    return make_torus(side, side);
-  }
-  if (family == "hypercube") {
-    std::uint32_t d = 1;
-    while ((NodeId{1} << (d + 1)) <= n) ++d;
-    return make_hypercube(d);
-  }
-  if (family == "expander")
-    return make_random_regular(n % 2 ? n + 1 : n, 6, rng);
-  if (family == "star") return make_star(n);
-  if (family == "barbell") return make_barbell(n / 2);
-  if (family == "ba") return make_barabasi_albert(n, 3, rng);
-  if (family == "ws") return make_watts_strogatz(n, 3, 0.3, rng);
-  throw std::invalid_argument("unknown --family=" + family);
+// get_u64 with a 32-bit range check: --n / --tmix etc. must not silently
+// wrap through static_cast (a wrapped-to-zero --tmix would flip known_tmix
+// into its "estimate the oracle" path, the opposite of an explicit hint).
+std::uint32_t get_u32(const CliArgs& args, const std::string& key,
+                      std::uint32_t fallback) {
+  const std::uint64_t v = args.get_u64(key, fallback);
+  if (v > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("--" + key + "=" + std::to_string(v) +
+                                " exceeds the 32-bit limit");
+  return static_cast<std::uint32_t>(v);
 }
 
+/// get_u64 bounded to int for counts (--trials): no silent wrap to 0.
+int get_count(const CliArgs& args, const std::string& key, int fallback) {
+  const std::uint64_t v =
+      args.get_u64(key, static_cast<std::uint64_t>(fallback));
+  if (v > static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+    throw std::invalid_argument("--" + key + "=" + std::to_string(v) +
+                                " exceeds the supported range");
+  return static_cast<int>(v);
+}
+
+Graph build_family(const CliArgs& args, const std::string& default_family,
+                   NodeId default_n) {
+  return make_family(args.get("family", default_family),
+                     get_u32(args, "n", default_n), args.get_u64("seed", 1));
+}
+
+RunOptions options_from(const CliArgs& args) {
+  RunOptions opt;
+  opt.params.seed = args.get_u64("seed", 1);
+  opt.params.c1 = args.get_double("c1", opt.params.c1);
+  opt.params.c2 = args.get_double("c2", opt.params.c2);
+  opt.params.wide_messages = args.get_bool("wide", false);
+  opt.params.paper_schedule = args.get_bool("paper-schedule", false);
+  opt.source = get_u32(args, "source", 0);
+  opt.value_bits = get_u32(args, "value-bits", opt.value_bits);
+  opt.tmix_hint = get_u32(args, "tmix", 0);
+  opt.tmix_multiplier = args.get_double("tmix-mult", opt.tmix_multiplier);
+  opt.probe_budget = args.get_u64("budget", 0);
+  opt.max_rounds = args.get_u64("max-rounds", 0);
+  return opt;
+}
+
+int cmd_list(const CliArgs&) {
+  Table t({"algorithm", "kind", "description"});
+  for (const Algorithm* a : AlgorithmRegistry::instance().all())
+    t.add_row({a->name(), kind_name(a->kind()), a->describe()});
+  t.print(std::cout);
+  std::cout << "\ngraph families:";
+  for (const std::string& f : family_names()) std::cout << " " << f;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  const Algorithm& algo =
+      AlgorithmRegistry::instance().at(args.get("algo", "election"));
+  const Graph g = build_family(args, "expander", 512);
+  const RunResult r = algo.run(g, options_from(args));
+  if (args.get("format", "text") == "json") {
+    std::cout << to_json(r) << "\n";
+  } else {
+    std::cout << g.describe() << "\n" << r.summary() << "\n";
+  }
+  return r.success ? 0 : 1;
+}
+
+int cmd_trials(const CliArgs& args) {
+  const Algorithm& algo =
+      AlgorithmRegistry::instance().at(args.get("algo", "election"));
+  const Graph g = build_family(args, "expander", 512);
+  const int trials = get_count(args, "trials", 10);
+  const unsigned threads = get_u32(args, "threads", 0);
+  const std::uint64_t base_seed =
+      args.get_u64("base-seed", args.get_u64("seed", 1000));
+  const TrialStats s =
+      run_trials(algo, g, options_from(args), trials, base_seed, threads);
+  if (args.get("format", "text") == "json") {
+    std::cout << to_json(s) << "\n";
+    return s.success_rate > 0.5 ? 0 : 1;
+  }
+  std::cout << g.describe() << "\nalgorithm: " << s.algorithm << " ("
+            << s.trials << " trials, " << s.threads << " threads)\n";
+  Table t({"metric", "mean", "stddev", "min", "median", "max"});
+  const auto row = [&t](const std::string& name, const Summary& m) {
+    t.add_row({name, Table::num(m.mean), Table::num(m.stddev),
+               Table::num(m.min), Table::num(m.median), Table::num(m.max)});
+  };
+  row("congest messages", s.congest_messages);
+  row("rounds", s.rounds);
+  row("leader count", s.leader_count);
+  for (const auto& [key, summary] : s.extras) row(key, summary);
+  t.print(std::cout);
+  std::cout << "success rate: " << s.success_rate
+            << " (zero-leader " << s.zero_leader_rate << ", multi-leader "
+            << s.multi_leader_rate << ")\n";
+  return s.success_rate > 0.5 ? 0 : 1;
+}
+
+// Legacy commands read only the election knobs; deliberately NOT
+// options_from, which would mark --source/--tmix/--budget/... consumed and
+// mute the unconsumed-option warning for knobs these commands ignore.
 ElectionParams params_from(const CliArgs& args) {
   ElectionParams p;
   p.seed = args.get_u64("seed", 1);
@@ -59,11 +152,9 @@ ElectionParams params_from(const CliArgs& args) {
 }
 
 int cmd_elect(const CliArgs& args) {
-  const Graph g = build_family(args.get("family", "expander"),
-                               static_cast<NodeId>(args.get_u64("n", 512)),
-                               args.get_u64("seed", 1));
+  const Graph g = build_family(args, "expander", 512);
   std::cout << g.describe() << "\n";
-  const int trials = static_cast<int>(args.get_u64("trials", 1));
+  const int trials = get_count(args, "trials", 1);
   if (trials <= 1) {
     const ElectionResult r = run_leader_election(g, params_from(args));
     std::cout << (r.success()
@@ -93,9 +184,7 @@ int cmd_elect(const CliArgs& args) {
 }
 
 int cmd_explicit(const CliArgs& args) {
-  const Graph g = build_family(args.get("family", "clique"),
-                               static_cast<NodeId>(args.get_u64("n", 256)),
-                               args.get_u64("seed", 1));
+  const Graph g = build_family(args, "clique", 256);
   const ExplicitElectionResult r = run_explicit_election(g, params_from(args));
   std::cout << g.describe() << "\n"
             << "election:  " << r.election.totals.congest_messages
@@ -107,11 +196,9 @@ int cmd_explicit(const CliArgs& args) {
 }
 
 int cmd_profile(const CliArgs& args) {
-  const Graph g = build_family(args.get("family", "torus"),
-                               static_cast<NodeId>(args.get_u64("n", 256)),
-                               args.get_u64("seed", 1));
+  const Graph g = build_family(args, "torus", 256);
   const GraphProfile p = profile_graph(
-      g, static_cast<std::uint32_t>(args.get_u64("samples", 4)));
+      g, get_u32(args, "samples", 4));
   std::cout << g.describe() << "\n"
             << "tmix ~ " << p.tmix << "\n"
             << "conductance: cheeger [" << p.cheeger_lower << ", "
@@ -126,7 +213,7 @@ int cmd_profile(const CliArgs& args) {
 int cmd_lowerbound(const CliArgs& args) {
   Rng rng(args.get_u64("seed", 42));
   const LowerBoundGraph lb = make_lower_bound_graph(
-      static_cast<NodeId>(args.get_u64("n", 1000)),
+      get_u32(args, "n", 1000),
       args.get_double("alpha", 0.004), rng);
   std::cout << lb.graph.describe() << "  (eps=" << lb.epsilon << ", "
             << lb.num_cliques << " cliques x " << lb.clique_size << ")\n";
@@ -140,20 +227,25 @@ int cmd_lowerbound(const CliArgs& args) {
 
 int cmd_sweep(const CliArgs& args) {
   const std::string family = args.get("family", "hypercube");
-  const NodeId from = static_cast<NodeId>(args.get_u64("from", 64));
-  const NodeId to = static_cast<NodeId>(args.get_u64("to", 512));
-  const int trials = static_cast<int>(args.get_u64("trials", 3));
-  Table t({"n", "tmix", "msgs(mean)", "rounds(mean)", "stop_t_u", "success"});
-  for (NodeId n = from; n <= to; n *= 2) {
-    const Graph g = build_family(family, n, args.get_u64("seed", 1));
+  const NodeId from = get_u32(args, "from", 64);
+  const NodeId to = get_u32(args, "to", 512);
+  if (from == 0)
+    throw std::invalid_argument("--from must be >= 1 (doubling sweep)");
+  const int trials = get_count(args, "trials", 3);
+  const Algorithm& algo =
+      AlgorithmRegistry::instance().at(args.get("algo", "election"));
+  const RunOptions opt = options_from(args);
+  Table t({"n", "tmix", "msgs(mean)", "rounds(mean)", "success"});
+  for (NodeId n = from; n <= to;) {
+    const Graph g = make_family(family, n, args.get_u64("seed", 1));
     const GraphProfile prof = profile_graph(g, 2);
-    ElectionParams p = params_from(args);
-    const ElectionTrialStats s =
-        run_election_trials(g, p, trials, args.get_u64("seed", 1));
+    const TrialStats s =
+        run_trials(algo, g, opt, trials, args.get_u64("seed", 1));
     t.add_row({std::to_string(g.node_count()), std::to_string(prof.tmix),
                Table::num(s.congest_messages.mean), Table::num(s.rounds.mean),
-               Table::num(s.final_length.mean, 3),
                Table::num(s.success_rate, 2)});
+    if (n > std::numeric_limits<NodeId>::max() / 2) break;  // no wrap to 0
+    n *= 2;
   }
   t.print(std::cout);
   return 0;
@@ -161,14 +253,24 @@ int cmd_sweep(const CliArgs& args) {
 
 void usage() {
   std::cout <<
-      "usage: wcle_cli <elect|explicit|profile|lowerbound|sweep> [options]\n"
-      "  common: --family=<clique|ring|torus|hypercube|expander|star|barbell"
-      "|ba|ws>\n"
-      "          --n=<nodes> --seed=<u64> --c1= --c2= --wide "
-      "--paper-schedule\n"
+      "usage: wcle_cli <command> [options]\n"
+      "  registry: list\n"
+      "            run    --algo=<name> [--format=json]\n"
+      "            trials --algo=<name> --trials=<k> [--threads=<t>]\n"
+      "                   [--base-seed=<s>] [--format=json]\n"
+      "  legacy:   elect, explicit, profile, lowerbound, sweep\n"
+      "  common:   --family=<see list> --n=<nodes> --seed=<u64>\n"
+      "            --c1= --c2= --wide --paper-schedule --source=\n"
+      "            --tmix= --tmix-mult= --budget= --value-bits=\n"
       "  elect:      --trials=<k>\n"
       "  lowerbound: --alpha=<conductance target>\n"
-      "  sweep:      --from= --to= --trials=\n";
+      "  sweep:      --from= --to= --trials= [--algo=]\n";
+}
+
+void warn_unconsumed(const CliArgs& args) {
+  for (const std::string& key : args.unconsumed())
+    std::cerr << "warning: --" << key << " was ignored by '" << args.command()
+              << "' (unknown option, or not used by this command)\n";
 }
 
 }  // namespace
@@ -176,13 +278,21 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const CliArgs args = CliArgs::parse(argc, argv);
-    if (args.command() == "elect") return cmd_elect(args);
-    if (args.command() == "explicit") return cmd_explicit(args);
-    if (args.command() == "profile") return cmd_profile(args);
-    if (args.command() == "lowerbound") return cmd_lowerbound(args);
-    if (args.command() == "sweep") return cmd_sweep(args);
-    usage();
-    return args.command().empty() ? 0 : 2;
+    int rc = 2;
+    if (args.command() == "list") rc = cmd_list(args);
+    else if (args.command() == "run") rc = cmd_run(args);
+    else if (args.command() == "trials") rc = cmd_trials(args);
+    else if (args.command() == "elect") rc = cmd_elect(args);
+    else if (args.command() == "explicit") rc = cmd_explicit(args);
+    else if (args.command() == "profile") rc = cmd_profile(args);
+    else if (args.command() == "lowerbound") rc = cmd_lowerbound(args);
+    else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else {
+      usage();
+      return args.command().empty() ? 0 : 2;
+    }
+    warn_unconsumed(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -32,19 +32,29 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
 }
 
 bool CliArgs::has(const std::string& key) const {
+  consumed_.insert(key);
   return options_.count(key) > 0;
 }
 
 std::string CliArgs::get(const std::string& key,
                          const std::string& fallback) const {
+  consumed_.insert(key);
   const auto it = options_.find(key);
   return it == options_.end() ? fallback : it->second;
 }
 
 std::uint64_t CliArgs::get_u64(const std::string& key,
                                std::uint64_t fallback) const {
+  consumed_.insert(key);
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
+  // std::stoull accepts "-1" (also " -1", skipping whitespace) and wraps it
+  // to 2^64-1; require the value to lead with a digit so negatives and
+  // whitespace-padded negatives are rejected up front.
+  if (it->second.empty() || it->second[0] < '0' || it->second[0] > '9')
+    throw std::invalid_argument("CliArgs: --" + key +
+                                " expects a non-negative integer, got '" +
+                                it->second + "'");
   std::size_t used = 0;
   const std::uint64_t v = std::stoull(it->second, &used);
   if (used != it->second.size())
@@ -53,6 +63,7 @@ std::uint64_t CliArgs::get_u64(const std::string& key,
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
+  consumed_.insert(key);
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
   std::size_t used = 0;
@@ -63,6 +74,7 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
 }
 
 bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  consumed_.insert(key);
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
   if (it->second.empty() || it->second == "true" || it->second == "1")
@@ -75,6 +87,13 @@ std::vector<std::string> CliArgs::keys() const {
   std::vector<std::string> out;
   out.reserve(options_.size());
   for (const auto& [k, v] : options_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : options_)
+    if (consumed_.count(k) == 0) out.push_back(k);
   return out;
 }
 

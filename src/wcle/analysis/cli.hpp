@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,22 +22,31 @@ class CliArgs {
   const std::string& command() const { return command_; }
   const std::vector<std::string>& positionals() const { return positionals_; }
 
+  /// Marks `key` consumed (it is a recognized option) like the getters do.
   bool has(const std::string& key) const;
 
   /// Typed accessors; return `fallback` when absent. Throw
-  /// std::invalid_argument on malformed numeric values.
+  /// std::invalid_argument on malformed numeric values — including negative
+  /// values passed to get_u64, which std::stoull would silently wrap.
+  /// Every lookup marks the key consumed (see unconsumed()).
   std::string get(const std::string& key, const std::string& fallback) const;
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
-  /// Keys the caller never consumed (for unknown-option warnings).
+  /// All option keys present on the command line, sorted.
   std::vector<std::string> keys() const;
+
+  /// Keys present on the command line that no accessor ever looked up —
+  /// almost always typos. Drivers print these as warnings after dispatch.
+  std::vector<std::string> unconsumed() const;
 
  private:
   std::string command_;
   std::vector<std::string> positionals_;
   std::map<std::string, std::string> options_;
+  /// Which keys the caller looked up; mutable so const getters can record.
+  mutable std::set<std::string> consumed_;
 };
 
 }  // namespace wcle

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "wcle/api/registry.hpp"
 #include "wcle/graph/spectral.hpp"
 #include "wcle/support/rng.hpp"
 
@@ -9,36 +10,29 @@ namespace wcle {
 
 ElectionTrialStats run_election_trials(const Graph& g, ElectionParams params,
                                        int trials, std::uint64_t base_seed) {
+  RunOptions options;
+  options.params = params;
+  // threads=1: legacy callers include timed bench loops whose wall-clock
+  // numbers must not silently change with core count; the parallel fan-out
+  // is opt-in through run_trials directly.
+  const TrialStats s =
+      run_trials(AlgorithmRegistry::instance().at("election"), g, options,
+                 trials, base_seed, /*threads=*/1);
   ElectionTrialStats stats;
   stats.trials = trials;
-  std::vector<double> msgs, rounds, sched, len, phases, cont;
-  int ok = 0, zero = 0, multi = 0;
-  for (int t = 0; t < trials; ++t) {
-    params.seed = base_seed + static_cast<std::uint64_t>(t);
-    const ElectionResult r = run_leader_election(g, params);
-    if (r.success())
-      ++ok;
-    else if (r.leaders.empty())
-      ++zero;
-    else
-      ++multi;
-    msgs.push_back(static_cast<double>(r.totals.congest_messages));
-    rounds.push_back(static_cast<double>(r.totals.rounds));
-    sched.push_back(static_cast<double>(r.scheduled_rounds));
-    len.push_back(static_cast<double>(r.final_length));
-    phases.push_back(static_cast<double>(r.phases));
-    cont.push_back(static_cast<double>(r.contenders.size()));
-  }
-  const double dn = trials > 0 ? static_cast<double>(trials) : 1.0;
-  stats.success_rate = ok / dn;
-  stats.zero_leader_rate = zero / dn;
-  stats.multi_leader_rate = multi / dn;
-  stats.congest_messages = summarize(std::move(msgs));
-  stats.rounds = summarize(std::move(rounds));
-  stats.scheduled_rounds = summarize(std::move(sched));
-  stats.final_length = summarize(std::move(len));
-  stats.phases = summarize(std::move(phases));
-  stats.contenders = summarize(std::move(cont));
+  stats.success_rate = s.success_rate;
+  stats.zero_leader_rate = s.zero_leader_rate;
+  stats.multi_leader_rate = s.multi_leader_rate;
+  stats.congest_messages = s.congest_messages;
+  stats.rounds = s.rounds;
+  const auto extra = [&s](const char* key) {
+    const auto it = s.extras.find(key);
+    return it == s.extras.end() ? Summary{} : it->second;
+  };
+  stats.scheduled_rounds = extra("scheduled_rounds");
+  stats.final_length = extra("final_length");
+  stats.phases = extra("phases");
+  stats.contenders = extra("contenders");
   return stats;
 }
 

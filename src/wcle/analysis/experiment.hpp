@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "wcle/api/trials.hpp"
 #include "wcle/core/leader_election.hpp"
 #include "wcle/core/params.hpp"
 #include "wcle/graph/graph.hpp"
@@ -15,7 +16,10 @@
 
 namespace wcle {
 
-/// Aggregates of repeated election trials on one graph.
+/// Aggregates of repeated election trials on one graph. Legacy schema kept
+/// for the core algorithm's callers; new code should prefer the uniform
+/// `TrialStats` from run_trials (wcle/api/trials.hpp), of which this is a
+/// field-for-field projection.
 struct ElectionTrialStats {
   int trials = 0;
   double success_rate = 0.0;   ///< fraction electing exactly one leader
@@ -29,7 +33,9 @@ struct ElectionTrialStats {
   Summary contenders;
 };
 
-/// Runs `trials` elections with seeds base_seed+i and aggregates.
+/// Runs `trials` elections with seeds base_seed+i and aggregates. Implemented
+/// as run_trials(registry "election", ...) — one trial engine for every
+/// algorithm — with the multi-threaded seed fan-out that engine provides.
 ElectionTrialStats run_election_trials(const Graph& g, ElectionParams params,
                                        int trials,
                                        std::uint64_t base_seed = 1000);

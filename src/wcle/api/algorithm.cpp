@@ -1,0 +1,32 @@
+#include "wcle/api/algorithm.hpp"
+
+#include <sstream>
+
+namespace wcle {
+
+std::string RunResult::summary() const {
+  std::ostringstream out;
+  out << algorithm << ": " << (success ? "success" : "FAILED") << ", "
+      << leaders.size() << " leader(s)";
+  if (!leaders.empty()) {
+    out << " [";
+    for (std::size_t i = 0; i < leaders.size() && i < 4; ++i)
+      out << (i ? " " : "") << leaders[i];
+    if (leaders.size() > 4) out << " ...";
+    out << "]";
+  }
+  out << ", " << totals.congest_messages << " msgs, " << rounds << " rounds";
+  for (const auto& [key, value] : extras) out << ", " << key << "=" << value;
+  return out.str();
+}
+
+std::string kind_name(Algorithm::Kind kind) {
+  switch (kind) {
+    case Algorithm::Kind::kElection: return "election";
+    case Algorithm::Kind::kBroadcast: return "broadcast";
+    case Algorithm::Kind::kDiagnostic: return "diagnostic";
+  }
+  return "unknown";
+}
+
+}  // namespace wcle

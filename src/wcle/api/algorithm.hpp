@@ -1,0 +1,98 @@
+// The unified algorithm surface: every protocol in the library — the paper's
+// implicit election (Algorithms 1+2), the explicit variant (Corollary 14),
+// and all comparison baselines — is exposed behind one polymorphic
+// `Algorithm` interface so the harness, the CLI, the trial runner, and the
+// benches can treat them interchangeably. This is what lets Theorem 13 be
+// *checked* rather than asserted: many algorithms, one set of run conditions,
+// one result schema.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wcle/core/params.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/metrics.hpp"
+
+namespace wcle {
+
+/// Inputs common to every algorithm run. Protocol families ignore the knobs
+/// they do not consume (a broadcast does not read c1; an election does not
+/// read `source`), which is what keeps one options struct sufficient.
+struct RunOptions {
+  /// Election-family tunables. `params.seed` is THE seed of the run: every
+  /// algorithm derives all randomness from it, so equal options imply
+  /// bit-identical results.
+  ElectionParams params;
+  /// Root / source / initiator for broadcast-style protocols (flood
+  /// broadcast, push-pull, BFS tree, tmix estimation).
+  NodeId source = 0;
+  /// Rumor payload width for broadcast protocols.
+  std::uint32_t value_bits = 32;
+  /// A-priori mixing time for the known-tmix baseline; 0 = the adapter
+  /// estimates it offline (the "oracle" the paper's algorithm does without).
+  std::uint32_t tmix_hint = 0;
+  /// Walk-length safety factor c3 applied on top of tmix for known-tmix.
+  double tmix_multiplier = 2.0;
+  /// Per-node probe budget for the port prober; 0 = ceil(sqrt(n)).
+  std::uint64_t probe_budget = 0;
+  /// Round cap for push-pull (0 = the protocol's generous default).
+  std::uint64_t max_rounds = 0;
+
+  std::uint64_t seed() const { return params.seed; }
+  void set_seed(std::uint64_t s) { params.seed = s; }
+};
+
+/// The uniform outcome schema. `leaders` holds the distinguished node(s) at
+/// termination: the elected leader(s) for election protocols, the
+/// source/root/initiator for broadcast and diagnostic protocols (documented
+/// per adapter). `extras` carries algorithm-specific observables
+/// (phases, walk lengths, candidates, tree depth, ...) as ordered key→value
+/// pairs so aggregation and serialization need no per-algorithm code.
+struct RunResult {
+  std::string algorithm;
+  std::vector<NodeId> leaders;
+  std::uint64_t rounds = 0;
+  Metrics totals;
+  bool success = false;
+  std::map<std::string, double> extras;
+
+  std::uint64_t leader_count() const { return leaders.size(); }
+  /// One-line human-readable rendering (CLI `run` output).
+  std::string summary() const;
+};
+
+/// Abstract protocol. Implementations are stateless: all run state lives in
+/// the call, so one registered instance can serve concurrent trial workers.
+class Algorithm {
+ public:
+  enum class Kind {
+    kElection,    ///< elects leader(s); success == exactly one
+    kBroadcast,   ///< disseminates from `options.source`; success == complete
+    kDiagnostic,  ///< measures a quantity (probing, tmix estimation)
+  };
+
+  virtual ~Algorithm() = default;
+
+  /// Registry key: lowercase snake_case, stable across releases.
+  virtual std::string name() const = 0;
+  /// One-line description with paper provenance (theorem/citation).
+  virtual std::string describe() const = 0;
+  virtual Kind kind() const = 0;
+
+  /// Whether the protocol's w.h.p. guarantee applies to `g`. Algorithms run
+  /// on any connected graph, but e.g. the clique-referee election of [25] is
+  /// only correct on complete graphs — the smoke tests consult this before
+  /// asserting success.
+  virtual bool reliable_on(const Graph& /*g*/) const { return true; }
+
+  /// Executes one run. Deterministic in `options` (seed included).
+  virtual RunResult run(const Graph& g, const RunOptions& options) const = 0;
+};
+
+/// Human-readable kind label ("election", "broadcast", "diagnostic").
+std::string kind_name(Algorithm::Kind kind);
+
+}  // namespace wcle

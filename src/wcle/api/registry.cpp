@@ -1,0 +1,98 @@
+#include "wcle/api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "wcle/baselines/bfs_tree.hpp"
+#include "wcle/baselines/candidate_flood.hpp"
+#include "wcle/baselines/clique_referee.hpp"
+#include "wcle/baselines/flood_broadcast.hpp"
+#include "wcle/baselines/flood_max.hpp"
+#include "wcle/baselines/known_tmix.hpp"
+#include "wcle/baselines/port_prober.hpp"
+#include "wcle/baselines/push_pull.hpp"
+#include "wcle/baselines/territory_election.hpp"
+#include "wcle/baselines/tmix_estimator.hpp"
+#include "wcle/core/explicit_election.hpp"
+#include "wcle/core/leader_election.hpp"
+
+namespace wcle {
+
+namespace detail {
+
+void register_builtin_algorithms(AlgorithmRegistry& registry) {
+  registry.add(make_election_algorithm());
+  registry.add(make_explicit_election_algorithm());
+  registry.add(make_flood_max_algorithm());
+  registry.add(make_flood_broadcast_algorithm());
+  registry.add(make_candidate_flood_algorithm());
+  registry.add(make_bfs_tree_algorithm());
+  registry.add(make_push_pull_algorithm());
+  registry.add(make_port_prober_algorithm());
+  registry.add(make_clique_referee_algorithm());
+  registry.add(make_territory_election_algorithm());
+  registry.add(make_known_tmix_algorithm());
+  registry.add(make_tmix_estimator_algorithm());
+  registry.add(make_estimate_then_elect_algorithm());
+}
+
+}  // namespace detail
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    detail::register_builtin_algorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AlgorithmRegistry::add(std::unique_ptr<Algorithm> algorithm) {
+  if (!algorithm) throw std::invalid_argument("registry: null algorithm");
+  const std::string name = algorithm->name();
+  if (name.empty()) throw std::invalid_argument("registry: empty name");
+  const auto pos = std::lower_bound(
+      algorithms_.begin(), algorithms_.end(), name,
+      [](const auto& a, const std::string& key) { return a->name() < key; });
+  if (pos != algorithms_.end() && (*pos)->name() == name)
+    throw std::invalid_argument("registry: duplicate algorithm '" + name +
+                                "'");
+  algorithms_.insert(pos, std::move(algorithm));
+}
+
+const Algorithm* AlgorithmRegistry::find(const std::string& name) const {
+  const auto pos = std::lower_bound(
+      algorithms_.begin(), algorithms_.end(), name,
+      [](const auto& a, const std::string& key) { return a->name() < key; });
+  if (pos == algorithms_.end() || (*pos)->name() != name) return nullptr;
+  return pos->get();
+}
+
+const Algorithm& AlgorithmRegistry::at(const std::string& name) const {
+  if (const Algorithm* a = find(name)) return *a;
+  std::ostringstream msg;
+  msg << "unknown algorithm '" << name << "'; known:";
+  for (const auto& a : algorithms_) msg << " " << a->name();
+  throw std::out_of_range(msg.str());
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) out.push_back(a->name());
+  return out;
+}
+
+std::vector<const Algorithm*> AlgorithmRegistry::all() const {
+  std::vector<const Algorithm*> out;
+  out.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) out.push_back(a.get());
+  return out;
+}
+
+AlgorithmRegistrar::AlgorithmRegistrar(std::unique_ptr<Algorithm> algorithm) {
+  AlgorithmRegistry::instance().add(std::move(algorithm));
+}
+
+}  // namespace wcle

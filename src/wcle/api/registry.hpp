@@ -1,0 +1,66 @@
+// String-keyed registry of every Algorithm the library ships. The built-in
+// protocols register on first access (explicit registration from one
+// translation unit — immune to the static-initializer dropping that plagues
+// self-registration in static libraries); external code can add its own
+// algorithms with `add` or the WCLE_REGISTER_ALGORITHM macro.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wcle/api/algorithm.hpp"
+
+namespace wcle {
+
+class AlgorithmRegistry {
+ public:
+  /// The process-wide registry, with all built-in algorithms registered.
+  static AlgorithmRegistry& instance();
+
+  /// Registers `algorithm` under algorithm->name(). Throws
+  /// std::invalid_argument on a duplicate or empty name.
+  void add(std::unique_ptr<Algorithm> algorithm);
+
+  /// Lookup; nullptr when absent.
+  const Algorithm* find(const std::string& name) const;
+
+  /// Lookup; throws std::out_of_range (message lists known names) if absent.
+  const Algorithm& at(const std::string& name) const;
+
+  bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// All registered algorithms, sorted by name.
+  std::vector<const Algorithm*> all() const;
+
+  std::size_t size() const { return algorithms_.size(); }
+
+ private:
+  AlgorithmRegistry() = default;
+  std::vector<std::unique_ptr<Algorithm>> algorithms_;  // kept name-sorted
+};
+
+/// Registers all built-in algorithms into `registry`; called exactly once by
+/// AlgorithmRegistry::instance(). Defined in registry.cpp next to the list of
+/// factories so adding a protocol is a one-line change.
+namespace detail {
+void register_builtin_algorithms(AlgorithmRegistry& registry);
+}
+
+/// Static-initialization helper for algorithms defined outside the library:
+///   WCLE_REGISTER_ALGORITHM(MyAlgorithm);
+/// Only use from translation units guaranteed to be linked in (binaries, not
+/// static-library members).
+struct AlgorithmRegistrar {
+  explicit AlgorithmRegistrar(std::unique_ptr<Algorithm> algorithm);
+};
+
+#define WCLE_REGISTER_ALGORITHM(cls)                            \
+  static ::wcle::AlgorithmRegistrar wcle_registrar_##cls {      \
+    std::make_unique<cls>()                                     \
+  }
+
+}  // namespace wcle

@@ -1,0 +1,112 @@
+#include "wcle/api/serialize.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wcle {
+
+namespace {
+
+// Shortest-round-trip double rendering; JSON has no NaN/Inf, map to null.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+void append_summary(std::ostringstream& out, const std::string& key,
+                    const Summary& s) {
+  out << "\"" << json_escape(key) << "\":{\"count\":" << s.count
+      << ",\"mean\":" << num(s.mean) << ",\"stddev\":" << num(s.stddev)
+      << ",\"min\":" << num(s.min) << ",\"median\":" << num(s.median)
+      << ",\"max\":" << num(s.max) << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const RunResult& r) {
+  std::ostringstream out;
+  out << "{\"algorithm\":\"" << json_escape(r.algorithm) << "\""
+      << ",\"success\":" << (r.success ? "true" : "false") << ",\"leaders\":[";
+  for (std::size_t i = 0; i < r.leaders.size(); ++i)
+    out << (i ? "," : "") << r.leaders[i];
+  out << "],\"rounds\":" << r.rounds
+      << ",\"congest_messages\":" << r.totals.congest_messages
+      << ",\"logical_messages\":" << r.totals.logical_messages
+      << ",\"total_bits\":" << r.totals.total_bits
+      << ",\"max_edge_backlog\":" << r.totals.max_edge_backlog
+      << ",\"extras\":{";
+  bool first = true;
+  for (const auto& [key, value] : r.extras) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(key) << "\":" << num(value);
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string to_json(const TrialStats& s) {
+  std::ostringstream out;
+  out << "{\"algorithm\":\"" << json_escape(s.algorithm) << "\""
+      << ",\"trials\":" << s.trials << ",\"threads\":" << s.threads
+      << ",\"success_rate\":" << num(s.success_rate)
+      << ",\"zero_leader_rate\":" << num(s.zero_leader_rate)
+      << ",\"multi_leader_rate\":" << num(s.multi_leader_rate)
+      << ",\"metrics\":{";
+  append_summary(out, "congest_messages", s.congest_messages);
+  out << ",";
+  append_summary(out, "logical_messages", s.logical_messages);
+  out << ",";
+  append_summary(out, "total_bits", s.total_bits);
+  out << ",";
+  append_summary(out, "rounds", s.rounds);
+  out << ",";
+  append_summary(out, "leader_count", s.leader_count);
+  out << "},\"extras\":{";
+  bool first = true;
+  for (const auto& [key, summary] : s.extras) {
+    if (!first) out << ",";
+    first = false;
+    append_summary(out, key, summary);
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace wcle

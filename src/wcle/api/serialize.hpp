@@ -1,0 +1,24 @@
+// Dependency-free JSON rendering of the unified result/trial schemas, so
+// `wcle_cli trials --format=json` can feed bench trajectory files
+// (BENCH_*.json) and external tooling without ad-hoc table parsing.
+#pragma once
+
+#include <string>
+
+#include "wcle/api/algorithm.hpp"
+#include "wcle/api/trials.hpp"
+
+namespace wcle {
+
+/// JSON object for one run: algorithm, success, leaders, rounds, metrics,
+/// extras. Deterministic key order (extras are map-sorted).
+std::string to_json(const RunResult& result);
+
+/// JSON object for aggregated trials: rates, per-metric summaries
+/// {count, mean, stddev, min, median, max}, and summarized extras.
+std::string to_json(const TrialStats& stats);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& raw);
+
+}  // namespace wcle

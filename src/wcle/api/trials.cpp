@@ -1,0 +1,89 @@
+#include "wcle/api/trials.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcle {
+
+TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
+                      RunOptions options, int trials, std::uint64_t base_seed,
+                      unsigned threads) {
+  TrialStats stats;
+  stats.algorithm = algorithm.name();
+  stats.trials = trials;
+  if (trials <= 0) {
+    stats.threads = 0;
+    return stats;
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers = threads == 0 ? hw : threads;
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(trials));
+  stats.threads = workers;
+
+  // Results land in seed order regardless of which worker produced them;
+  // aggregation below is sequential, so thread count cannot change any bit.
+  std::vector<RunResult> results(static_cast<std::size_t>(trials));
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  auto worker = [&] {
+    for (int i = next.fetch_add(1); i < trials && !failed.load();
+         i = next.fetch_add(1)) {
+      try {
+        RunOptions opt = options;
+        opt.set_seed(base_seed + static_cast<std::uint64_t>(i));
+        results[static_cast<std::size_t>(i)] = algorithm.run(g, opt);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        failed.store(true);  // all workers stop claiming trials
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  int ok = 0, zero = 0, multi = 0;
+  std::vector<double> msgs, logical, bits, rounds, leaders;
+  std::map<std::string, std::vector<double>> extra_samples;
+  for (const RunResult& r : results) {
+    if (r.success) ++ok;
+    if (r.leaders.empty()) ++zero;
+    if (r.leaders.size() > 1) ++multi;
+    msgs.push_back(static_cast<double>(r.totals.congest_messages));
+    logical.push_back(static_cast<double>(r.totals.logical_messages));
+    bits.push_back(static_cast<double>(r.totals.total_bits));
+    rounds.push_back(static_cast<double>(r.rounds));
+    leaders.push_back(static_cast<double>(r.leaders.size()));
+    for (const auto& [key, value] : r.extras)
+      extra_samples[key].push_back(value);
+  }
+  const double dn = static_cast<double>(trials);
+  stats.success_rate = ok / dn;
+  stats.zero_leader_rate = zero / dn;
+  stats.multi_leader_rate = multi / dn;
+  stats.congest_messages = summarize(std::move(msgs));
+  stats.logical_messages = summarize(std::move(logical));
+  stats.total_bits = summarize(std::move(bits));
+  stats.rounds = summarize(std::move(rounds));
+  stats.leader_count = summarize(std::move(leaders));
+  for (auto& [key, samples] : extra_samples)
+    stats.extras[key] = summarize(std::move(samples));
+  return stats;
+}
+
+}  // namespace wcle

@@ -1,0 +1,43 @@
+// Generic repeated-trial runner over the unified Algorithm interface: seeds
+// base_seed..base_seed+trials-1 fan out over a std::thread worker pool, each
+// trial derives all randomness from its own seed, and results are aggregated
+// in seed order — so the statistics are bit-identical for any thread count,
+// including 1. One TrialStats schema serves every registered algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "wcle/api/algorithm.hpp"
+#include "wcle/support/stats.hpp"
+
+namespace wcle {
+
+/// Aggregates of repeated runs of one algorithm on one graph.
+struct TrialStats {
+  std::string algorithm;
+  int trials = 0;
+  unsigned threads = 1;         ///< worker threads actually used
+  double success_rate = 0.0;    ///< fraction with result.success
+  double zero_leader_rate = 0.0;   ///< runs ending with no distinguished node
+  double multi_leader_rate = 0.0;  ///< runs ending with several
+  Summary congest_messages;
+  Summary logical_messages;
+  Summary total_bits;
+  Summary rounds;
+  Summary leader_count;
+  /// Per-key summaries of RunResult::extras. A key missing from some trial's
+  /// extras is summarized over the trials that reported it.
+  std::map<std::string, Summary> extras;
+};
+
+/// Runs `trials` seeded executions of `algorithm` on `g` and aggregates.
+/// Trial i uses options with seed = base_seed + i (other fields unchanged).
+/// `threads` = 0 picks min(hardware_concurrency, trials); any value yields
+/// identical TrialStats because per-trial results depend only on the seed.
+TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
+                      RunOptions options, int trials,
+                      std::uint64_t base_seed = 1000, unsigned threads = 0);
+
+}  // namespace wcle

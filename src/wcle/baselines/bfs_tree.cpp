@@ -1,5 +1,9 @@
 #include "wcle/baselines/bfs_tree.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -48,6 +52,37 @@ BfsTreeResult run_bfs_tree(const Graph& g, NodeId root) {
   res.complete = res.tree_nodes == n;
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class BfsTreeAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "bfs_tree"; }
+  std::string describe() const override {
+    return "BFS spanning tree from `source` by level flooding; Theta(m) "
+           "messages, O(D) rounds (Corollary 27 comparator)";
+  }
+  Kind kind() const override { return Kind::kBroadcast; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId root = options.source < g.node_count() ? options.source : 0;
+    const BfsTreeResult r = run_bfs_tree(g, root);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = {root};
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.complete;
+    out.extras["tree_nodes"] = static_cast<double>(r.tree_nodes);
+    out.extras["depth"] = static_cast<double>(r.depth);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_bfs_tree_algorithm() {
+  return std::make_unique<BfsTreeAlgorithm>();
 }
 
 }  // namespace wcle

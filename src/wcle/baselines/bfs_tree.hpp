@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -24,5 +25,10 @@ struct BfsTreeResult {
 };
 
 BfsTreeResult run_bfs_tree(const Graph& g, NodeId root);
+
+class Algorithm;
+
+/// Factory for the `bfs_tree` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_bfs_tree_algorithm();
 
 }  // namespace wcle

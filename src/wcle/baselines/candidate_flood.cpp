@@ -1,5 +1,9 @@
 #include "wcle/baselines/candidate_flood.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -66,6 +70,36 @@ CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
     if (!superseded[v]) res.leaders.push_back(v);
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class CandidateFloodAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "candidate_flood"; }
+  std::string describe() const override {
+    return "randomized candidate flooding (rate c1 log n / n); "
+           "Theta(m)..Theta(m log log n) messages [24]";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const CandidateFloodResult r =
+        run_candidate_flood(g, options.seed(), options.params.c1);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    out.extras["candidates"] = static_cast<double>(r.candidates.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_candidate_flood_algorithm() {
+  return std::make_unique<CandidateFloodAlgorithm>();
 }
 
 }  // namespace wcle

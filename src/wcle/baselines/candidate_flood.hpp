@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -24,5 +25,10 @@ struct CandidateFloodResult {
 /// `candidate_rate_multiplier` plays the paper's c1 role.
 CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
                                          double candidate_rate_multiplier = 4.0);
+
+class Algorithm;
+
+/// Factory for the `candidate_flood` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_candidate_flood_algorithm();
 
 }  // namespace wcle

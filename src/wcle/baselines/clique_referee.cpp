@@ -1,5 +1,9 @@
 #include "wcle/baselines/clique_referee.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 #include <unordered_map>
 
@@ -87,6 +91,39 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
     if (!killed[c]) res.leaders.push_back(c);
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class CliqueRefereeAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "clique_referee"; }
+  std::string describe() const override {
+    return "complete-network referee election of [25]; O(1) rounds, "
+           "O(sqrt(n) log^{3/2} n) messages, correct on cliques only";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  bool reliable_on(const Graph& g) const override {
+    const std::uint64_t n = g.node_count();
+    return g.edge_count() == n * (n - 1) / 2;
+  }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const CliqueRefereeResult r = run_clique_referee(g, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    out.extras["candidates"] = static_cast<double>(r.candidates.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_clique_referee_algorithm() {
+  return std::make_unique<CliqueRefereeAlgorithm>();
 }
 
 }  // namespace wcle

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/core/params.hpp"
@@ -39,5 +40,10 @@ struct CliqueRefereeResult {
 /// leaders — which is precisely the failure the paper's walks fix).
 CliqueRefereeResult run_clique_referee(const Graph& g,
                                        const ElectionParams& params);
+
+class Algorithm;
+
+/// Factory for the `clique_referee` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_clique_referee_algorithm();
 
 }  // namespace wcle

@@ -1,5 +1,9 @@
 #include "wcle/baselines/flood_broadcast.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <stdexcept>
 
 #include "wcle/sim/network.hpp"
@@ -44,6 +48,37 @@ FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
   res.complete = res.informed == n;
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class FloodBroadcastAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "flood_broadcast"; }
+  std::string describe() const override {
+    return "deterministic flooding broadcast from `source`; Theta(m) "
+           "messages, O(D) rounds (Corollary 26 comparator)";
+  }
+  Kind kind() const override { return Kind::kBroadcast; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId src = options.source < g.node_count() ? options.source : 0;
+    const FloodBroadcastResult r =
+        run_flood_broadcast(g, src, options.value_bits);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = {src};
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.complete;
+    out.extras["informed"] = static_cast<double>(r.informed);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_flood_broadcast_algorithm() {
+  return std::make_unique<FloodBroadcastAlgorithm>();
 }
 
 }  // namespace wcle

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -23,5 +24,10 @@ struct FloodBroadcastResult {
 /// Floods a rumor of `value_bits` bits from `source` until quiescence.
 FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
                                          std::uint32_t value_bits);
+
+class Algorithm;
+
+/// Factory for the `flood_broadcast` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_flood_broadcast_algorithm();
 
 }  // namespace wcle

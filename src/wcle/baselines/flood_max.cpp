@@ -1,5 +1,9 @@
 #include "wcle/baselines/flood_max.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -50,6 +54,34 @@ FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed) {
     if (!superseded[v]) res.leaders.push_back(v);
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class FloodMaxAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "flood_max"; }
+  std::string describe() const override {
+    return "classic FloodMax election; Theta(m)-per-wave messages, the "
+           "Omega(m) regime of Kutten et al. [24]";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const FloodElectionResult r = run_flood_max(g, options.seed());
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_flood_max_algorithm() {
+  return std::make_unique<FloodMaxAlgorithm>();
 }
 
 }  // namespace wcle

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -22,5 +23,10 @@ struct FloodElectionResult {
 
 /// Runs FloodMax with random ids drawn from [1, n^4].
 FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed);
+
+class Algorithm;
+
+/// Factory for the `flood_max` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_flood_max_algorithm();
 
 }  // namespace wcle

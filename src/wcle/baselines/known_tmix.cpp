@@ -1,5 +1,11 @@
 #include "wcle/baselines/known_tmix.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+#include "wcle/graph/spectral.hpp"
+#include "wcle/support/rng.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -71,6 +77,53 @@ KnownTmixResult run_known_tmix_election(const Graph& g,
   res.rounds = net.metrics().rounds;
   res.totals = net.metrics();
   return res;
+}
+
+std::uint32_t scaled_walk_length(double multiplier, std::uint64_t tmix) {
+  const double scaled = multiplier * static_cast<double>(tmix);
+  return static_cast<std::uint32_t>(
+      std::min<double>(std::max(1.0, scaled), double{1u << 24}));
+}
+
+namespace {
+
+class KnownTmixAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "known_tmix"; }
+  std::string describe() const override {
+    return "election with a-priori tmix [25]: fixed walk length "
+           "c3 * tmix (tmix from options.tmix_hint or an offline oracle)";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    // The oracle estimate is computed offline (centralized) and costs no
+    // messages — that is exactly the foreknowledge the paper dispenses with.
+    std::uint64_t tmix = options.tmix_hint;
+    if (tmix == 0) {
+      Rng rng(options.seed() ^ 0x731Aull);
+      tmix = mixing_time_estimate(g, 2, rng, 1u << 16);
+    }
+    const std::uint32_t walk_length =
+        scaled_walk_length(options.tmix_multiplier, tmix);
+    const KnownTmixResult r =
+        run_known_tmix_election(g, walk_length, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    out.extras["walk_length"] = static_cast<double>(walk_length);
+    out.extras["tmix_oracle"] = static_cast<double>(tmix);
+    out.extras["contenders"] = static_cast<double>(r.contenders.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_known_tmix_algorithm() {
+  return std::make_unique<KnownTmixAlgorithm>();
 }
 
 }  // namespace wcle

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/core/params.hpp"
@@ -27,5 +28,14 @@ struct KnownTmixResult {
 KnownTmixResult run_known_tmix_election(const Graph& g,
                                         std::uint32_t walk_length,
                                         const ElectionParams& params);
+
+/// Clamps multiplier * tmix to the walk-length range [1, 2^24]. Shared by
+/// the known-tmix and estimate-then-elect adapters so the cap cannot diverge.
+std::uint32_t scaled_walk_length(double multiplier, std::uint64_t tmix);
+
+class Algorithm;
+
+/// Factory for the `known_tmix` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_known_tmix_algorithm();
 
 }  // namespace wcle

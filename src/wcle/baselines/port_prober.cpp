@@ -1,5 +1,10 @@
 #include "wcle/baselines/port_prober.hpp"
 
+#include <cmath>
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 
 #include "wcle/sim/network.hpp"
@@ -46,6 +51,47 @@ ProbeResult run_port_prober(
   });
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class PortProberAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "port_prober"; }
+  std::string describe() const override {
+    return "random port probing with per-node budget (default ceil(sqrt n)); "
+           "target edges = bisection cut (Lemma 18 mechanism)";
+  }
+  Kind kind() const override { return Kind::kDiagnostic; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId n = g.node_count();
+    std::uint64_t budget = options.probe_budget;
+    if (budget == 0)
+      budget = static_cast<std::uint64_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+    const NodeId half = n / 2;
+    const ProbeResult r = run_port_prober(
+        g, budget, options.seed(),
+        [half](NodeId a, NodeId b) { return (a < half) != (b < half); });
+    RunResult out;
+    out.algorithm = name();
+    // Diagnostic protocol: the distinguished node is the sweep coordinator.
+    out.leaders = {options.source < n ? options.source : 0};
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.probes_sent > 0;
+    out.extras["probes_sent"] = static_cast<double>(r.probes_sent);
+    out.extras["target_edges_found"] =
+        static_cast<double>(r.target_edges_found);
+    out.extras["budget_per_node"] = static_cast<double>(budget);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_port_prober_algorithm() {
+  return std::make_unique<PortProberAlgorithm>();
 }
 
 }  // namespace wcle

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <functional>
 #include <vector>
 
@@ -28,5 +29,10 @@ struct ProbeResult {
 ProbeResult run_port_prober(
     const Graph& g, std::uint64_t budget_per_node, std::uint64_t seed,
     const std::function<bool(NodeId, NodeId)>& is_target_edge);
+
+class Algorithm;
+
+/// Factory for the `port_prober` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_port_prober_algorithm();
 
 }  // namespace wcle

@@ -1,5 +1,9 @@
 #include "wcle/baselines/push_pull.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <stdexcept>
 #include <utility>
 
@@ -85,6 +89,37 @@ BroadcastResult run_push_pull(const Graph& g,
   res.informed = informed_count;
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class PushPullAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "push_pull"; }
+  std::string describe() const override {
+    return "push-pull rumor spreading from `source`; O(log n / phi) rounds "
+           "(Karp et al. [22], Giakkoupis [17])";
+  }
+  Kind kind() const override { return Kind::kBroadcast; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId src = options.source < g.node_count() ? options.source : 0;
+    const BroadcastResult r = run_push_pull(
+        g, {src}, options.value_bits, options.seed(), options.max_rounds);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = {src};
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.complete;
+    out.extras["informed"] = static_cast<double>(r.informed);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_push_pull_algorithm() {
+  return std::make_unique<PushPullAlgorithm>();
 }
 
 }  // namespace wcle

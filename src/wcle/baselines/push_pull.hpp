@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -27,5 +28,10 @@ BroadcastResult run_push_pull(const Graph& g,
                               const std::vector<NodeId>& sources,
                               std::uint32_t value_bits, std::uint64_t seed,
                               std::uint64_t max_rounds = 0);
+
+class Algorithm;
+
+/// Factory for the `push_pull` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_push_pull_algorithm();
 
 }  // namespace wcle

@@ -1,5 +1,9 @@
 #include "wcle/baselines/territory_election.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <limits>
 #include <unordered_map>
 
@@ -116,6 +120,35 @@ TerritoryElectionResult run_territory_election(const Graph& g,
 
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class TerritoryElectionAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "territory_election"; }
+  std::string describe() const override {
+    return "territory-growing DFS election; O(m log k) messages but Theta(m) "
+           "time (the message-optimal extreme of [24])";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const TerritoryElectionResult r = run_territory_election(g, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    out.extras["candidates"] = static_cast<double>(r.candidates.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_territory_election_algorithm() {
+  return std::make_unique<TerritoryElectionAlgorithm>();
 }
 
 }  // namespace wcle

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/core/params.hpp"
@@ -36,5 +37,10 @@ struct TerritoryElectionResult {
 /// [1, n^4]. Requires a connected graph.
 TerritoryElectionResult run_territory_election(const Graph& g,
                                                const ElectionParams& params);
+
+class Algorithm;
+
+/// Factory for the `territory_election` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_territory_election_algorithm();
 
 }  // namespace wcle

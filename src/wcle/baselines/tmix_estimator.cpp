@@ -1,5 +1,10 @@
 #include "wcle/baselines/tmix_estimator.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+#include "wcle/baselines/known_tmix.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -94,6 +99,72 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
   res.totals += net.metrics();
   res.rounds += net.metrics().rounds;
   return res;
+}
+
+namespace {
+
+class TmixEstimatorAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "tmix_estimator"; }
+  std::string describe() const override {
+    return "distributed tmix estimation (Molla-Pandurangan [29] spirit); "
+           "Omega(m) messages from the BFS tree alone";
+  }
+  Kind kind() const override { return Kind::kDiagnostic; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId src = options.source < g.node_count() ? options.source : 0;
+    const TmixEstimateResult r = run_tmix_estimator(g, src, options.seed());
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = {src};
+    out.rounds = r.rounds;
+    out.totals = r.totals;
+    out.success = r.converged;
+    out.extras["tmix_estimate"] = static_cast<double>(r.estimate);
+    out.extras["iterations"] = static_cast<double>(r.iterations);
+    return out;
+  }
+};
+
+class EstimateThenElectAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "estimate_then_elect"; }
+  std::string describe() const override {
+    return "distributed tmix estimation, then the known-tmix election [25]: "
+           "the Omega(m)-message alternative the paper rejects";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId src = options.source < g.node_count() ? options.source : 0;
+    const TmixEstimateResult est = run_tmix_estimator(g, src, options.seed());
+    const std::uint32_t walk_length = scaled_walk_length(
+        options.tmix_multiplier, std::max<std::uint64_t>(1, est.estimate));
+    const KnownTmixResult elect =
+        run_known_tmix_election(g, walk_length, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = elect.leaders;
+    out.rounds = est.rounds + elect.rounds;
+    out.totals = est.totals;
+    out.totals += elect.totals;
+    out.success = est.converged && elect.success();
+    out.extras["tmix_estimate"] = static_cast<double>(est.estimate);
+    out.extras["estimator_messages"] =
+        static_cast<double>(est.totals.congest_messages);
+    out.extras["walk_length"] = static_cast<double>(walk_length);
+    out.extras["contenders"] = static_cast<double>(elect.contenders.size());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_tmix_estimator_algorithm() {
+  return std::make_unique<TmixEstimatorAlgorithm>();
+}
+
+std::unique_ptr<Algorithm> make_estimate_then_elect_algorithm() {
+  return std::make_unique<EstimateThenElectAlgorithm>();
 }
 
 }  // namespace wcle

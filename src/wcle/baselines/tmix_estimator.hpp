@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
@@ -41,5 +42,11 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
                                       std::uint64_t seed,
                                       std::uint64_t walks_per_round = 0,
                                       std::uint32_t max_t = 1u << 16);
+
+class Algorithm;
+
+/// Factory for the `tmix_estimator` / `estimate_then_elect` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_tmix_estimator_algorithm();
+std::unique_ptr<Algorithm> make_estimate_then_elect_algorithm();
 
 }  // namespace wcle

@@ -1,5 +1,9 @@
 #include "wcle/core/explicit_election.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include "wcle/support/bits.hpp"
 
 namespace wcle {
@@ -15,6 +19,42 @@ ExplicitElectionResult run_explicit_election(const Graph& g,
                                 params.seed ^ 0xb40adca57ull);
   res.success = res.election.success() && res.broadcast.complete;
   return res;
+}
+
+namespace {
+
+class ExplicitElectionAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "explicit_election"; }
+  std::string describe() const override {
+    return "implicit election followed by push-pull broadcast of the leader "
+           "id (Corollary 14)";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const ExplicitElectionResult r = run_explicit_election(g, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.election.leaders;
+    out.rounds = r.total_rounds();
+    out.totals = r.election.totals;
+    out.totals += r.broadcast.totals;
+    out.success = r.success;
+    out.extras["election_messages"] =
+        static_cast<double>(r.election.totals.congest_messages);
+    out.extras["broadcast_messages"] =
+        static_cast<double>(r.broadcast.totals.congest_messages);
+    out.extras["broadcast_rounds"] = static_cast<double>(r.broadcast.rounds);
+    out.extras["informed"] = static_cast<double>(r.broadcast.informed);
+    out.extras["phases"] = static_cast<double>(r.election.phases);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_explicit_election_algorithm() {
+  return std::make_unique<ExplicitElectionAlgorithm>();
 }
 
 }  // namespace wcle

@@ -5,6 +5,8 @@
 // on well-connected graphs.
 #pragma once
 
+#include <memory>
+
 #include "wcle/baselines/push_pull.hpp"
 #include "wcle/core/leader_election.hpp"
 
@@ -25,5 +27,10 @@ struct ExplicitElectionResult {
 
 ExplicitElectionResult run_explicit_election(const Graph& g,
                                              const ElectionParams& params);
+
+class Algorithm;
+
+/// Factory for the `explicit_election` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_explicit_election_algorithm();
 
 }  // namespace wcle

@@ -1,5 +1,9 @@
 #include "wcle/core/leader_election.hpp"
 
+#include <memory>
+
+#include "wcle/api/algorithm.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -325,6 +329,39 @@ ElectionResult run_leader_election(const Graph& g,
   }
   res.totals = net.metrics();
   return res;
+}
+
+namespace {
+
+class ElectionAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "election"; }
+  std::string describe() const override {
+    return "the paper's implicit election: guess-and-double random walks, no "
+           "knowledge of tmix (Algorithms 1+2, Theorem 13)";
+  }
+  Kind kind() const override { return Kind::kElection; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const ElectionResult r = run_leader_election(g, options.params);
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = r.leaders;
+    out.rounds = r.totals.rounds;
+    out.totals = r.totals;
+    out.success = r.success();
+    out.extras["contenders"] = static_cast<double>(r.contenders.size());
+    out.extras["phases"] = static_cast<double>(r.phases);
+    out.extras["final_length"] = static_cast<double>(r.final_length);
+    out.extras["scheduled_rounds"] = static_cast<double>(r.scheduled_rounds);
+    out.extras["hit_phase_cap"] = r.hit_phase_cap ? 1.0 : 0.0;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_election_algorithm() {
+  return std::make_unique<ElectionAlgorithm>();
 }
 
 }  // namespace wcle

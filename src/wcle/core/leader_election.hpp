@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wcle/core/params.hpp"
@@ -60,5 +61,10 @@ struct ElectionResult {
 /// Runs implicit leader election on `g` (which the nodes know only through
 /// ports plus the value n, per the model). Deterministic in params.seed.
 ElectionResult run_leader_election(const Graph& g, const ElectionParams& params);
+
+class Algorithm;
+
+/// Factory for the `election` registry adapter (see wcle/api/registry.hpp).
+std::unique_ptr<Algorithm> make_election_algorithm();
 
 }  // namespace wcle

@@ -1,0 +1,73 @@
+#include "wcle/graph/families.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "wcle/graph/generators.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+
+using Builder = Graph (*)(NodeId n, Rng& rng);
+
+NodeId square_side(NodeId n, NodeId floor_side) {
+  NodeId side = floor_side;
+  while ((side + 1) * (side + 1) <= n) ++side;
+  return side;
+}
+
+// One table drives both make_family and family_names, so the advertised set
+// and the accepted set cannot drift apart. Kept name-sorted.
+constexpr std::pair<const char*, Builder> kFamilies[] = {
+    {"ba", [](NodeId n, Rng& rng) { return make_barabasi_albert(n, 3, rng); }},
+    {"barbell", [](NodeId n, Rng&) { return make_barbell(n / 2); }},
+    {"bipartite",
+     [](NodeId n, Rng&) { return make_complete_bipartite(n / 2, n - n / 2); }},
+    {"clique", [](NodeId n, Rng&) { return make_clique(n); }},
+    {"expander",
+     [](NodeId n, Rng& rng) {
+       return make_random_regular(n % 2 ? n + 1 : n, 6, rng);
+     }},
+    {"grid",
+     [](NodeId n, Rng&) {
+       const NodeId side = square_side(n, 2);
+       return make_grid(side, side);
+     }},
+    {"hypercube",
+     [](NodeId n, Rng&) {
+       std::uint32_t d = 1;
+       while ((NodeId{1} << (d + 1)) <= n) ++d;
+       return make_hypercube(d);
+     }},
+    {"lollipop", [](NodeId n, Rng&) { return make_lollipop_pair(n / 2, 2); }},
+    {"path", [](NodeId n, Rng&) { return make_path(n); }},
+    {"ring", [](NodeId n, Rng&) { return make_ring(n); }},
+    {"star", [](NodeId n, Rng&) { return make_star(n); }},
+    {"torus",
+     [](NodeId n, Rng&) {
+       const NodeId side = square_side(n, 3);
+       return make_torus(side, side);
+     }},
+    {"ws",
+     [](NodeId n, Rng& rng) { return make_watts_strogatz(n, 3, 0.3, rng); }},
+};
+
+}  // namespace
+
+Graph make_family(const std::string& family, NodeId n, std::uint64_t seed) {
+  Rng rng(seed ^ 0xFA111Cull);
+  for (const auto& [name, builder] : kFamilies)
+    if (family == name) return builder(n, rng);
+  throw std::invalid_argument("unknown graph family '" + family + "'");
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> out;
+  out.reserve(std::size(kFamilies));
+  for (const auto& [name, builder] : kFamilies) out.emplace_back(name);
+  return out;
+}
+
+}  // namespace wcle

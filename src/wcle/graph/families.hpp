@@ -1,0 +1,25 @@
+// Named graph families: the string-keyed counterpart of generators.hpp, so
+// the CLI, tests, and benches can build any family from ("name", n, seed)
+// alone — the graph-side analogue of the algorithm registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+/// Builds the named family sized as close to `n` as the family permits
+/// (torus snaps to a square side, hypercube to a power of two, expander to
+/// even n). Throws std::invalid_argument for an unknown name.
+/// Families: clique, ring, path, torus, grid, hypercube, expander
+/// (6-regular), star, barbell, lollipop, bipartite, ba (Barabasi-Albert
+/// m0=3), ws (Watts-Strogatz k=3).
+Graph make_family(const std::string& family, NodeId n, std::uint64_t seed);
+
+/// All recognized family names, sorted.
+std::vector<std::string> family_names();
+
+}  // namespace wcle

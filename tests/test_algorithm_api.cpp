@@ -1,0 +1,133 @@
+// Tests for the unified Algorithm API: registry contents and lookup, and the
+// cross-algorithm smoke matrix — every registered algorithm must run through
+// the one `run(graph, options)` surface on a clique, a cycle, and a
+// hypercube with a fixed seed, and elect exactly one distinguished leader
+// wherever its w.h.p. guarantee applies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "wcle/api/registry.hpp"
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+class NullAlgorithm final : public Algorithm {
+ public:
+  explicit NullAlgorithm(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::string describe() const override { return "test stub"; }
+  Kind kind() const override { return Kind::kDiagnostic; }
+  RunResult run(const Graph&, const RunOptions&) const override {
+    return RunResult{};
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(Registry, ListsAllBuiltinAlgorithms) {
+  const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  EXPECT_GE(reg.size(), 10u);
+  const std::vector<std::string> names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"election", "explicit_election", "flood_max", "flood_broadcast",
+        "candidate_flood", "bfs_tree", "push_pull", "port_prober",
+        "clique_referee", "territory_election", "known_tmix",
+        "tmix_estimator", "estimate_then_elect"}) {
+    EXPECT_TRUE(reg.contains(expected)) << expected;
+  }
+}
+
+TEST(Registry, LookupAndErrors) {
+  AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+  EXPECT_EQ(reg.find("election")->name(), "election");
+  EXPECT_EQ(reg.find("no_such_algorithm"), nullptr);
+  EXPECT_EQ(reg.at("flood_max").kind(), Algorithm::Kind::kElection);
+  EXPECT_THROW(reg.at("no_such_algorithm"), std::out_of_range);
+  EXPECT_THROW(reg.add(std::make_unique<NullAlgorithm>("election")),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add(std::make_unique<NullAlgorithm>("")),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add(nullptr), std::invalid_argument);
+}
+
+TEST(Registry, MetadataIsComplete) {
+  for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+    EXPECT_FALSE(a->name().empty());
+    EXPECT_FALSE(a->describe().empty()) << a->name();
+    EXPECT_FALSE(kind_name(a->kind()).empty()) << a->name();
+  }
+}
+
+// ---------------------------------------------------------------- smoke
+
+struct SmokeGraph {
+  const char* label;
+  Graph graph;
+};
+
+std::vector<SmokeGraph> smoke_graphs() {
+  std::vector<SmokeGraph> out;
+  out.push_back({"clique24", make_clique(24)});
+  out.push_back({"cycle16", make_ring(16)});
+  out.push_back({"hypercube16", make_hypercube(4)});
+  return out;
+}
+
+TEST(AlgorithmSmoke, EveryAlgorithmElectsOneLeaderWhereReliable) {
+  RunOptions options;
+  options.set_seed(7);
+  for (const SmokeGraph& sg : smoke_graphs()) {
+    for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+      const RunResult r = a->run(sg.graph, options);
+      EXPECT_EQ(r.algorithm, a->name());
+      if (!a->reliable_on(sg.graph)) continue;  // e.g. clique_referee off-clique
+      EXPECT_TRUE(r.success) << a->name() << " on " << sg.label;
+      EXPECT_EQ(r.leaders.size(), 1u) << a->name() << " on " << sg.label;
+      EXPECT_LT(r.leaders[0], sg.graph.node_count())
+          << a->name() << " on " << sg.label;
+      EXPECT_GE(r.rounds, 1u) << a->name() << " on " << sg.label;
+      EXPECT_GT(r.totals.congest_messages, 0u)
+          << a->name() << " on " << sg.label;
+    }
+  }
+}
+
+TEST(AlgorithmSmoke, RunsAreDeterministicInSeed) {
+  const Graph g = make_hypercube(4);
+  RunOptions options;
+  options.set_seed(11);
+  for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+    const RunResult r1 = a->run(g, options);
+    const RunResult r2 = a->run(g, options);
+    EXPECT_EQ(r1.leaders, r2.leaders) << a->name();
+    EXPECT_EQ(r1.rounds, r2.rounds) << a->name();
+    EXPECT_EQ(r1.totals.congest_messages, r2.totals.congest_messages)
+        << a->name();
+    EXPECT_EQ(r1.extras, r2.extras) << a->name();
+  }
+}
+
+TEST(AlgorithmSmoke, CliqueRefereeAdmitsOnlyCliques) {
+  const Algorithm& a = AlgorithmRegistry::instance().at("clique_referee");
+  EXPECT_TRUE(a.reliable_on(make_clique(16)));
+  EXPECT_FALSE(a.reliable_on(make_ring(16)));
+  EXPECT_FALSE(a.reliable_on(make_hypercube(4)));
+}
+
+TEST(AlgorithmSmoke, SummaryMentionsAlgorithmAndOutcome) {
+  const Algorithm& a = AlgorithmRegistry::instance().at("flood_max");
+  RunOptions options;
+  options.set_seed(3);
+  const RunResult r = a.run(make_clique(12), options);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("flood_max"), std::string::npos);
+  EXPECT_NE(s.find("success"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcle

@@ -76,5 +76,45 @@ TEST(Cli, KeysEnumeration) {
   EXPECT_EQ(a.keys(), (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(Cli, NegativeValuesRejectedByGetU64) {
+  EXPECT_THROW(parse({"x", "--n=-1"}).get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW(parse({"x", "--n=-12345"}).get_u64("n", 0),
+               std::invalid_argument);
+  // std::stoull skips leading whitespace, so " -1" would wrap without the
+  // leading-digit requirement.
+  EXPECT_THROW(parse({"x", "--n= -1"}).get_u64("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"x", "--n= 7"}).get_u64("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"x", "--n="}).get_u64("n", 0), std::invalid_argument);
+  // Negatives stay legal where they make sense.
+  EXPECT_DOUBLE_EQ(parse({"x", "--a=-0.5"}).get_double("a", 0), -0.5);
+}
+
+TEST(Cli, UnconsumedTracksUntouchedKeys) {
+  const CliArgs a = parse({"elect", "--n=8", "--trails=5", "--seed=1"});
+  EXPECT_EQ(a.get_u64("n", 0), 8u);
+  EXPECT_EQ(a.get_u64("seed", 0), 1u);
+  // The typo'd --trails was never looked up: it must be reported.
+  EXPECT_EQ(a.unconsumed(), (std::vector<std::string>{"trails"}));
+}
+
+TEST(Cli, AllAccessorsMarkConsumption) {
+  const CliArgs a =
+      parse({"x", "--s=v", "--u=1", "--d=0.5", "--b=true", "--h=1"});
+  a.get("s", "");
+  a.get_u64("u", 0);
+  a.get_double("d", 0);
+  a.get_bool("b", false);
+  a.has("h");
+  EXPECT_TRUE(a.unconsumed().empty());
+}
+
+TEST(Cli, ConsumingAbsentKeysLeavesPresentOnesUnconsumed) {
+  const CliArgs a = parse({"x", "--present=1"});
+  a.get("absent", "");
+  EXPECT_EQ(a.unconsumed(), (std::vector<std::string>{"present"}));
+}
+
 }  // namespace
 }  // namespace wcle

@@ -1,0 +1,143 @@
+// Tests for the generic trial runner: uniform TrialStats schema across every
+// registered algorithm, determinism in the base seed, and bit-identical
+// aggregates regardless of worker-thread count (the fan-out only distributes
+// seeds; it must never change a result).
+#include <gtest/gtest.h>
+
+#include "wcle/api/registry.hpp"
+#include "wcle/api/serialize.hpp"
+#include "wcle/api/trials.hpp"
+#include "wcle/graph/generators.hpp"
+
+namespace wcle {
+namespace {
+
+void expect_identical(const Summary& a, const Summary& b, const char* what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.median, b.median) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+}
+
+void expect_identical(const TrialStats& a, const TrialStats& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.zero_leader_rate, b.zero_leader_rate);
+  EXPECT_EQ(a.multi_leader_rate, b.multi_leader_rate);
+  expect_identical(a.congest_messages, b.congest_messages, "congest_messages");
+  expect_identical(a.logical_messages, b.logical_messages, "logical_messages");
+  expect_identical(a.total_bits, b.total_bits, "total_bits");
+  expect_identical(a.rounds, b.rounds, "rounds");
+  expect_identical(a.leader_count, b.leader_count, "leader_count");
+  ASSERT_EQ(a.extras.size(), b.extras.size());
+  for (const auto& [key, summary] : a.extras) {
+    ASSERT_TRUE(b.extras.count(key)) << key;
+    expect_identical(summary, b.extras.at(key), key.c_str());
+  }
+}
+
+TEST(Trials, UniformSchemaForEveryRegisteredAlgorithm) {
+  const Graph g = make_clique(16);
+  const RunOptions options;
+  constexpr int kTrials = 3;
+  for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+    const TrialStats s = run_trials(*a, g, options, kTrials, 77);
+    EXPECT_EQ(s.algorithm, a->name());
+    EXPECT_EQ(s.trials, kTrials);
+    EXPECT_GE(s.threads, 1u);
+    EXPECT_EQ(s.congest_messages.count, static_cast<std::size_t>(kTrials))
+        << a->name();
+    EXPECT_EQ(s.rounds.count, static_cast<std::size_t>(kTrials)) << a->name();
+    EXPECT_EQ(s.leader_count.count, static_cast<std::size_t>(kTrials))
+        << a->name();
+    EXPECT_GE(s.success_rate, 0.0);
+    EXPECT_LE(s.success_rate, 1.0);
+    // An algorithm reports the same extras keys on every trial, so each
+    // extras summary covers all trials — that is what makes the schema
+    // uniform enough for tables and JSON without per-algorithm code.
+    for (const auto& [key, summary] : s.extras)
+      EXPECT_EQ(summary.count, static_cast<std::size_t>(kTrials))
+          << a->name() << " extras key " << key;
+  }
+}
+
+TEST(Trials, MultiThreadedIsBitIdenticalToSingleThreaded) {
+  const Graph g = make_hypercube(4);
+  const RunOptions options;
+  for (const char* name : {"election", "flood_max", "push_pull"}) {
+    const Algorithm& a = AlgorithmRegistry::instance().at(name);
+    const TrialStats single = run_trials(a, g, options, 8, 900, 1);
+    const TrialStats quad = run_trials(a, g, options, 8, 900, 4);
+    EXPECT_EQ(single.threads, 1u);
+    EXPECT_EQ(quad.threads, 4u);
+    expect_identical(single, quad);
+  }
+}
+
+TEST(Trials, DeterministicInBaseSeedOnly) {
+  const Graph g = make_clique(20);
+  const Algorithm& a = AlgorithmRegistry::instance().at("election");
+  const RunOptions options;
+  const TrialStats s1 = run_trials(a, g, options, 5, 1234);
+  const TrialStats s2 = run_trials(a, g, options, 5, 1234);
+  expect_identical(s1, s2);
+  const TrialStats s3 = run_trials(a, g, options, 5, 1235);
+  EXPECT_NE(s1.congest_messages.mean, s3.congest_messages.mean);
+}
+
+TEST(Trials, ZeroTrialsYieldEmptyStats) {
+  const Graph g = make_clique(8);
+  const Algorithm& a = AlgorithmRegistry::instance().at("flood_max");
+  const TrialStats s = run_trials(a, g, RunOptions{}, 0);
+  EXPECT_EQ(s.trials, 0);
+  EXPECT_EQ(s.congest_messages.count, 0u);
+  EXPECT_EQ(s.success_rate, 0.0);
+}
+
+TEST(Trials, ThreadCountIsCappedByTrials) {
+  const Graph g = make_clique(8);
+  const Algorithm& a = AlgorithmRegistry::instance().at("flood_max");
+  const TrialStats s = run_trials(a, g, RunOptions{}, 2, 10, 16);
+  EXPECT_EQ(s.threads, 2u);
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Serialize, RunResultJsonHasSchemaFields) {
+  const Algorithm& a = AlgorithmRegistry::instance().at("election");
+  RunOptions options;
+  options.set_seed(5);
+  const std::string json = to_json(a.run(make_clique(16), options));
+  for (const char* key :
+       {"\"algorithm\":\"election\"", "\"success\":", "\"leaders\":",
+        "\"rounds\":", "\"congest_messages\":", "\"extras\":",
+        "\"phases\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(Serialize, TrialStatsJsonHasSchemaFields) {
+  const Algorithm& a = AlgorithmRegistry::instance().at("push_pull");
+  const std::string json =
+      to_json(run_trials(a, make_clique(16), RunOptions{}, 3, 44));
+  for (const char* key :
+       {"\"algorithm\":\"push_pull\"", "\"trials\":3", "\"threads\":",
+        "\"success_rate\":", "\"metrics\":", "\"congest_messages\":",
+        "\"mean\":", "\"median\":", "\"extras\":", "\"informed\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(Serialize, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace wcle
