@@ -1,33 +1,55 @@
-// Shared scaffolding for the experiment benches. Each bench binary:
-//   1. runs its deterministic parameter sweep and prints the paper-style
-//      table (the rows EXPERIMENTS.md records), then
-//   2. registers the headline configuration as a google-benchmark case (one
-//      iteration, counters for messages/rounds) so the standard benchmark
-//      tooling also sees it.
+// Thin scaffolding for the experiment benches, which since the sweep engine
+// are mostly declarative: each bench binary
+//   1. runs its builtin ExperimentSpec (wcle/api/scenario.hpp) through the
+//      sweep engine and prints the paper-style table — the exact table
+//      `wcle_cli sweep --spec=eK` reproduces — plus any supplemental
+//      proof-mechanism tables that are not sweep-shaped, then
+//   2. registers its headline configuration as a google-benchmark case so
+//      the standard benchmark tooling also sees it.
 // Sweep sizes honour the WCLE_BENCH_SCALE env var (0 = quick, 1 = default,
 // 2 = extended) so CI and laptops can trade depth for time.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/sink.hpp"
+#include "wcle/api/sweep.hpp"
+#include "wcle/graph/families.hpp"
 #include "wcle/support/table.hpp"
 
 namespace wcle::bench {
 
-/// 0 = quick, 1 = default, 2 = extended.
-inline int scale() {
-  if (const char* s = std::getenv("WCLE_BENCH_SCALE")) {
-    const int v = std::atoi(s);
-    if (v >= 0 && v <= 2) return v;
-  }
-  return 1;
+/// 0 = quick, 1 = default, 2 = extended (WCLE_BENCH_SCALE).
+inline int scale() { return wcle::default_bench_scale(); }
+
+/// Runs `spec` through the sweep engine with the paper-style table sink and
+/// returns the per-cell results for bespoke post-analysis (power-law fits,
+/// envelope ratios, ...).
+inline std::vector<CellResult> run_spec(const ExperimentSpec& spec) {
+  TableSink sink(std::cout);
+  return run_sweep(spec, {&sink});
 }
 
-/// Prints the experiment banner + table and an optional trailing note.
+/// Convenience: the builtin experiment at the ambient scale.
+inline std::vector<CellResult> run_builtin(const std::string& name) {
+  return run_spec(builtin_experiment(name, scale()));
+}
+
+/// The alpha of a "lowerbound[:alpha]" family string, resolved by the family
+/// registry itself so the default and validation cannot drift from what the
+/// graph was actually built with. Used by the E7/E8/E10 normalization
+/// columns.
+inline double alpha_of(const std::string& family) {
+  return wcle::lowerbound_alpha(family);
+}
+
+/// Prints a supplemental banner + table + note (for the proof-mechanism
+/// illustrations that are not sweep-shaped).
 inline void print_report(const std::string& title, const Table& table,
                          const std::string& note = {}) {
   std::cout << "\n=== " << title << " ===\n";

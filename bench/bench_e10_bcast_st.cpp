@@ -1,18 +1,17 @@
 // E10 — Corollaries 26/27: broadcast and spanning-tree construction need
 // Omega(n / sqrt(phi)) messages.
 // On G(alpha), any broadcast must discover all N = n^{1-eps} cliques at
-// Omega(n^{2eps}) messages each. We run push-pull broadcast and BFS spanning
-// tree on a sweep of alpha and report measured messages against the
-// n/sqrt(phi) envelope: the ratio must stay >= a constant (no algorithm can
-// go below the bound) and track its growth as alpha shrinks.
+// Omega(n^{2eps}) messages each. The three-algorithm alpha sweep is the
+// builtin spec "e10" (`wcle_cli sweep --spec=e10`); this binary normalizes
+// every cell by the n/sqrt(phi) envelope: the ratio must stay >= a constant
+// (no algorithm can go below the bound) and track its growth as alpha
+// shrinks.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "wcle/baselines/bfs_tree.hpp"
-#include "wcle/baselines/flood_broadcast.hpp"
 #include "wcle/baselines/push_pull.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/support/table.hpp"
@@ -22,31 +21,20 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  const NodeId n = sc >= 2 ? 3000 : (sc == 1 ? 1500 : 800);
-
-  Table t({"alpha", "n", "envelope n/sqrt(phi)", "push-pull msgs",
-           "pp/envelope", "flood msgs", "bfs-st msgs", "st/envelope"});
-  for (const double alpha : {0.0015, 0.003, 0.006}) {
-    Rng grng(0xEA000);
-    const LowerBoundGraph lb = make_lower_bound_graph(n, alpha, grng);
+  const std::vector<CellResult> results = bench::run_builtin("e10");
+  Table t({"alpha", "n", "algorithm", "envelope n/sqrt(phi)",
+           "msgs/envelope"});
+  for (const CellResult& r : results) {
+    const double alpha = bench::alpha_of(r.cell.family);
     const double envelope =
-        static_cast<double>(lb.graph.node_count()) / std::sqrt(alpha);
-    const BroadcastResult pp =
-        run_push_pull(lb.graph, {0}, 32, 0xEA100);
-    const FloodBroadcastResult fb = run_flood_broadcast(lb.graph, 0, 32);
-    const BfsTreeResult st = run_bfs_tree(lb.graph, 0);
-    t.add_row({Table::num(alpha, 3), std::to_string(lb.graph.node_count()),
+        static_cast<double>(r.n) / std::sqrt(alpha);
+    t.add_row({Table::num(alpha, 3), std::to_string(r.n), r.cell.algorithm,
                Table::num(envelope),
-               Table::num(double(pp.totals.congest_messages)),
-               Table::num(double(pp.totals.congest_messages) / envelope, 3),
-               Table::num(double(fb.totals.congest_messages)),
-               Table::num(double(st.totals.congest_messages)),
-               Table::num(double(st.totals.congest_messages) / envelope, 3)});
+               Table::num(r.stats.congest_messages.mean / envelope, 3)});
   }
   bench::print_report(
-      "E10: Corollaries 26/27 — broadcast & spanning tree on G(alpha)", t,
-      "both ratios must stay >= Omega(1): no broadcast or ST algorithm can "
+      "E10 (derived): Corollaries 26/27 normalization", t,
+      "every ratio must stay >= Omega(1): no broadcast or ST algorithm can "
       "beat n/sqrt(phi) on this family");
 }
 

@@ -1,13 +1,11 @@
 // E11 — Theorem 28: without knowledge of n, leader election costs Omega(m).
-// The proof's engine is indistinguishability on dumbbell graphs: until a
-// message crosses a bridge, an execution on Dumbbell(G0[e'], G0[e'']) is
-// bit-identical to one on G0, so an algorithm that "thinks" n = |G0| elects
-// one leader per side — split brain. We demonstrate:
+// The correct-n elections on dumbbells are the builtin spec "e11"
+// (`wcle_cli sweep --spec=e11`, families dumbbell:<base>). The proof's
+// engine — indistinguishability until a bridge crossing — is not
+// sweep-shaped, so this binary keeps the supplemental demonstration:
 //   (a) wrong-n split brain: running the paper's algorithm per side (the
 //       behavior indistinguishability forces) yields 2 leaders overall;
-//   (b) correct-n repair: with the true n the algorithm elects exactly one
-//       leader on the dumbbell;
-//   (c) bridge-crossing cost: random port probing from within one side needs
+//   (b) bridge-crossing cost: random port probing from within one side needs
 //       ~m/2 probes in expectation to find a bridge port (Lemma 18's
 //       argument specialized to the two bridge edges among 2m ports).
 #include <benchmark/benchmark.h>
@@ -25,6 +23,8 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
+  bench::run_builtin("e11");
+
   const int sc = bench::scale();
   struct Case {
     const char* name;
@@ -69,7 +69,8 @@ void run_tables() {
                Table::num(static_cast<double>(d.graph.edge_count()) / 2.0)});
   }
   bench::print_report(
-      "E11: Theorem 28 — unknown n forces Omega(m) (dumbbell split brain)", t,
+      "E11b: Theorem 28 — unknown n forces Omega(m) (dumbbell split brain)",
+      t,
       "split-brain leaders = 2 (one per indistinguishable half); true-n "
       "leaders = 1; bridge discovery costs Theta(m) port probes");
 }

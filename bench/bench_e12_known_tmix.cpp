@@ -1,19 +1,20 @@
-// E12 — what does *not* knowing tmix cost? (the paper vs Kutten et al. [25])
+// E12 — what does *not* knowing tmix cost? (the paper vs Kutten et al. [25]
+// vs estimate-then-elect [29])
 // The paper's contribution over [25] is removing the assumption that nodes
-// know tmix, at the price of guess-and-double phases and the congestion pad.
-// We run both on the same graphs: the known-tmix baseline does one walk stage
-// of length 2*tmix; ours discovers the length. Reported ratios quantify the
-// overhead, which theory caps at O(log^2 n) in time and a constant factor in
-// walk stages (the doubling sum).
+// know tmix, at the price of guess-and-double phases and the congestion pad;
+// the rejected third option estimates tmix distributedly first (Omega(m)
+// messages) and then runs [25]. All three run under identical conditions in
+// the builtin spec "e12" (`wcle_cli sweep --spec=e12`); this binary derives
+// the message/round overhead ratios per family, which theory caps at
+// O(log^2 n) in time and a constant factor in walk stages.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "wcle/analysis/experiment.hpp"
 #include "wcle/baselines/known_tmix.hpp"
-#include "wcle/baselines/tmix_estimator.hpp"
-#include "wcle/core/leader_election.hpp"
+#include "wcle/core/params.hpp"
 #include "wcle/graph/generators.hpp"
 #include "wcle/graph/spectral.hpp"
 #include "wcle/support/table.hpp"
@@ -23,86 +24,33 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  const int trials = sc == 0 ? 3 : 5;
-  struct Case {
-    const char* name;
-    Graph g;
+  const std::vector<CellResult> results = bench::run_builtin("e12");
+  // Regroup by family: ours vs the two tmix-knowledge baselines.
+  struct Row {
+    double msgs = 0, rounds = 0;
   };
-  std::vector<Case> cases;
-  cases.push_back({"clique_256", make_clique(256)});
-  cases.push_back({"hypercube_256", make_hypercube(8)});
-  {
-    Rng grng(0xEC001);
-    cases.push_back({"expander6_512", make_random_regular(512, 6, grng)});
-  }
-  if (sc >= 1) cases.push_back({"torus_16x16", make_torus(16, 16)});
-
-  Table t({"graph", "tmix", "ours msgs", "known msgs", "msg ratio",
-           "ours rounds", "known rounds", "round ratio", "ours ok",
-           "known ok"});
-  for (const Case& c : cases) {
-    const std::uint32_t tmix =
-        static_cast<std::uint32_t>(mixing_time_exact(c.g, 1u << 18));
-    ElectionParams p;
-    double ours_msgs = 0, ours_rounds = 0, ours_ok = 0;
-    double known_msgs = 0, known_rounds = 0, known_ok = 0;
-    for (int s = 0; s < trials; ++s) {
-      p.seed = 0xEC100 + s;
-      const ElectionResult r = run_leader_election(c.g, p);
-      ours_msgs += double(r.totals.congest_messages);
-      ours_rounds += double(r.totals.rounds);
-      ours_ok += r.success();
-      const KnownTmixResult k =
-          run_known_tmix_election(c.g, 2 * tmix + 1, p);
-      known_msgs += double(k.totals.congest_messages);
-      known_rounds += double(k.rounds);
-      known_ok += k.success();
-    }
-    t.add_row({c.name, std::to_string(tmix),
-               Table::num(ours_msgs / trials), Table::num(known_msgs / trials),
-               Table::num(ours_msgs / known_msgs, 3),
-               Table::num(ours_rounds / trials),
-               Table::num(known_rounds / trials),
-               Table::num(ours_rounds / known_rounds, 3),
-               Table::num(ours_ok / trials, 2),
-               Table::num(known_ok / trials, 2)});
+  std::map<std::string, std::map<std::string, Row>> by_family;
+  for (const CellResult& r : results)
+    by_family[r.cell.family + "_" + std::to_string(r.n)][r.cell.algorithm] = {
+        r.stats.congest_messages.mean, r.stats.rounds.mean};
+  Table t({"graph", "msgs ours/known", "rounds ours/known",
+           "msgs est+elect/ours"});
+  for (const auto& [family, algos] : by_family) {
+    const auto ours = algos.find("election");
+    const auto known = algos.find("known_tmix");
+    const auto est = algos.find("estimate_then_elect");
+    if (ours == algos.end() || known == algos.end() || est == algos.end())
+      continue;
+    t.add_row({family,
+               Table::num(ours->second.msgs / known->second.msgs, 3),
+               Table::num(ours->second.rounds / known->second.rounds, 3),
+               Table::num(est->second.msgs / ours->second.msgs, 3)});
   }
   bench::print_report(
-      "E12: price of not knowing tmix — paper vs Kutten et al. [25]", t,
-      "ratios quantify the guess-and-double + exchange overhead; theory "
-      "bounds the round ratio by O(log^2 n)");
-
-  // The third option the paper rejects: estimate tmix distributedly first
-  // (Molla & Pandurangan [29]-style, Omega(m) messages), then run the
-  // known-tmix election with the estimate.
-  Table t3({"graph", "m", "ours msgs", "estimate msgs", "est+elect msgs",
-            "est+elect / ours", "tmix est vs exact"});
-  for (const Case& c : cases) {
-    const std::uint32_t exact =
-        static_cast<std::uint32_t>(mixing_time_exact(c.g, 1u << 18));
-    ElectionParams p;
-    p.seed = 0xEC300;
-    const ElectionResult ours = run_leader_election(c.g, p);
-    const TmixEstimateResult est = run_tmix_estimator(c.g, 0, 0xEC301);
-    const std::uint32_t est_t = est.converged ? est.estimate : exact;
-    const KnownTmixResult k =
-        run_known_tmix_election(c.g, 2 * est_t + 1, p);
-    const double combined = double(est.totals.congest_messages) +
-                            double(k.totals.congest_messages);
-    t3.add_row({c.name, std::to_string(c.g.edge_count()),
-                Table::num(double(ours.totals.congest_messages)),
-                Table::num(double(est.totals.congest_messages)),
-                Table::num(combined),
-                Table::num(combined /
-                           double(ours.totals.congest_messages), 3),
-                Table::num(double(est_t), 3) + " vs " +
-                    Table::num(double(exact), 3)});
-  }
-  bench::print_report(
-      "E12b: estimate-then-elect (the [29] route the paper rejects)", t3,
-      "the Omega(m) estimation fee makes est+elect lose on dense graphs — "
-      "the reason the paper builds guess-and-double instead");
+      "E12 (derived): the price of not knowing tmix", t,
+      "ours/known quantifies guess-and-double + exchange overhead (theory: "
+      "O(log^2 n) in rounds); est+elect/ours > 1 is the Omega(m) estimation "
+      "fee that makes the [29] route lose");
 }
 
 void BM_KnownTmix(benchmark::State& state) {

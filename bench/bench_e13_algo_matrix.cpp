@@ -1,53 +1,20 @@
 // E13 — the whole registry under one roof. The point of the unified
-// Algorithm API: every election protocol in the library runs under identical
-// harness conditions (same graphs, same seeds, same trial engine), so the
-// Theorem 13 comparison is a single table instead of twelve bespoke mains.
-// Broadcast/diagnostic protocols get their own table with the same schema.
+// Algorithm API + sweep engine: every protocol in the library runs under
+// identical harness conditions (same graphs, same seeds, same trial engine),
+// so the Theorem 13 comparison is one declarative grid instead of thirteen
+// bespoke mains. The builtin spec "e13" (`wcle_cli sweep --spec=e13`) is
+// algo=all x {clique, hypercube, expander} with reliable_on filtering.
 #include <benchmark/benchmark.h>
-
-#include <string>
-#include <vector>
 
 #include "bench_common.hpp"
 #include "wcle/api/registry.hpp"
-#include "wcle/api/trials.hpp"
 #include "wcle/graph/families.hpp"
-#include "wcle/support/table.hpp"
 
 namespace {
 
 using namespace wcle;
 
-void matrix_for(const std::string& family, NodeId n, int trials) {
-  const Graph g = make_family(family, n, 0xE13);
-  RunOptions options;
-  Table t({"algorithm", "kind", "msgs(mean)", "msgs(max)", "rounds(mean)",
-           "success"});
-  for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
-    if (a->kind() == Algorithm::Kind::kElection && !a->reliable_on(g))
-      continue;  // e.g. clique_referee off-clique: not a fair row
-    const TrialStats s = run_trials(*a, g, options, trials, 0xE1300);
-    t.add_row({a->name(), kind_name(a->kind()),
-               Table::num(s.congest_messages.mean),
-               Table::num(s.congest_messages.max), Table::num(s.rounds.mean),
-               Table::num(s.success_rate, 2)});
-  }
-  bench::print_report(
-      "E13: all registered algorithms on " + family + "_" +
-          std::to_string(g.node_count()),
-      t,
-      "one registry, one trial engine, one schema — the Theorem 13 "
-      "comparison as a single sweep");
-}
-
-void run_tables() {
-  const int sc = bench::scale();
-  const int trials = sc == 0 ? 2 : 3;
-  const NodeId n = sc == 2 ? 512 : (sc == 1 ? 256 : 64);
-  matrix_for("clique", n, trials);
-  matrix_for("hypercube", n, trials);
-  if (sc >= 1) matrix_for("expander", n, trials);
-}
+void run_tables() { bench::run_builtin("e13"); }
 
 void BM_RegistryElectionSweep(benchmark::State& state) {
   const Graph g = make_family("hypercube", 256, 0xE13);

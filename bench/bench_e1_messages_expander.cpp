@@ -1,16 +1,15 @@
 // E1 — Theorem 13, message complexity on expanders.
 // Paper: implicit leader election costs O(sqrt(n) log^{7/2} n * tmix) CONGEST
 // messages; on expanders (tmix = O(log n)) that is O~(sqrt n) — sublinear in
-// both n and m. This bench sweeps random 6-regular graphs, reports measured
-// CONGEST messages against the Theorem-13 envelope and the edge count, and
-// fits the empirical growth exponent of messages in n (should be ~0.5 + o(1);
-// the polylog factors push it slightly above 0.5 at these sizes).
+// both n and m. The sweep itself is declarative (builtin spec "e1",
+// reproducible via `wcle_cli sweep --spec=e1`); this binary adds the
+// empirical growth-exponent fit (should be ~0.5 + o(1)).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "bench_common.hpp"
-#include "wcle/analysis/experiment.hpp"
+#include "wcle/core/leader_election.hpp"
 #include "wcle/graph/generators.hpp"
 #include "wcle/support/stats.hpp"
 #include "wcle/support/table.hpp"
@@ -20,43 +19,20 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  std::vector<NodeId> sizes{256, 512, 1024};
-  if (sc >= 1) sizes.push_back(2048);
-  if (sc >= 2) {
-    sizes.push_back(4096);
-    sizes.push_back(8192);
-  }
-  const int trials = sc == 0 ? 3 : 5;
-
-  Table t({"n", "m", "tmix", "msgs(mean)", "msgs(max)", "envelope",
-           "msgs/envelope", "msgs/m", "success"});
-  std::vector<double> xs, ys;
-  for (const NodeId n : sizes) {
-    Rng grng(0xE1000 + n);
-    const Graph g = make_random_regular(n, 6, grng);
-    const GraphProfile prof = profile_graph(g, 2);
-    ElectionParams p;
-    const ElectionTrialStats stats = run_election_trials(g, p, trials, n);
-    const double envelope = theorem13_message_envelope(n, prof.tmix);
-    t.add_row({std::to_string(n), std::to_string(g.edge_count()),
-               std::to_string(prof.tmix),
-               Table::num(stats.congest_messages.mean),
-               Table::num(stats.congest_messages.max), Table::num(envelope),
-               Table::num(stats.congest_messages.mean / envelope),
-               Table::num(stats.congest_messages.mean /
-                          static_cast<double>(g.edge_count())),
-               Table::num(stats.success_rate, 2)});
-    xs.push_back(static_cast<double>(n));
-    ys.push_back(stats.congest_messages.mean);
+  const std::vector<CellResult> results = bench::run_builtin("e1");
+  std::vector<double> xs, ys, ratios;
+  for (const CellResult& r : results) {
+    xs.push_back(static_cast<double>(r.n));
+    ys.push_back(r.stats.congest_messages.mean);
+    ratios.push_back(r.stats.congest_messages.mean /
+                     static_cast<double>(r.m));
   }
   const LineFit fit = fit_power_law(xs, ys);
-  bench::print_report(
-      "E1: Theorem 13 — messages on 6-regular expanders",
-      t,
-      "empirical exponent: messages ~ n^" + Table::num(fit.slope, 3) +
-          "  (theory: 0.5 + polylog; msgs/envelope should be flat-ish, "
-          "msgs/m shrinking)");
+  std::cout << "empirical exponent: messages ~ n^" << Table::num(fit.slope, 3)
+            << "  (theory: 0.5 + polylog); msgs/m "
+            << Table::num(ratios.front(), 3) << " -> "
+            << Table::num(ratios.back(), 3)
+            << " (must shrink: sublinear in m)\n";
 }
 
 void BM_ElectionExpander(benchmark::State& state) {

@@ -1,15 +1,16 @@
 // E3 — Theorem 13 on hypercubes.
 // Paper: hypercubes have tmix = O(log n log log n), so election takes
 // O(log^3 n log log n) time and O(sqrt(n) log^{9/2} n log log n) messages.
-// Sweep dimensions, report messages/rounds vs the hypercube-specialized
-// envelopes.
+// The dimension sweep is the builtin spec "e3" (`wcle_cli sweep --spec=e3`);
+// this binary normalizes the measured messages by the hypercube-specialized
+// envelope (the ratio must stay flat-ish across dims).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "wcle/analysis/experiment.hpp"
+#include "wcle/core/leader_election.hpp"
 #include "wcle/graph/generators.hpp"
 #include "wcle/support/table.hpp"
 
@@ -18,34 +19,19 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  std::vector<std::uint32_t> dims{7, 8, 9};
-  if (sc >= 1) dims.push_back(10);
-  if (sc >= 2) dims.push_back(11);
-  const int trials = sc == 0 ? 3 : 5;
-
-  Table t({"dim", "n", "tmix", "msgs(mean)", "rounds(mean)", "msg_envelope",
-           "time_envelope", "msgs/envelope", "success"});
-  for (const std::uint32_t dim : dims) {
-    const Graph g = make_hypercube(dim);
-    const NodeId n = g.node_count();
-    const GraphProfile prof = profile_graph(g, 2);
-    ElectionParams p;
-    const ElectionTrialStats stats = run_election_trials(g, p, trials, dim);
-    const double lg = std::log2(static_cast<double>(n));
-    const double msg_env = std::sqrt(static_cast<double>(n)) *
+  const std::vector<CellResult> results = bench::run_builtin("e3");
+  Table t({"n", "msg_envelope", "msgs/envelope", "time_envelope"});
+  for (const CellResult& r : results) {
+    const double lg = std::log2(static_cast<double>(r.n));
+    const double msg_env = std::sqrt(static_cast<double>(r.n)) *
                            std::pow(lg, 4.5) * std::log2(lg + 1.0);
     const double time_env = std::pow(lg, 3.0) * std::log2(lg + 1.0);
-    t.add_row({std::to_string(dim), std::to_string(n),
-               std::to_string(prof.tmix),
-               Table::num(stats.congest_messages.mean),
-               Table::num(stats.rounds.mean), Table::num(msg_env),
-               Table::num(time_env),
-               Table::num(stats.congest_messages.mean / msg_env),
-               Table::num(stats.success_rate, 2)});
+    t.add_row({std::to_string(r.n), Table::num(msg_env),
+               Table::num(r.stats.congest_messages.mean / msg_env, 3),
+               Table::num(time_env)});
   }
   bench::print_report(
-      "E3: Theorem 13 on hypercubes (tmix = O(log n log log n))", t,
+      "E3 (derived): hypercube corollary envelopes", t,
       "msgs/envelope flat-ish across dims confirms the hypercube corollary");
 }
 

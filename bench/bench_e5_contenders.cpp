@@ -1,23 +1,21 @@
 // E5 — Lemma 1, contender concentration.
 // Paper: w.h.p. the contender count lies in [3/4 c1 log n, 5/4 c1 log n].
-// We sample the contender stage many times per n and report the empirical
-// mean, spread, and the fraction of samples inside the paper's window —
-// illustrating both the lemma and the finite-size slack that motivates the
-// threshold correction documented in DESIGN.md.
+// The sampling sweep is the builtin spec "e5" (`wcle_cli sweep --spec=e5`):
+// the registered `contender_stage` diagnostic samples the lottery once per
+// trial, so mean(in_window) in the table IS Pr[in window] and mean(zero) is
+// the n^{-c1} total-failure rate — illustrating both the lemma and the
+// finite-size slack that motivates the threshold correction in DESIGN.md.
 #include <benchmark/benchmark.h>
-
-#include <cmath>
-#include <vector>
 
 #include "bench_common.hpp"
 #include "wcle/core/params.hpp"
 #include "wcle/support/rng.hpp"
-#include "wcle/support/stats.hpp"
-#include "wcle/support/table.hpp"
 
 namespace {
 
 using namespace wcle;
+
+void run_tables() { bench::run_builtin("e5"); }
 
 std::uint64_t sample_contenders(NodeId n, double p_contender,
                                 std::uint64_t seed) {
@@ -25,40 +23,6 @@ std::uint64_t sample_contenders(NodeId n, double p_contender,
   std::uint64_t count = 0;
   for (NodeId v = 0; v < n; ++v) count += rng.next_bool(p_contender);
   return count;
-}
-
-void run_tables() {
-  const int sc = bench::scale();
-  const int samples = sc == 0 ? 200 : (sc == 1 ? 1000 : 5000);
-  std::vector<NodeId> sizes{256, 1024, 4096, 16384};
-  if (sc >= 1) sizes.push_back(65536);
-  if (sc >= 2) sizes.push_back(262144);
-
-  ElectionParams params;
-  Table t({"n", "E[X]=c1 log n", "mean", "stddev", "lo=3/4 c1 log n",
-           "hi=5/4 c1 log n", "Pr[in window]", "Pr[X=0]"});
-  for (const NodeId n : sizes) {
-    const double mu = params.c1 * params.log2_n(n);
-    const double lo = 0.75 * mu, hi = 1.25 * mu;
-    std::vector<double> xs;
-    int in_window = 0, zero = 0;
-    for (int s = 0; s < samples; ++s) {
-      const std::uint64_t x = sample_contenders(
-          n, params.contender_probability(n), 0xE5000 + n + s);
-      xs.push_back(static_cast<double>(x));
-      if (static_cast<double>(x) >= lo && static_cast<double>(x) <= hi)
-        ++in_window;
-      if (x == 0) ++zero;
-    }
-    const Summary sum = summarize(std::move(xs));
-    t.add_row({std::to_string(n), Table::num(mu), Table::num(sum.mean),
-               Table::num(sum.stddev), Table::num(lo), Table::num(hi),
-               Table::num(in_window / double(samples), 3),
-               Table::num(zero / double(samples), 3)});
-  }
-  bench::print_report(
-      "E5: Lemma 1 — contender concentration in [3/4, 5/4] c1 log n", t,
-      "Pr[in window] must grow toward 1 with n (Chernoff); Pr[X=0] ~ n^-c1");
 }
 
 void BM_ContenderSampling(benchmark::State& state) {

@@ -1,97 +1,22 @@
-// E6 — Lemmas 3/6, the guess-and-double stopping rule, plus the coalescing
-// ablation from DESIGN.md §5.
+// E6 — Lemmas 3/6, the guess-and-double stopping rule, plus the bandwidth
+// and token-coalescing ablations (DESIGN.md §5).
 // Paper: every contender stops once t_u = c3 tmix (c3 > 1); guess-and-double
-// costs only a constant factor over the final guess. We report, per family,
-// the measured tmix, the stopping t_u (should be Theta(tmix), and <= 2 c3
-// tmix thanks to doubling), and the number of phases (= log2 of final t_u).
-// The ablation compares the CONGEST message bill in the narrow O(log n)
-// versus wide O(log^3 n) regimes (Lemma 12's two bounds).
+// costs only a constant factor over the final guess. The whole grid —
+// families x {standard, wide} bandwidth x {coalesced, naive} tokens — is the
+// builtin spec "e6" (`wcle_cli sweep --spec=e6`): final_length is the
+// stopping t_u (Theta(tmix)), phases its log, and the wide/coalesce rows
+// chart Lemma 12's two regimes in the same table.
 #include <benchmark/benchmark.h>
 
-#include <vector>
-
 #include "bench_common.hpp"
-#include "wcle/analysis/experiment.hpp"
+#include "wcle/core/leader_election.hpp"
 #include "wcle/graph/generators.hpp"
-#include "wcle/support/table.hpp"
 
 namespace {
 
 using namespace wcle;
 
-void run_tables() {
-  const int sc = bench::scale();
-  const int trials = sc == 0 ? 3 : 5;
-
-  struct Case {
-    const char* name;
-    Graph g;
-  };
-  std::vector<Case> cases;
-  cases.push_back({"clique_256", make_clique(256)});
-  cases.push_back({"hypercube_256", make_hypercube(8)});
-  cases.push_back({"torus_16x16", make_torus(16, 16)});
-  {
-    Rng grng(0xE6001);
-    cases.push_back({"expander6_256", make_random_regular(256, 6, grng)});
-  }
-  if (sc >= 1) {
-    cases.push_back({"torus_24x24", make_torus(24, 24)});
-    Rng grng(0xE6002);
-    cases.push_back({"expander6_1024", make_random_regular(1024, 6, grng)});
-  }
-
-  Table t({"family", "tmix", "stop_t_u(mean)", "t_u/tmix", "phases",
-           "success", "paper bound"});
-  for (const Case& c : cases) {
-    const GraphProfile prof = profile_graph(c.g, 2);
-    ElectionParams p;
-    const ElectionTrialStats stats =
-        run_election_trials(c.g, p, trials, 0xE6100);
-    t.add_row({c.name, std::to_string(prof.tmix),
-               Table::num(stats.final_length.mean),
-               Table::num(stats.final_length.mean /
-                          std::max<double>(1.0, double(prof.tmix))),
-               Table::num(stats.phases.mean, 3),
-               Table::num(stats.success_rate, 2), "t_u <= 2 c3 tmix"});
-  }
-
-  // Ablations (DESIGN.md §5): wide links (item 5) and token coalescing
-  // (item 1) against the paper's defaults.
-  Table t2({"family", "paper msgs", "wide msgs", "naive-token msgs",
-            "wide saves x", "coalescing saves x"});
-  for (const Case& c : cases) {
-    ElectionParams paper;
-    paper.seed = 0xE6200;
-    ElectionParams wide = paper;
-    wide.wide_messages = true;
-    ElectionParams naive = paper;
-    naive.coalesce_tokens = false;
-    const ElectionResult rp = run_leader_election(c.g, paper);
-    const ElectionResult rw = run_leader_election(c.g, wide);
-    const ElectionResult rn = run_leader_election(c.g, naive);
-    t2.add_row({c.name, Table::num(double(rp.totals.congest_messages)),
-                Table::num(double(rw.totals.congest_messages)),
-                Table::num(double(rn.totals.congest_messages)),
-                Table::num(double(rp.totals.congest_messages) /
-                           double(rw.totals.congest_messages), 3),
-                Table::num(double(rn.totals.congest_messages) /
-                           double(rp.totals.congest_messages), 3)});
-  }
-
-  bench::print_report("E6a: Lemmas 3/6 — stopping t_u tracks tmix", t,
-                      "t_u/tmix should be a small constant across families");
-  bench::print_report(
-      "E6b: ablations — wide links (Lemma 12's 2nd regime) and token "
-      "coalescing", t2,
-      "wide links recover ~log^2 n (6-9x here). Coalescing shows ~1x in these "
-      "end-to-end runs: with c2 sqrt(n log n) walks over n nodes the tokens "
-      "spread to ~1 unit per (origin, level, edge) after the first hops, so "
-      "there is little to merge at bench scale; under dense load the same "
-      "mechanism saves >3x (test_ablations.cpp, 4096 walks on a 16-clique) "
-      "and its asymptotic role in Lemma 12 is the worst-case bound, not the "
-      "typical path");
-}
+void run_tables() { bench::run_builtin("e6"); }
 
 void BM_StoppingTorus(benchmark::State& state) {
   const Graph g = make_torus(16, 16);

@@ -1,8 +1,9 @@
 // E7 — Theorem 15, the message lower bound Omega(sqrt(n)/phi^{3/4}).
 // Two views, both on the Section-4.1 graph G(alpha):
-//   (a) our algorithm's measured messages against the lower-bound envelope
-//       sqrt(n)/phi^{3/4} and the upper-bound envelope sqrt(n) polylog tmix —
-//       the measurement must sit between them (sandwich);
+//   (a) the election sweep over alpha is the builtin spec "e7"
+//       (`wcle_cli sweep --spec=e7`, families lowerbound:<alpha>); this
+//       binary adds the sandwich check: the measured messages must sit
+//       above the Theorem 15 lower envelope sqrt(n)/phi^{3/4};
 //   (b) the proof's mechanism: a message-budgeted neighborhood explorer
 //       (each clique spends its budget probing random ports, as in Lemma 18)
 //       discovers few inter-clique edges when the budget is o(n^{2eps}),
@@ -17,6 +18,7 @@
 #include "bench_common.hpp"
 #include "wcle/analysis/experiment.hpp"
 #include "wcle/core/leader_election.hpp"
+#include "wcle/graph/families.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/support/table.hpp"
 
@@ -56,40 +58,35 @@ std::uint64_t shattered_components(const LowerBoundGraph& lb,
 }
 
 void run_tables() {
-  const int sc = bench::scale();
-  // Elections on G(alpha) are inherently expensive — that is the theorem —
-  // so the sweep stays small: each run costs Theta(sqrt n polylog * tmix)
-  // messages with tmix ~ 1/alpha^2 in the worst case.
-  const NodeId n = sc >= 2 ? 1200 : (sc == 1 ? 700 : 500);
-  const int trials = sc == 0 ? 1 : 2;
-
-  // (a) sandwich: lower envelope <= measured <= upper envelope.
-  Table t({"alpha", "n", "phi~alpha", "tmix", "lower env", "msgs(mean)",
-           "upper env", "msgs/lower", "success"});
-  for (const double alpha : {0.003, 0.006}) {
-    Rng grng(0xE7000 + static_cast<std::uint64_t>(alpha * 1e6));
-    const LowerBoundGraph lb = make_lower_bound_graph(n, alpha, grng);
-    const GraphProfile prof = profile_graph(lb.graph, 2);
-    ElectionParams p;
-    const ElectionTrialStats stats =
-        run_election_trials(lb.graph, p, trials, 0xE7100);
-    const double lower =
-        theorem15_message_envelope(lb.graph.node_count(), alpha);
-    const double upper =
-        theorem13_message_envelope(lb.graph.node_count(), prof.tmix);
-    t.add_row({Table::num(alpha, 3), std::to_string(lb.graph.node_count()),
-               Table::num(prof.sweep_conductance, 3),
-               std::to_string(prof.tmix), Table::num(lower),
-               Table::num(stats.congest_messages.mean), Table::num(upper),
-               Table::num(stats.congest_messages.mean / lower, 3),
-               Table::num(stats.success_rate, 2)});
+  // (a) the sweep plus the sandwich envelopes. The Theorem 13 upper
+  // envelope needs each cell's tmix, so the graph is rebuilt from the
+  // spec's (family, n, graph_seed) — by construction the same graph the
+  // sweep ran on — and profiled.
+  const ExperimentSpec spec = builtin_experiment("e7", bench::scale());
+  const std::vector<CellResult> results = bench::run_spec(spec);
+  Table t({"alpha", "n", "lower env", "msgs(mean)", "upper env",
+           "msgs/lower", "msgs/upper"});
+  for (const CellResult& r : results) {
+    const double alpha = bench::alpha_of(r.cell.family);
+    const double lower = theorem15_message_envelope(r.n, alpha);
+    const Graph g = make_family(r.cell.family,
+                                static_cast<NodeId>(r.cell.requested_n),
+                                spec.graph_seed);
+    const GraphProfile prof = profile_graph(g, 2);
+    const double upper = theorem13_message_envelope(r.n, prof.tmix);
+    t.add_row({Table::num(alpha, 3), std::to_string(r.n), Table::num(lower),
+               Table::num(r.stats.congest_messages.mean), Table::num(upper),
+               Table::num(r.stats.congest_messages.mean / lower, 3),
+               Table::num(r.stats.congest_messages.mean / upper, 3)});
   }
   bench::print_report(
-      "E7a: Theorem 15 — measured messages vs Omega(sqrt(n)/phi^{3/4})", t,
-      "msgs/lower must stay >= 1 (no algorithm can beat the envelope); the "
-      "upper envelope bounds it from above");
+      "E7a (derived): Theorem 15 sandwich", t,
+      "msgs/lower must stay >= 1 (no algorithm can beat the envelope) and "
+      "msgs/upper <= O(1) (Theorem 13 bounds it from above)");
 
   // (b) the proof mechanism: budget vs CG shattering.
+  const int sc = bench::scale();
+  const NodeId n = sc >= 2 ? 1200 : (sc == 1 ? 700 : 500);
   Rng grng(0xE7999);
   const LowerBoundGraph lb = make_lower_bound_graph(n, 0.003, grng);
   const double s2 = static_cast<double>(lb.clique_size) *

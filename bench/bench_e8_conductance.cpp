@@ -1,9 +1,9 @@
 // E8 — Lemma 16 / Figures 1-2: phi(G(alpha)) = Theta(alpha).
-// Sweeps alpha for fixed target n, reporting the sweep-cut conductance (an
-// upper bound on phi found by spectral partitioning — in this graph it finds
-// the inter-clique bottleneck), the Cheeger bounds, and the analytic value
-// of the whole-clique cut (4 inter-clique edges / clique volume), which the
-// proof of Claim 17 shows is the optimal cut shape.
+// The alpha sweep is the builtin spec "e8" (`wcle_cli sweep --spec=e8`): the
+// registered `graph_profile` diagnostic reports the sweep-cut conductance,
+// the Cheeger bounds, and the tmix estimate per lowerbound:<alpha> family.
+// This binary adds the sweep/alpha normalization and the Claim 17
+// illustration (the optimal cut avoids the cliques).
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -18,26 +18,21 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  const NodeId n = sc >= 2 ? 4000 : (sc == 1 ? 2000 : 800);
-
-  Table t({"alpha", "eps", "cliques N", "clique size s", "sweep phi",
-           "cheeger lo", "cheeger hi", "sweep/alpha"});
-  for (const double alpha : {0.001, 0.002, 0.004, 0.006}) {
-    Rng grng(0xE8000);
-    const LowerBoundGraph lb = make_lower_bound_graph(n, alpha, grng);
-    const double sweep = conductance_sweep(lb.graph, 3000);
-    const CheegerBounds cb = cheeger_bounds(spectral_gap(lb.graph, 3000));
-    t.add_row({Table::num(alpha, 3), Table::num(lb.epsilon, 3),
-               std::to_string(lb.num_cliques), std::to_string(lb.clique_size),
-               Table::num(sweep, 4), Table::num(cb.lower, 4),
-               Table::num(cb.upper, 4), Table::num(sweep / alpha, 3)});
+  const std::vector<CellResult> results = bench::run_builtin("e8");
+  Table t({"alpha", "sweep_phi/alpha"});
+  for (const CellResult& r : results) {
+    const double alpha = bench::alpha_of(r.cell.family);
+    const auto phi = r.stats.extras.find("sweep_phi");
+    if (phi == r.stats.extras.end()) continue;
+    t.add_row({Table::num(alpha, 3), Table::num(phi->second.mean / alpha, 3)});
   }
   bench::print_report(
-      "E8: Lemma 16 — conductance of the lower-bound graph is Theta(alpha)",
-      t, "sweep/alpha must stay within a constant band across the sweep");
+      "E8 (derived): Lemma 16 normalization", t,
+      "sweep_phi/alpha must stay within a constant band across the sweep");
 
   // Claim 17 illustration: the minimum whole-clique cut vs clique-splitting.
+  const int sc = bench::scale();
+  const NodeId n = sc >= 2 ? 4000 : (sc == 1 ? 2000 : 800);
   Rng grng(0xE8010);
   const LowerBoundGraph lb = make_lower_bound_graph(n, 0.004, grng);
   std::vector<char> one_clique(lb.graph.node_count(), 0);

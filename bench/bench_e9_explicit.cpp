@@ -2,14 +2,15 @@
 // Paper: explicit election costs O(sqrt(n) log^{7/2} n tmix + n log n / phi)
 // messages; the concluding observation is that the broadcast term dominates,
 // i.e. "the major communication cost for the explicit variant comes from
-// broadcasting the leader information rather than electing". We sweep cliques
-// and tori and report the elect/broadcast message split.
+// broadcasting the leader information rather than electing". The
+// clique/torus sweep is the builtin spec "e9" (`wcle_cli sweep --spec=e9`,
+// columns election_messages / broadcast_messages); this binary derives the
+// bcast/elect ratio per cell.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "bench_common.hpp"
-#include "wcle/analysis/experiment.hpp"
 #include "wcle/core/explicit_election.hpp"
 #include "wcle/graph/generators.hpp"
 #include "wcle/support/table.hpp"
@@ -19,42 +20,22 @@ namespace {
 using namespace wcle;
 
 void run_tables() {
-  const int sc = bench::scale();
-  struct Case {
-    const char* name;
-    Graph g;
-  };
-  std::vector<Case> cases;
-  cases.push_back({"clique_256", make_clique(256)});
-  cases.push_back({"clique_512", make_clique(512)});
-  cases.push_back({"torus_16x16", make_torus(16, 16)});
-  if (sc >= 1) {
-    cases.push_back({"clique_1024", make_clique(1024)});
-    cases.push_back({"torus_24x24", make_torus(24, 24)});
-  }
-  if (sc >= 2) cases.push_back({"clique_2048", make_clique(2048)});
-
-  Table t({"graph", "elect msgs", "bcast msgs", "bcast/elect", "elect rounds",
-           "bcast rounds", "success"});
-  for (const Case& c : cases) {
-    ElectionParams p;
-    p.seed = 0xE9000;
-    const ExplicitElectionResult r = run_explicit_election(c.g, p);
-    const double elect = double(r.election.totals.congest_messages);
-    const double bcast = double(r.broadcast.totals.congest_messages);
-    t.add_row({c.name, Table::num(elect), Table::num(bcast),
-               Table::num(bcast / elect, 3),
-               Table::num(double(r.election.totals.rounds)),
-               Table::num(double(r.broadcast.rounds)),
-               r.success ? "yes" : "NO"});
+  const std::vector<CellResult> results = bench::run_builtin("e9");
+  Table t({"graph", "n", "bcast/elect"});
+  for (const CellResult& r : results) {
+    const auto elect = r.stats.extras.find("election_messages");
+    const auto bcast = r.stats.extras.find("broadcast_messages");
+    if (elect == r.stats.extras.end() || bcast == r.stats.extras.end())
+      continue;
+    t.add_row({r.cell.family, std::to_string(r.n),
+               Table::num(bcast->second.mean /
+                              std::max(1.0, elect->second.mean), 3)});
   }
   bench::print_report(
-      "E9: Corollary 14 — explicit = implicit election + push-pull broadcast",
-      t,
-      "Cor 14's two cost terms, measured. Asymptotically the n log n / phi "
-      "broadcast term dominates; at simulable n the election's log^{7/2} n "
-      "factor keeps the ratio flat — see EXPERIMENTS.md for the crossover "
-      "estimate (~2^20 nodes)");
+      "E9 (derived): Cor 14 cost split", t,
+      "asymptotically the n log n / phi broadcast term dominates; at "
+      "simulable n the election's log^{7/2} n factor keeps the ratio flat — "
+      "crossover estimate ~2^20 nodes");
 }
 
 void BM_ExplicitElection(benchmark::State& state) {

@@ -1,11 +1,15 @@
 // wcle_cli — the library as a command-line tool, driven by the algorithm
-// registry: every protocol (the paper's election and all baselines) is
-// runnable through one surface.
+// registry and the sweep engine: every protocol (the paper's election and
+// all baselines) and every experiment (E1-E13) is runnable through one
+// surface.
 //
-//   wcle_cli list                                   all registered algorithms
+//   wcle_cli list                                   algorithms + families + specs
 //   wcle_cli run    --algo=election --family=expander --n=1024 --seed=7
 //   wcle_cli trials --algo=flood_max --family=hypercube --n=256 --trials=20
-//                   [--threads=8] [--base-seed=1000] [--format=json]
+//                   [--threads=8] [--base-seed=1000] [--format=json|csv]
+//   wcle_cli sweep  --spec=e1 [--scale=0|1|2] [--format=text|csv|jsonl]
+//   wcle_cli sweep  algo=election family=expander n=256,512,1024 trials=5
+//                   drop=0,0.05 bandwidth=standard,wide   (grid grammar)
 //
 // Legacy commands (pre-registry spellings, kept working):
 //   wcle_cli elect    --family=expander --n=1024 --seed=7 [--trials=5]
@@ -13,6 +17,7 @@
 //   wcle_cli profile  --family=torus --n=256        (tmix / conductance)
 //   wcle_cli lowerbound --n=1000 --alpha=0.004      (build G(alpha) + elect)
 //   wcle_cli sweep    --family=hypercube --from=64 --to=1024 --trials=3
+//                     (doubling-sweep sugar for the grid engine)
 //
 // Common options: --family=<see `wcle_cli list`> --n= --seed= --c1= --c2=
 //                 --wide --paper-schedule --source= --tmix= --budget=
@@ -22,11 +27,15 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "wcle/analysis/cli.hpp"
 #include "wcle/analysis/experiment.hpp"
 #include "wcle/api/registry.hpp"
+#include "wcle/api/scenario.hpp"
 #include "wcle/api/serialize.hpp"
+#include "wcle/api/sink.hpp"
+#include "wcle/api/sweep.hpp"
 #include "wcle/api/trials.hpp"
 #include "wcle/core/explicit_election.hpp"
 #include "wcle/core/leader_election.hpp"
@@ -83,13 +92,21 @@ RunOptions options_from(const CliArgs& args) {
 }
 
 int cmd_list(const CliArgs&) {
-  Table t({"algorithm", "kind", "description"});
-  for (const Algorithm* a : AlgorithmRegistry::instance().all())
-    t.add_row({a->name(), kind_name(a->kind()), a->describe()});
+  Table t({"algorithm", "kind", "caveat", "description"});
+  for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+    const std::string caveat = a->caveat();
+    t.add_row({a->name(), kind_name(a->kind()), caveat.empty() ? "-" : caveat,
+               a->describe()});
+  }
   t.print(std::cout);
   std::cout << "\ngraph families:";
   for (const std::string& f : family_names()) std::cout << " " << f;
-  std::cout << "\n";
+  std::cout << "\n  (lowerbound:<alpha> and dumbbell:<base> take a ':' "
+               "parameter)\n";
+  std::cout << "\nexperiments (wcle_cli sweep --spec=<name>):\n";
+  for (const auto& [name, title] : builtin_experiment_titles())
+    std::cout << "  " << name << (name.size() < 3 ? "  " : " ") << title
+              << "\n";
   return 0;
 }
 
@@ -116,12 +133,11 @@ int cmd_trials(const CliArgs& args) {
       args.get_u64("base-seed", args.get_u64("seed", 1000));
   const TrialStats s =
       run_trials(algo, g, options_from(args), trials, base_seed, threads);
-  if (args.get("format", "text") == "json") {
+  const std::string format = args.get("format", "text");
+  if (format == "json") {
     std::cout << to_json(s) << "\n";
     return s.success_rate > 0.5 ? 0 : 1;
   }
-  std::cout << g.describe() << "\nalgorithm: " << s.algorithm << " ("
-            << s.trials << " trials, " << s.threads << " threads)\n";
   Table t({"metric", "mean", "stddev", "min", "median", "max"});
   const auto row = [&t](const std::string& name, const Summary& m) {
     t.add_row({name, Table::num(m.mean), Table::num(m.stddev),
@@ -130,7 +146,22 @@ int cmd_trials(const CliArgs& args) {
   row("congest messages", s.congest_messages);
   row("rounds", s.rounds);
   row("leader count", s.leader_count);
+  // Always present (all-zero in the reliable model) so the row set — and
+  // therefore the CSV schema — does not depend on the data.
+  row("dropped messages", s.dropped_messages);
   for (const auto& [key, summary] : s.extras) row(key, summary);
+  if (format == "csv") {
+    // Rate rows only carry a mean; the spread columns stay empty.
+    t.add_row({"success_rate", Table::num(s.success_rate), "", "", "", ""});
+    t.add_row({"zero_leader_rate", Table::num(s.zero_leader_rate), "", "", "",
+               ""});
+    t.add_row({"multi_leader_rate", Table::num(s.multi_leader_rate), "", "",
+               "", ""});
+    t.write_csv(std::cout);
+    return s.success_rate > 0.5 ? 0 : 1;
+  }
+  std::cout << g.describe() << "\nalgorithm: " << s.algorithm << " ("
+            << s.trials << " trials, " << s.threads << " threads)\n";
   t.print(std::cout);
   std::cout << "success rate: " << s.success_rate
             << " (zero-leader " << s.zero_leader_rate << ", multi-leader "
@@ -225,29 +256,62 @@ int cmd_lowerbound(const CliArgs& args) {
   return r.success() ? 0 : 1;
 }
 
+// The declarative sweep: a builtin spec (--spec=e1), grid-grammar
+// positionals (algo=... family=... n=256,512 ...), or the legacy
+// --from/--to doubling sugar — all three run through the same engine.
 int cmd_sweep(const CliArgs& args) {
-  const std::string family = args.get("family", "hypercube");
-  const NodeId from = get_u32(args, "from", 64);
-  const NodeId to = get_u32(args, "to", 512);
-  if (from == 0)
-    throw std::invalid_argument("--from must be >= 1 (doubling sweep)");
-  const int trials = get_count(args, "trials", 3);
-  const Algorithm& algo =
-      AlgorithmRegistry::instance().at(args.get("algo", "election"));
-  const RunOptions opt = options_from(args);
-  Table t({"n", "tmix", "msgs(mean)", "rounds(mean)", "success"});
-  for (NodeId n = from; n <= to;) {
-    const Graph g = make_family(family, n, args.get_u64("seed", 1));
-    const GraphProfile prof = profile_graph(g, 2);
-    const TrialStats s =
-        run_trials(algo, g, opt, trials, args.get_u64("seed", 1));
-    t.add_row({std::to_string(g.node_count()), std::to_string(prof.tmix),
-               Table::num(s.congest_messages.mean), Table::num(s.rounds.mean),
-               Table::num(s.success_rate, 2)});
-    if (n > std::numeric_limits<NodeId>::max() / 2) break;  // no wrap to 0
-    n *= 2;
+  ExperimentSpec spec;
+  const std::string spec_name = args.get("spec", "");
+  if (!spec_name.empty()) {
+    const std::uint64_t scale_raw = args.get_u64(
+        "scale", static_cast<std::uint64_t>(default_bench_scale()));
+    if (scale_raw > 2)
+      throw std::invalid_argument("--scale=" + std::to_string(scale_raw) +
+                                  " (0 = quick, 1 = default, 2 = extended)");
+    const int scale = static_cast<int>(scale_raw);
+    // Grid-grammar positionals refine the builtin (e.g. trials=1 n=64):
+    // axes they name are replaced, everything else keeps the builtin grid.
+    spec = parse_spec_onto(builtin_experiment(spec_name, scale),
+                           args.positionals());
+  } else if (!args.positionals().empty()) {
+    spec = parse_spec(args.positionals());
+  } else {
+    // Legacy sugar: --family --from --to --trials [--algo], doubling n.
+    const NodeId from = get_u32(args, "from", 64);
+    const NodeId to = get_u32(args, "to", 512);
+    if (from == 0)
+      throw std::invalid_argument("--from must be >= 1 (doubling sweep)");
+    spec.algorithms = {args.get("algo", "election")};
+    spec.families = {args.get("family", "hypercube")};
+    spec.sizes.clear();
+    for (NodeId n = from; n <= to;) {
+      spec.sizes.push_back(n);
+      if (n > std::numeric_limits<NodeId>::max() / 2) break;  // no wrap to 0
+      n *= 2;
+    }
+    spec.trials = get_count(args, "trials", 3);
+    // The pre-engine doubling sweep seeded trials and graphs from
+    // --seed (default 1); keep that so recorded legacy runs reproduce.
+    spec.base_seed = args.get_u64("seed", 1);
+    spec.graph_seed = args.get_u64("seed", 1);
+    spec.title = "sweep: " + spec.algorithms[0] + " on " + spec.families[0];
   }
-  t.print(std::cout);
+
+  const unsigned threads = get_u32(args, "threads", 0);
+  const std::string format = args.get("format", "text");
+  if (format == "text") {
+    TableSink sink(std::cout);
+    run_sweep(spec, {&sink}, threads);
+  } else if (format == "csv") {
+    CsvSink sink(std::cout);
+    run_sweep(spec, {&sink}, threads);
+  } else if (format == "jsonl" || format == "json") {
+    JsonlSink sink(std::cout);
+    run_sweep(spec, {&sink}, threads);
+  } else {
+    throw std::invalid_argument("sweep: unknown --format=" + format +
+                                " (text, csv, jsonl)");
+  }
   return 0;
 }
 
@@ -257,14 +321,19 @@ void usage() {
       "  registry: list\n"
       "            run    --algo=<name> [--format=json]\n"
       "            trials --algo=<name> --trials=<k> [--threads=<t>]\n"
-      "                   [--base-seed=<s>] [--format=json]\n"
-      "  legacy:   elect, explicit, profile, lowerbound, sweep\n"
+      "                   [--base-seed=<s>] [--format=json|csv]\n"
+      "  sweep:    sweep --spec=<e1..e13> [--scale=0|1|2]\n"
+      "                  [--format=text|csv|jsonl] [--threads=<t>]\n"
+      "            sweep <key=v1,v2,..> ...   (grid grammar; keys: algo\n"
+      "                  family n bandwidth drop trials base-seed graph-seed\n"
+      "                  reliable extras + any RunOptions knob)\n"
+      "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
+      "  legacy:   elect, explicit, profile, lowerbound\n"
       "  common:   --family=<see list> --n=<nodes> --seed=<u64>\n"
       "            --c1= --c2= --wide --paper-schedule --source=\n"
       "            --tmix= --tmix-mult= --budget= --value-bits=\n"
       "  elect:      --trials=<k>\n"
-      "  lowerbound: --alpha=<conductance target>\n"
-      "  sweep:      --from= --to= --trials= [--algo=]\n";
+      "  lowerbound: --alpha=<conductance target>\n";
 }
 
 void warn_unconsumed(const CliArgs& args) {

@@ -1,0 +1,102 @@
+#include "wcle/analysis/probes.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "wcle/analysis/experiment.hpp"
+#include "wcle/api/algorithm.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+namespace {
+
+class ContenderStageAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "contender_stage"; }
+  std::string describe() const override {
+    return "samples Algorithm 1's contender lottery; success == at least one "
+           "contender, mean(in_window) == Pr[Lemma 1's [3/4, 5/4] window]";
+  }
+  Kind kind() const override { return Kind::kDiagnostic; }
+  std::string caveat() const override {
+    return "statistical probe, sends no messages";
+  }
+  bool offline() const override { return true; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    const NodeId n = g.node_count();
+    const double p = options.params.contender_probability(n);
+    Rng rng(options.seed());
+    std::uint64_t count = 0;
+    for (NodeId v = 0; v < n; ++v) count += rng.next_bool(p);
+
+    const double mu = options.params.c1 * options.params.log2_n(n);
+    const double x = static_cast<double>(count);
+    const bool in_window = x >= 0.75 * mu && x <= 1.25 * mu;
+
+    RunResult out;
+    out.algorithm = name();
+    // Diagnostic convention: the distinguished node is the probe coordinator.
+    out.leaders = {options.source < n ? options.source : 0};
+    // success == "the lottery produced at least one contender" (the event
+    // whose failure dooms the election, probability n^{-c1}); the window
+    // statistic of Lemma 1 travels in extras so a sweep charts
+    // Pr[in window] as mean(in_window).
+    out.success = count > 0;
+    out.extras["contenders"] = x;
+    out.extras["expected"] = mu;
+    out.extras["in_window"] = in_window ? 1.0 : 0.0;
+    out.extras["zero"] = count == 0 ? 1.0 : 0.0;
+    return out;
+  }
+};
+
+class GraphProfileAlgorithm final : public Algorithm {
+ public:
+  std::string name() const override { return "graph_profile"; }
+  std::string describe() const override {
+    return "offline graph characterization: tmix estimate, Cheeger bounds, "
+           "sweep-cut conductance (the per-row context of every bench)";
+  }
+  Kind kind() const override { return Kind::kDiagnostic; }
+  std::string caveat() const override {
+    return "offline analysis, sends no messages";
+  }
+  bool offline() const override { return true; }
+  RunResult run(const Graph& g, const RunOptions& options) const override {
+    // probe_budget doubles as the mixing-sample count here (its per-protocol
+    // meaning, like `source` for broadcasts); 0 keeps the cheap default.
+    const std::uint32_t samples =
+        options.probe_budget == 0
+            ? 2
+            : static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                  options.probe_budget, 64));
+    const GraphProfile p = profile_graph(g, samples);
+
+    RunResult out;
+    out.algorithm = name();
+    out.leaders = {options.source < g.node_count() ? options.source : 0};
+    out.success = true;
+    out.rounds = p.tmix;  // charts mixing curves through the uniform schema
+    out.extras["tmix"] = static_cast<double>(p.tmix);
+    out.extras["cheeger_lower"] = p.cheeger_lower;
+    out.extras["cheeger_upper"] = p.cheeger_upper;
+    out.extras["sweep_phi"] = p.sweep_conductance;
+    out.extras["edges"] = static_cast<double>(p.m);
+    out.extras["t13_msg_envelope"] = theorem13_message_envelope(p.n, p.tmix);
+    out.extras["t13_time_envelope"] = theorem13_time_envelope(p.n, p.tmix);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Algorithm> make_contender_stage_algorithm() {
+  return std::make_unique<ContenderStageAlgorithm>();
+}
+
+std::unique_ptr<Algorithm> make_graph_profile_algorithm() {
+  return std::make_unique<GraphProfileAlgorithm>();
+}
+
+}  // namespace wcle

@@ -1,0 +1,29 @@
+// Diagnostic probe algorithms that make the paper's *analysis* experiments
+// sweep-shaped: measurements that are not message-passing protocols but that
+// the experiment grid still needs to chart as curves over (family, n). Both
+// register in the algorithm registry so `run_trials` / the sweep engine can
+// drive them with the same seeding and schema as everything else.
+//
+//   contender_stage — samples Algorithm 1's contender lottery (Lemma 1 /
+//                     bench E5): per trial it reports the contender count and
+//                     whether it landed in the paper's
+//                     [3/4 c1 log n, 5/4 c1 log n] window. success means the
+//                     lottery produced at least one contender (the n^{-c1}
+//                     total-failure event); Pr[in window] is mean(in_window)
+//                     in the extras.
+//   graph_profile   — runs profile_graph (tmix estimate + Cheeger bounds +
+//                     sweep-cut conductance, bench E8) and reports the
+//                     profile in extras; rounds = estimated tmix so the
+//                     uniform table's rounds column charts mixing curves.
+#pragma once
+
+#include <memory>
+
+namespace wcle {
+
+class Algorithm;
+
+std::unique_ptr<Algorithm> make_contender_stage_algorithm();
+std::unique_ptr<Algorithm> make_graph_profile_algorithm();
+
+}  // namespace wcle

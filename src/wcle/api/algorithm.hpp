@@ -88,6 +88,17 @@ class Algorithm {
   /// asserting success.
   virtual bool reliable_on(const Graph& /*g*/) const { return true; }
 
+  /// Static, graph-independent summary of reliable_on-style restrictions and
+  /// extra knowledge the protocol assumes ("complete graphs only", "needs a
+  /// tmix oracle"). Empty = no caveat. Shown by `wcle_cli list` so
+  /// restricted baselines are not silently misread as general.
+  virtual std::string caveat() const { return ""; }
+
+  /// True for offline probes (contender sampling, graph profiling) that
+  /// measure a quantity without driving the CONGEST transport — their
+  /// RunResult carries extras but no rounds/messages.
+  virtual bool offline() const { return false; }
+
   /// Executes one run. Deterministic in `options` (seed included).
   virtual RunResult run(const Graph& g, const RunOptions& options) const = 0;
 };

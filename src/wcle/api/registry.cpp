@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "wcle/analysis/probes.hpp"
 #include "wcle/baselines/bfs_tree.hpp"
 #include "wcle/baselines/candidate_flood.hpp"
 #include "wcle/baselines/clique_referee.hpp"
@@ -35,6 +36,8 @@ void register_builtin_algorithms(AlgorithmRegistry& registry) {
   registry.add(make_known_tmix_algorithm());
   registry.add(make_tmix_estimator_algorithm());
   registry.add(make_estimate_then_elect_algorithm());
+  registry.add(make_contender_stage_algorithm());
+  registry.add(make_graph_profile_algorithm());
 }
 
 }  // namespace detail

@@ -9,9 +9,15 @@ namespace wcle {
 namespace {
 
 // Shortest-round-trip double rendering; JSON has no NaN/Inf, map to null.
+// Integral values render as plain integers ("10", not the equally-short but
+// unreadable "1e+01" the round-trip search would pick).
 std::string num(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[32];
+  if (std::floor(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   double parsed = 0.0;
   std::sscanf(buf, "%lf", &parsed);
@@ -35,6 +41,8 @@ void append_summary(std::ostringstream& out, const std::string& key,
 }
 
 }  // namespace
+
+std::string json_number(double value) { return num(value); }
 
 std::string json_escape(const std::string& raw) {
   std::string out;
@@ -70,6 +78,7 @@ std::string to_json(const RunResult& r) {
       << ",\"logical_messages\":" << r.totals.logical_messages
       << ",\"total_bits\":" << r.totals.total_bits
       << ",\"max_edge_backlog\":" << r.totals.max_edge_backlog
+      << ",\"dropped_messages\":" << r.totals.dropped_messages
       << ",\"extras\":{";
   bool first = true;
   for (const auto& [key, value] : r.extras) {
@@ -98,6 +107,8 @@ std::string to_json(const TrialStats& s) {
   append_summary(out, "rounds", s.rounds);
   out << ",";
   append_summary(out, "leader_count", s.leader_count);
+  out << ",";
+  append_summary(out, "dropped_messages", s.dropped_messages);
   out << "},\"extras\":{";
   bool first = true;
   for (const auto& [key, summary] : s.extras) {

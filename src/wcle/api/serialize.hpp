@@ -21,4 +21,7 @@ std::string to_json(const TrialStats& stats);
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& raw);
 
+/// Shortest-round-trip JSON rendering of a double ("null" for NaN/Inf).
+std::string json_number(double value);
+
 }  // namespace wcle

@@ -1,0 +1,108 @@
+#include "wcle/api/sink.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "wcle/api/serialize.hpp"
+
+namespace wcle {
+
+void TableSink::begin(const ExperimentSpec& spec,
+                      const std::vector<SweepCell>& cells) {
+  // Fold constant axes out of the table; reliable_on filtering can make the
+  // algorithm column meaningful even for a single-algorithm grid, so axis
+  // variability is judged on the spec's grids.
+  show_family_ = spec.families.size() > 1;
+  show_algorithm_ = spec.algorithms.size() > 1;
+  show_bandwidth_ = spec.bandwidths.size() > 1;
+  show_drop_ = spec.drops.size() > 1 ||
+               (spec.drops.size() == 1 && spec.drops[0] > 0.0);
+  knob_columns_.clear();
+  for (const auto& [key, values] : spec.knobs)
+    if (values.size() > 1) knob_columns_.push_back(key);
+  extras_columns_ = spec.table_extras;
+
+  headers_.clear();
+  if (show_family_) headers_.push_back("family");
+  headers_.push_back("n");
+  headers_.push_back("m");
+  if (show_algorithm_) headers_.push_back("algorithm");
+  if (show_bandwidth_) headers_.push_back("B");
+  if (show_drop_) headers_.push_back("drop");
+  for (const std::string& key : knob_columns_) headers_.push_back(key);
+  headers_.push_back("msgs(mean)");
+  headers_.push_back("msgs(max)");
+  headers_.push_back("rounds(mean)");
+  if (show_drop_) headers_.push_back("dropped(mean)");
+  for (const std::string& key : extras_columns_)
+    headers_.push_back(key + "(mean)");
+  headers_.push_back("success");
+  rows_.clear();
+  (void)cells;
+}
+
+void TableSink::cell(const CellResult& r) {
+  std::vector<std::string> row;
+  if (show_family_) row.push_back(r.cell.family);
+  row.push_back(std::to_string(r.n));
+  row.push_back(std::to_string(r.m));
+  if (show_algorithm_) row.push_back(r.cell.algorithm);
+  if (show_bandwidth_) row.push_back(r.cell.bandwidth);
+  if (show_drop_) row.push_back(Table::num(r.cell.drop, 3));
+  for (const std::string& key : knob_columns_) {
+    std::string value = "-";
+    for (const auto& [k, v] : r.cell.knobs)
+      if (k == key) value = v;
+    row.push_back(value);
+  }
+  row.push_back(Table::num(r.stats.congest_messages.mean));
+  row.push_back(Table::num(r.stats.congest_messages.max));
+  row.push_back(Table::num(r.stats.rounds.mean));
+  if (show_drop_) row.push_back(Table::num(r.stats.dropped_messages.mean));
+  for (const std::string& key : extras_columns_) {
+    const auto it = r.stats.extras.find(key);
+    row.push_back(it == r.stats.extras.end() ? "-"
+                                             : Table::num(it->second.mean));
+  }
+  row.push_back(Table::num(r.stats.success_rate, 2));
+  rows_.push_back(std::move(row));
+}
+
+void TableSink::end(const ExperimentSpec& spec) {
+  Table table(headers_);
+  for (auto& row : rows_) table.add_row(std::move(row));
+  if (csv_) {
+    table.write_csv(*out_);
+  } else {
+    if (!spec.title.empty()) *out_ << "\n=== " << spec.title << " ===\n";
+    table.print(*out_);
+    if (!spec.note.empty()) *out_ << spec.note << "\n";
+    *out_ << "reproduce: wcle_cli sweep " << spec.to_string() << "\n";
+  }
+  out_->flush();
+}
+
+void JsonlSink::cell(const CellResult& result) {
+  *out_ << to_json(result) << "\n";
+  out_->flush();
+}
+
+std::string to_json(const CellResult& r) {
+  std::ostringstream out;
+  out << "{\"cell\":" << r.cell.index << ",\"algorithm\":\""
+      << json_escape(r.cell.algorithm) << "\",\"family\":\""
+      << json_escape(r.cell.family) << "\",\"requested_n\":"
+      << r.cell.requested_n << ",\"n\":" << r.n << ",\"m\":" << r.m
+      << ",\"bandwidth\":\"" << json_escape(r.cell.bandwidth)
+      << "\",\"drop\":" << json_number(r.cell.drop) << ",\"knobs\":{";
+  bool first = true;
+  for (const auto& [key, value] : r.cell.knobs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  out << "},\"stats\":" << to_json(r.stats) << "}";
+  return out.str();
+}
+
+}  // namespace wcle

@@ -1,0 +1,81 @@
+// Pluggable result sinks for the sweep engine: each finished cell streams to
+// every attached sink in deterministic cell order. Three renderings ship:
+// the paper-style aligned Table (what the benches print), CSV (the same rows
+// machine-readably), and JSONL (one self-contained JSON object per cell —
+// the full TrialStats schema, suitable for trajectory files and the
+// determinism checks in CI).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/sweep.hpp"
+#include "wcle/support/table.hpp"
+
+namespace wcle {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Called once before any cell, with the expanded (post-filter) cells.
+  virtual void begin(const ExperimentSpec& /*spec*/,
+                     const std::vector<SweepCell>& /*cells*/) {}
+  /// Called once per cell, in cell order, as results become available.
+  virtual void cell(const CellResult& result) = 0;
+  /// Called once after the last cell.
+  virtual void end(const ExperimentSpec& /*spec*/) {}
+};
+
+/// Paper-style table: one row per cell. Axis columns that are constant
+/// across the whole spec are folded out of the table (a single-algorithm
+/// sweep does not waste a column repeating the name); `spec.table_extras`
+/// keys appear as mean columns, "-" where an algorithm lacks the key.
+/// Prints the banner + table + note in end().
+class TableSink : public Sink {
+ public:
+  explicit TableSink(std::ostream& out, bool csv = false)
+      : out_(&out), csv_(csv) {}
+
+  void begin(const ExperimentSpec& spec,
+             const std::vector<SweepCell>& cells) override;
+  void cell(const CellResult& result) override;
+  void end(const ExperimentSpec& spec) override;
+
+ private:
+  std::ostream* out_;
+  bool csv_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  // Which optional columns the spec's grids make vary:
+  bool show_algorithm_ = false, show_family_ = false, show_bandwidth_ = false,
+       show_drop_ = false;
+  std::vector<std::string> knob_columns_;
+  std::vector<std::string> extras_columns_;
+};
+
+/// CSV rendering of the same rows (Table::write_csv), no banner or note.
+class CsvSink final : public TableSink {
+ public:
+  explicit CsvSink(std::ostream& out) : TableSink(out, /*csv=*/true) {}
+};
+
+/// One JSON object per cell, streamed as cells complete. Lines are
+/// byte-identical for any worker-thread count, which is what the CI
+/// determinism job diffs.
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  void cell(const CellResult& result) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// JSON object for one cell (the JsonlSink line, reusable in tests).
+std::string to_json(const CellResult& result);
+
+}  // namespace wcle

@@ -1,0 +1,198 @@
+#include "wcle/api/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "wcle/api/registry.hpp"
+#include "wcle/api/sink.hpp"
+#include "wcle/graph/families.hpp"
+
+namespace wcle {
+
+std::vector<SweepCell> expand_cells(const ExperimentSpec& spec) {
+  if (spec.trials <= 0)
+    throw std::invalid_argument("sweep: trials must be >= 1");
+  if (spec.algorithms.empty() || spec.families.empty() || spec.sizes.empty() ||
+      spec.bandwidths.empty() || spec.drops.empty())
+    throw std::invalid_argument("sweep: every axis needs at least one value");
+  for (const std::string& algo : spec.algorithms)
+    AlgorithmRegistry::instance().at(algo);  // throws with the known list
+
+  // Knob combinations in alphabetical key order, values in listed order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> knob_axes(
+      spec.knobs.begin(), spec.knobs.end());
+  std::size_t knob_combos = 1;
+  for (const auto& [key, values] : knob_axes) {
+    if (values.empty())
+      throw std::invalid_argument("sweep: knob '" + key + "' has no values");
+    knob_combos *= values.size();
+  }
+
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.cell_count());
+  for (const std::string& family : spec.families) {
+    for (const std::uint64_t n : spec.sizes) {
+      for (const std::string& algo : spec.algorithms) {
+        for (const std::string& bandwidth : spec.bandwidths) {
+          for (const double drop : spec.drops) {
+            for (std::size_t combo = 0; combo < knob_combos; ++combo) {
+              SweepCell cell;
+              cell.index = cells.size();
+              cell.algorithm = algo;
+              cell.family = family;
+              cell.bandwidth = bandwidth;
+              cell.requested_n = n;
+              cell.drop = drop;
+              // Mixed-radix decode of the combo index, most-significant
+              // knob first, so listed value order is the inner loop.
+              std::size_t rest = combo;
+              std::size_t radix = knob_combos;
+              for (const auto& [key, values] : knob_axes) {
+                radix /= values.size();
+                const std::size_t pick = rest / radix;
+                rest %= radix;
+                cell.knobs.emplace_back(key, values[pick]);
+              }
+              // Bandwidth first, then knobs: an explicit wide=/c1= knob
+              // must win over what the bandwidth regime implies.
+              apply_bandwidth(cell.options, bandwidth);
+              for (const auto& [key, value] : cell.knobs)
+                apply_knob(cell.options, key, value);
+              cell.options.params.drop_probability = drop;
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
+                                  const std::vector<Sink*>& sinks,
+                                  unsigned threads) {
+  std::vector<SweepCell> cells = expand_cells(spec);
+
+  // Build each distinct (family, n) graph once, in expansion order.
+  std::map<std::pair<std::string, std::uint64_t>, Graph> graphs;
+  for (const SweepCell& cell : cells) {
+    const auto key = std::make_pair(cell.family, cell.requested_n);
+    if (!graphs.count(key))
+      graphs.emplace(key, make_family(cell.family,
+                                      static_cast<NodeId>(cell.requested_n),
+                                      spec.graph_seed));
+  }
+
+  if (spec.skip_unreliable) {
+    std::vector<SweepCell> kept;
+    for (SweepCell& cell : cells) {
+      const Graph& g = graphs.at({cell.family, cell.requested_n});
+      const Algorithm& algo = AlgorithmRegistry::instance().at(cell.algorithm);
+      if (algo.kind() == Algorithm::Kind::kElection && !algo.reliable_on(g))
+        continue;  // e.g. clique_referee off-clique: not a fair row
+      cell.index = kept.size();
+      kept.push_back(std::move(cell));
+    }
+    cells = std::move(kept);
+  }
+
+  for (Sink* sink : sinks)
+    if (sink) sink->begin(spec, cells);
+
+  std::vector<CellResult> results(cells.size());
+  std::vector<char> done(cells.size(), 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+
+  // Each cell's trials run on the single-threaded trial path; parallelism
+  // comes from cells. That keeps TrialStats::threads (and therefore every
+  // serialized byte) independent of the worker count.
+  auto run_cell = [&](std::size_t i) {
+    const SweepCell& cell = cells[i];
+    const Graph& g = graphs.at({cell.family, cell.requested_n});
+    CellResult r;
+    r.cell = cell;
+    r.n = g.node_count();
+    r.m = g.edge_count();
+    r.stats = run_trials(AlgorithmRegistry::instance().at(cell.algorithm), g,
+                         cell.options, spec.trials, spec.base_seed,
+                         /*threads=*/1);
+    return r;
+  };
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cells.size() && !failed.load();
+         i = next.fetch_add(1)) {
+      try {
+        CellResult r = run_cell(i);
+        const std::lock_guard<std::mutex> lock(mu);
+        results[i] = std::move(r);
+        done[i] = 1;
+        cv.notify_all();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!failure) failure = std::current_exception();
+        failed.store(true);
+        cv.notify_all();
+      }
+    }
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers = threads == 0 ? hw : threads;
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(std::max<std::size_t>(1, cells.size())));
+
+  if (workers <= 1) {
+    // Inline: compute and stream one cell at a time.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      results[i] = run_cell(i);
+      for (Sink* sink : sinks)
+        if (sink) sink->cell(results[i]);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    // Stream results in cell order as they become ready. Sink I/O happens
+    // outside the lock: once done[i] is observed under the mutex, results[i]
+    // is fully written and never touched again, so workers keep claiming
+    // cells while slow sinks drain. A throwing sink must not escape while
+    // the pool is unjoined (std::terminate) — stop the workers, join, then
+    // rethrow.
+    std::exception_ptr sink_failure;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done[i] || failed.load(); });
+        if (failed.load()) break;
+      }
+      try {
+        for (Sink* sink : sinks)
+          if (sink) sink->cell(results[i]);
+      } catch (...) {
+        sink_failure = std::current_exception();
+        failed.store(true);
+        break;
+      }
+    }
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+    if (sink_failure) std::rethrow_exception(sink_failure);
+  }
+
+  for (Sink* sink : sinks)
+    if (sink) sink->end(spec);
+  return results;
+}
+
+}  // namespace wcle

@@ -58,7 +58,7 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
   if (failure) std::rethrow_exception(failure);
 
   int ok = 0, zero = 0, multi = 0;
-  std::vector<double> msgs, logical, bits, rounds, leaders;
+  std::vector<double> msgs, logical, bits, rounds, leaders, dropped;
   std::map<std::string, std::vector<double>> extra_samples;
   for (const RunResult& r : results) {
     if (r.success) ++ok;
@@ -69,6 +69,7 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
     bits.push_back(static_cast<double>(r.totals.total_bits));
     rounds.push_back(static_cast<double>(r.rounds));
     leaders.push_back(static_cast<double>(r.leaders.size()));
+    dropped.push_back(static_cast<double>(r.totals.dropped_messages));
     for (const auto& [key, value] : r.extras)
       extra_samples[key].push_back(value);
   }
@@ -81,6 +82,7 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
   stats.total_bits = summarize(std::move(bits));
   stats.rounds = summarize(std::move(rounds));
   stats.leader_count = summarize(std::move(leaders));
+  stats.dropped_messages = summarize(std::move(dropped));
   for (auto& [key, samples] : extra_samples)
     stats.extras[key] = summarize(std::move(samples));
   return stats;

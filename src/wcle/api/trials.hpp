@@ -27,6 +27,7 @@ struct TrialStats {
   Summary total_bits;
   Summary rounds;
   Summary leader_count;
+  Summary dropped_messages;  ///< fault-axis losses (all zero when drop = 0)
   /// Per-key summaries of RunResult::extras. A key missing from some trial's
   /// extras is summarized over the trials that reported it.
   std::map<std::string, Summary> extras;

@@ -16,11 +16,11 @@ namespace {
 constexpr std::uint8_t kTagBfs = 0x24;
 }
 
-BfsTreeResult run_bfs_tree(const Graph& g, NodeId root) {
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root, CongestConfig cfg) {
   const NodeId n = g.node_count();
   if (root >= n) throw std::invalid_argument("run_bfs_tree: root out of range");
 
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   BfsTreeResult res;
   res.parent_port.assign(n, BfsTreeResult::kNoParent);
   std::vector<char> joined(n, 0);
@@ -66,7 +66,8 @@ class BfsTreeAlgorithm final : public Algorithm {
   Kind kind() const override { return Kind::kBroadcast; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId root = options.source < g.node_count() ? options.source : 0;
-    const BfsTreeResult r = run_bfs_tree(g, root);
+    const BfsTreeResult r = run_bfs_tree(
+        g, root, congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = {root};

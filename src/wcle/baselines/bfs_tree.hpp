@@ -9,6 +9,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -24,7 +25,10 @@ struct BfsTreeResult {
   static constexpr Port kNoParent = ~Port{0};
 };
 
-BfsTreeResult run_bfs_tree(const Graph& g, NodeId root);
+/// `cfg` selects the transport regime and fault axis (bandwidth_bits == 0 =
+/// the standard budget).
+BfsTreeResult run_bfs_tree(const Graph& g, NodeId root,
+                           CongestConfig cfg = {});
 
 class Algorithm;
 

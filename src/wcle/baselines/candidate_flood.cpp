@@ -18,9 +18,10 @@ constexpr std::uint8_t kTagCandId = 0x23;
 }
 
 CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
-                                         double candidate_rate_multiplier) {
+                                         double candidate_rate_multiplier,
+                                         CongestConfig cfg) {
   const NodeId n = g.node_count();
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   Rng rng(seed);
 
   const std::uint64_t space =
@@ -83,8 +84,9 @@ class CandidateFloodAlgorithm final : public Algorithm {
   }
   Kind kind() const override { return Kind::kElection; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
-    const CandidateFloodResult r =
-        run_candidate_flood(g, options.seed(), options.params.c1);
+    const CandidateFloodResult r = run_candidate_flood(
+        g, options.seed(), options.params.c1,
+        congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = r.leaders;

@@ -11,6 +11,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -22,9 +23,11 @@ struct CandidateFloodResult {
   bool success() const { return leaders.size() == 1; }
 };
 
-/// `candidate_rate_multiplier` plays the paper's c1 role.
+/// `candidate_rate_multiplier` plays the paper's c1 role. `cfg` selects the
+/// transport regime and fault axis (bandwidth_bits == 0 = standard budget).
 CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
-                                         double candidate_rate_multiplier = 4.0);
+                                         double candidate_rate_multiplier = 4.0,
+                                         CongestConfig cfg = {});
 
 class Algorithm;
 

@@ -36,7 +36,7 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
     if (coin_rng.next_bool(pc)) res.candidates.push_back(v);
   if (res.candidates.empty()) return res;
 
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, congest_config_for(params, n));
   const std::uint32_t bits = id_bits(n) + 8;
 
   // Step 2: candidates nominate themselves to random referees (sampling
@@ -107,6 +107,7 @@ class CliqueRefereeAlgorithm final : public Algorithm {
     const std::uint64_t n = g.node_count();
     return g.edge_count() == n * (n - 1) / 2;
   }
+  std::string caveat() const override { return "complete graphs only"; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const CliqueRefereeResult r = run_clique_referee(g, options.params);
     RunResult out;

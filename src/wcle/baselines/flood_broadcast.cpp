@@ -16,12 +16,13 @@ constexpr std::uint8_t kTagFlood = 0x25;
 }
 
 FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
-                                         std::uint32_t value_bits) {
+                                         std::uint32_t value_bits,
+                                         CongestConfig cfg) {
   const NodeId n = g.node_count();
   if (source >= n)
     throw std::invalid_argument("run_flood_broadcast: source out of range");
 
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   std::vector<char> informed(n, 0);
   FloodBroadcastResult res;
   informed[source] = 1;
@@ -62,8 +63,9 @@ class FloodBroadcastAlgorithm final : public Algorithm {
   Kind kind() const override { return Kind::kBroadcast; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
-    const FloodBroadcastResult r =
-        run_flood_broadcast(g, src, options.value_bits);
+    const FloodBroadcastResult r = run_flood_broadcast(
+        g, src, options.value_bits,
+        congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = {src};

@@ -11,6 +11,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -22,8 +23,11 @@ struct FloodBroadcastResult {
 };
 
 /// Floods a rumor of `value_bits` bits from `source` until quiescence.
+/// `cfg` selects the transport regime and fault axis (bandwidth_bits == 0 =
+/// the standard budget).
 FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
-                                         std::uint32_t value_bits);
+                                         std::uint32_t value_bits,
+                                         CongestConfig cfg = {});
 
 class Algorithm;
 

@@ -17,9 +17,10 @@ namespace {
 constexpr std::uint8_t kTagMaxId = 0x22;
 }
 
-FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed) {
+FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed,
+                                  CongestConfig cfg) {
   const NodeId n = g.node_count();
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   Rng rng(seed);
 
   std::vector<std::uint64_t> rid(n), best(n);
@@ -67,7 +68,8 @@ class FloodMaxAlgorithm final : public Algorithm {
   }
   Kind kind() const override { return Kind::kElection; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
-    const FloodElectionResult r = run_flood_max(g, options.seed());
+    const FloodElectionResult r = run_flood_max(
+        g, options.seed(), congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = r.leaders;

@@ -11,6 +11,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -21,8 +22,10 @@ struct FloodElectionResult {
   bool success() const { return leaders.size() == 1; }
 };
 
-/// Runs FloodMax with random ids drawn from [1, n^4].
-FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed);
+/// Runs FloodMax with random ids drawn from [1, n^4]. `cfg` selects the
+/// transport regime and fault axis (bandwidth_bits == 0 = standard budget).
+FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed,
+                                  CongestConfig cfg = {});
 
 class Algorithm;
 

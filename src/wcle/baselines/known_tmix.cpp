@@ -37,8 +37,7 @@ KnownTmixResult run_known_tmix_election(const Graph& g,
     if (coin_rng.next_bool(pc)) res.contenders.push_back(v);
   if (res.contenders.empty()) return res;
 
-  Network net(g, params.wide_messages ? CongestConfig::wide(n)
-                                      : CongestConfig::standard(n));
+  Network net(g, congest_config_for(params, n));
   WalkEngine engine(g, net, walk_rng,
                     {params.lazy_walks, params.coalesce_tokens});
 
@@ -95,6 +94,9 @@ class KnownTmixAlgorithm final : public Algorithm {
            "c3 * tmix (tmix from options.tmix_hint or an offline oracle)";
   }
   Kind kind() const override { return Kind::kElection; }
+  std::string caveat() const override {
+    return "assumes a tmix oracle (the knowledge the paper removes)";
+  }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     // The oracle estimate is computed offline (centralized) and costs no
     // messages — that is exactly the foreknowledge the paper dispenses with.

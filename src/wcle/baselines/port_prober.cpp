@@ -19,9 +19,10 @@ constexpr std::uint8_t kTagProbe = 0x26;
 
 ProbeResult run_port_prober(
     const Graph& g, std::uint64_t budget_per_node, std::uint64_t seed,
-    const std::function<bool(NodeId, NodeId)>& is_target_edge) {
+    const std::function<bool(NodeId, NodeId)>& is_target_edge,
+    CongestConfig cfg) {
   const NodeId n = g.node_count();
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   Rng rng(seed);
   ProbeResult res;
 
@@ -72,7 +73,8 @@ class PortProberAlgorithm final : public Algorithm {
     const NodeId half = n / 2;
     const ProbeResult r = run_port_prober(
         g, budget, options.seed(),
-        [half](NodeId a, NodeId b) { return (a < half) != (b < half); });
+        [half](NodeId a, NodeId b) { return (a < half) != (b < half); },
+        congest_config_for(options.params, n));
     RunResult out;
     out.algorithm = name();
     // Diagnostic protocol: the distinguished node is the sweep coordinator.

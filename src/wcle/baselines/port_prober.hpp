@@ -14,6 +14,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -26,9 +27,12 @@ struct ProbeResult {
 
 /// Every node probes up to `budget_per_node` distinct random ports.
 /// `is_target_edge(u, v)` classifies discovered edges (e.g. inter-clique).
+/// `cfg` selects the transport regime and fault axis (bandwidth_bits == 0 =
+/// the standard budget).
 ProbeResult run_port_prober(
     const Graph& g, std::uint64_t budget_per_node, std::uint64_t seed,
-    const std::function<bool(NodeId, NodeId)>& is_target_edge);
+    const std::function<bool(NodeId, NodeId)>& is_target_edge,
+    CongestConfig cfg = {});
 
 class Algorithm;
 

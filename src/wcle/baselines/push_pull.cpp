@@ -21,7 +21,7 @@ constexpr std::uint8_t kTagPull = 0x21;
 BroadcastResult run_push_pull(const Graph& g,
                               const std::vector<NodeId>& sources,
                               std::uint32_t value_bits, std::uint64_t seed,
-                              std::uint64_t max_rounds) {
+                              std::uint64_t max_rounds, CongestConfig cfg) {
   const NodeId n = g.node_count();
   if (sources.empty())
     throw std::invalid_argument("run_push_pull: need at least one source");
@@ -30,7 +30,7 @@ BroadcastResult run_push_pull(const Graph& g,
     max_rounds = 64 * lg * static_cast<std::uint64_t>(n);  // >= O(log n / phi)
   }
 
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   Rng rng(seed);
   std::vector<char> informed(n, 0);
   std::uint64_t informed_count = 0;
@@ -104,7 +104,8 @@ class PushPullAlgorithm final : public Algorithm {
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
     const BroadcastResult r = run_push_pull(
-        g, {src}, options.value_bits, options.seed(), options.max_rounds);
+        g, {src}, options.value_bits, options.seed(), options.max_rounds,
+        congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = {src};

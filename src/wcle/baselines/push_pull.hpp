@@ -12,6 +12,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -24,10 +25,13 @@ struct BroadcastResult {
 
 /// Spreads a rumor of `value_bits` bits from `sources` until every node is
 /// informed or `max_rounds` elapse (0 = 64 * log2(n)^2 / a generous default).
+/// `cfg` selects the transport regime and fault axis; bandwidth_bits == 0
+/// means the standard CONGEST budget.
 BroadcastResult run_push_pull(const Graph& g,
                               const std::vector<NodeId>& sources,
                               std::uint32_t value_bits, std::uint64_t seed,
-                              std::uint64_t max_rounds = 0);
+                              std::uint64_t max_rounds = 0,
+                              CongestConfig cfg = {});
 
 class Algorithm;
 

@@ -50,7 +50,7 @@ TerritoryElectionResult run_territory_election(const Graph& g,
   }
   if (res.candidates.empty()) return res;
 
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, congest_config_for(params, n));
   const std::uint32_t bits = id_bits(n) + ceil_log2(n) + 8;
 
   std::vector<std::uint64_t> owner(n, 0);

@@ -25,7 +25,7 @@ constexpr std::uint8_t kTagReport = 0x29;
 TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
                                       std::uint64_t seed,
                                       std::uint64_t walks_per_round,
-                                      std::uint32_t max_t) {
+                                      std::uint32_t max_t, CongestConfig cfg) {
   const NodeId n = g.node_count();
   if (initiator >= n)
     throw std::invalid_argument("run_tmix_estimator: initiator out of range");
@@ -33,13 +33,18 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
 
   TmixEstimateResult res;
 
-  // 1. BFS spanning tree from the initiator: the Omega(m) entry fee.
-  const BfsTreeResult tree = run_bfs_tree(g, initiator);
+  // 1. BFS spanning tree from the initiator: the Omega(m) entry fee, billed
+  // at the caller's bandwidth regime. The walk/report stage below must be
+  // able to reach the root through every parent port, so only the fault
+  // fields are suppressed for the tree construction.
+  CongestConfig tree_cfg = cfg;
+  tree_cfg.drop_probability = 0.0;
+  const BfsTreeResult tree = run_bfs_tree(g, initiator, tree_cfg);
   res.totals += tree.totals;
   res.rounds += tree.rounds;
 
   // 2+3. Doubling walk lengths with tree convergecast of the L-inf distance.
-  Network net(g, CongestConfig::standard(n));
+  Network net(g, cfg.resolved(n));
   Rng rng(seed);
   WalkEngine engine(g, net, rng);
   const double vol = static_cast<double>(g.volume());
@@ -113,7 +118,9 @@ class TmixEstimatorAlgorithm final : public Algorithm {
   Kind kind() const override { return Kind::kDiagnostic; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
-    const TmixEstimateResult r = run_tmix_estimator(g, src, options.seed());
+    const TmixEstimateResult r = run_tmix_estimator(
+        g, src, options.seed(), /*walks_per_round=*/0, /*max_t=*/1u << 16,
+        congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
     out.leaders = {src};
@@ -134,9 +141,14 @@ class EstimateThenElectAlgorithm final : public Algorithm {
            "the Omega(m)-message alternative the paper rejects";
   }
   Kind kind() const override { return Kind::kElection; }
+  std::string caveat() const override {
+    return "pays Omega(m) messages for the tmix estimate";
+  }
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
-    const TmixEstimateResult est = run_tmix_estimator(g, src, options.seed());
+    const TmixEstimateResult est = run_tmix_estimator(
+        g, src, options.seed(), /*walks_per_round=*/0, /*max_t=*/1u << 16,
+        congest_config_for(options.params, g.node_count()));
     const std::uint32_t walk_length = scaled_walk_length(
         options.tmix_multiplier, std::max<std::uint64_t>(1, est.estimate));
     const KnownTmixResult elect =

@@ -24,6 +24,7 @@
 
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
+#include "wcle/sim/network.hpp"
 
 namespace wcle {
 
@@ -41,7 +42,8 @@ struct TmixEstimateResult {
 TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
                                       std::uint64_t seed,
                                       std::uint64_t walks_per_round = 0,
-                                      std::uint32_t max_t = 1u << 16);
+                                      std::uint32_t max_t = 1u << 16,
+                                      CongestConfig cfg = {});
 
 class Algorithm;
 

@@ -15,8 +15,12 @@ ExplicitElectionResult run_explicit_election(const Graph& g,
   if (res.election.leaders.empty()) return res;  // nothing to broadcast
 
   const std::uint32_t leader_id_bits = id_bits(g.node_count());
+  ElectionParams bcast_params = params;
+  bcast_params.seed = params.seed ^ 0xb40adca57ull;
   res.broadcast = run_push_pull(g, res.election.leaders, leader_id_bits,
-                                params.seed ^ 0xb40adca57ull);
+                                bcast_params.seed, /*max_rounds=*/0,
+                                congest_config_for(bcast_params,
+                                                   g.node_count()));
   res.success = res.election.success() && res.broadcast.complete;
   return res;
 }

@@ -84,8 +84,7 @@ ElectionResult run_leader_election(const Graph& g,
   res.contenders = contender_nodes;
   if (contender_nodes.empty()) return res;  // fails; probability n^{-c1}
 
-  Network net(g, params.wide_messages ? CongestConfig::wide(n)
-                                      : CongestConfig::standard(n));
+  Network net(g, congest_config_for(params, n));
   WalkEngine engine(g, net, walk_rng,
                     {params.lazy_walks, params.coalesce_tokens});
 
@@ -353,6 +352,11 @@ class ElectionAlgorithm final : public Algorithm {
     out.extras["phases"] = static_cast<double>(r.phases);
     out.extras["final_length"] = static_cast<double>(r.final_length);
     out.extras["scheduled_rounds"] = static_cast<double>(r.scheduled_rounds);
+    // Per-trial Lemma 12 check: measured rounds must fit inside the paper's
+    // schedule. Kept paired here because aggregated summaries (rounds.max vs
+    // scheduled_rounds.min) cannot compare across trials.
+    out.extras["schedule_slack"] = static_cast<double>(r.scheduled_rounds) -
+                                   static_cast<double>(r.totals.rounds);
     out.extras["hit_phase_cap"] = r.hit_phase_cap ? 1.0 : 0.0;
     return out;
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wcle/sim/network.hpp"
+
 namespace wcle {
 
 double ElectionParams::log2_n(NodeId n) const {
@@ -64,6 +66,18 @@ std::uint64_t ElectionParams::id_space(NodeId n) const {
   const double space = std::pow(static_cast<double>(std::max<NodeId>(n, 2)), 4.0);
   const double cap = 9.0e18;  // stay within uint64
   return static_cast<std::uint64_t>(std::min(space, cap));
+}
+
+CongestConfig congest_config_for(const ElectionParams& params, NodeId n) {
+  CongestConfig cfg = params.bandwidth_bits != 0
+                          ? CongestConfig{params.bandwidth_bits}
+                      : params.wide_messages ? CongestConfig::wide(n)
+                                             : CongestConfig::standard(n);
+  cfg.drop_probability = params.drop_probability;
+  // Salted so the drop stream is independent of the id/coin/walk streams
+  // forked from the same seed.
+  cfg.drop_seed = params.seed ^ 0xD209D5EEDull;
+  return cfg;
 }
 
 }  // namespace wcle

@@ -26,6 +26,14 @@ struct ElectionParams {
   std::uint32_t max_length = 0;
   /// Use the O(log^3 n)-bit message regime of Lemma 12's second bound.
   bool wide_messages = false;
+  /// Custom per-edge bandwidth in bits; 0 = derive from the regime
+  /// (standard, or wide when wide_messages is set). Lets sweeps chart the
+  /// Lemma 12 bandwidth axis beyond the two named regimes.
+  std::uint32_t bandwidth_bits = 0;
+  /// Fault axis: probability that a fully-transmitted CONGEST message is
+  /// lost instead of delivered (seeded from `seed`, so faulty runs stay
+  /// reproducible). 0 = the paper's reliable model.
+  double drop_probability = 0.0;
   /// Ablation (DESIGN.md §5 item 4): lazy walks (paper) vs non-lazy. Non-lazy
   /// walks carry a parity trap on bipartite graphs and break stopping there.
   bool lazy_walks = true;
@@ -55,5 +63,14 @@ struct ElectionParams {
   /// Random node ids are drawn uniformly from [1, id_space(n)] ~ n^4.
   std::uint64_t id_space(NodeId n) const;
 };
+
+struct CongestConfig;
+
+/// The CONGEST transport configuration one run of any protocol should use:
+/// bandwidth from `bandwidth_bits` (custom) or the regime default
+/// (wide/standard per `wide_messages`), fault fields from `drop_probability`
+/// with the drop stream seeded from `seed`. Every adapter and core protocol
+/// funnels through this so the bandwidth and fault axes apply uniformly.
+CongestConfig congest_config_for(const ElectionParams& params, NodeId n);
 
 }  // namespace wcle

@@ -1,16 +1,21 @@
 #include "wcle/graph/families.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <utility>
 
+#include "wcle/graph/dumbbell.hpp"
 #include "wcle/graph/generators.hpp"
+#include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/support/rng.hpp"
+#include "wcle/support/strict_parse.hpp"
 
 namespace wcle {
 
 namespace {
 
-using Builder = Graph (*)(NodeId n, Rng& rng);
+using Builder = Graph (*)(NodeId n, Rng& rng, const std::string& param);
 
 NodeId square_side(NodeId n, NodeId floor_side) {
   NodeId side = floor_side;
@@ -18,49 +23,133 @@ NodeId square_side(NodeId n, NodeId floor_side) {
   return side;
 }
 
+void reject_param(const char* family, const std::string& param) {
+  if (!param.empty())
+    throw std::invalid_argument("graph family '" + std::string(family) +
+                                "' takes no ':' parameter (got ':" + param +
+                                "')");
+}
+
+double parse_alpha(const std::string& param) {
+  if (param.empty()) return 0.004;
+  const auto alpha = strict_double(param);
+  if (!alpha || !(*alpha > 0.0) || *alpha >= 1.0)
+    throw std::invalid_argument("lowerbound: alpha parameter '" + param +
+                                "' must be a real in (0, 1)");
+  return *alpha;
+}
+
 // One table drives both make_family and family_names, so the advertised set
-// and the accepted set cannot drift apart. Kept name-sorted.
+// and the accepted set cannot drift apart. Kept name-sorted. Each builder
+// clamps degenerate n up to its structural minimum (documented in the
+// header) so n = 1 / n = 2 requests still produce valid connected graphs.
 constexpr std::pair<const char*, Builder> kFamilies[] = {
-    {"ba", [](NodeId n, Rng& rng) { return make_barabasi_albert(n, 3, rng); }},
-    {"barbell", [](NodeId n, Rng&) { return make_barbell(n / 2); }},
+    {"ba",
+     [](NodeId n, Rng& rng, const std::string& param) {
+       reject_param("ba", param);
+       return make_barabasi_albert(std::max<NodeId>(n, 5), 3, rng);
+     }},
+    {"barbell",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("barbell", param);
+       return make_barbell(std::max<NodeId>(n / 2, 3));
+     }},
     {"bipartite",
-     [](NodeId n, Rng&) { return make_complete_bipartite(n / 2, n - n / 2); }},
-    {"clique", [](NodeId n, Rng&) { return make_clique(n); }},
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("bipartite", param);
+       const NodeId m = std::max<NodeId>(n, 3);
+       return make_complete_bipartite(m / 2, m - m / 2);
+     }},
+    {"clique",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("clique", param);
+       return make_clique(std::max<NodeId>(n, 2));
+     }},
+    {"dumbbell",
+     [](NodeId n, Rng& rng, const std::string& param) {
+       const std::string base = param.empty() ? "torus" : param;
+       if (base == "dumbbell" || base == "lowerbound")
+         throw std::invalid_argument("dumbbell: base family '" + base +
+                                     "' is not supported");
+       const Graph g0 = make_family(base, std::max<NodeId>(n / 2, 4),
+                                    rng.next());
+       return make_random_dumbbell(g0, rng).graph;
+     }},
     {"expander",
-     [](NodeId n, Rng& rng) {
-       return make_random_regular(n % 2 ? n + 1 : n, 6, rng);
+     [](NodeId n, Rng& rng, const std::string& param) {
+       reject_param("expander", param);
+       NodeId m = std::max<NodeId>(n, 8);
+       if (m % 2) ++m;  // n*d must be even for the pairing model
+       return make_random_regular(m, 6, rng);
      }},
     {"grid",
-     [](NodeId n, Rng&) {
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("grid", param);
        const NodeId side = square_side(n, 2);
        return make_grid(side, side);
      }},
     {"hypercube",
-     [](NodeId n, Rng&) {
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("hypercube", param);
        std::uint32_t d = 1;
        while ((NodeId{1} << (d + 1)) <= n) ++d;
        return make_hypercube(d);
      }},
-    {"lollipop", [](NodeId n, Rng&) { return make_lollipop_pair(n / 2, 2); }},
-    {"path", [](NodeId n, Rng&) { return make_path(n); }},
-    {"ring", [](NodeId n, Rng&) { return make_ring(n); }},
-    {"star", [](NodeId n, Rng&) { return make_star(n); }},
+    {"lollipop",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("lollipop", param);
+       return make_lollipop_pair(std::max<NodeId>(n / 2, 3), 2);
+     }},
+    {"lowerbound",
+     [](NodeId n, Rng& rng, const std::string& param) {
+       return make_lower_bound_graph(n, parse_alpha(param), rng).graph;
+     }},
+    {"path",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("path", param);
+       return make_path(std::max<NodeId>(n, 2));
+     }},
+    {"ring",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("ring", param);
+       return make_ring(std::max<NodeId>(n, 3));
+     }},
+    {"star",
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("star", param);
+       return make_star(std::max<NodeId>(n, 3));
+     }},
     {"torus",
-     [](NodeId n, Rng&) {
+     [](NodeId n, Rng&, const std::string& param) {
+       reject_param("torus", param);
        const NodeId side = square_side(n, 3);
        return make_torus(side, side);
      }},
     {"ws",
-     [](NodeId n, Rng& rng) { return make_watts_strogatz(n, 3, 0.3, rng); }},
+     [](NodeId n, Rng& rng, const std::string& param) {
+       reject_param("ws", param);
+       return make_watts_strogatz(std::max<NodeId>(n, 8), 3, 0.3, rng);
+     }},
 };
 
 }  // namespace
 
 Graph make_family(const std::string& family, NodeId n, std::uint64_t seed) {
+  std::string base = family, param;
+  if (const auto colon = family.find(':'); colon != std::string::npos) {
+    base = family.substr(0, colon);
+    param = family.substr(colon + 1);
+  }
   Rng rng(seed ^ 0xFA111Cull);
   for (const auto& [name, builder] : kFamilies)
-    if (family == name) return builder(n, rng);
-  throw std::invalid_argument("unknown graph family '" + family + "'");
+    if (base == name) return builder(n, rng, param);
+  throw std::invalid_argument("unknown graph family '" + base + "'");
+}
+
+double lowerbound_alpha(const std::string& family) {
+  const auto colon = family.find(':');
+  return parse_alpha(colon == std::string::npos ? ""
+                                                : family.substr(colon + 1));
 }
 
 std::vector<std::string> family_names() {

@@ -1,6 +1,7 @@
 // Named graph families: the string-keyed counterpart of generators.hpp, so
-// the CLI, tests, and benches can build any family from ("name", n, seed)
-// alone — the graph-side analogue of the algorithm registry.
+// the CLI, tests, benches, and the sweep engine can build any family from
+// ("name", n, seed) alone — the graph-side analogue of the algorithm
+// registry.
 #pragma once
 
 #include <cstdint>
@@ -11,15 +12,38 @@
 
 namespace wcle {
 
-/// Builds the named family sized as close to `n` as the family permits
-/// (torus snaps to a square side, hypercube to a power of two, expander to
-/// even n). Throws std::invalid_argument for an unknown name.
+/// Builds the named family sized as close to `n` as the family permits.
+/// Sizes snap to the nearest realizable shape: torus/grid to a square side,
+/// hypercube to a power of two, expander to even n; degenerate requests
+/// (n = 1, n = 2, ...) snap UP to each family's structural minimum, so every
+/// call that names a known family yields a valid connected graph. Throws
+/// std::invalid_argument for an unknown name or malformed parameter.
+///
 /// Families: clique, ring, path, torus, grid, hypercube, expander
 /// (6-regular), star, barbell, lollipop, bipartite, ba (Barabasi-Albert
-/// m0=3), ws (Watts-Strogatz k=3).
+/// m0=3), ws (Watts-Strogatz k=3), plus two parameterized families used by
+/// the lower-bound experiments:
+///
+///   lowerbound[:alpha]  — the Section-4.1 graph G(alpha) of ~n nodes
+///                         (default alpha 0.004); throws when (n, alpha)
+///                         cannot satisfy the construction's minima.
+///   dumbbell[:base]     — Dumbbell(G0[e'], G0[e'']) of Theorem 28 over two
+///                         copies of `base` (default torus) of ~n/2 nodes
+///                         each; `base` is any non-parameterized family name
+///                         that yields a 2-connected graph.
+///
+/// The ':' parameter is only accepted by the families documented to take
+/// one; "ring:3" is rejected rather than silently ignored.
 Graph make_family(const std::string& family, NodeId n, std::uint64_t seed);
 
-/// All recognized family names, sorted.
+/// All recognized family names, sorted (parameterized families appear under
+/// their base name).
 std::vector<std::string> family_names();
+
+/// The alpha a "lowerbound[:alpha]" family string resolves to — the single
+/// source of truth for the default, shared with the bench normalization
+/// columns. Throws std::invalid_argument on a malformed parameter, exactly
+/// like make_family would.
+double lowerbound_alpha(const std::string& family);
 
 }  // namespace wcle

@@ -12,6 +12,7 @@ Metrics Metrics::since(const Metrics& earlier) const {
   d.logical_messages = logical_messages - earlier.logical_messages;
   d.total_bits = total_bits - earlier.total_bits;
   d.max_edge_backlog = max_edge_backlog;
+  d.dropped_messages = dropped_messages - earlier.dropped_messages;
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     d.congest_messages_by_tag[i] =
         congest_messages_by_tag[i] - earlier.congest_messages_by_tag[i];
@@ -24,6 +25,7 @@ Metrics& Metrics::operator+=(const Metrics& other) {
   logical_messages += other.logical_messages;
   total_bits += other.total_bits;
   max_edge_backlog = std::max(max_edge_backlog, other.max_edge_backlog);
+  dropped_messages += other.dropped_messages;
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     congest_messages_by_tag[i] += other.congest_messages_by_tag[i];
   return *this;
@@ -33,6 +35,7 @@ std::string Metrics::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " congest_msgs=" << congest_messages
      << " logical_msgs=" << logical_messages << " bits=" << total_bits;
+  if (dropped_messages) os << " dropped=" << dropped_messages;
   return os.str();
 }
 

@@ -16,6 +16,7 @@ struct Metrics {
   std::uint64_t logical_messages = 0;  ///< protocol-level send() calls
   std::uint64_t total_bits = 0;        ///< sum of declared message sizes
   std::uint64_t max_edge_backlog = 0;  ///< peak per-edge queue (congestion)
+  std::uint64_t dropped_messages = 0;  ///< messages lost to the fault axis
   std::array<std::uint64_t, 256> congest_messages_by_tag{};
 
   /// Component-wise difference (this - earlier); used for stage breakdowns.

@@ -6,9 +6,12 @@
 
 namespace wcle {
 
-Network::Network(const Graph& g, CongestConfig cfg) : g_(&g), cfg_(cfg) {
+Network::Network(const Graph& g, CongestConfig cfg)
+    : g_(&g), cfg_(cfg), drop_rng_(cfg.drop_seed) {
   if (cfg_.bandwidth_bits == 0)
     throw std::invalid_argument("Network: bandwidth_bits must be >= 1");
+  if (cfg_.drop_probability < 0.0 || cfg_.drop_probability > 1.0)
+    throw std::invalid_argument("Network: drop_probability must be in [0, 1]");
   first_lane_.resize(g.node_count() + 1);
   std::uint64_t acc = 0;
   for (NodeId u = 0; u < g.node_count(); ++u) {
@@ -60,18 +63,27 @@ const std::vector<Delivery>& Network::step() {
     metrics_.congest_messages_by_tag[head.tag] += 1;
     l.served_bits += B;
     if (l.served_bits >= head.bits) {
-      // Fully transmitted: deliver to the other endpoint this round.
-      // Recover (from, port) from the lane index by binary search on bases.
-      const auto it = std::upper_bound(first_lane_.begin(), first_lane_.end(),
-                                       lane);
-      const NodeId from = static_cast<NodeId>(
-          std::distance(first_lane_.begin(), it) - 1);
-      const Port port = static_cast<Port>(lane - first_lane_[from]);
-      Delivery d;
-      d.dst = g_->neighbor(from, port);
-      d.port = g_->mirror_port(from, port);
-      d.msg = std::move(head);
-      delivered_.push_back(std::move(d));
+      // Fully transmitted. The fault axis is consulted only now: a dropped
+      // message has already paid its congestion bill, it just never reaches
+      // the other endpoint. The p == 0 guard keeps the reliable model
+      // bit-identical to the pre-fault implementation (no Rng draws).
+      if (cfg_.drop_probability > 0.0 &&
+          drop_rng_.next_bool(cfg_.drop_probability)) {
+        metrics_.dropped_messages += 1;
+      } else {
+        // Deliver to the other endpoint this round. Recover (from, port)
+        // from the lane index by binary search on bases.
+        const auto it = std::upper_bound(first_lane_.begin(),
+                                         first_lane_.end(), lane);
+        const NodeId from = static_cast<NodeId>(
+            std::distance(first_lane_.begin(), it) - 1);
+        const Port port = static_cast<Port>(lane - first_lane_[from]);
+        Delivery d;
+        d.dst = g_->neighbor(from, port);
+        d.port = g_->mirror_port(from, port);
+        d.msg = std::move(head);
+        delivered_.push_back(std::move(d));
+      }
       l.fifo.pop_front();
       l.served_bits = 0;
     }

@@ -14,13 +14,23 @@
 #include "wcle/sim/message.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/support/bits.hpp"
+#include "wcle/support/rng.hpp"
 
 namespace wcle {
 
-/// CONGEST bandwidth configuration.
+/// CONGEST bandwidth configuration plus the seeded fault axis: each message,
+/// after its bandwidth has been fully served, is lost with probability
+/// `drop_probability` (drawn from an Rng seeded by `drop_seed`, so runs are
+/// reproducible). The congestion bill is still paid for dropped messages —
+/// lossy links consume bandwidth, they just fail to deliver.
 struct CongestConfig {
   /// Bits per edge per direction per round (the model's B = Theta(log n)).
   std::uint32_t bandwidth_bits = 0;
+  /// Per-message loss probability in [0, 1]; 0 = the reliable model.
+  double drop_probability = 0.0;
+  /// Seed of the drop stream; together with the deterministic lane-service
+  /// order this makes faulty executions bit-reproducible.
+  std::uint64_t drop_seed = 0;
 
   /// Standard CONGEST budget for an n-node network: enough for one id from
   /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".
@@ -32,6 +42,15 @@ struct CongestConfig {
   static CongestConfig wide(std::uint64_t n) {
     const std::uint32_t lg = ceil_log2(n) > 0 ? ceil_log2(n) : 1;
     return {(id_bits(n) + 2 * lg + 8) * lg * lg};
+  }
+
+  /// Resolves bandwidth_bits == 0 (the "regime default" sentinel protocols
+  /// accept in their optional config parameter) to standard(n), keeping the
+  /// fault fields.
+  CongestConfig resolved(std::uint64_t n) const {
+    CongestConfig c = *this;
+    if (c.bandwidth_bits == 0) c.bandwidth_bits = standard(n).bandwidth_bits;
+    return c;
   }
 };
 
@@ -93,6 +112,7 @@ class Network {
   std::vector<std::uint64_t> active_;      ///< lane indices with traffic
   std::uint64_t active_count_ = 0;
   std::vector<Delivery> delivered_;
+  Rng drop_rng_;  ///< consulted only when cfg_.drop_probability > 0
   Metrics metrics_;
 };
 

@@ -1,0 +1,39 @@
+// Strict whole-string numeric parsing shared by every surface that turns
+// user-supplied text into numbers (the spec grammar, the family ':'
+// parameters): the value parses iff the entire string is consumed, so
+// "12abc", "", and locale surprises are rejected uniformly instead of each
+// call site hand-rolling its own stod/stoull-with-used check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace wcle {
+
+/// Whole-string unsigned parse; nullopt on empty, sign, trailing garbage,
+/// or overflow.
+inline std::optional<std::uint64_t> strict_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used);
+    if (used == s.size()) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+/// Whole-string double parse; nullopt on empty or trailing garbage.
+inline std::optional<double> strict_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used == s.size()) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+}  // namespace wcle

@@ -90,6 +90,7 @@ TEST(AlgorithmSmoke, EveryAlgorithmElectsOneLeaderWhereReliable) {
       EXPECT_EQ(r.leaders.size(), 1u) << a->name() << " on " << sg.label;
       EXPECT_LT(r.leaders[0], sg.graph.node_count())
           << a->name() << " on " << sg.label;
+      if (a->offline()) continue;  // probes measure without the transport
       EXPECT_GE(r.rounds, 1u) << a->name() << " on " << sg.label;
       EXPECT_GT(r.totals.congest_messages, 0u)
           << a->name() << " on " << sg.label;

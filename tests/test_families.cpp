@@ -1,0 +1,93 @@
+// Edge-case tests for the named graph-family builder: size snapping,
+// degenerate n = 1 / n = 2 requests (which must snap UP to each family's
+// structural minimum, never crash or return a disconnected graph), the ':'
+// parameter grammar of the lowerbound/dumbbell families, and unknown-name
+// rejection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wcle/graph/families.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(Families, SizeSnapping) {
+  // Torus snaps to a square side (floor side 3).
+  EXPECT_EQ(make_family("torus", 10, 1).node_count(), 9u);
+  EXPECT_EQ(make_family("torus", 256, 1).node_count(), 256u);
+  EXPECT_EQ(make_family("torus", 255, 1).node_count(), 225u);
+  // Hypercube snaps to a power of two.
+  EXPECT_EQ(make_family("hypercube", 100, 1).node_count(), 64u);
+  EXPECT_EQ(make_family("hypercube", 128, 1).node_count(), 128u);
+  // Expander (6-regular pairing model) snaps odd n up to even.
+  EXPECT_EQ(make_family("expander", 65, 1).node_count(), 66u);
+  // Grid snaps to a square side (floor side 2).
+  EXPECT_EQ(make_family("grid", 5, 1).node_count(), 4u);
+}
+
+TEST(Families, DegenerateSizesSnapUpToValidGraphs) {
+  for (const std::string& family : family_names()) {
+    if (family == "lowerbound") continue;  // structural minima throw instead
+    for (const NodeId n : {NodeId{1}, NodeId{2}}) {
+      const Graph g = make_family(family, n, 7);
+      EXPECT_GE(g.node_count(), 2u) << family << " n=" << n;
+      EXPECT_TRUE(g.is_connected()) << family << " n=" << n;
+    }
+  }
+}
+
+TEST(Families, EverySizeYieldsConnectedGraphs) {
+  for (const std::string& family : family_names()) {
+    if (family == "lowerbound") continue;
+    const Graph g = make_family(family, 40, 3);
+    EXPECT_TRUE(g.is_connected()) << family;
+    EXPECT_GE(g.node_count(), 2u) << family;
+  }
+}
+
+TEST(Families, UnknownNameThrows) {
+  EXPECT_THROW(make_family("petersen", 10, 1), std::invalid_argument);
+  EXPECT_THROW(make_family("", 10, 1), std::invalid_argument);
+  // The error names the unknown base, not the parameter.
+  try {
+    make_family("nope:42", 10, 1);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(Families, ParameterGrammar) {
+  // Families that take no parameter reject one instead of ignoring it.
+  EXPECT_THROW(make_family("ring:3", 16, 1), std::invalid_argument);
+  EXPECT_THROW(make_family("clique:big", 16, 1), std::invalid_argument);
+
+  // lowerbound: optional alpha parameter, validated.
+  const Graph lb = make_family("lowerbound:0.004", 500, 1);
+  EXPECT_TRUE(lb.is_connected());
+  EXPECT_GE(lb.node_count(), 300u);
+  EXPECT_THROW(make_family("lowerbound:zzz", 500, 1), std::invalid_argument);
+  EXPECT_THROW(make_family("lowerbound:2.5", 500, 1), std::invalid_argument);
+  EXPECT_THROW(make_family("lowerbound:-0.1", 500, 1), std::invalid_argument);
+
+  // dumbbell: optional base family; two ~n/2 copies bridged.
+  const Graph db = make_family("dumbbell:hypercube", 128, 1);
+  EXPECT_EQ(db.node_count(), 128u);
+  EXPECT_TRUE(db.is_connected());
+  const Graph db_default = make_family("dumbbell", 128, 1);  // torus base
+  EXPECT_EQ(db_default.node_count(), 128u);
+  EXPECT_THROW(make_family("dumbbell:dumbbell", 64, 1), std::invalid_argument);
+}
+
+TEST(Families, DeterministicInSeed) {
+  const Graph a = make_family("expander", 64, 5);
+  const Graph b = make_family("expander", 64, 5);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < a.node_count(); ++v)
+    EXPECT_EQ(a.degree(v), b.degree(v)) << v;
+}
+
+}  // namespace
+}  // namespace wcle

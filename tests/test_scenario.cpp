@@ -1,0 +1,160 @@
+// Tests for the declarative experiment spec: the key=v1,v2 grid grammar, the
+// RunOptions knob set, grid arithmetic, the builtin E1-E13 registry, and the
+// spec -> string -> spec round trip that backs every table's "reproduce:"
+// line.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "wcle/api/registry.hpp"
+#include "wcle/api/scenario.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(SpecGrammar, ParsesAxesAndKnobs) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max,election family=clique n=32,64 bandwidth=standard,wide "
+      "drop=0,0.5 trials=3 base-seed=77 graph-seed=9 c1=2,4 reliable=1 "
+      "extras=phases,final_length name=demo");
+  EXPECT_EQ(spec.algorithms, (std::vector<std::string>{"flood_max",
+                                                       "election"}));
+  EXPECT_EQ(spec.families, std::vector<std::string>{"clique"});
+  EXPECT_EQ(spec.sizes, (std::vector<std::uint64_t>{32, 64}));
+  EXPECT_EQ(spec.bandwidths, (std::vector<std::string>{"standard", "wide"}));
+  EXPECT_EQ(spec.drops, (std::vector<double>{0.0, 0.5}));
+  EXPECT_EQ(spec.trials, 3);
+  EXPECT_EQ(spec.base_seed, 77u);
+  EXPECT_EQ(spec.graph_seed, 9u);
+  EXPECT_TRUE(spec.skip_unreliable);
+  EXPECT_EQ(spec.knobs.at("c1"), (std::vector<std::string>{"2", "4"}));
+  EXPECT_EQ(spec.table_extras,
+            (std::vector<std::string>{"phases", "final_length"}));
+  EXPECT_EQ(spec.name, "demo");
+  // 2 algos x 1 family x 2 sizes x 2 bandwidths x 2 drops x 2 c1 values.
+  EXPECT_EQ(spec.cell_count(), 32u);
+}
+
+TEST(SpecGrammar, DefaultsWhenUnspecified) {
+  const ExperimentSpec spec = parse_spec("n=128");
+  EXPECT_EQ(spec.algorithms, std::vector<std::string>{"election"});
+  EXPECT_EQ(spec.families, std::vector<std::string>{"expander"});
+  EXPECT_EQ(spec.bandwidths, std::vector<std::string>{"standard"});
+  EXPECT_EQ(spec.drops, std::vector<double>{0.0});
+  EXPECT_EQ(spec.cell_count(), 1u);
+}
+
+TEST(SpecGrammar, AlgoAllExpandsToRegistry) {
+  const ExperimentSpec spec = parse_spec("algo=all n=16");
+  EXPECT_EQ(spec.algorithms.size(), AlgorithmRegistry::instance().size());
+}
+
+TEST(SpecGrammar, Rejections) {
+  EXPECT_THROW(parse_spec("bogus-key=1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("algo=no_such_algorithm"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n=-5"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("bandwidth=0"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("bandwidth=narrow"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("trials=0"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("wide=maybe"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("notkeyvalue"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("n="), std::invalid_argument);
+}
+
+TEST(SpecGrammar, KnobApplication) {
+  RunOptions options;
+  apply_knob(options, "c1", "6.5");
+  apply_knob(options, "wide", "true");
+  apply_knob(options, "coalesce", "false");
+  apply_knob(options, "tmix", "12");
+  apply_knob(options, "budget", "99");
+  EXPECT_EQ(options.params.c1, 6.5);
+  EXPECT_TRUE(options.params.wide_messages);
+  EXPECT_FALSE(options.params.coalesce_tokens);
+  EXPECT_EQ(options.tmix_hint, 12u);
+  EXPECT_EQ(options.probe_budget, 99u);
+  EXPECT_THROW(apply_knob(options, "nonsense", "1"), std::invalid_argument);
+
+  apply_bandwidth(options, "256");
+  EXPECT_EQ(options.params.bandwidth_bits, 256u);
+  apply_bandwidth(options, "wide");
+  EXPECT_EQ(options.params.bandwidth_bits, 0u);
+  EXPECT_TRUE(options.params.wide_messages);
+  apply_bandwidth(options, "standard");
+  EXPECT_FALSE(options.params.wide_messages);
+}
+
+TEST(SpecGrammar, ParseOntoReplacesOnlyNamedAxes) {
+  const ExperimentSpec base = builtin_experiment("e6", 1);
+  // n=512 must override even though 512 is also parse_spec's default size,
+  // and trials=1 even though the base has its own; unnamed axes (families,
+  // bandwidths, the coalesce knob grid) keep the builtin values.
+  const ExperimentSpec spec =
+      parse_spec_onto(base, {"n=512", "trials=1", "reliable=1"});
+  EXPECT_EQ(spec.sizes, std::vector<std::uint64_t>{512});
+  EXPECT_EQ(spec.trials, 1);
+  EXPECT_TRUE(spec.skip_unreliable);
+  EXPECT_EQ(spec.families, base.families);
+  EXPECT_EQ(spec.bandwidths, base.bandwidths);
+  EXPECT_EQ(spec.knobs, base.knobs);
+  EXPECT_EQ(spec.name, base.name);
+  EXPECT_EQ(spec.title, base.title);
+
+  // Naming a knob the base grids replaces that grid only.
+  const ExperimentSpec knobbed = parse_spec_onto(base, {"coalesce=true"});
+  EXPECT_EQ(knobbed.knobs.at("coalesce"), std::vector<std::string>{"true"});
+
+  // Repeated mentions of the same key still accumulate.
+  const ExperimentSpec repeated = parse_spec_onto(base, {"n=64", "n=128"});
+  EXPECT_EQ(repeated.sizes, (std::vector<std::uint64_t>{64, 128}));
+}
+
+TEST(Builtins, AllThirteenExperimentsResolve) {
+  const std::vector<std::string> names = builtin_experiment_names();
+  EXPECT_EQ(names.size(), 13u);
+  for (const std::string& name : names) {
+    for (int scale = 0; scale <= 2; ++scale) {
+      const ExperimentSpec spec = builtin_experiment(name, scale);
+      EXPECT_EQ(spec.name, name);
+      EXPECT_FALSE(spec.title.empty()) << name;
+      EXPECT_GE(spec.cell_count(), 1u) << name;
+      EXPECT_GE(spec.trials, 1) << name;
+      for (const std::string& algo : spec.algorithms)
+        EXPECT_TRUE(AlgorithmRegistry::instance().contains(algo))
+            << name << " uses unknown algorithm " << algo;
+    }
+  }
+  EXPECT_THROW(builtin_experiment("e99"), std::invalid_argument);
+}
+
+TEST(Builtins, ToStringRoundTripsTheGrid) {
+  for (const std::string& name : builtin_experiment_names()) {
+    const ExperimentSpec spec = builtin_experiment(name, 0);
+    const ExperimentSpec reparsed = parse_spec(spec.to_string());
+    EXPECT_EQ(reparsed.algorithms, spec.algorithms) << name;
+    EXPECT_EQ(reparsed.families, spec.families) << name;
+    EXPECT_EQ(reparsed.sizes, spec.sizes) << name;
+    EXPECT_EQ(reparsed.bandwidths, spec.bandwidths) << name;
+    EXPECT_EQ(reparsed.drops, spec.drops) << name;
+    EXPECT_EQ(reparsed.trials, spec.trials) << name;
+    EXPECT_EQ(reparsed.base_seed, spec.base_seed) << name;
+    EXPECT_EQ(reparsed.graph_seed, spec.graph_seed) << name;
+    EXPECT_EQ(reparsed.skip_unreliable, spec.skip_unreliable) << name;
+    EXPECT_EQ(reparsed.knobs, spec.knobs) << name;
+    EXPECT_EQ(reparsed.cell_count(), spec.cell_count()) << name;
+  }
+}
+
+TEST(Builtins, ScaleZeroStaysSmall) {
+  // The CI smoke job runs every spec at scale 0 twice; keep the grids tiny.
+  for (const std::string& name : builtin_experiment_names()) {
+    const ExperimentSpec spec = builtin_experiment(name, 0);
+    EXPECT_LE(spec.cell_count(), 64u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wcle

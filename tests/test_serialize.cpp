@@ -1,0 +1,112 @@
+// Golden-string tests for serialize.hpp: the JSON renderings of RunResult
+// and TrialStats are pinned byte-for-byte on hand-constructed values, so any
+// schema drift (field rename, reorder, number formatting change) fails
+// loudly here before it silently breaks BENCH_*.json consumers or the CI
+// sweep determinism diffs.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "wcle/api/serialize.hpp"
+#include "wcle/api/trials.hpp"
+
+namespace wcle {
+namespace {
+
+TEST(SerializeGolden, RunResultFullSchema) {
+  RunResult r;
+  r.algorithm = "election";
+  r.success = true;
+  r.leaders = {3, 7};
+  r.rounds = 42;
+  r.totals.congest_messages = 100;
+  r.totals.logical_messages = 25;
+  r.totals.total_bits = 4096;
+  r.totals.max_edge_backlog = 6;
+  r.totals.dropped_messages = 2;
+  r.extras["phases"] = 3.0;
+  r.extras["ratio"] = 0.5;
+  EXPECT_EQ(to_json(r),
+            "{\"algorithm\":\"election\",\"success\":true,\"leaders\":[3,7],"
+            "\"rounds\":42,\"congest_messages\":100,\"logical_messages\":25,"
+            "\"total_bits\":4096,\"max_edge_backlog\":6,"
+            "\"dropped_messages\":2,"
+            "\"extras\":{\"phases\":3,\"ratio\":0.5}}");
+}
+
+TEST(SerializeGolden, RunResultEmpty) {
+  RunResult r;
+  r.algorithm = "x";
+  EXPECT_EQ(to_json(r),
+            "{\"algorithm\":\"x\",\"success\":false,\"leaders\":[],"
+            "\"rounds\":0,\"congest_messages\":0,\"logical_messages\":0,"
+            "\"total_bits\":0,\"max_edge_backlog\":0,\"dropped_messages\":0,"
+            "\"extras\":{}}");
+}
+
+TEST(SerializeGolden, TrialStatsFullSchema) {
+  TrialStats s;
+  s.algorithm = "flood_max";
+  s.trials = 2;
+  s.threads = 1;
+  s.success_rate = 0.5;
+  s.multi_leader_rate = 0.5;
+  s.congest_messages = Summary{2, 10.0, 1.0, 9.0, 10.0, 11.0};
+  const std::string json = to_json(s);
+  EXPECT_EQ(json,
+            "{\"algorithm\":\"flood_max\",\"trials\":2,\"threads\":1,"
+            "\"success_rate\":0.5,\"zero_leader_rate\":0,"
+            "\"multi_leader_rate\":0.5,\"metrics\":{"
+            "\"congest_messages\":{\"count\":2,\"mean\":10,\"stddev\":1,"
+            "\"min\":9,\"median\":10,\"max\":11},"
+            "\"logical_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"total_bits\":{\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,"
+            "\"median\":0,\"max\":0},"
+            "\"rounds\":{\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,"
+            "\"median\":0,\"max\":0},"
+            "\"leader_count\":{\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,"
+            "\"median\":0,\"max\":0},"
+            "\"dropped_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0}},\"extras\":{}}");
+}
+
+TEST(SerializeGolden, ExtrasKeysAreEscapedAndSorted) {
+  RunResult r;
+  r.algorithm = "a\"b";
+  r.extras["z"] = 1.0;
+  r.extras["a\nkey"] = 2.0;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"algorithm\":\"a\\\"b\""), std::string::npos) << json;
+  // std::map ordering puts the escaped key first.
+  EXPECT_NE(json.find("\"extras\":{\"a\\nkey\":2,\"z\":1}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(SerializeGolden, JsonEscapeControlCharacters) {
+  EXPECT_EQ(json_escape("plain ascii"), "plain ascii");
+  EXPECT_EQ(json_escape("q\"b\\s"), "q\\\"b\\\\s");
+  EXPECT_EQ(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  // Every remaining control character below 0x20 goes to \u00XX.
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string("x\x1f") + "y"), "x\\u001fy");
+  EXPECT_EQ(json_escape(std::string("u") + '\b' + "v"), "u\\u0008v");
+  EXPECT_EQ(json_escape(std::string("u") + '\f' + "v"), "u\\u000cv");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  // 0x7f (DEL) is not a JSON-mandatory escape; it passes through.
+  EXPECT_EQ(json_escape("\x7f"), "\x7f");
+}
+
+TEST(SerializeGolden, JsonNumberShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,163 @@
+// Tests for the sweep engine and sinks: grid expansion order, graph reuse
+// and snapping, reliable_on filtering, the seeded message-drop fault axis,
+// and the acceptance property of the whole subsystem — the streamed JSONL is
+// byte-identical for repeated runs of the same spec at ANY worker-thread
+// count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/sink.hpp"
+#include "wcle/api/sweep.hpp"
+
+namespace wcle {
+namespace {
+
+std::string jsonl_of(const ExperimentSpec& spec, unsigned threads) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  run_sweep(spec, {&sink}, threads);
+  return out.str();
+}
+
+TEST(Sweep, ExpansionOrderIsFamilyOuterThenSizeThenAlgorithm) {
+  const ExperimentSpec spec =
+      parse_spec("algo=flood_max,flood_broadcast family=clique,ring n=16,32 "
+                 "trials=1");
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].family, "clique");
+  EXPECT_EQ(cells[0].requested_n, 16u);
+  EXPECT_EQ(cells[0].algorithm, "flood_max");
+  EXPECT_EQ(cells[1].algorithm, "flood_broadcast");
+  EXPECT_EQ(cells[2].requested_n, 32u);
+  EXPECT_EQ(cells[4].family, "ring");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(Sweep, KnobGridsExpandAndResolve) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max family=clique n=16 trials=1 c1=2,8 wide=false,true");
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 4u);
+  // Alphabetical knob order: c1 outer, wide inner.
+  EXPECT_EQ(cells[0].options.params.c1, 2.0);
+  EXPECT_FALSE(cells[0].options.params.wide_messages);
+  EXPECT_TRUE(cells[1].options.params.wide_messages);
+  EXPECT_EQ(cells[2].options.params.c1, 8.0);
+}
+
+TEST(Sweep, GraphsSnapAndCarryShape) {
+  const ExperimentSpec spec =
+      parse_spec("algo=flood_max family=torus n=10 trials=1");
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cell.requested_n, 10u);
+  EXPECT_EQ(results[0].n, 9u);   // snapped to 3x3
+  EXPECT_EQ(results[0].m, 18u);  // torus edges = 2n
+  EXPECT_EQ(results[0].stats.trials, 1);
+}
+
+TEST(Sweep, SkipUnreliableFiltersUnfairCells) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=clique_referee,flood_max family=ring,clique n=16 trials=1 "
+      "reliable=1");
+  const std::vector<CellResult> results = run_sweep(spec);
+  // clique_referee survives on the clique only; flood_max everywhere.
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].cell.family, "ring");
+  EXPECT_EQ(results[0].cell.algorithm, "flood_max");
+  // Post-filter indices stay dense so sinks and JSONL stay gap-free.
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].cell.index, i);
+}
+
+TEST(Sweep, DropAxisLosesMessagesDeterministically) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_broadcast family=clique n=16 trials=2 drop=0,0.5");
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].stats.dropped_messages.max, 0.0);
+  EXPECT_GT(results[1].stats.dropped_messages.mean, 0.0);
+  // Lossy links still pay bandwidth: congest messages stay comparable.
+  EXPECT_GT(results[1].stats.congest_messages.mean, 0.0);
+  // And the faulty cell is exactly reproducible.
+  const std::vector<CellResult> again = run_sweep(spec);
+  EXPECT_EQ(to_json(results[1]), to_json(again[1]));
+}
+
+TEST(Sweep, ElectionSurvivesMildFaultsAndTerminatesUnderHeavyOnes) {
+  // The fault axis must never hang the election: walks are phase-driven and
+  // the guess-and-double cap bounds the run even when every convergecast is
+  // starved. Success under heavy loss is not expected — termination is.
+  const ExperimentSpec spec = parse_spec(
+      "algo=election family=clique n=16 trials=1 drop=0.3 max-phases=6");
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].stats.congest_messages.mean, 0.0);
+}
+
+TEST(Sweep, JsonlIsIdenticalForAnyThreadCountAndRepeatedRuns) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max,push_pull family=clique,hypercube n=16,32 trials=3 "
+      "drop=0,0.25");
+  const std::string t1 = jsonl_of(spec, 1);
+  const std::string t4 = jsonl_of(spec, 4);
+  const std::string t4_again = jsonl_of(spec, 4);
+  const std::string hw = jsonl_of(spec, 0);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t4, t4_again);
+  EXPECT_EQ(t1, hw);
+  // One line per cell, stats always single-threaded inside a cell.
+  std::istringstream lines(t1);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_NE(line.find("\"threads\":1"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, spec.cell_count());
+}
+
+TEST(Sweep, TableAndCsvSinksRenderEveryCell) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max family=clique,ring n=16 trials=2 drop=0,0.5 "
+      "extras=informed name=demo title=DemoTitle");
+  std::ostringstream table_out, csv_out;
+  TableSink table(table_out);
+  CsvSink csv(csv_out);
+  run_sweep(spec, {&table, &csv});
+
+  const std::string text = table_out.str();
+  EXPECT_NE(text.find("DemoTitle"), std::string::npos);
+  EXPECT_NE(text.find("family"), std::string::npos);  // >1 family => column
+  EXPECT_NE(text.find("drop"), std::string::npos);    // >1 drop => column
+  EXPECT_NE(text.find("reproduce: wcle_cli sweep"), std::string::npos);
+
+  std::istringstream lines(csv_out.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_NE(header.find("n,m"), std::string::npos);
+  EXPECT_NE(header.find("dropped(mean)"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  EXPECT_EQ(rows, spec.cell_count());
+}
+
+TEST(Sweep, CustomBandwidthAxisChangesTheBill) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max family=clique n=16 trials=2 bandwidth=8,1024");
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(results.size(), 2u);
+  // 8-bit links need many more B-bit quanta than 1024-bit links.
+  EXPECT_GT(results[0].stats.congest_messages.mean,
+            results[1].stats.congest_messages.mean);
+}
+
+}  // namespace
+}  // namespace wcle
