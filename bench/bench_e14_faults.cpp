@@ -1,0 +1,40 @@
+// E14 — the fault sweep. The claim being charted: which election survives
+// what. Crash-stop batches (random / hub-targeted / contender-targeted),
+// failed links, and the verdict layer's safety/liveness/agreement rates for
+// the paper's election against six baselines, all under identical seeded
+// conditions. The builtin spec "e14" (`wcle_cli sweep --spec=e14`) is the
+// whole grid; the google-benchmark case times the headline worst case — the
+// contender-targeted crash batch against the core election.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "wcle/api/registry.hpp"
+#include "wcle/graph/families.hpp"
+
+namespace {
+
+using namespace wcle;
+
+void run_tables() { bench::run_builtin("e14"); }
+
+void BM_ElectionUnderContenderCrash(benchmark::State& state) {
+  const Graph g = make_family("expander", 256, 0xE14);
+  const Algorithm& a = AlgorithmRegistry::instance().at("election");
+  RunOptions options;
+  options.params.max_length = 256;
+  options.params.faults.crash_fraction = 0.3;
+  options.params.faults.adversary = "contenders";
+  std::uint64_t crash_dropped = 0;
+  for (auto _ : state) {
+    options.set_seed(options.seed() + 1);
+    crash_dropped = a.run(g, options).totals.crash_dropped_messages;
+  }
+  state.counters["crash_dropped"] = static_cast<double>(crash_dropped);
+}
+BENCHMARK(BM_ElectionUnderContenderCrash)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+WCLE_BENCH_MAIN(run_tables)

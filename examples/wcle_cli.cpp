@@ -1,15 +1,17 @@
 // wcle_cli — the library as a command-line tool, driven by the algorithm
 // registry and the sweep engine: every protocol (the paper's election and
-// all baselines) and every experiment (E1-E13) is runnable through one
+// all baselines) and every experiment (E1-E14) is runnable through one
 // surface.
 //
 //   wcle_cli list                                   algorithms + families + specs
 //   wcle_cli run    --algo=election --family=expander --n=1024 --seed=7
+//                   [--crash=0.2 --linkfail=0.05 --adversary=contenders]
 //   wcle_cli trials --algo=flood_max --family=hypercube --n=256 --trials=20
 //                   [--threads=8] [--base-seed=1000] [--format=json|csv]
 //   wcle_cli sweep  --spec=e1 [--scale=0|1|2] [--format=text|csv|jsonl]
 //   wcle_cli sweep  algo=election family=expander n=256,512,1024 trials=5
-//                   drop=0,0.05 bandwidth=standard,wide   (grid grammar)
+//                   drop=0,0.05 crash=0,0.2 bandwidth=standard,wide  (grid)
+//   wcle_cli bench-baseline [--out=BENCH_sweep.json]   perf-trajectory seed
 //
 // Legacy commands (pre-registry spellings, kept working):
 //   wcle_cli elect    --family=expander --n=1024 --seed=7 [--trials=5]
@@ -22,9 +24,14 @@
 // Common options: --family=<see `wcle_cli list`> --n= --seed= --c1= --c2=
 //                 --wide --paper-schedule --source= --tmix= --budget=
 // Unrecognized options produce a warning on stderr (typo protection).
+#include <chrono>
 #include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <thread>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -75,6 +82,28 @@ Graph build_family(const CliArgs& args, const std::string& default_family,
                      get_u32(args, "n", default_n), args.get_u64("seed", 1));
 }
 
+/// Shared --format parsing: validates against the command's allowed set so
+/// run/trials/sweep agree on spelling and error text.
+std::string parse_format(const CliArgs& args,
+                         const std::vector<std::string>& allowed) {
+  const std::string format = args.get("format", allowed.front());
+  for (const std::string& name : allowed)
+    if (format == name) return format;
+  std::string known;
+  for (const std::string& name : allowed)
+    known += (known.empty() ? "" : ", ") + name;
+  throw std::invalid_argument("unknown --format=" + format + " (" + known +
+                              ")");
+}
+
+/// Shared sink selection for the sweep-style commands ("json" is accepted as
+/// an alias for jsonl).
+std::unique_ptr<Sink> make_sink(const std::string& format, std::ostream& out) {
+  if (format == "text") return std::make_unique<TableSink>(out);
+  if (format == "csv") return std::make_unique<CsvSink>(out);
+  return std::make_unique<JsonlSink>(out);  // jsonl / json
+}
+
 RunOptions options_from(const CliArgs& args) {
   RunOptions opt;
   opt.params.seed = args.get_u64("seed", 1);
@@ -88,6 +117,17 @@ RunOptions options_from(const CliArgs& args) {
   opt.tmix_multiplier = args.get_double("tmix-mult", opt.tmix_multiplier);
   opt.probe_budget = args.get_u64("budget", 0);
   opt.max_rounds = args.get_u64("max-rounds", 0);
+  // Fault axis (fault/plan.hpp): validated by the Network at run time.
+  FaultPlan& f = opt.params.faults;
+  f.crash_fraction = args.get_double("crash", 0.0);
+  f.crash_round = args.get_u64("crash-round", f.crash_round);
+  f.linkfail_fraction = args.get_double("linkfail", 0.0);
+  f.linkfail_round = args.get_u64("linkfail-round", f.linkfail_round);
+  f.churn_fraction = args.get_double("churn", 0.0);
+  f.churn_start = args.get_u64("churn-start", 0);
+  f.churn_end = args.get_u64("churn-end", 0);
+  f.adversary = args.get("adversary", f.adversary);
+  f.validate();
   return opt;
 }
 
@@ -114,8 +154,11 @@ int cmd_run(const CliArgs& args) {
   const Algorithm& algo =
       AlgorithmRegistry::instance().at(args.get("algo", "election"));
   const Graph g = build_family(args, "expander", 512);
-  const RunResult r = algo.run(g, options_from(args));
-  if (args.get("format", "text") == "json") {
+  const std::string format = parse_format(args, {"text", "json"});
+  const RunOptions options = options_from(args);
+  RunResult r = algo.run(g, options);
+  attach_verdict(g, options, algo.kind(), r);
+  if (format == "json") {
     std::cout << to_json(r) << "\n";
   } else {
     std::cout << g.describe() << "\n" << r.summary() << "\n";
@@ -133,7 +176,7 @@ int cmd_trials(const CliArgs& args) {
       args.get_u64("base-seed", args.get_u64("seed", 1000));
   const TrialStats s =
       run_trials(algo, g, options_from(args), trials, base_seed, threads);
-  const std::string format = args.get("format", "text");
+  const std::string format = parse_format(args, {"text", "json", "csv"});
   if (format == "json") {
     std::cout << to_json(s) << "\n";
     return s.success_rate > 0.5 ? 0 : 1;
@@ -149,6 +192,9 @@ int cmd_trials(const CliArgs& args) {
   // Always present (all-zero in the reliable model) so the row set — and
   // therefore the CSV schema — does not depend on the data.
   row("dropped messages", s.dropped_messages);
+  row("crash-dropped messages", s.crash_dropped_messages);
+  row("link-dropped messages", s.link_dropped_messages);
+  row("agreement", s.agreement);
   for (const auto& [key, summary] : s.extras) row(key, summary);
   if (format == "csv") {
     // Rate rows only carry a mean; the spread columns stay empty.
@@ -157,6 +203,8 @@ int cmd_trials(const CliArgs& args) {
                ""});
     t.add_row({"multi_leader_rate", Table::num(s.multi_leader_rate), "", "",
                "", ""});
+    t.add_row({"safety_rate", Table::num(s.safety_rate), "", "", "", ""});
+    t.add_row({"liveness_rate", Table::num(s.liveness_rate), "", "", "", ""});
     t.write_csv(std::cout);
     return s.success_rate > 0.5 ? 0 : 1;
   }
@@ -165,7 +213,9 @@ int cmd_trials(const CliArgs& args) {
   t.print(std::cout);
   std::cout << "success rate: " << s.success_rate
             << " (zero-leader " << s.zero_leader_rate << ", multi-leader "
-            << s.multi_leader_rate << ")\n";
+            << s.multi_leader_rate << ")\n"
+            << "verdicts: safety " << s.safety_rate << ", liveness "
+            << s.liveness_rate << ", agreement " << s.agreement.mean << "\n";
   return s.success_rate > 0.5 ? 0 : 1;
 }
 
@@ -298,20 +348,69 @@ int cmd_sweep(const CliArgs& args) {
   }
 
   const unsigned threads = get_u32(args, "threads", 0);
-  const std::string format = args.get("format", "text");
-  if (format == "text") {
-    TableSink sink(std::cout);
-    run_sweep(spec, {&sink}, threads);
-  } else if (format == "csv") {
-    CsvSink sink(std::cout);
-    run_sweep(spec, {&sink}, threads);
-  } else if (format == "jsonl" || format == "json") {
-    JsonlSink sink(std::cout);
-    run_sweep(spec, {&sink}, threads);
-  } else {
-    throw std::invalid_argument("sweep: unknown --format=" + format +
-                                " (text, csv, jsonl)");
+  const std::unique_ptr<Sink> sink =
+      make_sink(parse_format(args, {"text", "csv", "jsonl", "json"}),
+                std::cout);
+  run_sweep(spec, {sink.get()}, threads);
+  return 0;
+}
+
+// Emits a fixed-scale core-election sweep as a google-benchmark-format JSON
+// file (BENCH_sweep.json): the CI perf-trajectory baseline. The workload is
+// pinned (independent of WCLE_BENCH_SCALE) so successive commits compare
+// like against like; times are wall/CPU per cell, counters carry the
+// deterministic message/round means.
+int cmd_bench_baseline(const CliArgs& args) {
+  const ExperimentSpec spec = parse_spec(
+      "name=bench_sweep algo=election family=expander n=128,256,512 "
+      "trials=3 base-seed=1000");
+  const std::string out_path = args.get("out", "");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) throw std::runtime_error("cannot open --out=" + out_path);
   }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  out << "{\"context\":{\"executable\":\"wcle_cli\",\"num_cpus\":"
+      << std::thread::hardware_concurrency()
+      << ",\"library_build_type\":\"release\",\"caches\":[]},"
+      << "\"benchmarks\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    const Graph g = make_family(cell.family,
+                                static_cast<NodeId>(cell.requested_n),
+                                spec.graph_seed);
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::clock_t cpu0 = std::clock();
+    const TrialStats stats =
+        run_trials(AlgorithmRegistry::instance().at(cell.algorithm), g,
+                   cell.options, spec.trials, spec.base_seed, /*threads=*/1);
+    const double cpu_ns = 1e9 *
+                          static_cast<double>(std::clock() - cpu0) /
+                          static_cast<double>(CLOCKS_PER_SEC) /
+                          spec.trials;
+    const double wall_ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall0)
+                .count()) /
+        spec.trials;
+    const std::string name = "sweep/" + cell.algorithm + "/" + cell.family +
+                             "/" + std::to_string(cell.requested_n);
+    out << (i ? "," : "") << "{\"name\":\"" << name << "\",\"run_name\":\""
+        << name << "\",\"run_type\":\"iteration\",\"repetitions\":1,"
+        << "\"repetition_index\":0,\"threads\":1,\"iterations\":"
+        << spec.trials << ",\"real_time\":" << json_number(wall_ns)
+        << ",\"cpu_time\":" << json_number(cpu_ns)
+        << ",\"time_unit\":\"ns\",\"congest_messages\":"
+        << json_number(stats.congest_messages.mean)
+        << ",\"rounds\":" << json_number(stats.rounds.mean)
+        << ",\"success_rate\":" << json_number(stats.success_rate) << "}";
+  }
+  out << "]}\n";
+  out.flush();
   return 0;
 }
 
@@ -322,16 +421,22 @@ void usage() {
       "            run    --algo=<name> [--format=json]\n"
       "            trials --algo=<name> --trials=<k> [--threads=<t>]\n"
       "                   [--base-seed=<s>] [--format=json|csv]\n"
-      "  sweep:    sweep --spec=<e1..e13> [--scale=0|1|2]\n"
+      "  sweep:    sweep --spec=<e1..e14> [--scale=0|1|2]\n"
       "                  [--format=text|csv|jsonl] [--threads=<t>]\n"
       "            sweep <key=v1,v2,..> ...   (grid grammar; keys: algo\n"
-      "                  family n bandwidth drop trials base-seed graph-seed\n"
-      "                  reliable extras + any RunOptions knob)\n"
+      "                  family n bandwidth drop crash linkfail adversary\n"
+      "                  trials base-seed graph-seed reliable extras + any\n"
+      "                  RunOptions knob)\n"
       "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
+      "  bench:    bench-baseline [--out=BENCH_sweep.json]\n"
+      "            (fixed-scale election sweep, google-benchmark JSON)\n"
       "  legacy:   elect, explicit, profile, lowerbound\n"
       "  common:   --family=<see list> --n=<nodes> --seed=<u64>\n"
       "            --c1= --c2= --wide --paper-schedule --source=\n"
       "            --tmix= --tmix-mult= --budget= --value-bits=\n"
+      "  faults:   --crash=<frac> --crash-round= --linkfail=<frac>\n"
+      "            --linkfail-round= --churn=<frac> --churn-start=\n"
+      "            --churn-end= --adversary=random|degree|contenders\n"
       "  elect:      --trials=<k>\n"
       "  lowerbound: --alpha=<conductance target>\n";
 }
@@ -356,6 +461,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "profile") rc = cmd_profile(args);
     else if (args.command() == "lowerbound") rc = cmd_lowerbound(args);
     else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else if (args.command() == "bench-baseline") rc = cmd_bench_baseline(args);
     else {
       usage();
       return args.command().empty() ? 0 : 2;

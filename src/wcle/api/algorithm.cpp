@@ -16,8 +16,16 @@ std::string RunResult::summary() const {
     out << "]";
   }
   out << ", " << totals.congest_messages << " msgs, " << rounds << " rounds";
+  if (verdict.evaluated) out << ", verdict[" << verdict.summary() << "]";
   for (const auto& [key, value] : extras) out << ", " << key << "=" << value;
   return out.str();
+}
+
+void attach_verdict(const Graph& g, const RunOptions& options,
+                    Algorithm::Kind kind, RunResult& result) {
+  result.verdict = classify_execution(
+      g, result.faults, result.leaders, result.rounds, options.max_rounds,
+      kind == Algorithm::Kind::kElection);
 }
 
 std::string kind_name(Algorithm::Kind kind) {

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "wcle/core/params.hpp"
+#include "wcle/fault/outcome.hpp"
+#include "wcle/fault/verdict.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 
@@ -57,6 +59,13 @@ struct RunResult {
   std::uint64_t rounds = 0;
   Metrics totals;
   bool success = false;
+  /// Fault exposure of the run (empty = fault-free); adapters copy it from
+  /// Network::fault_outcome() so the verdict layer can judge the execution.
+  FaultOutcome faults;
+  /// Safety/liveness/agreement classification; attached by the harness
+  /// (run_trials, CLI run) via attach_verdict — evaluated == false on
+  /// results that never passed through it.
+  Verdict verdict;
   std::map<std::string, double> extras;
 
   std::uint64_t leader_count() const { return leaders.size(); }
@@ -105,5 +114,13 @@ class Algorithm {
 
 /// Human-readable kind label ("election", "broadcast", "diagnostic").
 std::string kind_name(Algorithm::Kind kind);
+
+/// Computes result.verdict from result.faults / leaders / rounds (see
+/// fault/verdict.hpp): the at-most-one-surviving-leader safety rule applies
+/// to elections, liveness uses options.max_rounds as the round budget
+/// (0 = no budget). Idempotent; called once per run by run_trials and the
+/// CLI `run` path.
+void attach_verdict(const Graph& g, const RunOptions& options,
+                    Algorithm::Kind kind, RunResult& result);
 
 }  // namespace wcle

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "wcle/api/registry.hpp"
+#include "wcle/fault/adversary.hpp"
 #include "wcle/support/strict_parse.hpp"
 
 namespace wcle {
@@ -91,11 +92,25 @@ void apply_knob(RunOptions& options, const std::string& key,
     options.tmix_multiplier = parse_double(key, value);
   else if (key == "budget") options.probe_budget = parse_u64(key, value);
   else if (key == "max-rounds") options.max_rounds = parse_u64(key, value);
+  else if (key == "crash-round")
+    options.params.faults.crash_round = parse_u64(key, value);
+  else if (key == "linkfail-round")
+    options.params.faults.linkfail_round = parse_u64(key, value);
+  else if (key == "churn") {
+    options.params.faults.churn_fraction = parse_double(key, value);
+    if (options.params.faults.churn_fraction < 0.0 ||
+        options.params.faults.churn_fraction > 1.0)
+      throw std::invalid_argument("spec: churn=" + value +
+                                  " must be in [0, 1]");
+  } else if (key == "churn-start")
+    options.params.faults.churn_start = parse_u64(key, value);
+  else if (key == "churn-end")
+    options.params.faults.churn_end = parse_u64(key, value);
   else
     throw std::invalid_argument(
         "spec: unknown key '" + key + "' (axes: algo family n bandwidth drop "
-        "trials base-seed graph-seed reliable extras name title; knobs: " +
-        join(knob_names()) + ")");
+        "crash linkfail adversary trials base-seed graph-seed reliable extras "
+        "name title; knobs: " + join(knob_names()) + ")");
 }
 
 void apply_bandwidth(RunOptions& options, const std::string& value) {
@@ -115,10 +130,11 @@ void apply_bandwidth(RunOptions& options, const std::string& value) {
 }
 
 std::vector<std::string> knob_names() {
-  return {"budget",     "c1",           "c2",            "coalesce",
-          "initial-length", "lazy-walks", "max-length",  "max-phases",
-          "max-rounds", "paper-schedule", "source",      "tmix",
-          "tmix-mult",  "value-bits",   "wide"};
+  return {"budget",     "c1",           "c2",            "churn",
+          "churn-end",  "churn-start",  "coalesce",      "crash-round",
+          "initial-length", "lazy-walks", "linkfail-round", "max-length",
+          "max-phases", "max-rounds",   "paper-schedule", "source",
+          "tmix",       "tmix-mult",    "value-bits",    "wide"};
 }
 
 ExperimentSpec parse_spec_onto(ExperimentSpec spec,
@@ -174,14 +190,26 @@ ExperimentSpec parse_spec_onto(ExperimentSpec spec,
         apply_bandwidth(scratch, v);  // validates
         spec.bandwidths.push_back(v);
       }
-    } else if (key == "drop") {
-      if (fresh("drop")) spec.drops.clear();
+    } else if (key == "drop" || key == "crash" || key == "linkfail") {
+      std::vector<double>& axis = key == "drop"    ? spec.drops
+                                  : key == "crash" ? spec.crashes
+                                                   : spec.linkfails;
+      if (fresh(key)) axis.clear();
       for (const std::string& v : values) {
         const double p = parse_double(key, v);
         if (p < 0.0 || p > 1.0)
-          throw std::invalid_argument("spec: drop=" + v +
+          throw std::invalid_argument("spec: " + key + "=" + v +
                                       " must be in [0, 1]");
-        spec.drops.push_back(p);
+        axis.push_back(p);
+      }
+    } else if (key == "adversary") {
+      if (fresh("adversary")) spec.adversaries.clear();
+      for (const std::string& v : values) {
+        if (!is_adversary_name(v))
+          throw std::invalid_argument("spec: unknown adversary '" + v +
+                                      "'; known: " +
+                                      joined_adversary_names());
+        spec.adversaries.push_back(v);
       }
     } else if (key == "trials") {
       const std::uint64_t t = parse_u64(key, value);
@@ -229,7 +257,8 @@ ExperimentSpec parse_spec(const std::string& text) {
 
 std::size_t ExperimentSpec::cell_count() const {
   std::size_t count = algorithms.size() * families.size() * sizes.size() *
-                      bandwidths.size() * drops.size();
+                      bandwidths.size() * drops.size() * crashes.size() *
+                      linkfails.size() * adversaries.size();
   for (const auto& [key, values] : knobs) count *= values.size();
   return count;
 }
@@ -239,9 +268,20 @@ std::string ExperimentSpec::to_string() const {
   out << "name=" << name << " algo=" << join(algorithms)
       << " family=" << join(families) << " n=" << join(sizes)
       << " bandwidth=" << join(bandwidths);
-  std::vector<std::string> drop_strs;
-  for (const double d : drops) drop_strs.push_back(format_double(d));
-  out << " drop=" << join(drop_strs);
+  const auto join_doubles = [](const std::vector<double>& values) {
+    std::vector<std::string> strs;
+    for (const double v : values) strs.push_back(format_double(v));
+    return join(strs);
+  };
+  out << " drop=" << join_doubles(drops);
+  // Inactive fault axes are folded out of the reproduction line (keeps the
+  // pre-fault specs' lines stable).
+  if (crashes.size() > 1 || crashes[0] > 0.0)
+    out << " crash=" << join_doubles(crashes);
+  if (linkfails.size() > 1 || linkfails[0] > 0.0)
+    out << " linkfail=" << join_doubles(linkfails);
+  if (adversaries.size() > 1 || adversaries[0] != "random")
+    out << " adversary=" << join(adversaries);
   for (const auto& [key, values] : knobs)
     out << " " << key << "=" << join(values);
   out << " trials=" << trials << " base-seed=" << base_seed
@@ -415,6 +455,34 @@ ExperimentSpec builtin_experiment(const std::string& name, int scale) {
     s.sizes = pick<std::uint64_t>(scale, {64}, {256}, {512});
     s.trials = pick_trials(scale, 2, 3, 3);
     s.skip_unreliable = true;
+  } else if (name == "e14") {
+    s.title = "E14: fault sweep — crash/linkfail/adversary grid, "
+              "verdict rates for the core election vs the baselines";
+    s.note = "crash-stop victims picked by the adversary at round 1; failed "
+             "links eat traffic but still bill congestion; safety = at most "
+             "one surviving leader, liveness = cap-free termination within "
+             "max-rounds, agreement = best surviving-component coverage";
+    s.algorithms = {"election", "explicit_election", "flood_max",
+                    "candidate_flood", "territory_election", "known_tmix",
+                    "estimate_then_elect"};
+    s.families = {"expander"};
+    s.sizes = pick<std::uint64_t>(scale, {32}, {128}, {256, 512});
+    s.crashes = pick<double>(scale, {0.0, 0.2}, {0.0, 0.1, 0.3},
+                             {0.0, 0.1, 0.3, 0.5});
+    s.linkfails = pick<double>(scale, {0.0}, {0.0, 0.05}, {0.0, 0.05, 0.15});
+    s.adversaries = pick<std::string>(scale, {"random"},
+                                      {"random", "degree", "contenders"},
+                                      {"random", "degree", "contenders"});
+    // Keep faulty elections bounded: a starved contender must not
+    // guess-and-double into t_u = 8n^2 walks, and push-pull sub-broadcasts
+    // must not spin their generous default cap when survivors are
+    // unreachable. max-rounds doubles as the liveness budget.
+    s.knobs["max-length"] = pick<std::string>(scale, {"128"}, {"256"},
+                                              {"512"});
+    s.knobs["max-rounds"] = pick<std::string>(scale, {"2000"}, {"4000"},
+                                              {"8000"});
+    s.trials = pick_trials(scale, 2, 3, 5);
+    s.skip_unreliable = true;
   } else {
     throw std::invalid_argument("unknown builtin experiment '" + name +
                                 "' (known: " + join(builtin_experiment_names()) +
@@ -425,7 +493,7 @@ ExperimentSpec builtin_experiment(const std::string& name, int scale) {
 
 std::vector<std::string> builtin_experiment_names() {
   return {"e1", "e2", "e3", "e4", "e5", "e6", "e7",
-          "e8", "e9", "e10", "e11", "e12", "e13"};
+          "e8", "e9", "e10", "e11", "e12", "e13", "e14"};
 }
 
 std::vector<std::pair<std::string, std::string>> builtin_experiment_titles() {

@@ -15,6 +15,9 @@
 //   n=256,512,1024               size axis
 //   bandwidth=standard,wide,256  transport axis: named regime or raw bits
 //   drop=0,0.01,0.1              fault axis: per-message loss probability
+//   crash=0,0.1,0.3              fault axis: crash-stop node fraction
+//   linkfail=0,0.05              fault axis: failed-link fraction
+//   adversary=random,degree,contenders   fault axis: victim strategy
 //   trials=5  base-seed=1000  graph-seed=1        scalars (no grids)
 //   reliable=1                   drop (algo, graph) cells outside the
 //                                algorithm's w.h.p. domain (reliable_on)
@@ -24,12 +27,14 @@
 //
 // Any other key must be a RunOptions knob and grids like the axes above:
 //   c1= c2= wide= paper-schedule= lazy-walks= coalesce= source= value-bits=
-//   tmix= tmix-mult= budget= max-rounds=
+//   tmix= tmix-mult= budget= max-rounds= crash-round= linkfail-round=
+//   churn= churn-start= churn-end=
 //
 // Cells expand in a fixed documented order — family (outer), n, algorithm,
-// bandwidth, drop, then knob combinations (knob keys alphabetical, values in
-// listed order) — and every cell's trials reuse the same base seed, so two
-// cells differing in one axis are seed-paired comparisons.
+// bandwidth, drop, crash, linkfail, adversary, then knob combinations (knob
+// keys alphabetical, values in listed order) — and every cell's trials reuse
+// the same base seed, so two cells differing in one axis are seed-paired
+// comparisons.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +56,9 @@ struct ExperimentSpec {
   std::vector<std::uint64_t> sizes{512};
   std::vector<std::string> bandwidths{"standard"};
   std::vector<double> drops{0.0};
+  std::vector<double> crashes{0.0};
+  std::vector<double> linkfails{0.0};
+  std::vector<std::string> adversaries{"random"};
   /// RunOptions knob grids, keyed by the CLI spellings listed above.
   /// Alphabetical key order defines the expansion order.
   std::map<std::string, std::vector<std::string>> knobs;
@@ -94,12 +102,12 @@ void apply_bandwidth(RunOptions& options, const std::string& value);
 /// All recognized knob keys, sorted.
 std::vector<std::string> knob_names();
 
-/// The builtin experiment registry: E1-E13 as specs, sized by `scale`
+/// The builtin experiment registry: E1-E14 as specs, sized by `scale`
 /// (0 = smoke/CI, 1 = default, 2 = extended — the WCLE_BENCH_SCALE levels).
 /// Throws std::invalid_argument for an unknown name.
 ExperimentSpec builtin_experiment(const std::string& name, int scale = 1);
 
-/// Names of all builtin experiments, in e1..e13 order.
+/// Names of all builtin experiments, in e1..e14 order.
 std::vector<std::string> builtin_experiment_names();
 
 /// One-line summaries (name -> title) for `wcle_cli list`.

@@ -79,7 +79,16 @@ std::string to_json(const RunResult& r) {
       << ",\"total_bits\":" << r.totals.total_bits
       << ",\"max_edge_backlog\":" << r.totals.max_edge_backlog
       << ",\"dropped_messages\":" << r.totals.dropped_messages
-      << ",\"extras\":{";
+      << ",\"crash_dropped_messages\":" << r.totals.crash_dropped_messages
+      << ",\"link_dropped_messages\":" << r.totals.link_dropped_messages
+      << ",\"verdict\":{\"evaluated\":"
+      << (r.verdict.evaluated ? "true" : "false")
+      << ",\"safe\":" << (r.verdict.safe ? "true" : "false")
+      << ",\"live\":" << (r.verdict.live ? "true" : "false")
+      << ",\"agreement\":" << num(r.verdict.agreement)
+      << ",\"surviving\":" << r.verdict.surviving
+      << ",\"surviving_leaders\":" << r.verdict.surviving_leaders
+      << "},\"extras\":{";
   bool first = true;
   for (const auto& [key, value] : r.extras) {
     if (!first) out << ",";
@@ -97,6 +106,8 @@ std::string to_json(const TrialStats& s) {
       << ",\"success_rate\":" << num(s.success_rate)
       << ",\"zero_leader_rate\":" << num(s.zero_leader_rate)
       << ",\"multi_leader_rate\":" << num(s.multi_leader_rate)
+      << ",\"safety_rate\":" << num(s.safety_rate)
+      << ",\"liveness_rate\":" << num(s.liveness_rate)
       << ",\"metrics\":{";
   append_summary(out, "congest_messages", s.congest_messages);
   out << ",";
@@ -109,6 +120,12 @@ std::string to_json(const TrialStats& s) {
   append_summary(out, "leader_count", s.leader_count);
   out << ",";
   append_summary(out, "dropped_messages", s.dropped_messages);
+  out << ",";
+  append_summary(out, "crash_dropped_messages", s.crash_dropped_messages);
+  out << ",";
+  append_summary(out, "link_dropped_messages", s.link_dropped_messages);
+  out << ",";
+  append_summary(out, "agreement", s.agreement);
   out << "},\"extras\":{";
   bool first = true;
   for (const auto& [key, summary] : s.extras) {

@@ -1,5 +1,6 @@
 #include "wcle/api/sink.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,19 @@ void TableSink::begin(const ExperimentSpec& spec,
   show_bandwidth_ = spec.bandwidths.size() > 1;
   show_drop_ = spec.drops.size() > 1 ||
                (spec.drops.size() == 1 && spec.drops[0] > 0.0);
+  show_crash_ = spec.crashes.size() > 1 ||
+                (spec.crashes.size() == 1 && spec.crashes[0] > 0.0);
+  show_linkfail_ = spec.linkfails.size() > 1 ||
+                   (spec.linkfails.size() == 1 && spec.linkfails[0] > 0.0);
+  show_adversary_ = spec.adversaries.size() > 1;
+  // Any active fault axis makes the verdict columns meaningful — including
+  // churn, which travels as a knob grid rather than a tracked axis.
+  const auto churn = spec.knobs.find("churn");
+  const bool churn_active =
+      churn != spec.knobs.end() &&
+      std::any_of(churn->second.begin(), churn->second.end(),
+                  [](const std::string& v) { return v != "0"; });
+  show_verdict_ = show_drop_ || show_crash_ || show_linkfail_ || churn_active;
   knob_columns_.clear();
   for (const auto& [key, values] : spec.knobs)
     if (values.size() > 1) knob_columns_.push_back(key);
@@ -29,11 +43,19 @@ void TableSink::begin(const ExperimentSpec& spec,
   if (show_algorithm_) headers_.push_back("algorithm");
   if (show_bandwidth_) headers_.push_back("B");
   if (show_drop_) headers_.push_back("drop");
+  if (show_crash_) headers_.push_back("crash");
+  if (show_linkfail_) headers_.push_back("linkfail");
+  if (show_adversary_) headers_.push_back("adversary");
   for (const std::string& key : knob_columns_) headers_.push_back(key);
   headers_.push_back("msgs(mean)");
   headers_.push_back("msgs(max)");
   headers_.push_back("rounds(mean)");
   if (show_drop_) headers_.push_back("dropped(mean)");
+  if (show_verdict_) {
+    headers_.push_back("safety");
+    headers_.push_back("liveness");
+    headers_.push_back("agree(mean)");
+  }
   for (const std::string& key : extras_columns_)
     headers_.push_back(key + "(mean)");
   headers_.push_back("success");
@@ -49,6 +71,9 @@ void TableSink::cell(const CellResult& r) {
   if (show_algorithm_) row.push_back(r.cell.algorithm);
   if (show_bandwidth_) row.push_back(r.cell.bandwidth);
   if (show_drop_) row.push_back(Table::num(r.cell.drop, 3));
+  if (show_crash_) row.push_back(Table::num(r.cell.crash, 3));
+  if (show_linkfail_) row.push_back(Table::num(r.cell.linkfail, 3));
+  if (show_adversary_) row.push_back(r.cell.adversary);
   for (const std::string& key : knob_columns_) {
     std::string value = "-";
     for (const auto& [k, v] : r.cell.knobs)
@@ -59,6 +84,11 @@ void TableSink::cell(const CellResult& r) {
   row.push_back(Table::num(r.stats.congest_messages.max));
   row.push_back(Table::num(r.stats.rounds.mean));
   if (show_drop_) row.push_back(Table::num(r.stats.dropped_messages.mean));
+  if (show_verdict_) {
+    row.push_back(Table::num(r.stats.safety_rate, 2));
+    row.push_back(Table::num(r.stats.liveness_rate, 2));
+    row.push_back(Table::num(r.stats.agreement.mean, 2));
+  }
   for (const std::string& key : extras_columns_) {
     const auto it = r.stats.extras.find(key);
     row.push_back(it == r.stats.extras.end() ? "-"
@@ -94,7 +124,11 @@ std::string to_json(const CellResult& r) {
       << json_escape(r.cell.family) << "\",\"requested_n\":"
       << r.cell.requested_n << ",\"n\":" << r.n << ",\"m\":" << r.m
       << ",\"bandwidth\":\"" << json_escape(r.cell.bandwidth)
-      << "\",\"drop\":" << json_number(r.cell.drop) << ",\"knobs\":{";
+      << "\",\"drop\":" << json_number(r.cell.drop)
+      << ",\"crash\":" << json_number(r.cell.crash)
+      << ",\"linkfail\":" << json_number(r.cell.linkfail)
+      << ",\"adversary\":\"" << json_escape(r.cell.adversary)
+      << "\",\"knobs\":{";
   bool first = true;
   for (const auto& [key, value] : r.cell.knobs) {
     if (!first) out << ",";

@@ -52,7 +52,8 @@ class TableSink : public Sink {
   std::vector<std::vector<std::string>> rows_;
   // Which optional columns the spec's grids make vary:
   bool show_algorithm_ = false, show_family_ = false, show_bandwidth_ = false,
-       show_drop_ = false;
+       show_drop_ = false, show_crash_ = false, show_linkfail_ = false,
+       show_adversary_ = false, show_verdict_ = false;
   std::vector<std::string> knob_columns_;
   std::vector<std::string> extras_columns_;
 };

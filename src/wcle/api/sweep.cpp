@@ -19,7 +19,8 @@ std::vector<SweepCell> expand_cells(const ExperimentSpec& spec) {
   if (spec.trials <= 0)
     throw std::invalid_argument("sweep: trials must be >= 1");
   if (spec.algorithms.empty() || spec.families.empty() || spec.sizes.empty() ||
-      spec.bandwidths.empty() || spec.drops.empty())
+      spec.bandwidths.empty() || spec.drops.empty() || spec.crashes.empty() ||
+      spec.linkfails.empty() || spec.adversaries.empty())
     throw std::invalid_argument("sweep: every axis needs at least one value");
   for (const std::string& algo : spec.algorithms)
     AlgorithmRegistry::instance().at(algo);  // throws with the known list
@@ -41,31 +42,46 @@ std::vector<SweepCell> expand_cells(const ExperimentSpec& spec) {
       for (const std::string& algo : spec.algorithms) {
         for (const std::string& bandwidth : spec.bandwidths) {
           for (const double drop : spec.drops) {
-            for (std::size_t combo = 0; combo < knob_combos; ++combo) {
-              SweepCell cell;
-              cell.index = cells.size();
-              cell.algorithm = algo;
-              cell.family = family;
-              cell.bandwidth = bandwidth;
-              cell.requested_n = n;
-              cell.drop = drop;
-              // Mixed-radix decode of the combo index, most-significant
-              // knob first, so listed value order is the inner loop.
-              std::size_t rest = combo;
-              std::size_t radix = knob_combos;
-              for (const auto& [key, values] : knob_axes) {
-                radix /= values.size();
-                const std::size_t pick = rest / radix;
-                rest %= radix;
-                cell.knobs.emplace_back(key, values[pick]);
+            for (const double crash : spec.crashes) {
+              for (const double linkfail : spec.linkfails) {
+                for (const std::string& adversary : spec.adversaries) {
+                  for (std::size_t combo = 0; combo < knob_combos; ++combo) {
+                    SweepCell cell;
+                    cell.index = cells.size();
+                    cell.algorithm = algo;
+                    cell.family = family;
+                    cell.bandwidth = bandwidth;
+                    cell.requested_n = n;
+                    cell.drop = drop;
+                    cell.crash = crash;
+                    cell.linkfail = linkfail;
+                    cell.adversary = adversary;
+                    // Mixed-radix decode of the combo index,
+                    // most-significant knob first, so listed value order is
+                    // the inner loop.
+                    std::size_t rest = combo;
+                    std::size_t radix = knob_combos;
+                    for (const auto& [key, values] : knob_axes) {
+                      radix /= values.size();
+                      const std::size_t pick = rest / radix;
+                      rest %= radix;
+                      cell.knobs.emplace_back(key, values[pick]);
+                    }
+                    // Bandwidth first, then knobs: an explicit wide=/c1=
+                    // knob must win over what the bandwidth regime implies.
+                    // Fault axes apply last (the scalar fault knobs —
+                    // crash-round, churn windows — only shape the schedule).
+                    apply_bandwidth(cell.options, bandwidth);
+                    for (const auto& [key, value] : cell.knobs)
+                      apply_knob(cell.options, key, value);
+                    cell.options.params.drop_probability = drop;
+                    cell.options.params.faults.crash_fraction = crash;
+                    cell.options.params.faults.linkfail_fraction = linkfail;
+                    cell.options.params.faults.adversary = adversary;
+                    cells.push_back(std::move(cell));
+                  }
+                }
               }
-              // Bandwidth first, then knobs: an explicit wide=/c1= knob
-              // must win over what the bandwidth regime implies.
-              apply_bandwidth(cell.options, bandwidth);
-              for (const auto& [key, value] : cell.knobs)
-                apply_knob(cell.options, key, value);
-              cell.options.params.drop_probability = drop;
-              cells.push_back(std::move(cell));
             }
           }
         }

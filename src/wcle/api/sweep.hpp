@@ -29,6 +29,9 @@ struct SweepCell {
   std::string bandwidth;
   std::uint64_t requested_n = 0;
   double drop = 0.0;
+  double crash = 0.0;
+  double linkfail = 0.0;
+  std::string adversary = "random";
   std::vector<std::pair<std::string, std::string>> knobs;  ///< resolved
   RunOptions options;
 };
@@ -42,8 +45,9 @@ struct CellResult {
 };
 
 /// Expands the grid in the documented axis order (family, n, algorithm,
-/// bandwidth, drop, knob combinations). Validates algorithm names against
-/// the registry; family strings are validated when the graphs are built.
+/// bandwidth, drop, crash, linkfail, adversary, knob combinations).
+/// Validates algorithm names against the registry; family strings are
+/// validated when the graphs are built.
 std::vector<SweepCell> expand_cells(const ExperimentSpec& spec);
 
 /// Runs the sweep: builds each distinct (family, n) graph once, filters

@@ -38,7 +38,9 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
       try {
         RunOptions opt = options;
         opt.set_seed(base_seed + static_cast<std::uint64_t>(i));
-        results[static_cast<std::size_t>(i)] = algorithm.run(g, opt);
+        RunResult r = algorithm.run(g, opt);
+        attach_verdict(g, opt, algorithm.kind(), r);
+        results[static_cast<std::size_t>(i)] = std::move(r);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
@@ -57,19 +59,27 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
   }
   if (failure) std::rethrow_exception(failure);
 
-  int ok = 0, zero = 0, multi = 0;
-  std::vector<double> msgs, logical, bits, rounds, leaders, dropped;
+  int ok = 0, zero = 0, multi = 0, safe = 0, live = 0;
+  std::vector<double> msgs, logical, bits, rounds, leaders, dropped,
+      crash_dropped, link_dropped, agree;
   std::map<std::string, std::vector<double>> extra_samples;
   for (const RunResult& r : results) {
     if (r.success) ++ok;
     if (r.leaders.empty()) ++zero;
     if (r.leaders.size() > 1) ++multi;
+    if (r.verdict.safe) ++safe;
+    if (r.verdict.live) ++live;
     msgs.push_back(static_cast<double>(r.totals.congest_messages));
     logical.push_back(static_cast<double>(r.totals.logical_messages));
     bits.push_back(static_cast<double>(r.totals.total_bits));
     rounds.push_back(static_cast<double>(r.rounds));
     leaders.push_back(static_cast<double>(r.leaders.size()));
     dropped.push_back(static_cast<double>(r.totals.dropped_messages));
+    crash_dropped.push_back(
+        static_cast<double>(r.totals.crash_dropped_messages));
+    link_dropped.push_back(
+        static_cast<double>(r.totals.link_dropped_messages));
+    agree.push_back(r.verdict.agreement);
     for (const auto& [key, value] : r.extras)
       extra_samples[key].push_back(value);
   }
@@ -77,12 +87,17 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
   stats.success_rate = ok / dn;
   stats.zero_leader_rate = zero / dn;
   stats.multi_leader_rate = multi / dn;
+  stats.safety_rate = safe / dn;
+  stats.liveness_rate = live / dn;
   stats.congest_messages = summarize(std::move(msgs));
   stats.logical_messages = summarize(std::move(logical));
   stats.total_bits = summarize(std::move(bits));
   stats.rounds = summarize(std::move(rounds));
   stats.leader_count = summarize(std::move(leaders));
   stats.dropped_messages = summarize(std::move(dropped));
+  stats.crash_dropped_messages = summarize(std::move(crash_dropped));
+  stats.link_dropped_messages = summarize(std::move(link_dropped));
+  stats.agreement = summarize(std::move(agree));
   for (auto& [key, samples] : extra_samples)
     stats.extras[key] = summarize(std::move(samples));
   return stats;

@@ -22,12 +22,19 @@ struct TrialStats {
   double success_rate = 0.0;    ///< fraction with result.success
   double zero_leader_rate = 0.0;   ///< runs ending with no distinguished node
   double multi_leader_rate = 0.0;  ///< runs ending with several
+  /// Fault-aware verdict rates (fault/verdict.hpp): fraction of runs judged
+  /// safe / live. 1.0 on fault-free successful sweeps.
+  double safety_rate = 0.0;
+  double liveness_rate = 0.0;
   Summary congest_messages;
   Summary logical_messages;
   Summary total_bits;
   Summary rounds;
   Summary leader_count;
-  Summary dropped_messages;  ///< fault-axis losses (all zero when drop = 0)
+  Summary dropped_messages;  ///< random-drop losses (all zero when drop = 0)
+  Summary crash_dropped_messages;  ///< crash-stop losses
+  Summary link_dropped_messages;   ///< failed-link losses
+  Summary agreement;  ///< surviving-coverage fraction per run
   /// Per-key summaries of RunResult::extras. A key missing from some trial's
   /// extras is summarized over the trials that reported it.
   std::map<std::string, Summary> extras;

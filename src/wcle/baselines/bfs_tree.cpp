@@ -51,6 +51,7 @@ BfsTreeResult run_bfs_tree(const Graph& g, NodeId root, CongestConfig cfg) {
 
   res.complete = res.tree_nodes == n;
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -74,6 +75,7 @@ class BfsTreeAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.complete;
+    out.faults = r.faults;
     out.extras["tree_nodes"] = static_cast<double>(r.tree_nodes);
     out.extras["depth"] = static_cast<double>(r.depth);
     return out;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -19,6 +20,7 @@ struct BfsTreeResult {
   std::uint64_t depth = 0;          ///< max level reached
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
   /// parent_port[v] = port through which v reached its parent
   /// (root and unreached nodes hold the sentinel kNoParent).
   std::vector<Port> parent_port;

@@ -44,8 +44,10 @@ CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
   }
   if (res.candidates.empty()) {
     res.totals = net.metrics();
+    res.faults = net.fault_outcome();
     return res;  // fails (probability n^{-c1})
   }
+  for (const NodeId v : res.candidates) net.note_contender(v);
 
   const std::uint32_t bits = id_bits(n);
   auto broadcast_from = [&](NodeId v) {
@@ -70,6 +72,7 @@ CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
   for (const NodeId v : res.candidates)
     if (!superseded[v]) res.leaders.push_back(v);
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -93,6 +96,7 @@ class CandidateFloodAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     out.extras["candidates"] = static_cast<double>(r.candidates.size());
     return out;
   }

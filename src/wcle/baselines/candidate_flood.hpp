@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -20,6 +21,7 @@ struct CandidateFloodResult {
   std::vector<NodeId> candidates;
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
   bool success() const { return leaders.size() == 1; }
 };
 

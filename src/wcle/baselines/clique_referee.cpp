@@ -37,6 +37,7 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
   if (res.candidates.empty()) return res;
 
   Network net(g, congest_config_for(params, n));
+  for (const NodeId c : res.candidates) net.note_contender(c);
   const std::uint32_t bits = id_bits(n) + 8;
 
   // Step 2: candidates nominate themselves to random referees (sampling
@@ -90,6 +91,7 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
   for (const NodeId c : res.candidates)
     if (!killed[c]) res.leaders.push_back(c);
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -116,6 +118,7 @@ class CliqueRefereeAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     out.extras["candidates"] = static_cast<double>(r.candidates.size());
     return out;
   }

@@ -48,6 +48,7 @@ FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
   });
   res.complete = res.informed == n;
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -72,6 +73,7 @@ class FloodBroadcastAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.complete;
+    out.faults = r.faults;
     out.extras["informed"] = static_cast<double>(r.informed);
     return out;
   }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -20,6 +21,7 @@ struct FloodBroadcastResult {
   std::uint64_t informed = 0;
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
 };
 
 /// Floods a rumor of `value_bits` bits from `source` until quiescence.

@@ -54,6 +54,7 @@ FloodElectionResult run_flood_max(const Graph& g, std::uint64_t seed,
   for (NodeId v = 0; v < n; ++v)
     if (!superseded[v]) res.leaders.push_back(v);
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -76,6 +77,7 @@ class FloodMaxAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     return out;
   }
 };

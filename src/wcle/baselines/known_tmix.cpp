@@ -38,6 +38,7 @@ KnownTmixResult run_known_tmix_election(const Graph& g,
   if (res.contenders.empty()) return res;
 
   Network net(g, congest_config_for(params, n));
+  for (const NodeId v : res.contenders) net.note_contender(v);
   WalkEngine engine(g, net, walk_rng,
                     {params.lazy_walks, params.coalesce_tokens});
 
@@ -60,6 +61,9 @@ KnownTmixResult run_known_tmix_election(const Graph& g,
   auto react = [&](const std::vector<WalkEvent>& events) {
     for (const WalkEvent& ev : events) {
       if (ev.kind != WalkEvent::Kind::kConvergecastDone) continue;
+      // Crash-stop: a dead contender makes no leadership decision, even if
+      // its convergecast completed locally (walks that stayed home).
+      if (!net.node_up(ev.origin)) continue;
       const std::uint64_t max_adj =
           ev.reply.ids.empty() ? 0 : ev.reply.ids.back();
       adjacency_max.emplace_back(ev.origin, max_adj);
@@ -75,6 +79,7 @@ KnownTmixResult run_known_tmix_election(const Graph& g,
 
   res.rounds = net.metrics().rounds;
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -115,6 +120,7 @@ class KnownTmixAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     out.extras["walk_length"] = static_cast<double>(walk_length);
     out.extras["tmix_oracle"] = static_cast<double>(tmix);
     out.extras["contenders"] = static_cast<double>(r.contenders.size());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "wcle/core/params.hpp"
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 
@@ -21,6 +22,7 @@ struct KnownTmixResult {
   std::vector<NodeId> contenders;
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
   bool success() const { return leaders.size() == 1; }
 };
 

@@ -51,6 +51,7 @@ ProbeResult run_port_prober(
     if (is_target_edge(from, d.dst)) ++res.target_edges_found;
   });
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -82,6 +83,7 @@ class PortProberAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.probes_sent > 0;
+    out.faults = r.faults;
     out.extras["probes_sent"] = static_cast<double>(r.probes_sent);
     out.extras["target_edges_found"] =
         static_cast<double>(r.target_edges_found);

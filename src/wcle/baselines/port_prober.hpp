@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -23,6 +24,7 @@ struct ProbeResult {
   std::uint64_t target_edges_found = 0;  ///< probes that crossed a target edge
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
 };
 
 /// Every node probes up to `budget_per_node` distinct random ports.

@@ -46,7 +46,16 @@ BroadcastResult run_push_pull(const Graph& g,
   std::vector<std::pair<NodeId, Port>> owed, next_owed;
 
   BroadcastResult res;
-  while (informed_count < n && res.rounds < max_rounds) {
+  // Completion target under faults: every *currently up* node informed.
+  // Dead or partitioned-off survivors can never learn the rumor; without
+  // this the loop would spin its full round cap on every faulty run.
+  auto informed_up = [&]() {
+    std::uint64_t count = 0;
+    for (NodeId v = 0; v < n; ++v)
+      if (informed[v] && net.node_up(v)) ++count;
+    return count;
+  };
+  while (informed_up() < net.up_count() && res.rounds < max_rounds) {
     // Each node contacts one uniformly random neighbour per round.
     for (NodeId v = 0; v < n; ++v) {
       const Port p = static_cast<Port>(rng.next_below(g.degree(v)));
@@ -85,9 +94,11 @@ BroadcastResult run_push_pull(const Graph& g,
     owed.swap(next_owed);
   }
 
-  res.complete = informed_count == n;
+  res.complete = informed_up() == net.up_count();
   res.informed = informed_count;
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
+  res.faults.hit_round_cap = !res.complete && res.rounds >= max_rounds;
   return res;
 }
 
@@ -112,6 +123,7 @@ class PushPullAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.complete;
+    out.faults = r.faults;
     out.extras["informed"] = static_cast<double>(r.informed);
     return out;
   }

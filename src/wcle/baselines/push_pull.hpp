@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -17,10 +18,11 @@
 namespace wcle {
 
 struct BroadcastResult {
-  bool complete = false;       ///< every node informed
+  bool complete = false;       ///< every *surviving* node informed
   std::uint64_t informed = 0;  ///< nodes informed at the end
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
 };
 
 /// Spreads a rumor of `value_bits` bits from `sources` until every node is

@@ -51,6 +51,7 @@ TerritoryElectionResult run_territory_election(const Graph& g,
   if (res.candidates.empty()) return res;
 
   Network net(g, congest_config_for(params, n));
+  for (const NodeId c : res.candidates) net.note_contender(c);
   const std::uint32_t bits = id_bits(n) + ceil_log2(n) + 8;
 
   std::vector<std::uint64_t> owner(n, 0);
@@ -119,6 +120,7 @@ TerritoryElectionResult run_territory_election(const Graph& g,
   });
 
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -140,6 +142,7 @@ class TerritoryElectionAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     out.extras["candidates"] = static_cast<double>(r.candidates.size());
     return out;
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "wcle/core/params.hpp"
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 
@@ -30,6 +31,7 @@ struct TerritoryElectionResult {
   std::vector<NodeId> candidates;
   std::uint64_t rounds = 0;
   Metrics totals;
+  FaultOutcome faults;
   bool success() const { return leaders.size() == 1; }
 };
 

@@ -19,8 +19,20 @@
 namespace wcle {
 
 namespace {
+
 constexpr std::uint8_t kTagReport = 0x29;
+
+/// Doubling cap for the registry adapters: every tested family mixes in
+/// far fewer than 8n steps, and an uncapped 2^16 ceiling would let a
+/// fault-starved run (eaten walks never pass the mixing test) burn tens of
+/// thousands of simulated rounds per iteration before giving up.
+std::uint32_t adapter_max_t(NodeId n) {
+  std::uint32_t cap = 1;
+  while (cap < 8u * n && cap < (1u << 16)) cap *= 2;
+  return cap;
 }
+
+}  // namespace
 
 TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
                                       std::uint64_t seed,
@@ -39,6 +51,7 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
   // fields are suppressed for the tree construction.
   CongestConfig tree_cfg = cfg;
   tree_cfg.drop_probability = 0.0;
+  tree_cfg.faults = FaultPlan{};
   const BfsTreeResult tree = run_bfs_tree(g, initiator, tree_cfg);
   res.totals += tree.totals;
   res.rounds += tree.rounds;
@@ -103,6 +116,7 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
 
   res.totals += net.metrics();
   res.rounds += net.metrics().rounds;
+  res.faults = net.fault_outcome();
   return res;
 }
 
@@ -119,7 +133,8 @@ class TmixEstimatorAlgorithm final : public Algorithm {
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
     const TmixEstimateResult r = run_tmix_estimator(
-        g, src, options.seed(), /*walks_per_round=*/0, /*max_t=*/1u << 16,
+        g, src, options.seed(), /*walks_per_round=*/0,
+        adapter_max_t(g.node_count()),
         congest_config_for(options.params, g.node_count()));
     RunResult out;
     out.algorithm = name();
@@ -127,6 +142,8 @@ class TmixEstimatorAlgorithm final : public Algorithm {
     out.rounds = r.rounds;
     out.totals = r.totals;
     out.success = r.converged;
+    out.faults = r.faults;
+    out.faults.hit_round_cap = !r.converged;
     out.extras["tmix_estimate"] = static_cast<double>(r.estimate);
     out.extras["iterations"] = static_cast<double>(r.iterations);
     return out;
@@ -147,7 +164,8 @@ class EstimateThenElectAlgorithm final : public Algorithm {
   RunResult run(const Graph& g, const RunOptions& options) const override {
     const NodeId src = options.source < g.node_count() ? options.source : 0;
     const TmixEstimateResult est = run_tmix_estimator(
-        g, src, options.seed(), /*walks_per_round=*/0, /*max_t=*/1u << 16,
+        g, src, options.seed(), /*walks_per_round=*/0,
+        adapter_max_t(g.node_count()),
         congest_config_for(options.params, g.node_count()));
     const std::uint32_t walk_length = scaled_walk_length(
         options.tmix_multiplier, std::max<std::uint64_t>(1, est.estimate));
@@ -160,6 +178,12 @@ class EstimateThenElectAlgorithm final : public Algorithm {
     out.totals = est.totals;
     out.totals += elect.totals;
     out.success = est.converged && elect.success();
+    // The election stage's exposure judges safety (same fault seed => same
+    // victims as the estimation stage, modulo contender targeting); a
+    // cap-starved estimator is a liveness loss exactly as in the standalone
+    // tmix_estimator adapter.
+    out.faults = elect.faults;
+    out.faults.hit_round_cap = !est.converged || elect.faults.hit_round_cap;
     out.extras["tmix_estimate"] = static_cast<double>(est.estimate);
     out.extras["estimator_messages"] =
         static_cast<double>(est.totals.congest_messages);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 #include "wcle/sim/network.hpp"
@@ -34,6 +35,7 @@ struct TmixEstimateResult {
   std::uint64_t iterations = 0;     ///< doubling steps taken
   std::uint64_t rounds = 0;
   Metrics totals;                   ///< includes the BFS tree construction
+  FaultOutcome faults;
 };
 
 /// Estimates tmix from `initiator` using `walks_per_round` parallel walks

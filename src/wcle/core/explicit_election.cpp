@@ -8,8 +8,9 @@
 
 namespace wcle {
 
-ExplicitElectionResult run_explicit_election(const Graph& g,
-                                             const ElectionParams& params) {
+ExplicitElectionResult run_explicit_election(
+    const Graph& g, const ElectionParams& params,
+    std::uint64_t broadcast_max_rounds) {
   ExplicitElectionResult res;
   res.election = run_leader_election(g, params);
   if (res.election.leaders.empty()) return res;  // nothing to broadcast
@@ -17,8 +18,16 @@ ExplicitElectionResult run_explicit_election(const Graph& g,
   const std::uint32_t leader_id_bits = id_bits(g.node_count());
   ElectionParams bcast_params = params;
   bcast_params.seed = params.seed ^ 0xb40adca57ull;
+  // The broadcast runs on a different sub-seed but in the SAME fault
+  // universe: reuse the election's fault seed (same link failures) and pin
+  // the election's actual crash victims, so even hint-dependent strategies
+  // ("contenders", whose picks depend on what the first stage reported)
+  // kill the same nodes in both stages — a leader that died stays dead.
+  bcast_params.faults.seed =
+      congest_config_for(params, g.node_count()).faults.seed;
+  bcast_params.faults.pinned_crashes = res.election.faults.crashed;
   res.broadcast = run_push_pull(g, res.election.leaders, leader_id_bits,
-                                bcast_params.seed, /*max_rounds=*/0,
+                                bcast_params.seed, broadcast_max_rounds,
                                 congest_config_for(bcast_params,
                                                    g.node_count()));
   res.success = res.election.success() && res.broadcast.complete;
@@ -36,7 +45,8 @@ class ExplicitElectionAlgorithm final : public Algorithm {
   }
   Kind kind() const override { return Kind::kElection; }
   RunResult run(const Graph& g, const RunOptions& options) const override {
-    const ExplicitElectionResult r = run_explicit_election(g, options.params);
+    const ExplicitElectionResult r =
+        run_explicit_election(g, options.params, options.max_rounds);
     RunResult out;
     out.algorithm = name();
     out.leaders = r.election.leaders;
@@ -44,6 +54,12 @@ class ExplicitElectionAlgorithm final : public Algorithm {
     out.totals = r.election.totals;
     out.totals += r.broadcast.totals;
     out.success = r.success;
+    // The election stage's exposure carries the adversary's real victims
+    // (contender targeting happens there); the broadcast stage only adds
+    // its liveness verdict.
+    out.faults = r.election.faults;
+    out.faults.hit_round_cap =
+        r.election.faults.hit_round_cap || r.broadcast.faults.hit_round_cap;
     out.extras["election_messages"] =
         static_cast<double>(r.election.totals.congest_messages);
     out.extras["broadcast_messages"] =

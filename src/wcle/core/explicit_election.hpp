@@ -25,8 +25,13 @@ struct ExplicitElectionResult {
   }
 };
 
-ExplicitElectionResult run_explicit_election(const Graph& g,
-                                             const ElectionParams& params);
+/// `broadcast_max_rounds` caps the push-pull stage (0 = its generous
+/// default); under faults an unreachable survivor would otherwise spin the
+/// full default cap. Both stages share one fault universe: the broadcast
+/// reuses the election's fault seed, so the same nodes are dead in both.
+ExplicitElectionResult run_explicit_election(
+    const Graph& g, const ElectionParams& params,
+    std::uint64_t broadcast_max_rounds = 0);
 
 class Algorithm;
 

@@ -85,6 +85,9 @@ ElectionResult run_leader_election(const Graph& g,
   if (contender_nodes.empty()) return res;  // fails; probability n^{-c1}
 
   Network net(g, congest_config_for(params, n));
+  // Report the contender set before the first round so the "contenders"
+  // adversary can target exactly these nodes when its crash batch fires.
+  for (const NodeId v : contender_nodes) net.note_contender(v);
   WalkEngine engine(g, net, walk_rng,
                     {params.lazy_walks, params.coalesce_tokens});
 
@@ -145,6 +148,10 @@ ElectionResult run_leader_election(const Graph& g,
         while (!q.empty()) {
           WalkEvent ev = std::move(q.front());
           q.pop_front();
+          // Crash-stop: a dead node takes no local steps. The transport
+          // already suppresses its traffic; this guard stops the *local*
+          // completions (e.g. a contender whose walks all stayed home).
+          if (!net.node_up(ev.node)) continue;
           switch (ev.kind) {
             case WalkEvent::Kind::kConvergecastDone: {
               Contender& c = state.at(ev.origin);
@@ -217,13 +224,16 @@ ElectionResult run_leader_election(const Graph& g,
     std::vector<NodeId> walkers;
     std::uint32_t phase_len = 0;
     for (const NodeId v : contender_nodes) {
-      const Contender& c = state.at(v);
+      Contender& c = state.at(v);
+      // Crash-stop: a dead contender leaves the race (it neither walks nor
+      // decides; its proxies keep their registrations but nobody asks).
+      if (c.active && !net.node_up(v)) c.active = false;
       if (c.active) {
         walkers.push_back(v);
         phase_len = std::max(phase_len, c.length);
       }
     }
-    assert(!walkers.empty());
+    if (walkers.empty()) break;  // every remaining contender crashed
     const Metrics before = net.metrics();
     const std::uint64_t phase_start = net.round();
     const std::uint64_t T = params.scheduled_T(n, phase_len);
@@ -272,6 +282,10 @@ ElectionResult run_leader_election(const Graph& g,
     std::vector<NodeId> new_leaders;
     for (const NodeId v : walkers) {
       Contender& c = state.at(v);
+      if (!net.node_up(v)) {  // crashed mid-phase: no stopping decision
+        c.active = false;
+        continue;
+      }
       const std::uint64_t adjacent = c.i2.size();
       const bool properties_met =
           adjacent >= need_intersect && c.distinct >= need_distinct;
@@ -327,6 +341,8 @@ ElectionResult run_leader_election(const Graph& g,
     }
   }
   res.totals = net.metrics();
+  res.faults = net.fault_outcome();
+  res.faults.hit_round_cap = res.hit_phase_cap;
   return res;
 }
 
@@ -348,6 +364,7 @@ class ElectionAlgorithm final : public Algorithm {
     out.rounds = r.totals.rounds;
     out.totals = r.totals;
     out.success = r.success();
+    out.faults = r.faults;
     out.extras["contenders"] = static_cast<double>(r.contenders.size());
     out.extras["phases"] = static_cast<double>(r.phases);
     out.extras["final_length"] = static_cast<double>(r.final_length);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "wcle/core/params.hpp"
+#include "wcle/fault/outcome.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/metrics.hpp"
 
@@ -50,6 +51,7 @@ struct ElectionResult {
   std::uint64_t phases = 0;
   bool hit_phase_cap = false;      ///< guess-and-double guard triggered
   Metrics totals;                  ///< whole-run network metrics
+  FaultOutcome faults;             ///< fault exposure (empty = fault-free)
   std::vector<PhaseStats> phase_stats;
   /// Paper-schedule round bound: sum over phases of 6T, T = O(t_u log^2 n).
   /// Measured totals.rounds must stay below this (asserted in tests).

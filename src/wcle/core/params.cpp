@@ -69,14 +69,18 @@ std::uint64_t ElectionParams::id_space(NodeId n) const {
 }
 
 CongestConfig congest_config_for(const ElectionParams& params, NodeId n) {
-  CongestConfig cfg = params.bandwidth_bits != 0
-                          ? CongestConfig{params.bandwidth_bits}
-                      : params.wide_messages ? CongestConfig::wide(n)
-                                             : CongestConfig::standard(n);
+  CongestConfig cfg = params.wide_messages ? CongestConfig::wide(n)
+                                           : CongestConfig::standard(n);
+  if (params.bandwidth_bits != 0) cfg.bandwidth_bits = params.bandwidth_bits;
   cfg.drop_probability = params.drop_probability;
   // Salted so the drop stream is independent of the id/coin/walk streams
   // forked from the same seed.
   cfg.drop_seed = params.seed ^ 0xD209D5EEDull;
+  cfg.faults = params.faults;
+  // The fault stream gets its own salt; an explicit faults.seed survives so
+  // composed protocols (explicit election = election + broadcast, which run
+  // on different sub-seeds) can share one set of victims.
+  if (cfg.faults.seed == 0) cfg.faults.seed = params.seed ^ 0xFA017C4A5Dull;
   return cfg;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "wcle/fault/plan.hpp"
 #include "wcle/graph/graph.hpp"
 
 namespace wcle {
@@ -34,6 +35,12 @@ struct ElectionParams {
   /// lost instead of delivered (seeded from `seed`, so faulty runs stay
   /// reproducible). 0 = the paper's reliable model.
   double drop_probability = 0.0;
+  /// Structured fault axis: crash-stop schedule, link failures, churn, and
+  /// the adversary strategy (fault/plan.hpp). Like drop_probability this
+  /// rides into CongestConfig via congest_config_for, so every protocol
+  /// funnels through one fault model; faults.seed = 0 derives the fault
+  /// stream from `seed`.
+  FaultPlan faults;
   /// Ablation (DESIGN.md §5 item 4): lazy walks (paper) vs non-lazy. Non-lazy
   /// walks carry a parity trap on bipartite graphs and break stopping there.
   bool lazy_walks = true;

@@ -1,0 +1,123 @@
+#include "wcle/fault/adversary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wcle {
+
+namespace {
+
+/// Partial Fisher-Yates: min(count, pool.size()) uniform picks without
+/// replacement, in draw order. The pool copy keeps the caller's vector
+/// intact.
+std::vector<NodeId> random_picks(std::vector<NodeId> pool, std::uint64_t count,
+                                 Rng& rng) {
+  const std::size_t k =
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, pool.size()));
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+class RandomAdversary final : public Adversary {
+ public:
+  std::string name() const override { return "random"; }
+  std::vector<NodeId> select(const Graph& /*g*/,
+                             const std::vector<NodeId>& pool,
+                             const std::vector<NodeId>& /*hints*/,
+                             std::uint64_t count, Rng& rng) const override {
+    return random_picks(pool, count, rng);
+  }
+};
+
+class DegreeAdversary final : public Adversary {
+ public:
+  std::string name() const override { return "degree"; }
+  std::vector<NodeId> select(const Graph& g, const std::vector<NodeId>& pool,
+                             const std::vector<NodeId>& /*hints*/,
+                             std::uint64_t count, Rng& /*rng*/) const override {
+    // Highest degree first, ties by node id: kills hubs, deterministic
+    // without consuming the rng (regular graphs degrade to lowest-id picks,
+    // which is itself a legitimate worst case — the adversary knows ids).
+    std::vector<NodeId> sorted = pool;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&g](NodeId a, NodeId b) {
+                       if (g.degree(a) != g.degree(b))
+                         return g.degree(a) > g.degree(b);
+                       return a < b;
+                     });
+    sorted.resize(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, sorted.size())));
+    return sorted;
+  }
+};
+
+class ContenderAdversary final : public Adversary {
+ public:
+  std::string name() const override { return "contenders"; }
+  std::vector<NodeId> select(const Graph& /*g*/,
+                             const std::vector<NodeId>& pool,
+                             const std::vector<NodeId>& hints,
+                             std::uint64_t count, Rng& rng) const override {
+    // Reported contenders first (report order, deduplicated, pool members
+    // only), then uniform picks from the rest. Protocols that report nothing
+    // degrade to the random adversary.
+    std::vector<NodeId> victims;
+    std::vector<char> taken;
+    if (!pool.empty()) {
+      const NodeId max_node = pool.back();
+      taken.assign(static_cast<std::size_t>(max_node) + 1, 0);
+      for (const NodeId h : hints) {
+        if (victims.size() >= count) break;
+        if (h > max_node || taken[h]) continue;
+        if (!std::binary_search(pool.begin(), pool.end(), h)) continue;
+        taken[h] = 1;
+        victims.push_back(h);
+      }
+    }
+    if (victims.size() < count) {
+      std::vector<NodeId> rest;
+      rest.reserve(pool.size() - victims.size());
+      for (const NodeId v : pool)
+        if (taken.empty() || !taken[v]) rest.push_back(v);
+      for (const NodeId v :
+           random_picks(std::move(rest), count - victims.size(), rng))
+        victims.push_back(v);
+    }
+    return victims;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomAdversary>();
+  if (name == "degree") return std::make_unique<DegreeAdversary>();
+  if (name == "contenders") return std::make_unique<ContenderAdversary>();
+  throw std::invalid_argument("make_adversary: unknown strategy '" + name +
+                              "' (known: " + joined_adversary_names() + ")");
+}
+
+std::vector<std::string> adversary_names() {
+  return {"contenders", "degree", "random"};
+}
+
+bool is_adversary_name(const std::string& name) {
+  const std::vector<std::string> names = adversary_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string joined_adversary_names() {
+  std::string out;
+  for (const std::string& name : adversary_names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace wcle

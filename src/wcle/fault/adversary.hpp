@@ -1,0 +1,49 @@
+// Seeded victim-selection strategies for the fault subsystem. An Adversary
+// picks which nodes a FaultPlan's crash/churn batch hits; three strategies
+// ship: uniform random, targeted-by-degree (hub removal), and
+// targeted-at-current-contenders (the worst case for the paper's election:
+// the adversary kills exactly the nodes that sampled themselves as
+// contenders, which the protocol reports through Network::note_contender).
+// Selection is deterministic in (graph, pool, hints, rng state), which is
+// what keeps faulty sweeps byte-identical across reruns and thread counts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Registry key ("random", "degree", "contenders").
+  virtual std::string name() const = 0;
+
+  /// Picks min(count, pool.size()) distinct victims from `pool` (the
+  /// currently-up nodes, ascending). `hints` are protocol-reported contender
+  /// nodes in report order (may contain nodes outside the pool; those are
+  /// skipped). Draws from `rng` in a strategy-defined but deterministic
+  /// order.
+  virtual std::vector<NodeId> select(const Graph& g,
+                                     const std::vector<NodeId>& pool,
+                                     const std::vector<NodeId>& hints,
+                                     std::uint64_t count, Rng& rng) const = 0;
+};
+
+/// Factory; throws std::invalid_argument for an unknown name.
+std::unique_ptr<Adversary> make_adversary(const std::string& name);
+
+/// All strategy names, sorted.
+std::vector<std::string> adversary_names();
+
+bool is_adversary_name(const std::string& name);
+
+/// "contenders, degree, random" — for error messages.
+std::string joined_adversary_names();
+
+}  // namespace wcle

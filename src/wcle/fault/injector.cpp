@@ -1,0 +1,148 @@
+#include "wcle/fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcle {
+
+namespace {
+
+/// Victim count for a fraction axis: rounded, but a nonzero fraction always
+/// claims at least one victim (otherwise small-n sweeps would silently run
+/// fault-free) and never more than the population.
+std::uint64_t victim_count(double fraction, std::uint64_t population) {
+  if (fraction <= 0.0 || population == 0) return 0;
+  const std::uint64_t count = static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(population)));
+  return std::min(population, std::max<std::uint64_t>(1, count));
+}
+
+}  // namespace
+
+std::uint64_t FaultOutcome::surviving(std::uint64_t n) const {
+  if (up.empty()) return n;
+  std::uint64_t count = 0;
+  for (const char flag : up) count += flag ? 1 : 0;
+  return count;
+}
+
+std::vector<std::uint64_t> lane_bases(const Graph& g) {
+  std::vector<std::uint64_t> bases(g.node_count() + 1);
+  std::uint64_t acc = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    bases[u] = acc;
+    acc += g.degree(u);
+  }
+  bases[g.node_count()] = acc;
+  return bases;
+}
+
+FaultInjector::FaultInjector(const Graph& g, FaultPlan plan)
+    : g_(&g), plan_(std::move(plan)), rng_(plan_.seed) {
+  plan_.validate();
+  adversary_ = make_adversary(plan_.adversary);
+  const NodeId n = g.node_count();
+  first_lane_ = lane_bases(g);
+  up_.assign(n, 1);
+  up_count_ = n;
+  hinted_.assign(n, 0);
+}
+
+void FaultInjector::note_contender(NodeId node) {
+  if (node >= up_.size() || hinted_[node]) return;
+  hinted_[node] = 1;
+  hints_.push_back(node);
+}
+
+std::vector<NodeId> FaultInjector::up_pool() const {
+  std::vector<NodeId> pool;
+  pool.reserve(up_count_);
+  for (NodeId v = 0; v < up_.size(); ++v)
+    if (up_[v]) pool.push_back(v);
+  return pool;
+}
+
+std::vector<NodeId> FaultInjector::pick_victims(std::uint64_t count) {
+  const std::vector<NodeId> pool = up_pool();
+  std::vector<NodeId> victims =
+      adversary_->select(*g_, pool, hints_, count, rng_);
+  for (const NodeId v : victims) {
+    up_[v] = 0;
+    --up_count_;
+  }
+  return victims;
+}
+
+void FaultInjector::fail_links() {
+  // Canonical undirected-edge order: node-major, port-minor, counting each
+  // link once from its lower endpoint. Victims by partial Fisher-Yates.
+  std::vector<std::pair<NodeId, Port>> edges;
+  edges.reserve(g_->edge_count());
+  for (NodeId u = 0; u < g_->node_count(); ++u)
+    for (Port p = 0; p < g_->degree(u); ++p)
+      if (u < g_->neighbor(u, p)) edges.emplace_back(u, p);
+  const std::uint64_t count =
+      victim_count(plan_.linkfail_fraction, edges.size());
+  link_failed_.assign(first_lane_.back(), 0);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t j = i + rng_.next_below(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    const auto [u, p] = edges[i];
+    link_failed_[first_lane_[u] + p] = 1;
+    const NodeId v = g_->neighbor(u, p);
+    link_failed_[first_lane_[v] + g_->mirror_port(u, p)] = 1;
+  }
+  failed_links_ = count;
+}
+
+void FaultInjector::advance(std::uint64_t round) {
+  if (!linkfail_done_ && plan_.linkfail_fraction > 0.0 &&
+      round >= plan_.linkfail_round) {
+    linkfail_done_ = true;
+    fail_links();
+  }
+  if (!crash_done_ &&
+      (plan_.crash_fraction > 0.0 || !plan_.pinned_crashes.empty()) &&
+      round >= plan_.crash_round) {
+    crash_done_ = true;
+    if (!plan_.pinned_crashes.empty()) {
+      // Pinned universe (composed protocols): kill exactly the given nodes,
+      // no adversary or rng involvement.
+      for (const NodeId v : plan_.pinned_crashes) {
+        if (v < up_.size() && up_[v]) {
+          up_[v] = 0;
+          --up_count_;
+          crashed_.push_back(v);
+        }
+      }
+    } else {
+      crashed_ = pick_victims(victim_count(plan_.crash_fraction, up_.size()));
+    }
+  }
+  const bool churn_active = plan_.churn_fraction > 0.0 && plan_.churn_start > 0;
+  if (!churn_out_done_ && churn_active && round >= plan_.churn_start) {
+    churn_out_done_ = true;
+    churned_ = pick_victims(victim_count(plan_.churn_fraction, up_.size()));
+  }
+  if (churn_out_done_ && !churn_in_done_ && round >= plan_.churn_end) {
+    churn_in_done_ = true;
+    for (const NodeId v : churned_) {
+      if (!up_[v]) {
+        up_[v] = 1;
+        ++up_count_;
+      }
+    }
+  }
+}
+
+FaultOutcome FaultInjector::outcome() const {
+  FaultOutcome out;
+  out.up = up_;
+  out.link_failed = link_failed_;
+  out.crashed = crashed_;
+  out.churned = churned_;
+  out.failed_links = failed_links_;
+  return out;
+}
+
+}  // namespace wcle

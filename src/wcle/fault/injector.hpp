@@ -1,0 +1,76 @@
+// Materializes a FaultPlan against a concrete graph and drives it round by
+// round. The Network owns one injector per faulty execution and consults it
+// on every send and delivery; protocols may also query node_up() to model
+// crash-stop state machines (a dead node takes no local steps).
+//
+// Event order within a round is fixed (link failures, crashes, churn-out,
+// churn-in) and every random choice draws from one seeded stream, so a
+// faulty execution is a pure function of (graph, plan) — the property the
+// sweep engine's byte-identical-across-thread-counts guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wcle/fault/adversary.hpp"
+#include "wcle/fault/outcome.hpp"
+#include "wcle/fault/plan.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/rng.hpp"
+
+namespace wcle {
+
+class FaultInjector {
+ public:
+  /// Validates `plan` (throws std::invalid_argument) and precomputes lane
+  /// offsets. No fault fires before the first advance().
+  FaultInjector(const Graph& g, FaultPlan plan);
+
+  /// Protocols report nodes that became contenders/candidates; the
+  /// "contenders" adversary targets these when its batch fires. Reports
+  /// after the batch fired are recorded but change nothing.
+  void note_contender(NodeId node);
+
+  /// Applies every event whose scheduled round is <= `round`. Called by the
+  /// Network at the start of each step; idempotent.
+  void advance(std::uint64_t round);
+
+  bool node_up(NodeId node) const { return up_[node] != 0; }
+  std::uint64_t up_count() const { return up_count_; }
+
+  /// True when the directed edge out of `from` through `port` still works.
+  bool link_up(NodeId from, Port port) const {
+    return link_failed_.empty() || !link_failed_[first_lane_[from] + port];
+  }
+
+  const std::vector<NodeId>& contender_hints() const { return hints_; }
+
+  /// Snapshot of the fault exposure so far (typically taken at end of run).
+  FaultOutcome outcome() const;
+
+ private:
+  void fail_links();
+  std::vector<NodeId> up_pool() const;
+  std::vector<NodeId> pick_victims(std::uint64_t count);
+
+  const Graph* g_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::unique_ptr<Adversary> adversary_;
+  std::vector<std::uint64_t> first_lane_;  ///< per-node base into lane space
+  std::vector<char> up_;
+  std::vector<char> link_failed_;  ///< per directed edge; empty until needed
+  std::vector<NodeId> hints_;
+  std::vector<char> hinted_;
+  std::vector<NodeId> crashed_;
+  std::vector<NodeId> churned_;
+  std::uint64_t up_count_ = 0;
+  std::uint64_t failed_links_ = 0;
+  bool linkfail_done_ = false;
+  bool crash_done_ = false;
+  bool churn_out_done_ = false;
+  bool churn_in_done_ = false;
+};
+
+}  // namespace wcle

@@ -1,0 +1,45 @@
+// The fault exposure of one finished execution, extracted from the
+// FaultInjector so it can outlive the Network: which nodes ended the run
+// alive, who crashed or churned, and which links failed. Protocol result
+// structs carry one of these (empty vectors = a fault-free run) and the
+// verdict layer (verdict.hpp) classifies executions from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+struct FaultOutcome {
+  /// Per-node up flag at the end of the run; empty = every node survived.
+  std::vector<char> up;
+  /// Per-directed-edge failed flag in lane order (node-major, port-minor —
+  /// the Network's lane indexing); empty = no link failures.
+  std::vector<char> link_failed;
+  /// Nodes permanently crash-stopped, in victim-selection order.
+  std::vector<NodeId> crashed;
+  /// Nodes that churned out (and, after churn_end, back in).
+  std::vector<NodeId> churned;
+  /// Undirected links failed.
+  std::uint64_t failed_links = 0;
+  /// The protocol's own termination guard fired (phase cap, round cap):
+  /// the run was cut off rather than finishing — liveness is lost.
+  bool hit_round_cap = false;
+
+  /// True when `node` survived the run (empty `up` = all survived).
+  bool node_up(NodeId node) const {
+    return up.empty() || up[node];
+  }
+  /// Count of surviving nodes out of `n`.
+  std::uint64_t surviving(std::uint64_t n) const;
+};
+
+/// Per-node base offsets into the directed-edge lane space (node-major,
+/// port-minor; size n+1 with the total as sentinel). The one definition of
+/// the indexing that Network, FaultInjector, and the verdict layer all use
+/// to interpret `FaultOutcome::link_failed`.
+std::vector<std::uint64_t> lane_bases(const Graph& g);
+
+}  // namespace wcle

@@ -1,0 +1,32 @@
+#include "wcle/fault/plan.hpp"
+
+#include <stdexcept>
+
+#include "wcle/fault/adversary.hpp"
+
+namespace wcle {
+
+bool FaultPlan::any() const {
+  return crash_fraction > 0.0 || !pinned_crashes.empty() ||
+         linkfail_fraction > 0.0 || churn_fraction > 0.0;
+}
+
+void FaultPlan::validate() const {
+  const auto fraction_in_range = [](const char* name, double f) {
+    if (f < 0.0 || f > 1.0)
+      throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                  " must be in [0, 1]");
+  };
+  fraction_in_range("crash_fraction", crash_fraction);
+  fraction_in_range("linkfail_fraction", linkfail_fraction);
+  fraction_in_range("churn_fraction", churn_fraction);
+  if (churn_fraction > 0.0 && (churn_start == 0 || churn_end <= churn_start))
+    throw std::invalid_argument(
+        "FaultPlan: churn_fraction > 0 needs a window (churn_start >= 1, "
+        "churn_end > churn_start)");
+  if (!is_adversary_name(adversary))
+    throw std::invalid_argument("FaultPlan: unknown adversary '" + adversary +
+                                "' (known: " + joined_adversary_names() + ")");
+}
+
+}  // namespace wcle

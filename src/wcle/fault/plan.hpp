@@ -1,0 +1,69 @@
+// Declarative fault schedule for one execution. A FaultPlan names *what* goes
+// wrong and *when* — crash-stop faults at a round, permanent link failures,
+// a churn window during which nodes are offline — plus the adversary strategy
+// that picks the victims (see adversary.hpp). The plan carries no graph or
+// transport state: the FaultInjector (injector.hpp) materializes it against a
+// concrete graph, and the Network consults the injector every round. All
+// selections derive from `seed`, so faulty executions are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+struct FaultPlan {
+  /// Fraction of nodes crash-stopped (permanently) at `crash_round`. A
+  /// nonzero fraction crashes at least one node. Crashed nodes stop sending
+  /// and receiving: their queued traffic still pays the congestion bill but
+  /// is eaten at delivery time (a node that died mid-transmission never
+  /// completes the send).
+  double crash_fraction = 0.0;
+  /// Round at whose start the crash batch fires (1 = before any delivery).
+  std::uint64_t crash_round = 1;
+
+  /// Fraction of undirected links that fail (permanently, both directions)
+  /// at `linkfail_round`. A nonzero fraction fails at least one link. Failed
+  /// links silently eat traffic while still paying the congestion bill.
+  double linkfail_fraction = 0.0;
+  std::uint64_t linkfail_round = 1;
+
+  /// Churn: this fraction of nodes leaves at round `churn_start` and rejoins
+  /// at round `churn_end` (window [start, end); messages to/from a churned
+  /// node are eaten while it is away). A nonzero fraction requires a real
+  /// window (start >= 1, end > start) — validate() rejects an unset one
+  /// rather than letting the churn axis silently do nothing.
+  double churn_fraction = 0.0;
+  std::uint64_t churn_start = 0;
+  std::uint64_t churn_end = 0;
+
+  /// Victim-selection strategy: "random", "degree" (highest-degree first),
+  /// or "contenders" (targets nodes the protocol reported as contenders via
+  /// Network::note_contender, falling back to random). See adversary.hpp.
+  std::string adversary = "random";
+
+  /// Seed of the fault stream (victim picks, link picks). 0 = derive from
+  /// the run seed (congest_config_for salts it); nonzero = explicit, kept
+  /// verbatim so composed protocols can share one fault universe.
+  std::uint64_t seed = 0;
+
+  /// When non-empty, the crash batch kills exactly these nodes (out-of-range
+  /// or already-down entries are skipped) instead of consulting the
+  /// adversary. Composed protocols (explicit election) pin the first stage's
+  /// victims here so every sub-protocol sees the same dead set even under
+  /// hint-dependent strategies like "contenders".
+  std::vector<NodeId> pinned_crashes;
+
+  /// True when any fault axis is active (the Network only builds an
+  /// injector — and pays any per-round cost — for plans that do something).
+  bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range fractions, an inverted
+  /// churn window, or an unknown adversary name.
+  void validate() const;
+};
+
+}  // namespace wcle

@@ -1,0 +1,78 @@
+#include "wcle/fault/verdict.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wcle {
+
+namespace {
+
+/// Nodes reachable from `start` through up nodes and unfailed links.
+/// `first_lane` is the node-major/port-minor lane base (same indexing the
+/// Network and FaultOutcome::link_failed use).
+std::uint64_t reachable_survivors(const Graph& g, const FaultOutcome& fo,
+                                  const std::vector<std::uint64_t>& first_lane,
+                                  NodeId start, std::vector<char>& visited) {
+  std::fill(visited.begin(), visited.end(), 0);
+  std::vector<NodeId> frontier{start};
+  visited[start] = 1;
+  std::uint64_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (Port p = 0; p < g.degree(u); ++p) {
+      if (!fo.link_failed.empty() && fo.link_failed[first_lane[u] + p])
+        continue;
+      const NodeId v = g.neighbor(u, p);
+      if (visited[v] || !fo.node_up(v)) continue;
+      visited[v] = 1;
+      ++count;
+      frontier.push_back(v);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string Verdict::summary() const {
+  std::ostringstream out;
+  out << (safe ? "safe" : "UNSAFE") << " " << (live ? "live" : "NOT-LIVE")
+      << " agree=" << agreement << " surviving=" << surviving;
+  return out.str();
+}
+
+Verdict classify_execution(const Graph& g, const FaultOutcome& fo,
+                           const std::vector<NodeId>& leaders,
+                           std::uint64_t rounds, std::uint64_t round_budget,
+                           bool election) {
+  Verdict v;
+  v.evaluated = true;
+  v.surviving = fo.surviving(g.node_count());
+
+  std::vector<NodeId> live_leaders;
+  for (const NodeId l : leaders)
+    if (l < g.node_count() && fo.node_up(l)) live_leaders.push_back(l);
+  v.surviving_leaders = live_leaders.size();
+
+  v.safe = !election || live_leaders.size() <= 1;
+  v.live = !fo.hit_round_cap && (round_budget == 0 || rounds <= round_budget);
+
+  // Agreement: best single-leader coverage of the surviving subgraph. With
+  // several live leaders this is the largest camp one of them could muster —
+  // safety already records the violation; agreement stays a coverage number.
+  v.agreement = 0.0;
+  if (v.surviving > 0 && !live_leaders.empty()) {
+    const std::vector<std::uint64_t> first_lane = lane_bases(g);
+    std::vector<char> visited(g.node_count(), 0);
+    std::uint64_t best = 0;
+    for (const NodeId l : live_leaders)
+      best = std::max(best,
+                      reachable_survivors(g, fo, first_lane, l, visited));
+    v.agreement =
+        static_cast<double>(best) / static_cast<double>(v.surviving);
+  }
+  return v;
+}
+
+}  // namespace wcle

@@ -1,0 +1,49 @@
+// Correctness verdicts for executions under faults. The fault-free harness
+// judges a run by `success` alone; once nodes can die mid-run that single bit
+// conflates "the algorithm broke" with "the adversary broke the problem".
+// The verdict layer separates the three questions that stay well-posed:
+//
+//   safety    — at most one leader among the *surviving* nodes (a leader that
+//               crashed is no safety violation; two live leaders are).
+//   liveness  — the run terminated on its own (no phase/round cap fired) and,
+//               when a round budget is given, within it.
+//   agreement — the fraction of surviving nodes that can stand behind one
+//               leader: those in the same surviving component (up nodes,
+//               unfailed links) as a surviving leader. For broadcast and
+//               diagnostic protocols the same quantity is measured from the
+//               source. 1.0 on a fault-free successful run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wcle/fault/outcome.hpp"
+#include "wcle/graph/graph.hpp"
+
+namespace wcle {
+
+struct Verdict {
+  bool evaluated = false;  ///< classify_execution ran for this result
+  bool safe = true;
+  bool live = true;
+  double agreement = 0.0;
+  std::uint64_t surviving = 0;          ///< nodes up at end of run
+  std::uint64_t surviving_leaders = 0;  ///< leaders among the survivors
+
+  /// "safe live agree=0.88 surviving=29/32" (CLI run output).
+  std::string summary() const;
+};
+
+/// Classifies one finished execution. `leaders` is the protocol's output
+/// (elected leaders, or the broadcast source); `election` selects the
+/// at-most-one-leader safety rule (broadcast/diagnostic runs are trivially
+/// safe). `round_budget` = 0 means no budget: liveness is just "no cap
+/// fired". An empty `outcome` (fault-free run) still yields a meaningful
+/// verdict — e.g. a fault-free multi-leader election run is unsafe.
+Verdict classify_execution(const Graph& g, const FaultOutcome& outcome,
+                           const std::vector<NodeId>& leaders,
+                           std::uint64_t rounds, std::uint64_t round_budget,
+                           bool election);
+
+}  // namespace wcle

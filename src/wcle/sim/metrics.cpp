@@ -13,6 +13,10 @@ Metrics Metrics::since(const Metrics& earlier) const {
   d.total_bits = total_bits - earlier.total_bits;
   d.max_edge_backlog = max_edge_backlog;
   d.dropped_messages = dropped_messages - earlier.dropped_messages;
+  d.crash_dropped_messages =
+      crash_dropped_messages - earlier.crash_dropped_messages;
+  d.link_dropped_messages =
+      link_dropped_messages - earlier.link_dropped_messages;
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     d.congest_messages_by_tag[i] =
         congest_messages_by_tag[i] - earlier.congest_messages_by_tag[i];
@@ -26,6 +30,8 @@ Metrics& Metrics::operator+=(const Metrics& other) {
   total_bits += other.total_bits;
   max_edge_backlog = std::max(max_edge_backlog, other.max_edge_backlog);
   dropped_messages += other.dropped_messages;
+  crash_dropped_messages += other.crash_dropped_messages;
+  link_dropped_messages += other.link_dropped_messages;
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     congest_messages_by_tag[i] += other.congest_messages_by_tag[i];
   return *this;
@@ -36,6 +42,9 @@ std::string Metrics::summary() const {
   os << "rounds=" << rounds << " congest_msgs=" << congest_messages
      << " logical_msgs=" << logical_messages << " bits=" << total_bits;
   if (dropped_messages) os << " dropped=" << dropped_messages;
+  if (crash_dropped_messages)
+    os << " crash_dropped=" << crash_dropped_messages;
+  if (link_dropped_messages) os << " link_dropped=" << link_dropped_messages;
   return os.str();
 }
 

@@ -12,20 +12,22 @@ Network::Network(const Graph& g, CongestConfig cfg)
     throw std::invalid_argument("Network: bandwidth_bits must be >= 1");
   if (cfg_.drop_probability < 0.0 || cfg_.drop_probability > 1.0)
     throw std::invalid_argument("Network: drop_probability must be in [0, 1]");
-  first_lane_.resize(g.node_count() + 1);
-  std::uint64_t acc = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    first_lane_[u] = acc;
-    acc += g.degree(u);
-  }
-  first_lane_[g.node_count()] = acc;
-  lanes_.resize(acc);
+  if (cfg_.faults.any())
+    faults_ = std::make_unique<FaultInjector>(g, cfg_.faults);
+  first_lane_ = lane_bases(g);
+  lanes_.resize(first_lane_.back());
 }
 
 void Network::send(NodeId from, Port port, Message msg) {
   assert(from < g_->node_count());
   assert(port < g_->degree(from));
   assert(msg.bits >= 1);
+  // Crash-stop: a dead node's sends never happen — no queueing, no
+  // bandwidth, just the fault counter.
+  if (faults_ && !faults_->node_up(from)) {
+    metrics_.crash_dropped_messages += 1;
+    return;
+  }
   metrics_.logical_messages += 1;
   metrics_.total_bits += msg.bits;
   const std::uint64_t lane = lane_index(from, port);
@@ -43,6 +45,9 @@ void Network::send(NodeId from, Port port, Message msg) {
 const std::vector<Delivery>& Network::step() {
   delivered_.clear();
   metrics_.rounds += 1;
+  // Fault events fire at the start of their round, before any service:
+  // crash_round = 1 means the victims never deliver a single message.
+  if (faults_) faults_->advance(metrics_.rounds);
   const std::uint32_t B = cfg_.bandwidth_bits;
 
   // Serve one quantum per backlogged directed edge. New sends triggered by the
@@ -63,21 +68,37 @@ const std::vector<Delivery>& Network::step() {
     metrics_.congest_messages_by_tag[head.tag] += 1;
     l.served_bits += B;
     if (l.served_bits >= head.bits) {
-      // Fully transmitted. The fault axis is consulted only now: a dropped
+      // Fully transmitted. The fault axes are consulted only now: an eaten
       // message has already paid its congestion bill, it just never reaches
-      // the other endpoint. The p == 0 guard keeps the reliable model
-      // bit-identical to the pre-fault implementation (no Rng draws).
-      if (cfg_.drop_probability > 0.0 &&
+      // the other endpoint. Check order is fixed (failed link, crashed
+      // endpoint, then the random drop) so the drop stream stays
+      // reproducible; the p == 0 guard keeps the reliable model free of Rng
+      // draws, bit-identical to the pre-fault implementation.
+      // Recover (from, port) from the lane index by binary search on bases.
+      const auto it = std::upper_bound(first_lane_.begin(),
+                                       first_lane_.end(), lane);
+      const NodeId from = static_cast<NodeId>(
+          std::distance(first_lane_.begin(), it) - 1);
+      const Port port = static_cast<Port>(lane - first_lane_[from]);
+      bool eaten = false;
+      if (faults_) {
+        if (!faults_->link_up(from, port)) {
+          metrics_.link_dropped_messages += 1;
+          eaten = true;
+        } else if (!faults_->node_up(from) ||
+                   !faults_->node_up(g_->neighbor(from, port))) {
+          // Sender died before the transmission completed, or the receiver
+          // is down — crash-stop eats the message either way.
+          metrics_.crash_dropped_messages += 1;
+          eaten = true;
+        }
+      }
+      if (!eaten && cfg_.drop_probability > 0.0 &&
           drop_rng_.next_bool(cfg_.drop_probability)) {
         metrics_.dropped_messages += 1;
-      } else {
-        // Deliver to the other endpoint this round. Recover (from, port)
-        // from the lane index by binary search on bases.
-        const auto it = std::upper_bound(first_lane_.begin(),
-                                         first_lane_.end(), lane);
-        const NodeId from = static_cast<NodeId>(
-            std::distance(first_lane_.begin(), it) - 1);
-        const Port port = static_cast<Port>(lane - first_lane_[from]);
+        eaten = true;
+      }
+      if (!eaten) {
         Delivery d;
         d.dst = g_->neighbor(from, port);
         d.port = g_->mirror_port(from, port);

@@ -10,6 +10,10 @@
 #include <deque>
 #include <vector>
 
+#include <memory>
+
+#include "wcle/fault/injector.hpp"
+#include "wcle/fault/plan.hpp"
 #include "wcle/graph/graph.hpp"
 #include "wcle/sim/message.hpp"
 #include "wcle/sim/metrics.hpp"
@@ -31,17 +35,25 @@ struct CongestConfig {
   /// Seed of the drop stream; together with the deterministic lane-service
   /// order this makes faulty executions bit-reproducible.
   std::uint64_t drop_seed = 0;
+  /// Structured faults: crash-stop schedules, link failures, churn windows
+  /// (see fault/plan.hpp). An inactive plan costs nothing — the reliable
+  /// model stays bit-identical to the pre-fault implementation.
+  FaultPlan faults;
 
   /// Standard CONGEST budget for an n-node network: enough for one id from
   /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".
   static CongestConfig standard(std::uint64_t n) {
-    return {id_bits(n) + 2 * ceil_log2(n) + 8};
+    CongestConfig c;
+    c.bandwidth_bits = id_bits(n) + 2 * ceil_log2(n) + 8;
+    return c;
   }
 
   /// The relaxed O(log^3 n) regime of Lemma 12's second bound.
   static CongestConfig wide(std::uint64_t n) {
     const std::uint32_t lg = ceil_log2(n) > 0 ? ceil_log2(n) : 1;
-    return {(id_bits(n) + 2 * lg + 8) * lg * lg};
+    CongestConfig c;
+    c.bandwidth_bits = (id_bits(n) + 2 * lg + 8) * lg * lg;
+    return c;
   }
 
   /// Resolves bandwidth_bits == 0 (the "regime default" sentinel protocols
@@ -94,6 +106,30 @@ class Network {
   const Graph& graph() const noexcept { return *g_; }
   const CongestConfig& config() const noexcept { return cfg_; }
 
+  /// True when `node` is currently alive (always true on fault-free runs).
+  /// Protocols consult this to model crash-stop: a dead node takes no local
+  /// steps (the transport already suppresses its traffic either way).
+  bool node_up(NodeId node) const {
+    return !faults_ || faults_->node_up(node);
+  }
+
+  /// Nodes currently alive (n on fault-free runs).
+  std::uint64_t up_count() const {
+    return faults_ ? faults_->up_count() : g_->node_count();
+  }
+
+  /// Reports a node that became a contender/candidate, for the
+  /// "contenders" adversary strategy. No-op on fault-free runs.
+  void note_contender(NodeId node) {
+    if (faults_) faults_->note_contender(node);
+  }
+
+  /// The fault exposure of the run so far (empty on fault-free runs);
+  /// protocols stash this in their results for the verdict layer.
+  FaultOutcome fault_outcome() const {
+    return faults_ ? faults_->outcome() : FaultOutcome{};
+  }
+
  private:
   struct Lane {
     std::deque<Message> fifo;
@@ -113,6 +149,7 @@ class Network {
   std::uint64_t active_count_ = 0;
   std::vector<Delivery> delivered_;
   Rng drop_rng_;  ///< consulted only when cfg_.drop_probability > 0
+  std::unique_ptr<FaultInjector> faults_;  ///< null when cfg_.faults inactive
   Metrics metrics_;
 };
 

@@ -1,0 +1,379 @@
+// Tests for the fault subsystem (wcle/fault/): plan validation, adversary
+// strategies, injector semantics on a live Network (crash-stop suppression,
+// link failures that bill congestion, churn windows), verdict classification,
+// determinism of faulty executions, and the Metrics round-trip audit — the
+// fault counters must survive since()/operator+= and both JSON schemas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "wcle/api/algorithm.hpp"
+#include "wcle/api/registry.hpp"
+#include "wcle/api/serialize.hpp"
+#include "wcle/api/trials.hpp"
+#include "wcle/baselines/flood_broadcast.hpp"
+#include "wcle/fault/adversary.hpp"
+#include "wcle/fault/injector.hpp"
+#include "wcle/fault/plan.hpp"
+#include "wcle/fault/verdict.hpp"
+#include "wcle/graph/families.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/sim/network.hpp"
+
+namespace wcle {
+namespace {
+
+Graph path_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph::from_edges(n, edges);
+}
+
+// ------------------------------------------------------------------- plan
+
+TEST(FaultPlan, ValidateRejectsBadValues) {
+  FaultPlan p;
+  EXPECT_NO_THROW(p.validate());
+  p.crash_fraction = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.crash_fraction = 0.1;
+  p.adversary = "nope";
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.adversary = "degree";
+  EXPECT_NO_THROW(p.validate());
+  p.churn_fraction = 0.2;
+  p.churn_start = 5;
+  p.churn_end = 5;  // inverted window
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.churn_end = 9;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(FaultPlan, AnyReflectsActiveAxes) {
+  FaultPlan p;
+  EXPECT_FALSE(p.any());
+  p.crash_fraction = 0.1;
+  EXPECT_TRUE(p.any());
+  p = FaultPlan{};
+  p.pinned_crashes = {3};
+  EXPECT_TRUE(p.any());
+  p = FaultPlan{};
+  p.churn_fraction = 0.5;
+  EXPECT_TRUE(p.any());
+  // ...but a churn fraction without a window is a user error, not a silent
+  // fault-free run: validation demands the window.
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.churn_start = 3;
+  p.churn_end = 6;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(FaultNetwork, PinnedCrashesOverrideTheAdversary) {
+  // Composed protocols pin the first stage's victims: the second stage must
+  // kill exactly those nodes, whatever the strategy or rng state says.
+  const Graph g = make_family("clique", 8, 1);
+  CongestConfig cfg = CongestConfig::standard(8);
+  cfg.faults.crash_fraction = 0.25;
+  cfg.faults.adversary = "contenders";
+  cfg.faults.seed = 13;
+  cfg.faults.pinned_crashes = {6, 2, 99};  // 99 is out of range: skipped
+  Network net(g, cfg);
+  net.step();
+  EXPECT_FALSE(net.node_up(6));
+  EXPECT_FALSE(net.node_up(2));
+  EXPECT_EQ(net.up_count(), 6u);
+  const FaultOutcome fo = net.fault_outcome();
+  EXPECT_EQ(fo.crashed, (std::vector<NodeId>{6, 2}));
+}
+
+// -------------------------------------------------------------- adversary
+
+TEST(Adversary, RandomPicksAreDistinctAndSeedStable) {
+  const Graph g = make_family("expander", 64, 1);
+  const auto adversary = make_adversary("random");
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < 64; ++v) pool.push_back(v);
+  Rng rng1(42), rng2(42), rng3(7);
+  const auto a = adversary->select(g, pool, {}, 10, rng1);
+  const auto b = adversary->select(g, pool, {}, 10, rng2);
+  const auto c = adversary->select(g, pool, {}, 10, rng3);
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);               // same seed, same victims
+  EXPECT_NE(a, c);               // different stream, different victims
+  const std::set<NodeId> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+}
+
+TEST(Adversary, DegreeTargetsHubsFirst) {
+  // Star-ish graph: node 0 sees everyone, the rest form a path.
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < 8; ++v) edges.push_back({0, v});
+  for (NodeId v = 1; v + 1 < 8; ++v) edges.push_back({v, v + 1});
+  const Graph g = Graph::from_edges(8, edges);
+  const auto adversary = make_adversary("degree");
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < 8; ++v) pool.push_back(v);
+  Rng rng(1);
+  const auto victims = adversary->select(g, pool, {}, 1, rng);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 0u);  // the hub dies first
+}
+
+TEST(Adversary, ContendersTargetsHintsThenFallsBackToRandom) {
+  const Graph g = make_family("expander", 32, 1);
+  const auto adversary = make_adversary("contenders");
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < 32; ++v) pool.push_back(v);
+  Rng rng(9);
+  const auto victims = adversary->select(g, pool, {5, 11, 5, 29}, 3, rng);
+  ASSERT_EQ(victims.size(), 3u);
+  EXPECT_EQ(victims[0], 5u);   // hint order, dedup
+  EXPECT_EQ(victims[1], 11u);
+  EXPECT_EQ(victims[2], 29u);
+  // More victims than hints: the tail is drawn from the non-hinted pool.
+  Rng rng2(9);
+  const auto more = adversary->select(g, pool, {5}, 4, rng2);
+  ASSERT_EQ(more.size(), 4u);
+  EXPECT_EQ(more[0], 5u);
+  for (std::size_t i = 1; i < more.size(); ++i) EXPECT_NE(more[i], 5u);
+  EXPECT_THROW(make_adversary("zombie"), std::invalid_argument);
+}
+
+// --------------------------------------------------- injector via Network
+
+FaultPlan crash_plan(double fraction, std::uint64_t round = 1,
+                     std::uint64_t seed = 77) {
+  FaultPlan p;
+  p.crash_fraction = fraction;
+  p.crash_round = round;
+  p.seed = seed;
+  return p;
+}
+
+TEST(FaultNetwork, CrashedNodesNeitherSendNorReceive) {
+  // Path 0-1-2: crash the middle node; a flood from 0 must never reach 2.
+  const Graph g = path_graph(3);
+  CongestConfig cfg = CongestConfig::standard(3);
+  cfg.faults = crash_plan(0.34);  // exactly one victim
+  cfg.faults.adversary = "degree";  // node 1 has the highest degree
+  const FloodBroadcastResult r = run_flood_broadcast(g, 0, 16, cfg);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.informed, 1u);  // only the source
+  ASSERT_EQ(r.faults.up.size(), 3u);
+  EXPECT_TRUE(r.faults.up[0]);
+  EXPECT_FALSE(r.faults.up[1]);
+  EXPECT_TRUE(r.faults.up[2]);
+  EXPECT_GT(r.totals.crash_dropped_messages, 0u);
+}
+
+TEST(FaultNetwork, FailedLinksEatTrafficButBillCongestion) {
+  const Graph g = make_family("clique", 16, 1);
+  CongestConfig reliable = CongestConfig::standard(16);
+  CongestConfig faulty = reliable;
+  faulty.faults.linkfail_fraction = 0.3;
+  faulty.faults.seed = 5;
+  const FloodBroadcastResult a = run_flood_broadcast(g, 0, 16, reliable);
+  const FloodBroadcastResult b = run_flood_broadcast(g, 0, 16, faulty);
+  EXPECT_GT(b.totals.link_dropped_messages, 0u);
+  EXPECT_EQ(b.faults.failed_links, 36u);  // round(0.3 * 120)
+  // The congestion bill is still paid for eaten messages: the initial wave
+  // alone already bills every out-port of the source.
+  EXPECT_GT(b.totals.congest_messages, 0u);
+  EXPECT_EQ(a.totals.dropped_messages, 0u);
+  // Symmetry: both directions of a failed undirected link are down.
+  ASSERT_FALSE(b.faults.link_failed.empty());
+  std::uint64_t directed_failed = 0;
+  for (const char f : b.faults.link_failed) directed_failed += f ? 1 : 0;
+  EXPECT_EQ(directed_failed, 2 * b.faults.failed_links);
+}
+
+TEST(FaultNetwork, ChurnWindowSuppressesThenRestores) {
+  const Graph g = path_graph(2);
+  CongestConfig cfg = CongestConfig::standard(2);
+  cfg.faults.churn_fraction = 0.5;  // one of the two nodes
+  cfg.faults.churn_start = 1;
+  cfg.faults.churn_end = 3;  // down during rounds 1-2, back at round 3
+  cfg.faults.seed = 3;
+  Network net(g, cfg);
+  ASSERT_TRUE(cfg.faults.any());
+  // Figure out who churns (deterministic from the seed).
+  net.step();
+  const NodeId down = net.node_up(0) ? 1 : 0;
+  const NodeId up = 1 - down;
+  EXPECT_EQ(net.up_count(), 1u);
+  // A message to the churned node during the window is eaten.
+  Message msg;
+  msg.tag = 1;
+  msg.bits = 1;
+  net.send(up, 0, msg);
+  net.step();
+  EXPECT_EQ(net.metrics().crash_dropped_messages, 1u);
+  net.step();  // round 3: the window closes
+  EXPECT_TRUE(net.node_up(down));
+  EXPECT_EQ(net.up_count(), 2u);
+  net.send(up, 0, msg);
+  const std::vector<Delivery>& delivered = net.step();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].dst, down);
+}
+
+TEST(FaultNetwork, FaultyRunsAreBitReproducible) {
+  const Graph g = make_family("hypercube", 32, 1);
+  CongestConfig cfg = CongestConfig::standard(32);
+  cfg.faults.crash_fraction = 0.25;
+  cfg.faults.linkfail_fraction = 0.1;
+  cfg.faults.seed = 99;
+  cfg.drop_probability = 0.05;
+  cfg.drop_seed = 4;
+  const FloodBroadcastResult a = run_flood_broadcast(g, 3, 16, cfg);
+  const FloodBroadcastResult b = run_flood_broadcast(g, 3, 16, cfg);
+  EXPECT_EQ(a.informed, b.informed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.totals.congest_messages, b.totals.congest_messages);
+  EXPECT_EQ(a.totals.crash_dropped_messages, b.totals.crash_dropped_messages);
+  EXPECT_EQ(a.totals.link_dropped_messages, b.totals.link_dropped_messages);
+  EXPECT_EQ(a.totals.dropped_messages, b.totals.dropped_messages);
+  EXPECT_EQ(a.faults.up, b.faults.up);
+  EXPECT_EQ(a.faults.crashed, b.faults.crashed);
+}
+
+// ----------------------------------------------------------------- verdict
+
+TEST(Verdict, SafetyCountsOnlySurvivingLeaders) {
+  const Graph g = make_family("clique", 8, 1);
+  FaultOutcome fo;
+  fo.up.assign(8, 1);
+  fo.up[3] = 0;  // leader 3 died
+  Verdict v = classify_execution(g, fo, {3, 5}, 10, 0, /*election=*/true);
+  EXPECT_TRUE(v.evaluated);
+  EXPECT_TRUE(v.safe);  // one dead + one live leader => still safe
+  EXPECT_EQ(v.surviving, 7u);
+  EXPECT_EQ(v.surviving_leaders, 1u);
+  EXPECT_DOUBLE_EQ(v.agreement, 1.0);
+
+  v = classify_execution(g, fo, {1, 5}, 10, 0, /*election=*/true);
+  EXPECT_FALSE(v.safe);  // two live leaders
+  EXPECT_EQ(v.surviving_leaders, 2u);
+
+  v = classify_execution(g, fo, {3}, 10, 0, /*election=*/true);
+  EXPECT_TRUE(v.safe);           // vacuously: no surviving leader
+  EXPECT_DOUBLE_EQ(v.agreement, 0.0);
+}
+
+TEST(Verdict, LivenessUsesBudgetAndCapFlag) {
+  const Graph g = make_family("clique", 4, 1);
+  FaultOutcome fo;
+  Verdict v = classify_execution(g, fo, {0}, 100, 50, true);
+  EXPECT_FALSE(v.live);  // over budget
+  v = classify_execution(g, fo, {0}, 100, 0, true);
+  EXPECT_TRUE(v.live);   // no budget
+  fo.hit_round_cap = true;
+  v = classify_execution(g, fo, {0}, 10, 0, true);
+  EXPECT_FALSE(v.live);  // the protocol's own cap fired
+}
+
+TEST(Verdict, AgreementIsSurvivingComponentCoverage) {
+  // Path 0-1-2-3 with node 1 dead: the leader at 0 is cut off from {2, 3}.
+  const Graph g = path_graph(4);
+  FaultOutcome fo;
+  fo.up = {1, 0, 1, 1};
+  const Verdict v = classify_execution(g, fo, {0}, 5, 0, true);
+  EXPECT_EQ(v.surviving, 3u);
+  EXPECT_DOUBLE_EQ(v.agreement, 1.0 / 3.0);
+  // Same topology, but the cut is a failed link 2-3 instead of a death.
+  FaultOutcome lf;
+  lf.link_failed.assign(6, 0);  // path lanes: 0:{0}, 1:{0,1}, 2:{0,1}, 3:{0}
+  // Node 2's port to 3 and node 3's port to 2 (lane bases: 0,1,3,5).
+  lf.link_failed[4] = 1;
+  lf.link_failed[5] = 1;
+  lf.failed_links = 1;
+  const Verdict w = classify_execution(g, lf, {0}, 5, 0, true);
+  EXPECT_EQ(w.surviving, 4u);
+  EXPECT_DOUBLE_EQ(w.agreement, 0.75);
+}
+
+// ------------------------------------------ harness & metrics round-trip
+
+TEST(FaultHarness, TrialsCarryVerdictRatesAndCounters) {
+  const Graph g = make_family("expander", 32, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("flood_max");
+  RunOptions options;
+  options.params.faults.crash_fraction = 0.25;
+  const TrialStats s = run_trials(algo, g, options, 4, 1000, 1);
+  EXPECT_GT(s.crash_dropped_messages.mean, 0.0);
+  EXPECT_GE(s.safety_rate, 0.0);
+  EXPECT_LE(s.safety_rate, 1.0);
+  EXPECT_EQ(s.agreement.count, 4u);
+  // The whole stats object serializes with the new fields present.
+  const std::string json = to_json(s);
+  EXPECT_NE(json.find("\"safety_rate\":"), std::string::npos);
+  EXPECT_NE(json.find("\"liveness_rate\":"), std::string::npos);
+  EXPECT_NE(json.find("\"crash_dropped_messages\":"), std::string::npos);
+  EXPECT_NE(json.find("\"link_dropped_messages\":"), std::string::npos);
+  EXPECT_NE(json.find("\"agreement\":"), std::string::npos);
+}
+
+TEST(MetricsAudit, FaultCountersSurviveSinceAndAccumulate) {
+  Metrics a;
+  a.rounds = 10;
+  a.congest_messages = 100;
+  a.dropped_messages = 7;
+  a.crash_dropped_messages = 5;
+  a.link_dropped_messages = 3;
+  Metrics b = a;
+  b.rounds = 25;
+  b.dropped_messages = 11;
+  b.crash_dropped_messages = 9;
+  b.link_dropped_messages = 4;
+  const Metrics d = b.since(a);
+  EXPECT_EQ(d.rounds, 15u);
+  EXPECT_EQ(d.dropped_messages, 4u);
+  EXPECT_EQ(d.crash_dropped_messages, 4u);
+  EXPECT_EQ(d.link_dropped_messages, 1u);
+  // Round trip: a + (b - a) == b on every counter.
+  Metrics sum = a;
+  sum += d;
+  EXPECT_EQ(sum.rounds, b.rounds);
+  EXPECT_EQ(sum.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(sum.crash_dropped_messages, b.crash_dropped_messages);
+  EXPECT_EQ(sum.link_dropped_messages, b.link_dropped_messages);
+  EXPECT_EQ(sum.congest_messages, b.congest_messages + d.congest_messages);
+  // The summary surfaces active fault counters.
+  const std::string line = sum.summary();
+  EXPECT_NE(line.find("crash_dropped="), std::string::npos);
+  EXPECT_NE(line.find("link_dropped="), std::string::npos);
+  // And the RunResult JSON carries them (name-level schema check; the exact
+  // bytes are pinned in test_serialize.cpp).
+  RunResult r;
+  r.totals = sum;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"crash_dropped_messages\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"link_dropped_messages\":4"), std::string::npos);
+}
+
+TEST(FaultHarness, ElectionUnderContenderAdversaryStaysBounded) {
+  // The worst-case adversary kills the contender set at round 1. The run
+  // must terminate (phase cap at worst) and the verdict must record the
+  // liveness/safety outcome rather than hanging or crashing.
+  const Graph g = make_family("expander", 32, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("election");
+  RunOptions options;
+  options.params.faults.crash_fraction = 0.3;
+  options.params.faults.adversary = "contenders";
+  options.params.max_length = 64;
+  options.params.seed = 11;
+  RunResult r = algo.run(g, options);
+  attach_verdict(g, options, Algorithm::Kind::kElection, r);
+  EXPECT_TRUE(r.verdict.evaluated);
+  EXPECT_GT(r.totals.crash_dropped_messages, 0u);
+  ASSERT_FALSE(r.faults.up.empty());
+  // Contender targeting: every crashed node was a reported contender (the
+  // fraction is far below the contender count at this size/seed).
+  const double contenders = r.extras.at("contenders");
+  ASSERT_GE(contenders, static_cast<double>(r.faults.crashed.size()));
+}
+
+}  // namespace
+}  // namespace wcle

@@ -112,9 +112,9 @@ TEST(SpecGrammar, ParseOntoReplacesOnlyNamedAxes) {
   EXPECT_EQ(repeated.sizes, (std::vector<std::uint64_t>{64, 128}));
 }
 
-TEST(Builtins, AllThirteenExperimentsResolve) {
+TEST(Builtins, AllBuiltinExperimentsResolve) {
   const std::vector<std::string> names = builtin_experiment_names();
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 14u);
   for (const std::string& name : names) {
     for (int scale = 0; scale <= 2; ++scale) {
       const ExperimentSpec spec = builtin_experiment(name, scale);

@@ -25,13 +25,24 @@ TEST(SerializeGolden, RunResultFullSchema) {
   r.totals.total_bits = 4096;
   r.totals.max_edge_backlog = 6;
   r.totals.dropped_messages = 2;
+  r.totals.crash_dropped_messages = 4;
+  r.totals.link_dropped_messages = 1;
+  r.verdict.evaluated = true;
+  r.verdict.safe = true;
+  r.verdict.live = false;
+  r.verdict.agreement = 0.75;
+  r.verdict.surviving = 30;
+  r.verdict.surviving_leaders = 1;
   r.extras["phases"] = 3.0;
   r.extras["ratio"] = 0.5;
   EXPECT_EQ(to_json(r),
             "{\"algorithm\":\"election\",\"success\":true,\"leaders\":[3,7],"
             "\"rounds\":42,\"congest_messages\":100,\"logical_messages\":25,"
             "\"total_bits\":4096,\"max_edge_backlog\":6,"
-            "\"dropped_messages\":2,"
+            "\"dropped_messages\":2,\"crash_dropped_messages\":4,"
+            "\"link_dropped_messages\":1,"
+            "\"verdict\":{\"evaluated\":true,\"safe\":true,\"live\":false,"
+            "\"agreement\":0.75,\"surviving\":30,\"surviving_leaders\":1},"
             "\"extras\":{\"phases\":3,\"ratio\":0.5}}");
 }
 
@@ -42,6 +53,9 @@ TEST(SerializeGolden, RunResultEmpty) {
             "{\"algorithm\":\"x\",\"success\":false,\"leaders\":[],"
             "\"rounds\":0,\"congest_messages\":0,\"logical_messages\":0,"
             "\"total_bits\":0,\"max_edge_backlog\":0,\"dropped_messages\":0,"
+            "\"crash_dropped_messages\":0,\"link_dropped_messages\":0,"
+            "\"verdict\":{\"evaluated\":false,\"safe\":true,\"live\":true,"
+            "\"agreement\":0,\"surviving\":0,\"surviving_leaders\":0},"
             "\"extras\":{}}");
 }
 
@@ -52,12 +66,15 @@ TEST(SerializeGolden, TrialStatsFullSchema) {
   s.threads = 1;
   s.success_rate = 0.5;
   s.multi_leader_rate = 0.5;
+  s.safety_rate = 0.5;
+  s.liveness_rate = 1.0;
   s.congest_messages = Summary{2, 10.0, 1.0, 9.0, 10.0, 11.0};
   const std::string json = to_json(s);
   EXPECT_EQ(json,
             "{\"algorithm\":\"flood_max\",\"trials\":2,\"threads\":1,"
             "\"success_rate\":0.5,\"zero_leader_rate\":0,"
-            "\"multi_leader_rate\":0.5,\"metrics\":{"
+            "\"multi_leader_rate\":0.5,\"safety_rate\":0.5,"
+            "\"liveness_rate\":1,\"metrics\":{"
             "\"congest_messages\":{\"count\":2,\"mean\":10,\"stddev\":1,"
             "\"min\":9,\"median\":10,\"max\":11},"
             "\"logical_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
@@ -69,6 +86,12 @@ TEST(SerializeGolden, TrialStatsFullSchema) {
             "\"leader_count\":{\"count\":0,\"mean\":0,\"stddev\":0,\"min\":0,"
             "\"median\":0,\"max\":0},"
             "\"dropped_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"crash_dropped_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"link_dropped_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"agreement\":{\"count\":0,\"mean\":0,\"stddev\":0,"
             "\"min\":0,\"median\":0,\"max\":0}},\"extras\":{}}");
 }
 

@@ -149,6 +149,83 @@ TEST(Sweep, TableAndCsvSinksRenderEveryCell) {
   EXPECT_EQ(rows, spec.cell_count());
 }
 
+TEST(Sweep, FaultAxesExpandAndResolve) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max family=clique n=16 trials=1 crash=0,0.25 linkfail=0.1 "
+      "adversary=random,degree crash-round=2");
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 4u);
+  // Axis order: ... drop, crash, linkfail, adversary.
+  EXPECT_EQ(cells[0].crash, 0.0);
+  EXPECT_EQ(cells[0].adversary, "random");
+  EXPECT_EQ(cells[1].adversary, "degree");
+  EXPECT_EQ(cells[2].crash, 0.25);
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.linkfail, 0.1);
+    EXPECT_EQ(cell.options.params.faults.crash_fraction, cell.crash);
+    EXPECT_EQ(cell.options.params.faults.linkfail_fraction, 0.1);
+    EXPECT_EQ(cell.options.params.faults.adversary, cell.adversary);
+    EXPECT_EQ(cell.options.params.faults.crash_round, 2u);
+  }
+  // The reproduction line round-trips the fault axes.
+  const ExperimentSpec again = parse_spec(spec.to_string());
+  EXPECT_EQ(again.crashes, spec.crashes);
+  EXPECT_EQ(again.linkfails, spec.linkfails);
+  EXPECT_EQ(again.adversaries, spec.adversaries);
+  EXPECT_EQ(again.cell_count(), spec.cell_count());
+  EXPECT_THROW(parse_spec("crash=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("adversary=byzantine"), std::invalid_argument);
+}
+
+TEST(Sweep, FaultyJsonlIsIdenticalForAnyThreadCountAndRerun) {
+  // The acceptance property under faults: nonzero crash/linkfail/drop axes
+  // with every adversary strategy, byte-identical JSONL across worker
+  // counts and across process-internal reruns.
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max,candidate_flood family=expander n=32 trials=3 "
+      "drop=0,0.1 crash=0,0.25 linkfail=0.1 "
+      "adversary=random,degree,contenders");
+  const std::string t1 = jsonl_of(spec, 1);
+  const std::string t4 = jsonl_of(spec, 4);
+  const std::string again = jsonl_of(spec, 4);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t4, again);
+  // Verdict fields flow into every line, and faulty cells record losses.
+  EXPECT_NE(t1.find("\"safety_rate\":"), std::string::npos);
+  EXPECT_NE(t1.find("\"crash\":0.25"), std::string::npos);
+  EXPECT_NE(t1.find("\"adversary\":\"contenders\""), std::string::npos);
+  std::size_t lines = 0;
+  std::istringstream in(t1);
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, spec.cell_count());
+}
+
+TEST(Sweep, E14ReportsVerdictRatesInEverySink) {
+  ExperimentSpec spec = builtin_experiment("e14", 0);
+  // Shrink to a fast deterministic slice: the full scale-0 grid runs in CI.
+  spec.algorithms = {"election", "flood_max"};
+  spec.sizes = {16};
+  spec.trials = 2;
+  std::ostringstream table_out, csv_out, jsonl_out;
+  TableSink table(table_out);
+  CsvSink csv(csv_out);
+  JsonlSink jsonl(jsonl_out);
+  run_sweep(spec, {&table, &csv, &jsonl});
+  const std::string text = table_out.str();
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("safety"), std::string::npos);
+  EXPECT_NE(text.find("liveness"), std::string::npos);
+  EXPECT_NE(text.find("agree(mean)"), std::string::npos);
+  const std::string csv_text = csv_out.str();
+  EXPECT_NE(csv_text.find("safety"), std::string::npos);
+  EXPECT_NE(csv_text.find("liveness"), std::string::npos);
+  const std::string jsonl_text = jsonl_out.str();
+  EXPECT_NE(jsonl_text.find("\"safety_rate\":"), std::string::npos);
+  EXPECT_NE(jsonl_text.find("\"liveness_rate\":"), std::string::npos);
+  EXPECT_NE(jsonl_text.find("\"agreement\":"), std::string::npos);
+}
+
 TEST(Sweep, CustomBandwidthAxisChangesTheBill) {
   const ExperimentSpec spec = parse_spec(
       "algo=flood_max family=clique n=16 trials=2 bandwidth=8,1024");
