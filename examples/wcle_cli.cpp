@@ -49,6 +49,11 @@
 #include "wcle/graph/families.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/support/table.hpp"
+#include "wcle/trace/reader.hpp"
+#include "wcle/trace/recorder.hpp"
+#include "wcle/trace/replay.hpp"
+#include "wcle/trace/summarize.hpp"
+#include "wcle/trace/writer.hpp"
 
 namespace {
 
@@ -104,6 +109,35 @@ std::unique_ptr<Sink> make_sink(const std::string& format, std::ostream& out) {
   return std::make_unique<JsonlSink>(out);  // jsonl / json
 }
 
+/// --trace=FILE handling shared by run/trials/sweep: an opened stream plus
+/// the format-matched writer (JSONL by default, binary for .bin/.btrace or
+/// --trace-format=binary). Empty when --trace was not given.
+struct TraceOutput {
+  // Heap-held so the stream's address survives the move out of open_trace —
+  // the writer keeps a pointer to it.
+  std::unique_ptr<std::ofstream> file;
+  std::unique_ptr<TraceWriter> writer;
+  explicit operator bool() const { return writer != nullptr; }
+};
+
+TraceOutput open_trace(const CliArgs& args) {
+  TraceOutput t;
+  const std::string path = args.get("trace", "");
+  if (path.empty()) return t;
+  const std::string fmt = args.get("trace-format", "");
+  TraceFormat format;
+  if (fmt.empty()) format = trace_format_for_path(path);
+  else if (fmt == "jsonl" || fmt == "json") format = TraceFormat::kJsonl;
+  else if (fmt == "binary" || fmt == "bin") format = TraceFormat::kBinary;
+  else
+    throw std::invalid_argument("unknown --trace-format=" + fmt +
+                                " (jsonl, binary)");
+  t.file = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*t.file) throw std::runtime_error("cannot open --trace=" + path);
+  t.writer = make_trace_writer(format, *t.file);
+  return t;
+}
+
 RunOptions options_from(const CliArgs& args) {
   RunOptions opt;
   opt.params.seed = args.get_u64("seed", 1);
@@ -131,7 +165,38 @@ RunOptions options_from(const CliArgs& args) {
   return opt;
 }
 
-int cmd_list(const CliArgs&) {
+int cmd_list(const CliArgs& args) {
+  const std::string format = parse_format(args, {"text", "json"});
+  if (format == "json") {
+    // Machine-readable registry listing so external tooling can enumerate
+    // scenarios without scraping the aligned table.
+    std::cout << "{\"algorithms\":[";
+    bool first = true;
+    for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
+      std::cout << (first ? "" : ",") << "{\"name\":\""
+                << json_escape(a->name()) << "\",\"kind\":\""
+                << json_escape(kind_name(a->kind())) << "\",\"offline\":"
+                << (a->offline() ? "true" : "false") << ",\"caveat\":\""
+                << json_escape(a->caveat()) << "\",\"description\":\""
+                << json_escape(a->describe()) << "\"}";
+      first = false;
+    }
+    std::cout << "],\"families\":[";
+    first = true;
+    for (const std::string& f : family_names()) {
+      std::cout << (first ? "" : ",") << "\"" << json_escape(f) << "\"";
+      first = false;
+    }
+    std::cout << "],\"experiments\":[";
+    first = true;
+    for (const auto& [name, title] : builtin_experiment_titles()) {
+      std::cout << (first ? "" : ",") << "{\"name\":\"" << json_escape(name)
+                << "\",\"title\":\"" << json_escape(title) << "\"}";
+      first = false;
+    }
+    std::cout << "]}\n";
+    return 0;
+  }
   Table t({"algorithm", "kind", "caveat", "description"});
   for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
     const std::string caveat = a->caveat();
@@ -155,9 +220,25 @@ int cmd_run(const CliArgs& args) {
       AlgorithmRegistry::instance().at(args.get("algo", "election"));
   const Graph g = build_family(args, "expander", 512);
   const std::string format = parse_format(args, {"text", "json"});
-  const RunOptions options = options_from(args);
+  TraceOutput trace = open_trace(args);
+  RunOptions options = options_from(args);
+  TraceRecorder recorder;
+  if (trace) options.params.trace = &recorder;
   RunResult r = algo.run(g, options);
   attach_verdict(g, options, algo.kind(), r);
+  if (trace) {
+    const ExperimentSpec spec = single_run_spec(
+        algo.name(), args.get("family", "expander"), args.get_u64("n", 512),
+        /*trials=*/1, options.seed(), args.get_u64("seed", 1), options);
+    trace.writer->header({kTraceVersion, "run", spec.to_string()});
+    TraceRunMeta meta;
+    meta.seed = options.seed();
+    meta.n = g.node_count();
+    meta.algorithm = algo.name();
+    meta.family = spec.families.front();
+    write_run(*trace.writer, meta, recorder);
+    trace.writer->finish(1);
+  }
   if (format == "json") {
     std::cout << to_json(r) << "\n";
   } else {
@@ -174,8 +255,28 @@ int cmd_trials(const CliArgs& args) {
   const unsigned threads = get_u32(args, "threads", 0);
   const std::uint64_t base_seed =
       args.get_u64("base-seed", args.get_u64("seed", 1000));
-  const TrialStats s =
-      run_trials(algo, g, options_from(args), trials, base_seed, threads);
+  TraceOutput trace = open_trace(args);
+  const RunOptions options = options_from(args);
+  std::vector<TraceRecorder> recorders;
+  const TrialStats s = run_trials(algo, g, options, trials, base_seed,
+                                  threads, trace ? &recorders : nullptr);
+  if (trace) {
+    const ExperimentSpec spec = single_run_spec(
+        algo.name(), args.get("family", "expander"), args.get_u64("n", 512),
+        trials, base_seed, args.get_u64("seed", 1), options);
+    trace.writer->header({kTraceVersion, "trials", spec.to_string()});
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      TraceRunMeta meta;
+      meta.run = i;
+      meta.trial = i;
+      meta.seed = base_seed + i;
+      meta.n = g.node_count();
+      meta.algorithm = algo.name();
+      meta.family = spec.families.front();
+      write_run(*trace.writer, meta, recorders[i]);
+    }
+    trace.writer->finish(recorders.size());
+  }
   const std::string format = parse_format(args, {"text", "json", "csv"});
   if (format == "json") {
     std::cout << to_json(s) << "\n";
@@ -351,7 +452,62 @@ int cmd_sweep(const CliArgs& args) {
   const std::unique_ptr<Sink> sink =
       make_sink(parse_format(args, {"text", "csv", "jsonl", "json"}),
                 std::cout);
-  run_sweep(spec, {sink.get()}, threads);
+  TraceOutput trace = open_trace(args);
+  if (trace)
+    trace.writer->header({kTraceVersion, "sweep", spec.to_string()});
+  run_sweep(spec, {sink.get()}, threads, trace.writer.get());
+  return 0;
+}
+
+// Byte-compares a recorded trace against a fresh re-execution of its header
+// spec (trace/replay.hpp): exit 0 = byte-identical, 1 = drift.
+int cmd_replay(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty())
+    throw std::invalid_argument("replay needs --trace=FILE");
+  const ReplayReport rep = verify_replay(path, get_u32(args, "threads", 0));
+  std::cout << "trace:  " << path << " ("
+            << (rep.format == TraceFormat::kBinary ? "binary" : "jsonl")
+            << ", tool=" << rep.header.tool << ")\n"
+            << "spec:   " << rep.header.spec << "\n"
+            << "replay: " << rep.detail << "\n";
+  return rep.ok ? 0 : 1;
+}
+
+// Per-round series of one recorded run (trace/summarize.hpp).
+int cmd_trace_summary(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty())
+    throw std::invalid_argument("trace-summary needs --trace=FILE");
+  const TraceFileData data = read_trace_file(path);
+  const std::uint64_t run = args.get_u64("run", 0);
+  if (run >= data.runs.size())
+    throw std::invalid_argument(
+        "--run=" + std::to_string(run) + " out of range (trace holds " +
+        std::to_string(data.runs.size()) + " runs)");
+  const TraceRunData& r = data.runs[run];
+  const TraceSummary summary = summarize_trace(r);
+  const Table table = trace_summary_table(summary, args.get_u64("every", 1));
+  const std::string format = parse_format(args, {"text", "csv"});
+  if (format == "csv") {
+    table.write_csv(std::cout);
+    return 0;
+  }
+  std::cout << "run " << r.meta.run << ": " << r.meta.algorithm << " on "
+            << r.meta.family << " n=" << r.meta.n << " seed=" << r.meta.seed
+            << " (cell " << r.meta.cell << ", trial " << r.meta.trial << ")\n"
+            << "rounds=" << summary.rounds
+            << " quiet_after=" << summary.rounds_to_quiet
+            << " messages=" << summary.total_messages
+            << " dropped=" << summary.total_dropped << " peak_backlog="
+            << summary.peak_backlog << "@r" << summary.peak_backlog_round
+            << "\nlive=" << summary.final_live << "/" << r.meta.n
+            << " crashes=" << summary.crashes << " link_failures="
+            << summary.link_failures << " churn_out=" << summary.churn_outs
+            << " contenders=" << summary.contenders << " phases="
+            << summary.phase_marks << " segments=" << summary.segments
+            << "\n";
+  table.print(std::cout);
   return 0;
 }
 
@@ -417,7 +573,7 @@ int cmd_bench_baseline(const CliArgs& args) {
 void usage() {
   std::cout <<
       "usage: wcle_cli <command> [options]\n"
-      "  registry: list\n"
+      "  registry: list [--format=json]\n"
       "            run    --algo=<name> [--format=json]\n"
       "            trials --algo=<name> --trials=<k> [--threads=<t>]\n"
       "                   [--base-seed=<s>] [--format=json|csv]\n"
@@ -428,6 +584,12 @@ void usage() {
       "                  trials base-seed graph-seed reliable extras + any\n"
       "                  RunOptions knob)\n"
       "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
+      "  trace:    run/trials/sweep --trace=FILE [--trace-format=jsonl|binary]\n"
+      "            (per-round timelines; .bin/.btrace default to binary)\n"
+      "            replay --trace=FILE [--threads=<t>]\n"
+      "            (re-execute from the header, verify byte-identity)\n"
+      "            trace-summary --trace=FILE [--run=<i>] [--every=<k>]\n"
+      "                          [--format=text|csv]\n"
       "  bench:    bench-baseline [--out=BENCH_sweep.json]\n"
       "            (fixed-scale election sweep, google-benchmark JSON)\n"
       "  legacy:   elect, explicit, profile, lowerbound\n"
@@ -461,6 +623,8 @@ int main(int argc, char** argv) {
     else if (args.command() == "profile") rc = cmd_profile(args);
     else if (args.command() == "lowerbound") rc = cmd_lowerbound(args);
     else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else if (args.command() == "replay") rc = cmd_replay(args);
+    else if (args.command() == "trace-summary") rc = cmd_trace_summary(args);
     else if (args.command() == "bench-baseline") rc = cmd_bench_baseline(args);
     else {
       usage();

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "wcle/api/registry.hpp"
+#include "wcle/api/serialize.hpp"
 #include "wcle/fault/adversary.hpp"
 #include "wcle/support/strict_parse.hpp"
 
@@ -52,11 +53,11 @@ bool parse_bool(const std::string& key, const std::string& value) {
                               " is not a boolean (use true/false)");
 }
 
-std::string format_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
-}
+// Shortest round-trip rendering (serialize.cpp's json_number): a value
+// written into a spec line parses back to the identical double, which the
+// trace replay verifier depends on — a lossy "%g" here would make a
+// replayed run silently diverge from the recorded one.
+std::string format_double(double v) { return json_number(v); }
 
 template <typename T>
 std::string join(const std::vector<T>& values) {
@@ -135,6 +136,83 @@ std::vector<std::string> knob_names() {
           "initial-length", "lazy-walks", "linkfail-round", "max-length",
           "max-phases", "max-rounds",   "paper-schedule", "source",
           "tmix",       "tmix-mult",    "value-bits",    "wide"};
+}
+
+ExperimentSpec single_run_spec(const std::string& algorithm,
+                               const std::string& family, std::uint64_t n,
+                               int trials, std::uint64_t base_seed,
+                               std::uint64_t graph_seed,
+                               const RunOptions& options) {
+  const ElectionParams& p = options.params;
+  if (p.faults.seed != 0)
+    throw std::invalid_argument(
+        "single_run_spec: an explicit fault seed is not expressible in the "
+        "spec grammar");
+  if (!p.faults.pinned_crashes.empty())
+    throw std::invalid_argument(
+        "single_run_spec: pinned crash victims are not expressible in the "
+        "spec grammar");
+
+  ExperimentSpec spec;
+  spec.name = "single";
+  spec.algorithms = {algorithm};
+  spec.families = {family};
+  spec.sizes = {n};
+  spec.bandwidths = {p.bandwidth_bits != 0 ? std::to_string(p.bandwidth_bits)
+                     : p.wide_messages     ? "wide"
+                                           : "standard"};
+  spec.drops = {p.drop_probability};
+  spec.crashes = {p.faults.crash_fraction};
+  spec.linkfails = {p.faults.linkfail_fraction};
+  spec.adversaries = {p.faults.adversary};
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.graph_seed = graph_seed;
+
+  // Non-default knobs, reverse-mapped to the grammar keys apply_knob reads.
+  // expand_cells applies bandwidth before knobs, so an explicit wide=true
+  // knob keeps the wide regime even alongside a raw-bits bandwidth.
+  const RunOptions def;
+  const auto knob = [&spec](const std::string& key, bool differs,
+                            std::string value) {
+    if (differs) spec.knobs[key] = {std::move(value)};
+  };
+  knob("c1", p.c1 != def.params.c1, format_double(p.c1));
+  knob("c2", p.c2 != def.params.c2, format_double(p.c2));
+  knob("wide", p.wide_messages && p.bandwidth_bits != 0, "true");
+  knob("paper-schedule", p.paper_schedule, "true");
+  knob("lazy-walks", !p.lazy_walks, "false");
+  knob("coalesce", !p.coalesce_tokens, "false");
+  knob("max-phases", p.max_phases != def.params.max_phases,
+       std::to_string(p.max_phases));
+  knob("max-length", p.max_length != def.params.max_length,
+       std::to_string(p.max_length));
+  knob("initial-length", p.initial_length != def.params.initial_length,
+       std::to_string(p.initial_length));
+  knob("source", options.source != def.source,
+       std::to_string(options.source));
+  knob("value-bits", options.value_bits != def.value_bits,
+       std::to_string(options.value_bits));
+  knob("tmix", options.tmix_hint != def.tmix_hint,
+       std::to_string(options.tmix_hint));
+  knob("tmix-mult", options.tmix_multiplier != def.tmix_multiplier,
+       format_double(options.tmix_multiplier));
+  knob("budget", options.probe_budget != def.probe_budget,
+       std::to_string(options.probe_budget));
+  knob("max-rounds", options.max_rounds != def.max_rounds,
+       std::to_string(options.max_rounds));
+  knob("crash-round", p.faults.crash_round != def.params.faults.crash_round,
+       std::to_string(p.faults.crash_round));
+  knob("linkfail-round",
+       p.faults.linkfail_round != def.params.faults.linkfail_round,
+       std::to_string(p.faults.linkfail_round));
+  knob("churn", p.faults.churn_fraction != 0.0,
+       format_double(p.faults.churn_fraction));
+  knob("churn-start", p.faults.churn_start != 0,
+       std::to_string(p.faults.churn_start));
+  knob("churn-end", p.faults.churn_end != 0,
+       std::to_string(p.faults.churn_end));
+  return spec;
 }
 
 ExperimentSpec parse_spec_onto(ExperimentSpec spec,

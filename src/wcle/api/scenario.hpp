@@ -99,6 +99,19 @@ void apply_knob(RunOptions& options, const std::string& key,
 /// Applies one bandwidth-axis value ("standard", "wide", or raw bits).
 void apply_bandwidth(RunOptions& options, const std::string& value);
 
+/// The canonical one-cell spec for a single `run`/`trials` invocation: the
+/// spec whose sweep expansion reproduces exactly `options` (trace pointer
+/// aside) on graph (family, n, graph_seed), trial seeds base_seed.. — the
+/// replayable identity written into trace headers. Non-default knobs are
+/// reverse-mapped to the grammar with round-trip-exact number formatting.
+/// Throws std::invalid_argument for options the grammar cannot express
+/// (explicit fault seed, pinned crash victims).
+ExperimentSpec single_run_spec(const std::string& algorithm,
+                               const std::string& family, std::uint64_t n,
+                               int trials, std::uint64_t base_seed,
+                               std::uint64_t graph_seed,
+                               const RunOptions& options);
+
 /// All recognized knob keys, sorted.
 std::vector<std::string> knob_names();
 

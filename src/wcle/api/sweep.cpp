@@ -12,6 +12,7 @@
 #include "wcle/api/registry.hpp"
 #include "wcle/api/sink.hpp"
 #include "wcle/graph/families.hpp"
+#include "wcle/trace/writer.hpp"
 
 namespace wcle {
 
@@ -93,7 +94,7 @@ std::vector<SweepCell> expand_cells(const ExperimentSpec& spec) {
 
 std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
                                   const std::vector<Sink*>& sinks,
-                                  unsigned threads) {
+                                  unsigned threads, TraceWriter* trace) {
   std::vector<SweepCell> cells = expand_cells(spec);
 
   // Build each distinct (family, n) graph once, in expansion order.
@@ -133,6 +134,8 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
   // Each cell's trials run on the single-threaded trial path; parallelism
   // comes from cells. That keeps TrialStats::threads (and therefore every
   // serialized byte) independent of the worker count.
+  std::vector<std::vector<TraceRecorder>> cell_traces(
+      trace ? cells.size() : 0);
   auto run_cell = [&](std::size_t i) {
     const SweepCell& cell = cells[i];
     const Graph& g = graphs.at({cell.family, cell.requested_n});
@@ -142,8 +145,29 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
     r.m = g.edge_count();
     r.stats = run_trials(AlgorithmRegistry::instance().at(cell.algorithm), g,
                          cell.options, spec.trials, spec.base_seed,
-                         /*threads=*/1);
+                         /*threads=*/1, trace ? &cell_traces[i] : nullptr);
     return r;
+  };
+  // Timelines stream in (cell, trial) order alongside the sinks, then free
+  // their memory. Workers may run ahead of the in-order flush cursor, so a
+  // traced sweep can buffer every completed-but-unflushed cell's rows;
+  // traced runs are meant for smoke scales, not scale-2 grids.
+  auto flush_trace = [&](std::size_t i) {
+    if (!trace) return;
+    const CellResult& r = results[i];
+    for (std::size_t t = 0; t < cell_traces[i].size(); ++t) {
+      TraceRunMeta meta;
+      meta.run = static_cast<std::uint64_t>(r.cell.index) * spec.trials + t;
+      meta.cell = r.cell.index;
+      meta.trial = t;
+      meta.seed = spec.base_seed + t;
+      meta.n = r.n;
+      meta.algorithm = r.cell.algorithm;
+      meta.family = r.cell.family;
+      write_run(*trace, meta, cell_traces[i][t]);
+    }
+    cell_traces[i].clear();
+    cell_traces[i].shrink_to_fit();
   };
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < cells.size() && !failed.load();
@@ -174,6 +198,7 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
       results[i] = run_cell(i);
       for (Sink* sink : sinks)
         if (sink) sink->cell(results[i]);
+      flush_trace(i);
     }
   } else {
     std::vector<std::thread> pool;
@@ -195,6 +220,7 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
       try {
         for (Sink* sink : sinks)
           if (sink) sink->cell(results[i]);
+        flush_trace(i);
       } catch (...) {
         sink_failure = std::current_exception();
         failed.store(true);
@@ -208,6 +234,9 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
 
   for (Sink* sink : sinks)
     if (sink) sink->end(spec);
+  if (trace)
+    trace->finish(static_cast<std::uint64_t>(cells.size()) *
+                  static_cast<std::uint64_t>(spec.trials));
   return results;
 }
 

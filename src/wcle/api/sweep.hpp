@@ -18,6 +18,7 @@
 namespace wcle {
 
 class Sink;
+class TraceWriter;
 
 /// One point of the expanded grid. `options` is fully resolved (knobs,
 /// bandwidth regime, drop probability applied); run_trials supplies the
@@ -55,8 +56,16 @@ std::vector<SweepCell> expand_cells(const ExperimentSpec& spec);
 /// executes the remaining cells on `threads` workers (0 = hardware
 /// concurrency), and streams results to `sinks` in cell order. Returns the
 /// results in the same order. Output is independent of `threads`.
+///
+/// A non-null `trace` (trace/writer.hpp) additionally records every trial's
+/// per-round timeline: runs stream to the writer in (cell, trial) order —
+/// byte-identical for any worker count — and the writer's trailer is
+/// emitted after the last cell. The caller writes the header before calling.
+/// Tracing is observational only: aggregates, sink bytes, and return value
+/// are unchanged.
 std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
                                   const std::vector<Sink*>& sinks = {},
-                                  unsigned threads = 0);
+                                  unsigned threads = 0,
+                                  TraceWriter* trace = nullptr);
 
 }  // namespace wcle

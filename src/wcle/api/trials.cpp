@@ -7,14 +7,20 @@
 #include <thread>
 #include <vector>
 
+#include "wcle/trace/recorder.hpp"
+
 namespace wcle {
 
 TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
                       RunOptions options, int trials, std::uint64_t base_seed,
-                      unsigned threads) {
+                      unsigned threads, std::vector<TraceRecorder>* traces) {
   TrialStats stats;
   stats.algorithm = algorithm.name();
   stats.trials = trials;
+  if (traces) {
+    traces->clear();
+    traces->resize(static_cast<std::size_t>(std::max(trials, 0)));
+  }
   if (trials <= 0) {
     stats.threads = 0;
     return stats;
@@ -38,6 +44,8 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
       try {
         RunOptions opt = options;
         opt.set_seed(base_seed + static_cast<std::uint64_t>(i));
+        opt.params.trace =
+            traces ? &(*traces)[static_cast<std::size_t>(i)] : nullptr;
         RunResult r = algorithm.run(g, opt);
         attach_verdict(g, opt, algorithm.kind(), r);
         results[static_cast<std::size_t>(i)] = std::move(r);

@@ -8,11 +8,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "wcle/api/algorithm.hpp"
 #include "wcle/support/stats.hpp"
 
 namespace wcle {
+
+class TraceRecorder;
 
 /// Aggregates of repeated runs of one algorithm on one graph.
 struct TrialStats {
@@ -44,8 +47,13 @@ struct TrialStats {
 /// Trial i uses options with seed = base_seed + i (other fields unchanged).
 /// `threads` = 0 picks min(hardware_concurrency, trials); any value yields
 /// identical TrialStats because per-trial results depend only on the seed.
+/// A non-null `traces` is resized to `trials` and trial i records its
+/// per-round timeline into (*traces)[i] (trace/recorder.hpp); recording is
+/// observational only, so the aggregates are unchanged — and per-trial
+/// recorders keep traced trials thread-count-invariant too.
 TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
                       RunOptions options, int trials,
-                      std::uint64_t base_seed = 1000, unsigned threads = 0);
+                      std::uint64_t base_seed = 1000, unsigned threads = 0,
+                      std::vector<TraceRecorder>* traces = nullptr);
 
 }  // namespace wcle

@@ -47,6 +47,7 @@ FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
     forward(d.dst, d.port);
   });
   res.complete = res.informed == n;
+  net.note_phase("flood_done", res.informed);
   res.totals = net.metrics();
   res.faults = net.fault_outcome();
   return res;

@@ -94,6 +94,9 @@ BroadcastResult run_push_pull(const Graph& g,
     owed.swap(next_owed);
   }
 
+  net.note_phase(res.rounds >= max_rounds ? "push_pull_capped"
+                                          : "push_pull_done",
+                 informed_count);
   res.complete = informed_up() == net.up_count();
   res.informed = informed_count;
   res.totals = net.metrics();

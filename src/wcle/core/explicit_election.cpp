@@ -5,6 +5,7 @@
 #include "wcle/api/algorithm.hpp"
 
 #include "wcle/support/bits.hpp"
+#include "wcle/trace/recorder.hpp"
 
 namespace wcle {
 
@@ -26,6 +27,11 @@ ExplicitElectionResult run_explicit_election(
   bcast_params.faults.seed =
       congest_config_for(params, g.node_count()).faults.seed;
   bcast_params.faults.pinned_crashes = res.election.faults.crashed;
+  // Timeline: the broadcast stage opens a new segment on the same recorder;
+  // annotate the stage boundary so traces show where Corollary 14's second
+  // cost term begins.
+  if (params.trace)
+    params.trace->annotate("stage_broadcast", res.election.leaders.front());
   res.broadcast = run_push_pull(g, res.election.leaders, leader_id_bits,
                                 bcast_params.seed, broadcast_max_rounds,
                                 congest_config_for(bcast_params,

@@ -237,6 +237,8 @@ ElectionResult run_leader_election(const Graph& g,
     const Metrics before = net.metrics();
     const std::uint64_t phase_start = net.round();
     const std::uint64_t T = params.scheduled_T(n, phase_len);
+    // Timeline: one guess-and-double phase begins, walks of length phase_len.
+    net.note_phase("walk_phase", phase_len);
 
     // Walk stage: all active contenders run their parallel walks.
     std::vector<WalkOrder> orders;
@@ -313,6 +315,7 @@ ElectionResult run_leader_election(const Graph& g,
       winner_at[v] = 1;
       winner_mark_at[v] = rid[v] | kWinnerBit;
       state.at(v).has_winner = true;
+      net.note_phase("winner_declared", v);
       process_events(
           engine.begin_flood_down(v, {rid[v] | kWinnerBit}));
     }
@@ -340,6 +343,7 @@ ElectionResult run_leader_election(const Graph& g,
       if (res.leader_random_id == 0) res.leader_random_id = rid[v];
     }
   }
+  net.note_phase("election_done", res.leaders.size());
   res.totals = net.metrics();
   res.faults = net.fault_outcome();
   res.faults.hit_round_cap = res.hit_phase_cap;

@@ -11,6 +11,8 @@
 
 namespace wcle {
 
+class TraceRecorder;
+
 struct ElectionParams {
   /// Contender sampling rate multiplier: Pr[contender] = c1 * log2(n) / n.
   double c1 = 4.0;
@@ -53,6 +55,11 @@ struct ElectionParams {
   /// measured rounds become exactly the scheduled bound. Default false: run
   /// each sub-phase to quiescence and *assert* it fits inside T.
   bool paper_schedule = false;
+  /// Opt-in per-round event recorder (trace/recorder.hpp); rides into
+  /// CongestConfig via congest_config_for so every Network a protocol (or a
+  /// composition of protocols) drives appends to one timeline. Null = off.
+  /// Purely observational — never changes results.
+  TraceRecorder* trace = nullptr;
   /// Root seed; all ids, coin flips, and walks derive from it.
   std::uint64_t seed = 1;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wcle/trace/recorder.hpp"
+
 namespace wcle {
 
 namespace {
@@ -37,8 +39,9 @@ std::vector<std::uint64_t> lane_bases(const Graph& g) {
   return bases;
 }
 
-FaultInjector::FaultInjector(const Graph& g, FaultPlan plan)
-    : g_(&g), plan_(std::move(plan)), rng_(plan_.seed) {
+FaultInjector::FaultInjector(const Graph& g, FaultPlan plan,
+                             TraceRecorder* trace)
+    : g_(&g), plan_(std::move(plan)), trace_(trace), rng_(plan_.seed) {
   plan_.validate();
   adversary_ = make_adversary(plan_.adversary);
   const NodeId n = g.node_count();
@@ -73,7 +76,7 @@ std::vector<NodeId> FaultInjector::pick_victims(std::uint64_t count) {
   return victims;
 }
 
-void FaultInjector::fail_links() {
+void FaultInjector::fail_links(std::uint64_t round) {
   // Canonical undirected-edge order: node-major, port-minor, counting each
   // link once from its lower endpoint. Victims by partial Fisher-Yates.
   std::vector<std::pair<NodeId, Port>> edges;
@@ -91,6 +94,7 @@ void FaultInjector::fail_links() {
     link_failed_[first_lane_[u] + p] = 1;
     const NodeId v = g_->neighbor(u, p);
     link_failed_[first_lane_[v] + g_->mirror_port(u, p)] = 1;
+    if (trace_) trace_->event(round, TraceEventKind::kLinkDown, u, v);
   }
   failed_links_ = count;
 }
@@ -99,7 +103,7 @@ void FaultInjector::advance(std::uint64_t round) {
   if (!linkfail_done_ && plan_.linkfail_fraction > 0.0 &&
       round >= plan_.linkfail_round) {
     linkfail_done_ = true;
-    fail_links();
+    fail_links(round);
   }
   if (!crash_done_ &&
       (plan_.crash_fraction > 0.0 || !plan_.pinned_crashes.empty()) &&
@@ -118,11 +122,17 @@ void FaultInjector::advance(std::uint64_t round) {
     } else {
       crashed_ = pick_victims(victim_count(plan_.crash_fraction, up_.size()));
     }
+    if (trace_)
+      for (const NodeId v : crashed_)
+        trace_->event(round, TraceEventKind::kCrash, v);
   }
   const bool churn_active = plan_.churn_fraction > 0.0 && plan_.churn_start > 0;
   if (!churn_out_done_ && churn_active && round >= plan_.churn_start) {
     churn_out_done_ = true;
     churned_ = pick_victims(victim_count(plan_.churn_fraction, up_.size()));
+    if (trace_)
+      for (const NodeId v : churned_)
+        trace_->event(round, TraceEventKind::kChurnOut, v);
   }
   if (churn_out_done_ && !churn_in_done_ && round >= plan_.churn_end) {
     churn_in_done_ = true;
@@ -130,6 +140,7 @@ void FaultInjector::advance(std::uint64_t round) {
       if (!up_[v]) {
         up_[v] = 1;
         ++up_count_;
+        if (trace_) trace_->event(round, TraceEventKind::kChurnIn, v);
       }
     }
   }

@@ -21,11 +21,14 @@
 
 namespace wcle {
 
+class TraceRecorder;
+
 class FaultInjector {
  public:
   /// Validates `plan` (throws std::invalid_argument) and precomputes lane
-  /// offsets. No fault fires before the first advance().
-  FaultInjector(const Graph& g, FaultPlan plan);
+  /// offsets. No fault fires before the first advance(). A non-null `trace`
+  /// receives a discrete event for every fault the injector fires.
+  FaultInjector(const Graph& g, FaultPlan plan, TraceRecorder* trace = nullptr);
 
   /// Protocols report nodes that became contenders/candidates; the
   /// "contenders" adversary targets these when its batch fires. Reports
@@ -50,12 +53,13 @@ class FaultInjector {
   FaultOutcome outcome() const;
 
  private:
-  void fail_links();
+  void fail_links(std::uint64_t round);
   std::vector<NodeId> up_pool() const;
   std::vector<NodeId> pick_victims(std::uint64_t count);
 
   const Graph* g_;
   FaultPlan plan_;
+  TraceRecorder* trace_;
   Rng rng_;
   std::unique_ptr<Adversary> adversary_;
   std::vector<std::uint64_t> first_lane_;  ///< per-node base into lane space

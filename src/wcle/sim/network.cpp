@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "wcle/trace/recorder.hpp"
+
 namespace wcle {
 
 Network::Network(const Graph& g, CongestConfig cfg)
@@ -13,9 +15,22 @@ Network::Network(const Graph& g, CongestConfig cfg)
   if (cfg_.drop_probability < 0.0 || cfg_.drop_probability > 1.0)
     throw std::invalid_argument("Network: drop_probability must be in [0, 1]");
   if (cfg_.faults.any())
-    faults_ = std::make_unique<FaultInjector>(g, cfg_.faults);
+    faults_ = std::make_unique<FaultInjector>(g, cfg_.faults, cfg_.trace);
+  if (cfg_.trace) cfg_.trace->begin_segment();
   first_lane_ = lane_bases(g);
   lanes_.resize(first_lane_.back());
+}
+
+void Network::note_contender(NodeId node) {
+  if (faults_) faults_->note_contender(node);
+  if (cfg_.trace)
+    cfg_.trace->event(metrics_.rounds + 1, TraceEventKind::kContender, node);
+}
+
+void Network::note_phase(const char* label, std::uint64_t value) {
+  if (cfg_.trace)
+    cfg_.trace->event(metrics_.rounds + 1, TraceEventKind::kPhase, value, 0,
+                      label);
 }
 
 void Network::send(NodeId from, Port port, Message msg) {
@@ -26,8 +41,10 @@ void Network::send(NodeId from, Port port, Message msg) {
   // bandwidth, just the fault counter.
   if (faults_ && !faults_->node_up(from)) {
     metrics_.crash_dropped_messages += 1;
+    if (cfg_.trace) cfg_.trace->on_muted_send(metrics_.rounds + 1);
     return;
   }
+  if (cfg_.trace) cfg_.trace->on_send(metrics_.rounds + 1);
   metrics_.logical_messages += 1;
   metrics_.total_bits += msg.bits;
   const std::uint64_t lane = lane_index(from, port);
@@ -48,6 +65,16 @@ const std::vector<Delivery>& Network::step() {
   // Fault events fire at the start of their round, before any service:
   // crash_round = 1 means the victims never deliver a single message.
   if (faults_) faults_->advance(metrics_.rounds);
+  // Tracing snapshots the counters it attributes per-round so the service
+  // loop below stays hook-free: the row is the delta across this step.
+  std::uint64_t before_quanta = 0, before_rand = 0, before_crash = 0,
+                before_link = 0;
+  if (cfg_.trace) {
+    before_quanta = metrics_.congest_messages;
+    before_rand = metrics_.dropped_messages;
+    before_crash = metrics_.crash_dropped_messages;
+    before_link = metrics_.link_dropped_messages;
+  }
   const std::uint32_t B = cfg_.bandwidth_bits;
 
   // Serve one quantum per backlogged directed edge. New sends triggered by the
@@ -118,6 +145,17 @@ const std::vector<Delivery>& Network::step() {
   // No sends can interleave with the loop (the caller regains control only
   // after step() returns), so every live lane has been compacted to [0,write).
   active_.resize(write);
+  if (cfg_.trace)
+    cfg_.trace->on_round(
+        metrics_.rounds,
+        static_cast<std::uint32_t>(metrics_.congest_messages - before_quanta),
+        static_cast<std::uint32_t>(delivered_.size()),
+        static_cast<std::uint32_t>(metrics_.dropped_messages - before_rand),
+        static_cast<std::uint32_t>(metrics_.crash_dropped_messages -
+                                   before_crash),
+        static_cast<std::uint32_t>(metrics_.link_dropped_messages -
+                                   before_link),
+        static_cast<std::uint32_t>(active_count_));
   return delivered_;
 }
 

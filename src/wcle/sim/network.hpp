@@ -22,6 +22,8 @@
 
 namespace wcle {
 
+class TraceRecorder;
+
 /// CONGEST bandwidth configuration plus the seeded fault axis: each message,
 /// after its bandwidth has been fully served, is lost with probability
 /// `drop_probability` (drawn from an Rng seeded by `drop_seed`, so runs are
@@ -39,6 +41,10 @@ struct CongestConfig {
   /// (see fault/plan.hpp). An inactive plan costs nothing — the reliable
   /// model stays bit-identical to the pre-fault implementation.
   FaultPlan faults;
+  /// Opt-in per-round event recorder (trace/recorder.hpp). Null = tracing
+  /// off; the transport then pays one branch per round and nothing else.
+  /// Recording never perturbs the execution.
+  TraceRecorder* trace = nullptr;
 
   /// Standard CONGEST budget for an n-node network: enough for one id from
   /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".
@@ -119,10 +125,13 @@ class Network {
   }
 
   /// Reports a node that became a contender/candidate, for the
-  /// "contenders" adversary strategy. No-op on fault-free runs.
-  void note_contender(NodeId node) {
-    if (faults_) faults_->note_contender(node);
-  }
+  /// "contenders" adversary strategy and the trace timeline. No-op on
+  /// fault-free untraced runs.
+  void note_contender(NodeId node);
+
+  /// Records a protocol phase transition on the trace timeline (attributed
+  /// to the upcoming round). No-op when tracing is off.
+  void note_phase(const char* label, std::uint64_t value);
 
   /// The fault exposure of the run so far (empty on fault-free runs);
   /// protocols stash this in their results for the verdict layer.

@@ -47,11 +47,25 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+std::string Table::csv_escape(const std::string& cell) {
+  // RFC 4180: cells containing the separator, quotes, or line breaks are
+  // quoted, with embedded quotes doubled. Extras keys and family/adversary
+  // names are free-form strings, so they cannot be trusted to be clean.
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void Table::write_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      os << cells[c];
+      os << csv_escape(cells[c]);
     }
     os << '\n';
   };

@@ -19,6 +19,10 @@ class Table {
   /// Convenience: formats doubles with `precision` significant digits.
   static std::string num(double v, int precision = 4);
 
+  /// RFC 4180 cell escaping: quotes cells containing commas, quotes, or
+  /// line breaks (embedded quotes doubled); clean cells pass through.
+  static std::string csv_escape(const std::string& cell);
+
   void print(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
 

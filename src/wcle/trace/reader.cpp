@@ -1,0 +1,322 @@
+#include "wcle/trace/reader.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wcle {
+
+namespace {
+
+// ------------------------------------------------ targeted JSONL parsing
+
+/// Position just past `"key":` in `line`, or npos. Keys are unique within
+/// every line shape the writers emit, so plain substring search is exact.
+std::size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool field_u64(const std::string& line, const std::string& key,
+               std::uint64_t& out) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string::npos) return false;
+  std::uint64_t v = 0;
+  bool any = false;
+  while (at < line.size() && line[at] >= '0' && line[at] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[at] - '0');
+    ++at;
+    any = true;
+  }
+  if (!any) return false;
+  out = v;
+  return true;
+}
+
+std::uint64_t require_u64(const std::string& line, const std::string& key) {
+  std::uint64_t v = 0;
+  if (!field_u64(line, key, v))
+    throw std::runtime_error("trace: line missing numeric field '" + key +
+                             "': " + line);
+  return v;
+}
+
+bool field_str(const std::string& line, const std::string& key,
+               std::string& out) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"')
+    return false;
+  ++at;
+  std::string v;
+  while (at < line.size() && line[at] != '"') {
+    char c = line[at];
+    if (c == '\\' && at + 1 < line.size()) {
+      const char esc = line[at + 1];
+      at += 2;
+      switch (esc) {
+        case '"': v += '"'; break;
+        case '\\': v += '\\'; break;
+        case 'n': v += '\n'; break;
+        case 'r': v += '\r'; break;
+        case 't': v += '\t'; break;
+        case 'u': {
+          // Writers only emit \u00XX (control characters).
+          if (at + 4 <= line.size()) {
+            const unsigned code =
+                static_cast<unsigned>(std::stoul(line.substr(at, 4), nullptr,
+                                                 16));
+            v += static_cast<char>(code & 0xff);
+            at += 4;
+          }
+          break;
+        }
+        default: v += esc; break;
+      }
+      continue;
+    }
+    v += c;
+    ++at;
+  }
+  out = std::move(v);
+  return true;
+}
+
+std::string require_str(const std::string& line, const std::string& key) {
+  std::string v;
+  if (!field_str(line, key, v))
+    throw std::runtime_error("trace: line missing string field '" + key +
+                             "': " + line);
+  return v;
+}
+
+TraceEventKind kind_from_name(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kPhase); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == trace_event_kind_name(kind)) return kind;
+  }
+  throw std::runtime_error("trace: unknown event kind '" + name + "'");
+}
+
+TraceHeader header_from_line(const std::string& line) {
+  TraceHeader h;
+  h.version = static_cast<std::uint32_t>(require_u64(line, "version"));
+  if (h.version != kTraceVersion)
+    throw std::runtime_error("trace: unsupported version " +
+                             std::to_string(h.version));
+  h.tool = require_str(line, "tool");
+  h.spec = require_str(line, "spec");
+  return h;
+}
+
+TraceFileData parse_jsonl(const std::string& contents) {
+  TraceFileData data;
+  data.format = TraceFormat::kJsonl;
+  std::istringstream in(contents);
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string type = require_str(line, "type");
+    if (type == "header") {
+      data.header = header_from_line(line);
+      have_header = true;
+    } else if (type == "run") {
+      TraceRunData run;
+      run.meta.run = require_u64(line, "run");
+      run.meta.cell = require_u64(line, "cell");
+      run.meta.trial = require_u64(line, "trial");
+      run.meta.seed = require_u64(line, "seed");
+      run.meta.n = require_u64(line, "n");
+      run.meta.algorithm = require_str(line, "algorithm");
+      run.meta.family = require_str(line, "family");
+      data.runs.push_back(std::move(run));
+    } else if (type == "round") {
+      if (data.runs.empty())
+        throw std::runtime_error("trace: round line before any run line");
+      TraceRound r;
+      r.round = require_u64(line, "round");
+      r.sends = static_cast<std::uint32_t>(require_u64(line, "sends"));
+      r.quanta = static_cast<std::uint32_t>(require_u64(line, "quanta"));
+      r.delivered = static_cast<std::uint32_t>(require_u64(line, "delivered"));
+      r.dropped_rand =
+          static_cast<std::uint32_t>(require_u64(line, "drop_rand"));
+      r.dropped_crash =
+          static_cast<std::uint32_t>(require_u64(line, "drop_crash"));
+      r.dropped_link =
+          static_cast<std::uint32_t>(require_u64(line, "drop_link"));
+      r.backlog = static_cast<std::uint32_t>(require_u64(line, "backlog"));
+      data.runs.back().rounds.push_back(r);
+    } else if (type == "event") {
+      if (data.runs.empty())
+        throw std::runtime_error("trace: event line before any run line");
+      TraceEvent e;
+      e.round = require_u64(line, "round");
+      e.kind = kind_from_name(require_str(line, "kind"));
+      e.a = require_u64(line, "a");
+      e.b = require_u64(line, "b");
+      e.label = require_str(line, "label");
+      data.runs.back().events.push_back(std::move(e));
+    } else if (type == "run_end") {
+      // Summary is re-derivable; nothing to keep.
+    } else if (type == "trace_end") {
+      data.declared_runs = require_u64(line, "runs");
+    } else {
+      throw std::runtime_error("trace: unknown line type '" + type + "'");
+    }
+  }
+  if (!have_header) throw std::runtime_error("trace: missing header line");
+  return data;
+}
+
+// ------------------------------------------------------- binary parsing
+
+class BinaryCursor {
+ public:
+  BinaryCursor(const std::string& data, std::size_t at)
+      : data_(&data), at_(at) {}
+
+  bool done() const { return at_ >= data_->size(); }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>((*data_)[at_++]);
+  }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(uint_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(uint_le(4)); }
+  std::uint64_t u64() { return uint_le(8); }
+
+  std::string str() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s = data_->substr(at_, len);
+    at_ += len;
+    return s;
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (at_ + bytes > data_->size())
+      throw std::runtime_error("trace: truncated binary trace");
+  }
+  std::uint64_t uint_le(int bytes) {
+    need(static_cast<std::size_t>(bytes));
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>((*data_)[at_ + i]))
+           << (8 * i);
+    at_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+
+  const std::string* data_;
+  std::size_t at_;
+};
+
+TraceFileData parse_binary(const std::string& contents) {
+  TraceFileData data;
+  data.format = TraceFormat::kBinary;
+  BinaryCursor cur(contents, 8);  // past the magic
+  const std::uint32_t header_len = cur.u32();
+  if (12 + static_cast<std::size_t>(header_len) > contents.size())
+    throw std::runtime_error("trace: truncated binary header");
+  data.header = header_from_line(contents.substr(12, header_len));
+  BinaryCursor rec(contents, 12 + header_len);
+  while (!rec.done()) {
+    const std::uint8_t tag = rec.u8();
+    if (tag == 1) {  // run
+      TraceRunData run;
+      run.meta.run = rec.u64();
+      run.meta.cell = rec.u64();
+      run.meta.trial = rec.u64();
+      run.meta.seed = rec.u64();
+      run.meta.n = rec.u64();
+      run.meta.algorithm = rec.str();
+      run.meta.family = rec.str();
+      data.runs.push_back(std::move(run));
+    } else if (tag == 2) {  // round
+      if (data.runs.empty())
+        throw std::runtime_error("trace: round record before any run");
+      TraceRound r;
+      r.round = rec.u64();
+      r.sends = rec.u32();
+      r.quanta = rec.u32();
+      r.delivered = rec.u32();
+      r.dropped_rand = rec.u32();
+      r.dropped_crash = rec.u32();
+      r.dropped_link = rec.u32();
+      r.backlog = rec.u32();
+      data.runs.back().rounds.push_back(r);
+    } else if (tag == 3) {  // event
+      if (data.runs.empty())
+        throw std::runtime_error("trace: event record before any run");
+      TraceEvent e;
+      e.round = rec.u64();
+      e.kind = static_cast<TraceEventKind>(rec.u8());
+      e.a = rec.u64();
+      e.b = rec.u64();
+      e.label = rec.str();
+      data.runs.back().events.push_back(std::move(e));
+    } else if (tag == 4) {  // run_end
+      rec.u64();
+      rec.u64();
+      rec.u64();
+    } else if (tag == 5) {  // trace_end
+      data.declared_runs = rec.u64();
+    } else {
+      throw std::runtime_error("trace: unknown binary record tag " +
+                               std::to_string(tag));
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TraceFormat detect_trace_format(const std::string& contents) {
+  return contents.size() >= 8 &&
+                 std::memcmp(contents.data(), kTraceMagic, 8) == 0
+             ? TraceFormat::kBinary
+             : TraceFormat::kJsonl;
+}
+
+TraceHeader parse_trace_header(const std::string& contents,
+                               TraceFormat* format) {
+  const TraceFormat f = detect_trace_format(contents);
+  if (format) *format = f;
+  if (f == TraceFormat::kBinary) {
+    BinaryCursor cur(contents, 8);
+    const std::uint32_t header_len = cur.u32();
+    if (12 + static_cast<std::size_t>(header_len) > contents.size())
+      throw std::runtime_error("trace: truncated binary header");
+    return header_from_line(contents.substr(12, header_len));
+  }
+  const std::size_t eol = contents.find('\n');
+  const std::string first =
+      eol == std::string::npos ? contents : contents.substr(0, eol);
+  if (first.find("\"type\":\"header\"") == std::string::npos)
+    throw std::runtime_error("trace: first line is not a header line");
+  return header_from_line(first);
+}
+
+TraceFileData parse_trace(const std::string& contents) {
+  return detect_trace_format(contents) == TraceFormat::kBinary
+             ? parse_binary(contents)
+             : parse_jsonl(contents);
+}
+
+TraceFileData read_trace_file(const std::string& path) {
+  return parse_trace(read_file_bytes(path));
+}
+
+}  // namespace wcle

@@ -1,0 +1,50 @@
+// Readers for the two trace framings (writer.hpp). The JSONL parser is
+// deliberately minimal: it understands exactly the line shapes the writers
+// emit (flat objects, known keys) — enough for the replay verifier to pull
+// the header out of any trace and for the summarize pass to reload full
+// timelines, without dragging a JSON library into the build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wcle/trace/writer.hpp"
+
+namespace wcle {
+
+/// One reloaded run: meta plus its timeline.
+struct TraceRunData {
+  TraceRunMeta meta;
+  std::vector<TraceRound> rounds;
+  std::vector<TraceEvent> events;
+};
+
+/// A fully reloaded trace file.
+struct TraceFileData {
+  TraceHeader header;
+  TraceFormat format = TraceFormat::kJsonl;
+  std::vector<TraceRunData> runs;
+  std::uint64_t declared_runs = 0;  ///< the trailer's run count
+};
+
+/// Reads the whole file into a string (binary-safe). Throws
+/// std::runtime_error when the file cannot be opened.
+std::string read_file_bytes(const std::string& path);
+
+/// Detects the framing from the leading bytes (binary magic vs JSONL).
+TraceFormat detect_trace_format(const std::string& contents);
+
+/// Extracts just the header from raw trace bytes (either framing). Throws
+/// std::runtime_error on malformed input or a version the reader does not
+/// understand.
+TraceHeader parse_trace_header(const std::string& contents,
+                               TraceFormat* format = nullptr);
+
+/// Fully parses raw trace bytes (either framing).
+TraceFileData parse_trace(const std::string& contents);
+
+/// read_file_bytes + parse_trace.
+TraceFileData read_trace_file(const std::string& path);
+
+}  // namespace wcle

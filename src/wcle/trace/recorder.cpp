@@ -1,0 +1,76 @@
+#include "wcle/trace/recorder.hpp"
+
+namespace wcle {
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSegment: return "segment";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kLinkDown: return "link_down";
+    case TraceEventKind::kChurnOut: return "churn_out";
+    case TraceEventKind::kChurnIn: return "churn_in";
+    case TraceEventKind::kContender: return "contender";
+    case TraceEventKind::kPhase: return "phase";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::begin_segment() {
+  offset_ = rounds_.empty() ? 0 : rounds_.back().round;
+  events_.push_back(
+      {offset_ + 1, TraceEventKind::kSegment, segments_, 0, ""});
+  segments_ += 1;
+}
+
+TraceRound& TraceRecorder::row(std::uint64_t local_round) {
+  const std::uint64_t absolute = offset_ + local_round;
+  // Rounds advance one step() at a time, but sends can announce the upcoming
+  // round before its step runs — append rows up to the requested index.
+  while (rounds_.empty() || rounds_.back().round < absolute) {
+    TraceRound r;
+    r.round = rounds_.empty() ? absolute : rounds_.back().round + 1;
+    rounds_.push_back(r);
+  }
+  return rounds_.back();
+}
+
+void TraceRecorder::on_round(std::uint64_t round, std::uint32_t quanta,
+                             std::uint32_t delivered,
+                             std::uint32_t dropped_rand,
+                             std::uint32_t dropped_crash,
+                             std::uint32_t dropped_link,
+                             std::uint32_t backlog) {
+  TraceRound& r = row(round);
+  r.quanta += quanta;
+  r.delivered += delivered;
+  r.dropped_rand += dropped_rand;
+  r.dropped_crash += dropped_crash;
+  r.dropped_link += dropped_link;
+  r.backlog = backlog;
+}
+
+void TraceRecorder::event(std::uint64_t round, TraceEventKind kind,
+                          std::uint64_t a, std::uint64_t b,
+                          std::string label) {
+  events_.push_back({offset_ + round, kind, a, b, std::move(label)});
+}
+
+void TraceRecorder::annotate(std::string label, std::uint64_t value) {
+  const std::uint64_t at = rounds_.empty() ? 1 : rounds_.back().round + 1;
+  events_.push_back({at, TraceEventKind::kPhase, value, 0, std::move(label)});
+}
+
+std::uint64_t TraceRecorder::total_quanta() const {
+  std::uint64_t total = 0;
+  for (const TraceRound& r : rounds_) total += r.quanta;
+  return total;
+}
+
+void TraceRecorder::clear() {
+  rounds_.clear();
+  events_.clear();
+  offset_ = 0;
+  segments_ = 0;
+}
+
+}  // namespace wcle

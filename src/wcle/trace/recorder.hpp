@@ -1,0 +1,104 @@
+// Per-round event recorder — the opt-in observability spine of the trace
+// subsystem. A TraceRecorder is handed to the transport through
+// `CongestConfig::trace` (protocols inherit it via `ElectionParams::trace`
+// and congest_config_for); when the pointer is null the hot path pays a
+// single predictable branch and records nothing.
+//
+// The recorder accumulates two streams for ONE protocol run:
+//   - rows:   one TraceRound per transport round (sends, quanta served,
+//             deliveries, drops by cause, end-of-round backlog), and
+//   - events: discrete happenings (crashes, link failures, churn, contender
+//             announcements, protocol phase transitions).
+//
+// Composed protocols (explicit election = election + broadcast) drive several
+// Networks in sequence; each Network opens a *segment* and the recorder
+// rebases its network-local round numbers onto one absolute timeline, so a
+// trace reads as a single run even across sub-protocols. Recording draws no
+// randomness and never feeds back into the execution — a traced run is
+// bit-identical to the untraced one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcle {
+
+enum class TraceEventKind : std::uint8_t {
+  kSegment = 0,    ///< a new Network attached (a = segment ordinal)
+  kCrash = 1,      ///< node a crash-stopped
+  kLinkDown = 2,   ///< undirected link (a, b) failed
+  kChurnOut = 3,   ///< node a churned out
+  kChurnIn = 4,    ///< node a rejoined
+  kContender = 5,  ///< node a announced itself a contender/candidate
+  kPhase = 6,      ///< protocol phase transition (label + value a)
+};
+
+/// Stable wire name ("crash", "link_down", ...) used by every writer.
+const char* trace_event_kind_name(TraceEventKind kind);
+
+/// One transport round on the absolute timeline.
+struct TraceRound {
+  std::uint64_t round = 0;          ///< absolute round (1-based)
+  std::uint32_t sends = 0;          ///< logical send() calls enqueued
+  std::uint32_t quanta = 0;         ///< B-bit transmissions served
+  std::uint32_t delivered = 0;      ///< messages delivered
+  std::uint32_t dropped_rand = 0;   ///< random-drop losses
+  std::uint32_t dropped_crash = 0;  ///< crash-stop losses (incl. muted sends)
+  std::uint32_t dropped_link = 0;   ///< failed-link losses
+  std::uint32_t backlog = 0;        ///< directed edges still busy at round end
+};
+
+/// One discrete event. `a`/`b` are kind-specific operands (see
+/// TraceEventKind); `label` names phase transitions.
+struct TraceEvent {
+  std::uint64_t round = 0;  ///< absolute round the event took effect in
+  TraceEventKind kind = TraceEventKind::kSegment;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  /// Called by each Network constructor: subsequent network-local rounds are
+  /// rebased past everything recorded so far, and a kSegment event marks the
+  /// boundary.
+  void begin_segment();
+
+  /// Transport hooks; `round` is network-local (the current segment's count).
+  void on_send(std::uint64_t round) { row(round).sends += 1; }
+  void on_muted_send(std::uint64_t round) { row(round).dropped_crash += 1; }
+  /// End-of-round flush: the per-cause deltas of one step() call.
+  void on_round(std::uint64_t round, std::uint32_t quanta,
+                std::uint32_t delivered, std::uint32_t dropped_rand,
+                std::uint32_t dropped_crash, std::uint32_t dropped_link,
+                std::uint32_t backlog);
+
+  /// Records a discrete event at network-local `round`.
+  void event(std::uint64_t round, TraceEventKind kind, std::uint64_t a,
+             std::uint64_t b = 0, std::string label = "");
+
+  /// Protocol-level annotation between networks (no local round available):
+  /// lands one past the last recorded absolute round.
+  void annotate(std::string label, std::uint64_t value);
+
+  const std::vector<TraceRound>& rounds() const { return rounds_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t segments() const { return segments_; }
+
+  /// Total quanta over all rows (the run's congest-message bill).
+  std::uint64_t total_quanta() const;
+
+  void clear();
+
+ private:
+  TraceRound& row(std::uint64_t local_round);
+
+  std::vector<TraceRound> rounds_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t offset_ = 0;  ///< absolute round of the segment's local 0
+  std::uint64_t segments_ = 0;
+};
+
+}  // namespace wcle

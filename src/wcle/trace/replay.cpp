@@ -1,0 +1,47 @@
+#include "wcle/trace/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/sweep.hpp"
+#include "wcle/trace/reader.hpp"
+
+namespace wcle {
+
+ReplayReport verify_replay(const std::string& path, unsigned threads) {
+  ReplayReport report;
+  const std::string original = read_file_bytes(path);
+  report.header = parse_trace_header(original, &report.format);
+  report.original_bytes = original.size();
+
+  const ExperimentSpec spec = parse_spec(report.header.spec);
+
+  std::ostringstream buf;
+  const std::unique_ptr<TraceWriter> writer =
+      make_trace_writer(report.format, buf);
+  writer->header(report.header);
+  const std::vector<CellResult> results =
+      run_sweep(spec, /*sinks=*/{}, threads, writer.get());
+  report.runs = static_cast<std::uint64_t>(results.size()) *
+                static_cast<std::uint64_t>(spec.trials);
+
+  const std::string regenerated = buf.str();
+  report.regenerated_bytes = regenerated.size();
+  if (regenerated == original) {
+    report.ok = true;
+    report.detail = "byte-identical: " + std::to_string(report.runs) +
+                    " run(s), " + std::to_string(original.size()) + " bytes";
+    return report;
+  }
+  const std::size_t limit = std::min(original.size(), regenerated.size());
+  std::size_t at = 0;
+  while (at < limit && original[at] == regenerated[at]) ++at;
+  report.first_difference = at;
+  report.detail = "MISMATCH at byte " + std::to_string(at) + " (original " +
+                  std::to_string(original.size()) + " bytes, regenerated " +
+                  std::to_string(regenerated.size()) + ")";
+  return report;
+}
+
+}  // namespace wcle

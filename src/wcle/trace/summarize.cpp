@@ -1,0 +1,89 @@
+#include "wcle/trace/summarize.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace wcle {
+
+TraceSummary summarize_trace(const TraceRunData& run) {
+  TraceSummary s;
+  s.final_live = run.meta.n;
+  std::uint64_t live = run.meta.n;
+  std::uint64_t cum_messages = 0, cum_dropped = 0;
+  std::size_t e = 0;
+  s.series.reserve(run.rounds.size());
+  for (const TraceRound& r : run.rounds) {
+    // Apply events up to and including this round before sampling live
+    // counts — fault batches fire at the start of their round.
+    while (e < run.events.size() && run.events[e].round <= r.round) {
+      const TraceEvent& ev = run.events[e];
+      switch (ev.kind) {
+        case TraceEventKind::kCrash:
+          live = live > 0 ? live - 1 : 0;
+          s.crashes += 1;
+          break;
+        case TraceEventKind::kChurnOut:
+          live = live > 0 ? live - 1 : 0;
+          s.churn_outs += 1;
+          break;
+        case TraceEventKind::kChurnIn:
+          live += 1;
+          break;
+        case TraceEventKind::kLinkDown: s.link_failures += 1; break;
+        case TraceEventKind::kContender: s.contenders += 1; break;
+        case TraceEventKind::kPhase: s.phase_marks += 1; break;
+        case TraceEventKind::kSegment: s.segments += 1; break;
+      }
+      ++e;
+    }
+    const std::uint32_t dropped =
+        r.dropped_rand + r.dropped_crash + r.dropped_link;
+    cum_messages += r.quanta;
+    cum_dropped += dropped;
+    TraceSeriesPoint p;
+    p.round = r.round;
+    p.sends = r.sends;
+    p.quanta = r.quanta;
+    p.delivered = r.delivered;
+    p.dropped = dropped;
+    p.backlog = r.backlog;
+    p.live_nodes = live;
+    p.cum_messages = cum_messages;
+    p.cum_dropped = cum_dropped;
+    s.series.push_back(p);
+    if (r.quanta > 0 || r.sends > 0) s.rounds_to_quiet = r.round;
+    if (r.backlog > s.peak_backlog) {
+      s.peak_backlog = r.backlog;
+      s.peak_backlog_round = r.round;
+    }
+  }
+  // Trailing events (post-run annotations, end-of-run phase marks).
+  for (; e < run.events.size(); ++e) {
+    const TraceEvent& ev = run.events[e];
+    if (ev.kind == TraceEventKind::kPhase) s.phase_marks += 1;
+    if (ev.kind == TraceEventKind::kSegment) s.segments += 1;
+  }
+  s.rounds = run.rounds.empty() ? 0 : run.rounds.back().round;
+  s.total_messages = cum_messages;
+  s.total_dropped = cum_dropped;
+  s.final_live = live;
+  return s;
+}
+
+Table trace_summary_table(const TraceSummary& s, std::uint64_t every) {
+  if (every == 0) every = 1;
+  Table t({"round", "sends", "quanta", "delivered", "dropped", "backlog",
+           "live", "cum_msgs", "cum_dropped"});
+  for (std::size_t i = 0; i < s.series.size(); ++i) {
+    if (i % every != 0 && i + 1 != s.series.size()) continue;
+    const TraceSeriesPoint& p = s.series[i];
+    t.add_row({std::to_string(p.round), std::to_string(p.sends),
+               std::to_string(p.quanta), std::to_string(p.delivered),
+               std::to_string(p.dropped), std::to_string(p.backlog),
+               std::to_string(p.live_nodes), std::to_string(p.cum_messages),
+               std::to_string(p.cum_dropped)});
+  }
+  return t;
+}
+
+}  // namespace wcle

@@ -1,0 +1,56 @@
+// Timeline analysis: folds one recorded run's rows and events into
+// per-round series (traffic, in-flight backlog, live nodes, cumulative
+// message bill) plus the scalar shape of the trajectory (rounds-to-quiet,
+// peak congestion, fault totals). The series render through the shared
+// Table layer, so `wcle_cli trace-summary` can emit the same data as an
+// aligned table or CSV — the per-round view of the paper's O~(tmix) /
+// O~(sqrt(n)·tmix) claims that end-of-run totals cannot show.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/support/table.hpp"
+#include "wcle/trace/reader.hpp"
+
+namespace wcle {
+
+struct TraceSeriesPoint {
+  std::uint64_t round = 0;
+  std::uint32_t sends = 0;
+  std::uint32_t quanta = 0;
+  std::uint32_t delivered = 0;
+  std::uint32_t dropped = 0;  ///< all causes
+  std::uint32_t backlog = 0;  ///< directed edges still busy (in-flight work)
+  std::uint64_t live_nodes = 0;
+  std::uint64_t cum_messages = 0;  ///< cumulative quanta (paper's unit)
+  std::uint64_t cum_dropped = 0;
+};
+
+struct TraceSummary {
+  std::vector<TraceSeriesPoint> series;
+  std::uint64_t rounds = 0;           ///< timeline length
+  std::uint64_t rounds_to_quiet = 0;  ///< last round with any traffic
+  std::uint64_t peak_backlog = 0;
+  std::uint64_t peak_backlog_round = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_dropped = 0;
+  std::uint64_t final_live = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t link_failures = 0;
+  std::uint64_t churn_outs = 0;
+  std::uint64_t contenders = 0;
+  std::uint64_t phase_marks = 0;
+  std::uint64_t segments = 0;
+};
+
+/// Folds one run's timeline. Live-node counts start from run.meta.n and
+/// follow the crash/churn events.
+TraceSummary summarize_trace(const TraceRunData& run);
+
+/// The per-round series as a Table (one row per `every`-th round; the first
+/// and last rounds always appear). Renders via Table::print / write_csv.
+Table trace_summary_table(const TraceSummary& summary,
+                          std::uint64_t every = 1);
+
+}  // namespace wcle

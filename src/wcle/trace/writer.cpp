@@ -1,0 +1,193 @@
+#include "wcle/trace/writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "wcle/api/serialize.hpp"
+
+namespace wcle {
+
+// ------------------------------------------------------------------ JSONL
+
+std::string trace_header_line(const TraceHeader& h) {
+  std::ostringstream out;
+  out << "{\"type\":\"header\",\"version\":" << h.version << ",\"tool\":\""
+      << json_escape(h.tool) << "\",\"spec\":\"" << json_escape(h.spec)
+      << "\"}";
+  return out.str();
+}
+
+void JsonlTraceWriter::header(const TraceHeader& h) {
+  *out_ << trace_header_line(h) << "\n";
+}
+
+void JsonlTraceWriter::begin_run(const TraceRunMeta& m) {
+  run_ = m.run;
+  *out_ << "{\"type\":\"run\",\"run\":" << m.run << ",\"cell\":" << m.cell
+        << ",\"trial\":" << m.trial << ",\"seed\":" << m.seed
+        << ",\"algorithm\":\"" << json_escape(m.algorithm)
+        << "\",\"family\":\"" << json_escape(m.family) << "\",\"n\":" << m.n
+        << "}\n";
+}
+
+void JsonlTraceWriter::round(const TraceRound& r) {
+  *out_ << "{\"type\":\"round\",\"run\":" << run_ << ",\"round\":" << r.round
+        << ",\"sends\":" << r.sends << ",\"quanta\":" << r.quanta
+        << ",\"delivered\":" << r.delivered << ",\"drop_rand\":"
+        << r.dropped_rand << ",\"drop_crash\":" << r.dropped_crash
+        << ",\"drop_link\":" << r.dropped_link << ",\"backlog\":" << r.backlog
+        << "}\n";
+}
+
+void JsonlTraceWriter::event(const TraceEvent& e) {
+  *out_ << "{\"type\":\"event\",\"run\":" << run_ << ",\"round\":" << e.round
+        << ",\"kind\":\"" << trace_event_kind_name(e.kind) << "\",\"a\":"
+        << e.a << ",\"b\":" << e.b << ",\"label\":\"" << json_escape(e.label)
+        << "\"}\n";
+}
+
+void JsonlTraceWriter::end_run(std::uint64_t rounds, std::uint64_t events,
+                               std::uint64_t quanta) {
+  *out_ << "{\"type\":\"run_end\",\"run\":" << run_ << ",\"rounds\":" << rounds
+        << ",\"events\":" << events << ",\"quanta\":" << quanta << "}\n";
+}
+
+void JsonlTraceWriter::finish(std::uint64_t runs) {
+  *out_ << "{\"type\":\"trace_end\",\"runs\":" << runs << "}\n";
+  out_->flush();
+}
+
+// ----------------------------------------------------------------- binary
+
+namespace {
+
+// Record tags of the binary framing (one byte each).
+constexpr std::uint8_t kRecRun = 1;
+constexpr std::uint8_t kRecRound = 2;
+constexpr std::uint8_t kRecEvent = 3;
+constexpr std::uint8_t kRecRunEnd = 4;
+constexpr std::uint8_t kRecEnd = 5;
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::ostream& out, const std::string& s) {
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(s.size() > 0xffff ? 0xffff : s.size());
+  put_u16(out, len);
+  out.write(s.data(), len);
+}
+
+}  // namespace
+
+void BinaryTraceWriter::header(const TraceHeader& h) {
+  out_->write(kTraceMagic, 8);
+  const std::string line = trace_header_line(h);
+  put_u32(*out_, static_cast<std::uint32_t>(line.size()));
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+void BinaryTraceWriter::begin_run(const TraceRunMeta& m) {
+  put_u8(*out_, kRecRun);
+  put_u64(*out_, m.run);
+  put_u64(*out_, m.cell);
+  put_u64(*out_, m.trial);
+  put_u64(*out_, m.seed);
+  put_u64(*out_, m.n);
+  put_str(*out_, m.algorithm);
+  put_str(*out_, m.family);
+}
+
+void BinaryTraceWriter::round(const TraceRound& r) {
+  put_u8(*out_, kRecRound);
+  put_u64(*out_, r.round);
+  put_u32(*out_, r.sends);
+  put_u32(*out_, r.quanta);
+  put_u32(*out_, r.delivered);
+  put_u32(*out_, r.dropped_rand);
+  put_u32(*out_, r.dropped_crash);
+  put_u32(*out_, r.dropped_link);
+  put_u32(*out_, r.backlog);
+}
+
+void BinaryTraceWriter::event(const TraceEvent& e) {
+  put_u8(*out_, kRecEvent);
+  put_u64(*out_, e.round);
+  put_u8(*out_, static_cast<std::uint8_t>(e.kind));
+  put_u64(*out_, e.a);
+  put_u64(*out_, e.b);
+  put_str(*out_, e.label);
+}
+
+void BinaryTraceWriter::end_run(std::uint64_t rounds, std::uint64_t events,
+                                std::uint64_t quanta) {
+  put_u8(*out_, kRecRunEnd);
+  put_u64(*out_, rounds);
+  put_u64(*out_, events);
+  put_u64(*out_, quanta);
+}
+
+void BinaryTraceWriter::finish(std::uint64_t runs) {
+  put_u8(*out_, kRecEnd);
+  put_u64(*out_, runs);
+  out_->flush();
+}
+
+// ----------------------------------------------------------------- shared
+
+TraceFormat trace_format_for_path(const std::string& path) {
+  const auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".bin") || ends_with(".btrace") ? TraceFormat::kBinary
+                                                   : TraceFormat::kJsonl;
+}
+
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               std::ostream& out) {
+  if (format == TraceFormat::kBinary)
+    return std::make_unique<BinaryTraceWriter>(out);
+  return std::make_unique<JsonlTraceWriter>(out);
+}
+
+void write_run(TraceWriter& w, const TraceRunMeta& meta,
+               const TraceRecorder& rec) {
+  w.begin_run(meta);
+  const std::vector<TraceRound>& rounds = rec.rounds();
+  const std::vector<TraceEvent>& events = rec.events();
+  // Merge in round order: events land before the row that closes their
+  // round (fault batches fire at the start of a round, before service).
+  // Event rounds are non-decreasing except across segment rebases, so the
+  // cursor only ever advances — trailing events (post-run annotations) are
+  // flushed after the last row.
+  std::size_t e = 0;
+  for (const TraceRound& r : rounds) {
+    while (e < events.size() && events[e].round <= r.round) {
+      w.event(events[e]);
+      ++e;
+    }
+    w.round(r);
+  }
+  while (e < events.size()) {
+    w.event(events[e]);
+    ++e;
+  }
+  w.end_run(rounds.size(), events.size(), rec.total_quanta());
+}
+
+}  // namespace wcle

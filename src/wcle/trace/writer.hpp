@@ -1,0 +1,114 @@
+// Timeline writers: serialize a TraceRecorder's per-round rows and discrete
+// events to a trace file. Two formats ship behind one TraceWriter interface:
+//
+//   - JSONL ("one JSON object per line"): a versioned header line, then for
+//     each run a `run` meta line, `round`/`event` lines merged in round
+//     order, and a `run_end` summary; a final `trace_end` trailer. The
+//     schema is documented in README.md ("Tracing & replay").
+//   - binary: the same stream in a compact little-endian framing (magic
+//     "WCLETR01", the header JSON embedded verbatim, then fixed-width
+//     records) — ~4x smaller, for long traced sweeps.
+//
+// Both renderings are byte-deterministic functions of the recorded data:
+// the replay verifier (replay.hpp) regenerates a trace from its header and
+// byte-compares, so writers must never emit anything time- or
+// environment-dependent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "wcle/trace/recorder.hpp"
+
+namespace wcle {
+
+inline constexpr std::uint32_t kTraceVersion = 1;
+/// First 8 bytes of a binary trace (no terminating NUL on the wire).
+inline constexpr char kTraceMagic[] = "WCLETR01";
+
+/// The replayable identity of a trace file: `spec` is a grid-grammar line
+/// (scenario.hpp) whose sweep expansion regenerates every recorded run;
+/// `tool` records which CLI surface produced the trace (run/trials/sweep).
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::string tool;
+  std::string spec;
+};
+
+/// Identity of one recorded run inside a trace file. Runs are ordered
+/// cell-major, trial-minor; `run` is the global ordinal.
+struct TraceRunMeta {
+  std::uint64_t run = 0;
+  std::uint64_t cell = 0;
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t n = 0;  ///< actual node count after family snapping
+  std::string algorithm;
+  std::string family;
+};
+
+class TraceWriter {
+ public:
+  virtual ~TraceWriter() = default;
+  virtual void header(const TraceHeader& h) = 0;
+  virtual void begin_run(const TraceRunMeta& meta) = 0;
+  virtual void round(const TraceRound& r) = 0;
+  virtual void event(const TraceEvent& e) = 0;
+  virtual void end_run(std::uint64_t rounds, std::uint64_t events,
+                       std::uint64_t quanta) = 0;
+  virtual void finish(std::uint64_t runs) = 0;
+};
+
+class JsonlTraceWriter final : public TraceWriter {
+ public:
+  explicit JsonlTraceWriter(std::ostream& out) : out_(&out) {}
+  void header(const TraceHeader& h) override;
+  void begin_run(const TraceRunMeta& meta) override;
+  void round(const TraceRound& r) override;
+  void event(const TraceEvent& e) override;
+  void end_run(std::uint64_t rounds, std::uint64_t events,
+               std::uint64_t quanta) override;
+  void finish(std::uint64_t runs) override;
+
+ private:
+  std::ostream* out_;
+  std::uint64_t run_ = 0;  ///< current run ordinal, stamped on every line
+};
+
+class BinaryTraceWriter final : public TraceWriter {
+ public:
+  explicit BinaryTraceWriter(std::ostream& out) : out_(&out) {}
+  void header(const TraceHeader& h) override;
+  void begin_run(const TraceRunMeta& meta) override;
+  void round(const TraceRound& r) override;
+  void event(const TraceEvent& e) override;
+  void end_run(std::uint64_t rounds, std::uint64_t events,
+               std::uint64_t quanta) override;
+  void finish(std::uint64_t runs) override;
+
+ private:
+  std::ostream* out_;
+};
+
+enum class TraceFormat { kJsonl, kBinary };
+
+/// Format selection by file extension: ".bin" / ".btrace" choose the binary
+/// framing, everything else JSONL.
+TraceFormat trace_format_for_path(const std::string& path);
+
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               std::ostream& out);
+
+/// The JSONL header line for `h` (without trailing newline) — also the text
+/// embedded in the binary framing, so one parser serves both formats.
+std::string trace_header_line(const TraceHeader& h);
+
+/// Streams one recorded run through `w`: the meta line, then rounds and
+/// events merged in round order (an event precedes the row that closes its
+/// round), then the run summary.
+void write_run(TraceWriter& w, const TraceRunMeta& meta,
+               const TraceRecorder& rec);
+
+}  // namespace wcle

@@ -375,5 +375,67 @@ TEST(FaultHarness, ElectionUnderContenderAdversaryStaysBounded) {
   ASSERT_GE(contenders, static_cast<double>(r.faults.crashed.size()));
 }
 
+// ----------------------------------------------------- verdict edge cases
+
+TEST(VerdictEdge, AllNodesCrashedYieldsZeroSurvivorsAndZeroAgreement) {
+  const Graph g = make_family("clique", 6, 1);
+  FaultOutcome fo;
+  fo.up.assign(6, 0);
+  fo.crashed = {0, 1, 2, 3, 4, 5};
+  const Verdict v = classify_execution(g, fo, {2}, 9, 0, /*election=*/true);
+  EXPECT_TRUE(v.evaluated);
+  EXPECT_EQ(v.surviving, 0u);
+  EXPECT_EQ(v.surviving_leaders, 0u);
+  EXPECT_TRUE(v.safe);  // vacuously: nobody left to disagree
+  EXPECT_DOUBLE_EQ(v.agreement, 0.0);
+}
+
+TEST(VerdictEdge, CrashingEveryNodeEndToEndStaysClassifiable) {
+  // crash_fraction = 1.0 kills the whole graph at round 1: the protocol
+  // must still terminate and the harness must classify the run.
+  const Graph g = make_family("clique", 8, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("flood_max");
+  RunOptions options;
+  options.params.faults.crash_fraction = 1.0;
+  options.max_rounds = 200;
+  const TrialStats s = run_trials(algo, g, options, 2, 500, 1);
+  EXPECT_DOUBLE_EQ(s.success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s.agreement.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.agreement.max, 0.0);
+}
+
+TEST(VerdictEdge, ZeroSurvivorComponentDoesNotCountTowardAgreement) {
+  // Path 0-1-2-3-4 with the middle and the far end dead: the survivors
+  // {0, 1} all sit in the live leader's component — agreement is 1.0 even
+  // though most of the graph is a zero-survivor wasteland. A leader chosen
+  // from the dead side scores 0.
+  const Graph g = path_graph(5);
+  FaultOutcome fo;
+  fo.up = {1, 1, 0, 0, 0};
+  Verdict v = classify_execution(g, fo, {0}, 5, 0, /*election=*/true);
+  EXPECT_EQ(v.surviving, 2u);
+  EXPECT_DOUBLE_EQ(v.agreement, 1.0);
+  v = classify_execution(g, fo, {4}, 5, 0, /*election=*/true);
+  EXPECT_EQ(v.surviving_leaders, 0u);
+  EXPECT_DOUBLE_EQ(v.agreement, 0.0);
+}
+
+TEST(VerdictEdge, LinkFailuresAloneDisconnectAndCapAgreement) {
+  // Every link fails at round 1 but no node dies: the graph is shattered
+  // into singletons purely by the link axis. All 8 nodes survive, yet the
+  // broadcast source can only stand for itself.
+  const Graph g = make_family("ring", 8, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("flood_broadcast");
+  RunOptions options;
+  options.params.faults.linkfail_fraction = 1.0;
+  RunResult r = algo.run(g, options);
+  attach_verdict(g, options, algo.kind(), r);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.verdict.evaluated);
+  EXPECT_EQ(r.verdict.surviving, 8u);
+  EXPECT_DOUBLE_EQ(r.verdict.agreement, 1.0 / 8.0);
+  EXPECT_GT(r.totals.link_dropped_messages, 0u);
+}
+
 }  // namespace
 }  // namespace wcle

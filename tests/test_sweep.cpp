@@ -149,6 +149,26 @@ TEST(Sweep, TableAndCsvSinksRenderEveryCell) {
   EXPECT_EQ(rows, spec.cell_count());
 }
 
+TEST(Sweep, CsvCellsWithSeparatorsAreQuoted) {
+  // Golden: extras keys and family/adversary names are free-form strings;
+  // cells containing commas, quotes, or newlines must arrive RFC 4180
+  // quoted instead of shearing the row apart.
+  Table t({"name", "value,with,commas", "plain"});
+  t.add_row({"say \"hi\"", "line\nbreak", "clean"});
+  t.add_row({"a,b", "x", "y"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,\"value,with,commas\",plain\n"
+            "\"say \"\"hi\"\"\",\"line\nbreak\",clean\n"
+            "\"a,b\",x,y\n");
+  // The escape helper itself: clean cells pass through untouched.
+  EXPECT_EQ(Table::csv_escape("plain"), "plain");
+  EXPECT_EQ(Table::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(Table::csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(Table::csv_escape("cr\rlf"), "\"cr\rlf\"");
+}
+
 TEST(Sweep, FaultAxesExpandAndResolve) {
   const ExperimentSpec spec = parse_spec(
       "algo=flood_max family=clique n=16 trials=1 crash=0,0.25 linkfail=0.1 "

@@ -1,0 +1,354 @@
+// Trace & replay subsystem: recorder rebasing, tracing-never-perturbs,
+// timeline/metrics reconciliation, both writer framings round-tripping
+// through the reader, single_run_spec's grammar round-trip, thread-count
+// invariance of traced trials, the replay verifier (including tamper
+// detection), and the summarize pass.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wcle/api/registry.hpp"
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/serialize.hpp"
+#include "wcle/api/sweep.hpp"
+#include "wcle/api/trials.hpp"
+#include "wcle/graph/families.hpp"
+#include "wcle/trace/reader.hpp"
+#include "wcle/trace/recorder.hpp"
+#include "wcle/trace/replay.hpp"
+#include "wcle/trace/summarize.hpp"
+#include "wcle/trace/writer.hpp"
+
+namespace wcle {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "wcle_trace_" + name;
+}
+
+/// One traced run of `algo_name`, returning (result json, recorder).
+std::pair<std::string, TraceRecorder> traced_run(const std::string& algo_name,
+                                                 const Graph& g,
+                                                 RunOptions options) {
+  const Algorithm& algo = AlgorithmRegistry::instance().at(algo_name);
+  auto rec = std::make_unique<TraceRecorder>();
+  options.params.trace = rec.get();
+  const RunResult r = algo.run(g, options);
+  TraceRecorder out = std::move(*rec);
+  return {to_json(r), std::move(out)};
+}
+
+TEST(TraceRecorder, SegmentsRebaseOntoOneTimeline) {
+  TraceRecorder rec;
+  rec.begin_segment();
+  rec.on_send(1);
+  rec.on_round(1, 3, 2, 0, 0, 1, 5);
+  rec.on_round(2, 1, 1, 0, 0, 0, 0);
+  rec.begin_segment();  // a second Network attaches
+  rec.on_send(1);       // its local round 1 is absolute round 3
+  rec.on_round(1, 2, 2, 0, 0, 0, 0);
+  ASSERT_EQ(rec.rounds().size(), 3u);
+  EXPECT_EQ(rec.rounds()[2].round, 3u);
+  EXPECT_EQ(rec.rounds()[2].sends, 1u);
+  EXPECT_EQ(rec.rounds()[2].quanta, 2u);
+  EXPECT_EQ(rec.segments(), 2u);
+  EXPECT_EQ(rec.total_quanta(), 6u);
+  // Segment events sit at the first round of their segment.
+  ASSERT_EQ(rec.events().size(), 2u);
+  EXPECT_EQ(rec.events()[0].round, 1u);
+  EXPECT_EQ(rec.events()[1].round, 3u);
+  EXPECT_EQ(rec.events()[1].a, 1u);  // segment ordinal
+}
+
+TEST(TraceRecorder, TracingNeverPerturbsResults) {
+  const Graph g = make_family("expander", 32, 1);
+  for (const char* name : {"election", "flood_max", "push_pull"}) {
+    RunOptions options;
+    options.params.seed = 7;
+    options.params.faults.crash_fraction = 0.2;
+    options.params.max_length = 64;
+    options.max_rounds = 4000;
+    const Algorithm& algo = AlgorithmRegistry::instance().at(name);
+    const RunResult plain = algo.run(g, options);
+    auto [traced_json, rec] = traced_run(name, g, options);
+    EXPECT_EQ(to_json(plain), traced_json) << name;
+    EXPECT_FALSE(rec.rounds().empty()) << name;
+  }
+}
+
+TEST(TraceRecorder, TimelineReconcilesWithMetricsTotals) {
+  const Graph g = make_family("hypercube", 32, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("election");
+  RunOptions options;
+  options.params.seed = 5;
+  options.params.drop_probability = 0.05;
+  options.params.faults.crash_fraction = 0.1;
+  options.params.max_length = 64;
+  TraceRecorder rec;
+  options.params.trace = &rec;
+  const RunResult r = algo.run(g, options);
+  std::uint64_t quanta = 0, sends = 0, rand_drops = 0, crash_drops = 0,
+                link_drops = 0;
+  for (const TraceRound& row : rec.rounds()) {
+    quanta += row.quanta;
+    sends += row.sends;
+    rand_drops += row.dropped_rand;
+    crash_drops += row.dropped_crash;
+    link_drops += row.dropped_link;
+  }
+  EXPECT_EQ(quanta, r.totals.congest_messages);
+  EXPECT_EQ(sends, r.totals.logical_messages);
+  EXPECT_EQ(rand_drops, r.totals.dropped_messages);
+  EXPECT_EQ(crash_drops, r.totals.crash_dropped_messages);
+  EXPECT_EQ(link_drops, r.totals.link_dropped_messages);
+  EXPECT_EQ(rec.rounds().back().round, r.rounds);
+  // The crash batch shows up as discrete events matching the outcome.
+  std::uint64_t crash_events = 0;
+  for (const TraceEvent& e : rec.events())
+    if (e.kind == TraceEventKind::kCrash) ++crash_events;
+  EXPECT_EQ(crash_events, r.faults.crashed.size());
+}
+
+TEST(TraceWriter, JsonlRoundTripsThroughTheReader) {
+  const Graph g = make_family("clique", 16, 1);
+  RunOptions options;
+  options.params.seed = 3;
+  auto [json, rec] = traced_run("flood_max", g, options);
+  (void)json;
+
+  std::ostringstream out;
+  JsonlTraceWriter w(out);
+  w.header({kTraceVersion, "run", "name=x algo=flood_max"});
+  TraceRunMeta meta;
+  meta.run = 0;
+  meta.seed = 3;
+  meta.n = 16;
+  meta.algorithm = "flood_max";
+  meta.family = "clique";
+  write_run(w, meta, rec);
+  w.finish(1);
+
+  const TraceFileData data = parse_trace(out.str());
+  EXPECT_EQ(data.format, TraceFormat::kJsonl);
+  EXPECT_EQ(data.header.tool, "run");
+  EXPECT_EQ(data.header.spec, "name=x algo=flood_max");
+  EXPECT_EQ(data.declared_runs, 1u);
+  ASSERT_EQ(data.runs.size(), 1u);
+  EXPECT_EQ(data.runs[0].meta.algorithm, "flood_max");
+  EXPECT_EQ(data.runs[0].meta.n, 16u);
+  ASSERT_EQ(data.runs[0].rounds.size(), rec.rounds().size());
+  for (std::size_t i = 0; i < rec.rounds().size(); ++i) {
+    EXPECT_EQ(data.runs[0].rounds[i].round, rec.rounds()[i].round);
+    EXPECT_EQ(data.runs[0].rounds[i].quanta, rec.rounds()[i].quanta);
+    EXPECT_EQ(data.runs[0].rounds[i].backlog, rec.rounds()[i].backlog);
+  }
+  ASSERT_EQ(data.runs[0].events.size(), rec.events().size());
+}
+
+TEST(TraceWriter, BinaryAndJsonlCarryIdenticalData) {
+  const Graph g = make_family("expander", 32, 1);
+  RunOptions options;
+  options.params.seed = 9;
+  options.params.faults.crash_fraction = 0.25;
+  options.params.faults.linkfail_fraction = 0.1;
+  options.params.max_length = 64;
+  options.max_rounds = 4000;
+  auto [json, rec] = traced_run("election", g, options);
+  (void)json;
+
+  TraceRunMeta meta;
+  meta.run = 2;
+  meta.cell = 1;
+  meta.trial = 0;
+  meta.seed = 9;
+  meta.n = 32;
+  meta.algorithm = "election";
+  meta.family = "expander";
+  std::ostringstream jout, bout;
+  JsonlTraceWriter jw(jout);
+  BinaryTraceWriter bw(bout);
+  for (TraceWriter* w : {static_cast<TraceWriter*>(&jw),
+                         static_cast<TraceWriter*>(&bw)}) {
+    w->header({kTraceVersion, "run", "name=y algo=election"});
+    write_run(*w, meta, rec);
+    w->finish(1);
+  }
+  // Binary is the compact framing.
+  EXPECT_LT(bout.str().size(), jout.str().size() / 2);
+
+  const TraceFileData a = parse_trace(jout.str());
+  const TraceFileData b = parse_trace(bout.str());
+  EXPECT_EQ(b.format, TraceFormat::kBinary);
+  ASSERT_EQ(a.runs.size(), 1u);
+  ASSERT_EQ(b.runs.size(), 1u);
+  ASSERT_EQ(a.runs[0].rounds.size(), b.runs[0].rounds.size());
+  ASSERT_EQ(a.runs[0].events.size(), b.runs[0].events.size());
+  for (std::size_t i = 0; i < a.runs[0].events.size(); ++i) {
+    EXPECT_EQ(a.runs[0].events[i].kind, b.runs[0].events[i].kind);
+    EXPECT_EQ(a.runs[0].events[i].round, b.runs[0].events[i].round);
+    EXPECT_EQ(a.runs[0].events[i].a, b.runs[0].events[i].a);
+    EXPECT_EQ(a.runs[0].events[i].label, b.runs[0].events[i].label);
+  }
+  for (std::size_t i = 0; i < a.runs[0].rounds.size(); ++i) {
+    EXPECT_EQ(a.runs[0].rounds[i].quanta, b.runs[0].rounds[i].quanta);
+    EXPECT_EQ(a.runs[0].rounds[i].sends, b.runs[0].rounds[i].sends);
+  }
+}
+
+TEST(TraceSpec, SingleRunSpecRoundTripsOptions) {
+  RunOptions options;
+  options.params.seed = 21;
+  options.params.c1 = 5.5;
+  options.params.wide_messages = true;
+  options.params.drop_probability = 0.125;
+  options.params.faults.crash_fraction = 0.3;
+  options.params.faults.crash_round = 4;
+  options.params.faults.adversary = "degree";
+  options.params.max_length = 128;
+  options.max_rounds = 999;
+  options.source = 3;
+  const ExperimentSpec spec = single_run_spec("election", "hypercube", 64, 2,
+                                              21, 1, options);
+  // The spec line survives the grammar (to_string -> parse -> to_string).
+  const std::string line = spec.to_string();
+  EXPECT_EQ(parse_spec(line).to_string(), line);
+  // Its single cell reproduces the options exactly.
+  const std::vector<SweepCell> cells = expand_cells(parse_spec(line));
+  ASSERT_EQ(cells.size(), 1u);
+  const ElectionParams& p = cells[0].options.params;
+  EXPECT_EQ(p.c1, 5.5);
+  EXPECT_TRUE(p.wide_messages);
+  EXPECT_EQ(p.drop_probability, 0.125);
+  EXPECT_EQ(p.faults.crash_fraction, 0.3);
+  EXPECT_EQ(p.faults.crash_round, 4u);
+  EXPECT_EQ(p.faults.adversary, "degree");
+  EXPECT_EQ(p.max_length, 128u);
+  EXPECT_EQ(cells[0].options.max_rounds, 999u);
+  EXPECT_EQ(cells[0].options.source, 3u);
+  // Options the grammar cannot express are rejected, not silently dropped.
+  RunOptions pinned = options;
+  pinned.params.faults.pinned_crashes = {1};
+  EXPECT_THROW(single_run_spec("election", "hypercube", 64, 1, 1, 1, pinned),
+               std::invalid_argument);
+  RunOptions fault_seeded = options;
+  fault_seeded.params.faults.seed = 77;
+  EXPECT_THROW(
+      single_run_spec("election", "hypercube", 64, 1, 1, 1, fault_seeded),
+      std::invalid_argument);
+}
+
+TEST(TraceTrials, TracedTrialsAreThreadCountInvariant) {
+  const Graph g = make_family("clique", 16, 1);
+  const Algorithm& algo = AlgorithmRegistry::instance().at("flood_max");
+  RunOptions options;
+  options.params.faults.crash_fraction = 0.25;
+  const auto serialize = [&](unsigned threads) {
+    std::vector<TraceRecorder> recorders;
+    const TrialStats s =
+        run_trials(algo, g, options, 4, 100, threads, &recorders);
+    std::ostringstream out;
+    JsonlTraceWriter w(out);
+    w.header({kTraceVersion, "trials", "x"});
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      TraceRunMeta meta;
+      meta.run = i;
+      meta.trial = i;
+      meta.seed = 100 + i;
+      meta.n = 16;
+      meta.algorithm = "flood_max";
+      meta.family = "clique";
+      write_run(w, meta, recorders[i]);
+    }
+    w.finish(recorders.size());
+    return std::make_pair(out.str(), to_json(s));
+  };
+  const auto [trace1, stats1] = serialize(1);
+  const auto [trace4, stats4] = serialize(4);
+  EXPECT_EQ(trace1, trace4);
+  // Aggregates differ only in the reported worker count.
+  EXPECT_EQ(stats1.substr(stats1.find("success_rate")),
+            stats4.substr(stats4.find("success_rate")));
+}
+
+TEST(TraceReplay, VerifiesByteIdentityAndCatchesTampering) {
+  for (const TraceFormat format :
+       {TraceFormat::kJsonl, TraceFormat::kBinary}) {
+    const bool binary = format == TraceFormat::kBinary;
+    RunOptions options;
+    options.params.faults.crash_fraction = 0.25;
+    const ExperimentSpec spec =
+        single_run_spec("flood_max", "clique", 16, 2, 50, 1, options);
+    const std::string path =
+        temp_path(binary ? "replay.bin" : "replay.jsonl");
+    {
+      std::ofstream file(path, std::ios::binary);
+      ASSERT_TRUE(file.is_open());
+      const auto writer = make_trace_writer(format, file);
+      writer->header({kTraceVersion, "trials", spec.to_string()});
+      run_sweep(spec, /*sinks=*/{}, /*threads=*/1, writer.get());
+    }
+    ReplayReport rep = verify_replay(path, /*threads=*/2);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+    EXPECT_EQ(rep.runs, 2u);
+    EXPECT_EQ(rep.format, format);
+
+    // Flip one timeline byte: replay must localize the drift.
+    std::string bytes = read_file_bytes(path);
+    const std::size_t at = bytes.size() - 10;
+    bytes[at] = bytes[at] == '1' ? '2' : '1';
+    {
+      std::ofstream file(path, std::ios::binary);
+      file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    rep = verify_replay(path, 1);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_GE(rep.first_difference, 1u);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceSummarize, SeriesTrackLiveNodesAndCumulativeBill) {
+  const Graph g = make_family("expander", 32, 1);
+  RunOptions options;
+  options.params.seed = 13;
+  options.params.faults.crash_fraction = 0.25;
+  options.params.faults.crash_round = 3;
+  options.params.max_length = 64;
+  options.max_rounds = 4000;
+  auto [json, rec] = traced_run("election", g, options);
+  (void)json;
+  TraceRunData run;
+  run.meta.n = 32;
+  run.rounds = rec.rounds();
+  run.events = rec.events();
+  const TraceSummary s = summarize_trace(run);
+  ASSERT_EQ(s.series.size(), rec.rounds().size());
+  EXPECT_EQ(s.crashes, 8u);  // 0.25 * 32
+  // Live nodes: 32 until the crash round, 24 after.
+  EXPECT_EQ(s.series.front().live_nodes, 32u);
+  EXPECT_EQ(s.series.back().live_nodes, 24u);
+  EXPECT_EQ(s.final_live, 24u);
+  // Cumulative series are monotone and end at the totals.
+  for (std::size_t i = 1; i < s.series.size(); ++i)
+    EXPECT_GE(s.series[i].cum_messages, s.series[i - 1].cum_messages);
+  EXPECT_EQ(s.series.back().cum_messages, s.total_messages);
+  EXPECT_EQ(s.total_messages, rec.total_quanta());
+  EXPECT_LE(s.rounds_to_quiet, s.rounds);
+  EXPECT_GE(s.peak_backlog, 1u);
+  // The table renders one row per round plus the header, and downsampling
+  // keeps the last round.
+  const Table full = trace_summary_table(s);
+  EXPECT_EQ(full.rows(), s.series.size());
+  const Table sparse = trace_summary_table(s, 10);
+  std::ostringstream csv;
+  sparse.write_csv(csv);
+  EXPECT_NE(csv.str().find("\n" + std::to_string(s.rounds) + ","),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcle
