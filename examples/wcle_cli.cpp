@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <ctime>
 #include <fstream>
+#include <functional>
 #include <thread>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -143,6 +145,11 @@ RunOptions options_from(const CliArgs& args) {
   opt.params.seed = args.get_u64("seed", 1);
   opt.params.c1 = args.get_double("c1", opt.params.c1);
   opt.params.c2 = args.get_double("c2", opt.params.c2);
+  // Sampled tracing: keep every K-th round row (purely observational; the
+  // traced execution is unchanged). Validated like the spec knob.
+  opt.params.trace_every = get_u32(args, "trace-every", 1);
+  if (opt.params.trace_every == 0)
+    throw std::invalid_argument("--trace-every=0 (use 1 for every round)");
   opt.params.wide_messages = args.get_bool("wide", false);
   opt.params.paper_schedule = args.get_bool("paper-schedule", false);
   opt.source = get_u32(args, "source", 0);
@@ -449,6 +456,13 @@ int cmd_sweep(const CliArgs& args) {
   }
 
   const unsigned threads = get_u32(args, "threads", 0);
+  // --trace-every=K is sugar for the trace-every grid knob (sampled round
+  // rows); explicit grid tokens win over the flag.
+  const std::uint64_t trace_every = args.get_u64("trace-every", 1);
+  if (trace_every == 0)
+    throw std::invalid_argument("--trace-every=0 (use 1 for every round)");
+  if (trace_every > 1 && !spec.knobs.count("trace-every"))
+    spec.knobs["trace-every"] = {std::to_string(trace_every)};
   const std::unique_ptr<Sink> sink =
       make_sink(parse_format(args, {"text", "csv", "jsonl", "json"}),
                 std::cout);
@@ -460,17 +474,22 @@ int cmd_sweep(const CliArgs& args) {
 }
 
 // Byte-compares a recorded trace against a fresh re-execution of its header
-// spec (trace/replay.hpp): exit 0 = byte-identical, 1 = drift.
+// spec (trace/replay.hpp): exit 0 = byte-identical, 1 = drift. With --diff a
+// mismatch also decodes the first differing record (run meta, round row, or
+// event) instead of leaving only a byte offset.
 int cmd_replay(const CliArgs& args) {
   const std::string path = args.get("trace", "");
   if (path.empty())
     throw std::invalid_argument("replay needs --trace=FILE");
-  const ReplayReport rep = verify_replay(path, get_u32(args, "threads", 0));
+  const bool diff = args.get_bool("diff", false);
+  const ReplayReport rep =
+      verify_replay(path, get_u32(args, "threads", 0), diff);
   std::cout << "trace:  " << path << " ("
             << (rep.format == TraceFormat::kBinary ? "binary" : "jsonl")
             << ", tool=" << rep.header.tool << ")\n"
             << "spec:   " << rep.header.spec << "\n"
             << "replay: " << rep.detail << "\n";
+  if (!rep.ok && !rep.diff.empty()) std::cout << rep.diff << "\n";
   return rep.ok ? 0 : 1;
 }
 
@@ -570,6 +589,125 @@ int cmd_bench_baseline(const CliArgs& args) {
   return 0;
 }
 
+// Emits the data-plane perf trajectory as google-benchmark-format JSON
+// (BENCH_dataplane.json): representative e1 + e13 + e14 cells at their
+// scale-1 sizes, timed in-process (no startup or graph-build noise), plus
+// the traced e1 smoke sweep the CI regression guard replays. The workload is
+// pinned (independent of WCLE_BENCH_SCALE) so successive commits compare
+// like against like; counters carry the deterministic message/round means,
+// which double as a bit-identity check between recordings.
+int cmd_bench_dataplane(const CliArgs& args) {
+  struct Workload {
+    const char* name;
+    const char* spec;
+  };
+  // One sweep cell each. e13/election/expander/256 is the headline cell the
+  // data-plane rebuild is measured on.
+  const Workload cells[] = {
+      {"dataplane/e1/election/expander/1024",
+       "algo=election family=expander n=1024 trials=3 base-seed=1000"},
+      {"dataplane/e13/election/expander/256",
+       "algo=election family=expander n=256 trials=3 base-seed=1000"},
+      {"dataplane/e13/election/clique/256",
+       "algo=election family=clique n=256 trials=3 base-seed=1000"},
+      {"dataplane/e13/election/hypercube/256",
+       "algo=election family=hypercube n=256 trials=3 base-seed=1000"},
+      {"dataplane/e14/election/expander/128/faults",
+       "algo=election family=expander n=128 trials=2 crash=0.1 linkfail=0.05 "
+       "adversary=contenders max-length=256 max-rounds=4000 base-seed=1000"},
+  };
+
+  const std::string out_path = args.get("out", "");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) throw std::runtime_error("cannot open --out=" + out_path);
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  out << "{\"context\":{\"executable\":\"wcle_cli\",\"num_cpus\":"
+      << std::thread::hardware_concurrency()
+      << ",\"library_build_type\":\"release\",\"caches\":[]},"
+      << "\"benchmarks\":[";
+  bool first_entry = true;
+  const auto emit = [&](const std::string& name, std::uint64_t iterations,
+                        double wall_ns, double cpu_ns,
+                        const std::string& extra) {
+    out << (first_entry ? "" : ",") << "{\"name\":\"" << name
+        << "\",\"run_name\":\"" << name
+        << "\",\"run_type\":\"iteration\",\"repetitions\":1,"
+        << "\"repetition_index\":0,\"threads\":1,\"iterations\":" << iterations
+        << ",\"real_time\":" << json_number(wall_ns)
+        << ",\"cpu_time\":" << json_number(cpu_ns)
+        << ",\"time_unit\":\"ns\"" << extra << "}";
+    first_entry = false;
+  };
+  const auto timed = [](const std::function<void()>& body, double& wall_ns,
+                        double& cpu_ns) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::clock_t cpu0 = std::clock();
+    body();
+    cpu_ns = 1e9 * static_cast<double>(std::clock() - cpu0) /
+             static_cast<double>(CLOCKS_PER_SEC);
+    wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count());
+  };
+
+  for (const Workload& w : cells) {
+    const ExperimentSpec spec = parse_spec(w.spec);
+    const std::vector<SweepCell> expanded = expand_cells(spec);
+    if (expanded.size() != 1)
+      throw std::logic_error("bench-dataplane: workloads must be one cell");
+    const SweepCell& cell = expanded.front();
+    const Graph g = make_family(cell.family,
+                                static_cast<NodeId>(cell.requested_n),
+                                spec.graph_seed);
+    TrialStats stats;
+    double wall_ns = 0, cpu_ns = 0;
+    timed(
+        [&] {
+          stats = run_trials(AlgorithmRegistry::instance().at(cell.algorithm),
+                             g, cell.options, spec.trials, spec.base_seed,
+                             /*threads=*/1);
+        },
+        wall_ns, cpu_ns);
+    std::ostringstream extra;
+    extra << ",\"congest_messages\":" << json_number(stats.congest_messages.mean)
+          << ",\"rounds\":" << json_number(stats.rounds.mean)
+          << ",\"success_rate\":" << json_number(stats.success_rate);
+    emit(w.name, spec.trials, wall_ns / spec.trials, cpu_ns / spec.trials,
+         extra.str());
+  }
+
+  // The traced e1 smoke sweep (scale 0) — the workload the CI guard times
+  // against the recorded baseline. Includes binary trace serialization.
+  // Reported as one iteration: real_time is the whole-sweep wall time.
+  {
+    const ExperimentSpec smoke = builtin_experiment("e1", /*scale=*/0);
+    double wall_ns = 0, cpu_ns = 0;
+    std::uint64_t trace_bytes = 0;
+    timed(
+        [&] {
+          std::ostringstream trace_buf;
+          const std::unique_ptr<TraceWriter> writer =
+              make_trace_writer(TraceFormat::kBinary, trace_buf);
+          writer->header({kTraceVersion, "bench", smoke.to_string()});
+          run_sweep(smoke, /*sinks=*/{}, /*threads=*/1, writer.get());
+          trace_bytes = static_cast<std::uint64_t>(trace_buf.str().size());
+        },
+        wall_ns, cpu_ns);
+    std::ostringstream extra;
+    extra << ",\"trace_bytes\":" << trace_bytes;
+    emit("dataplane/smoke/e1_traced", /*iterations=*/1, wall_ns, cpu_ns,
+         extra.str());
+  }
+  out << "]}\n";
+  out.flush();
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "usage: wcle_cli <command> [options]\n"
@@ -586,12 +724,17 @@ void usage() {
       "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
       "  trace:    run/trials/sweep --trace=FILE [--trace-format=jsonl|binary]\n"
       "            (per-round timelines; .bin/.btrace default to binary)\n"
-      "            replay --trace=FILE [--threads=<t>]\n"
-      "            (re-execute from the header, verify byte-identity)\n"
+      "            run/trials/sweep --trace-every=<k>  (sampled rows: keep\n"
+      "            every k-th round row; events always kept)\n"
+      "            replay --trace=FILE [--threads=<t>] [--diff]\n"
+      "            (re-execute from the header, verify byte-identity;\n"
+      "             --diff decodes the first differing record on mismatch)\n"
       "            trace-summary --trace=FILE [--run=<i>] [--every=<k>]\n"
       "                          [--format=text|csv]\n"
       "  bench:    bench-baseline [--out=BENCH_sweep.json]\n"
       "            (fixed-scale election sweep, google-benchmark JSON)\n"
+      "            bench-dataplane [--out=BENCH_dataplane.json]\n"
+      "            (hot-path trajectory: e1/e13/e14 cells + traced e1 smoke)\n"
       "  legacy:   elect, explicit, profile, lowerbound\n"
       "  common:   --family=<see list> --n=<nodes> --seed=<u64>\n"
       "            --c1= --c2= --wide --paper-schedule --source=\n"
@@ -626,6 +769,8 @@ int main(int argc, char** argv) {
     else if (args.command() == "replay") rc = cmd_replay(args);
     else if (args.command() == "trace-summary") rc = cmd_trace_summary(args);
     else if (args.command() == "bench-baseline") rc = cmd_bench_baseline(args);
+    else if (args.command() == "bench-dataplane")
+      rc = cmd_bench_dataplane(args);
     else {
       usage();
       return args.command().empty() ? 0 : 2;

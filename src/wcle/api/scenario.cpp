@@ -107,7 +107,12 @@ void apply_knob(RunOptions& options, const std::string& key,
     options.params.faults.churn_start = parse_u64(key, value);
   else if (key == "churn-end")
     options.params.faults.churn_end = parse_u64(key, value);
-  else
+  else if (key == "trace-every") {
+    options.params.trace_every = parse_u32(key, value);
+    if (options.params.trace_every == 0)
+      throw std::invalid_argument(
+          "spec: trace-every=0 (use 1 for every round)");
+  } else
     throw std::invalid_argument(
         "spec: unknown key '" + key + "' (axes: algo family n bandwidth drop "
         "crash linkfail adversary trials base-seed graph-seed reliable extras "
@@ -135,7 +140,8 @@ std::vector<std::string> knob_names() {
           "churn-end",  "churn-start",  "coalesce",      "crash-round",
           "initial-length", "lazy-walks", "linkfail-round", "max-length",
           "max-phases", "max-rounds",   "paper-schedule", "source",
-          "tmix",       "tmix-mult",    "value-bits",    "wide"};
+          "tmix",       "tmix-mult",    "trace-every",   "value-bits",
+          "wide"};
 }
 
 ExperimentSpec single_run_spec(const std::string& algorithm,
@@ -212,6 +218,8 @@ ExperimentSpec single_run_spec(const std::string& algorithm,
        std::to_string(p.faults.churn_start));
   knob("churn-end", p.faults.churn_end != 0,
        std::to_string(p.faults.churn_end));
+  knob("trace-every", p.trace_every != def.params.trace_every,
+       std::to_string(p.trace_every));
   return spec;
 }
 

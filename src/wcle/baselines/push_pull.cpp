@@ -67,7 +67,7 @@ BroadcastResult run_push_pull(const Graph& g,
         msg.tag = kTagPull;
         msg.bits = 8;
       }
-      net.send(v, p, std::move(msg));
+      net.send(v, p, msg);
     }
     // Answer pulls that arrived last round.
     for (const auto& [v, p] : owed) {
@@ -75,7 +75,7 @@ BroadcastResult run_push_pull(const Graph& g,
       Message msg;
       msg.tag = kTagRumor;
       msg.bits = rumor_bits;
-      net.send(v, p, std::move(msg));
+      net.send(v, p, msg);
     }
     owed.clear();
 

@@ -82,6 +82,7 @@ CongestConfig congest_config_for(const ElectionParams& params, NodeId n) {
   // on different sub-seeds) can share one set of victims.
   if (cfg.faults.seed == 0) cfg.faults.seed = params.seed ^ 0xFA017C4A5Dull;
   cfg.trace = params.trace;
+  cfg.trace_every = params.trace_every;
   return cfg;
 }
 

@@ -60,6 +60,11 @@ struct ElectionParams {
   /// composition of protocols) drives appends to one timeline. Null = off.
   /// Purely observational — never changes results.
   TraceRecorder* trace = nullptr;
+  /// Sampled tracing: record every K-th round row (events are always kept),
+  /// making traced large-scale sweeps cheap. 1 = record every round. Rides
+  /// into CongestConfig::trace_every via congest_config_for; purely
+  /// observational like `trace` itself.
+  std::uint32_t trace_every = 1;
   /// Root seed; all ids, coin flips, and walks derive from it.
   std::uint64_t seed = 1;
 

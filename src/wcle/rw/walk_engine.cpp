@@ -8,6 +8,18 @@
 
 namespace wcle {
 
+namespace {
+
+/// lower_bound position of `origin` in a sorted registration list.
+std::vector<WalkEngine::Registration>::iterator reg_position(
+    std::vector<WalkEngine::Registration>& regs, NodeId origin) {
+  return std::lower_bound(
+      regs.begin(), regs.end(), origin,
+      [](const WalkEngine::Registration& r, NodeId o) { return r.first < o; });
+}
+
+}  // namespace
+
 void ReplyPayload::merge(const ReplyPayload& other) {
   distinct_proxies += other.distinct_proxies;
   proxy_nodes += other.proxy_nodes;
@@ -24,11 +36,30 @@ void ReplyPayload::add_id(std::uint64_t id) {
   if (it == ids.end() || *it != id) ids.insert(it, id);
 }
 
+WalkEngine::RegistrationView::const_iterator
+WalkEngine::RegistrationView::find(NodeId origin) const noexcept {
+  const Registration* lo = data_;
+  const Registration* hi = data_ + size_;
+  const Registration* it = std::lower_bound(
+      lo, hi, origin,
+      [](const Registration& r, NodeId o) { return r.first < o; });
+  return (it != hi && it->first == origin) ? it : hi;
+}
+
+std::uint64_t WalkEngine::RegistrationView::at(NodeId origin) const {
+  const const_iterator it = find(origin);
+  if (it == end())
+    throw std::out_of_range("RegistrationView::at: origin not registered");
+  return it->second;
+}
+
 WalkEngine::WalkEngine(const Graph& g, Network& net, Rng& rng,
                        WalkConfig config)
     : g_(&g), net_(&net), rng_(&rng), config_(config) {
   id_bits_ = id_bits(g.node_count());
   base_bits_ = id_bits_ + 2 * ceil_log2(g.node_count()) + 8;
+  origin_index_.assign(g.node_count(), kNoOrigin);
+  registrations_.resize(g.node_count());
 }
 
 std::uint32_t WalkEngine::token_bits(std::uint32_t /*remaining*/) const {
@@ -39,64 +70,124 @@ std::uint32_t WalkEngine::payload_bits(std::size_t id_count) const {
   return base_bits_ + static_cast<std::uint32_t>(id_count) * id_bits_;
 }
 
-WalkEngine::Level& WalkEngine::level_at(NodeId node, NodeId origin,
-                                        std::uint32_t r) {
-  const std::uint64_t k = key(node, origin);
-  auto [it, inserted] = trails_.try_emplace(k);
-  if (inserted) touched_[origin].push_back(node);
-  return it->second[r];
+WalkEngine::OriginState& WalkEngine::intern(NodeId origin) {
+  std::uint32_t idx = origin_index_[origin];
+  if (idx == kNoOrigin) {
+    idx = static_cast<std::uint32_t>(origins_.size());
+    origin_index_[origin] = idx;
+    origins_.emplace_back();
+    OriginState& os = origins_.back();
+    os.node = origin;
+    os.slot_of.assign(g_->node_count(), kNoSlot);
+  }
+  return origins_[idx];
 }
 
-const WalkEngine::Level* WalkEngine::find_level(NodeId node, NodeId origin,
-                                                std::uint32_t r) const {
-  const auto t = trails_.find(key(node, origin));
-  if (t == trails_.end()) return nullptr;
-  const auto l = t->second.find(r);
-  return l == t->second.end() ? nullptr : &l->second;
+WalkEngine::OriginState* WalkEngine::find_origin(NodeId origin) noexcept {
+  const std::uint32_t idx = origin_index_[origin];
+  return idx == kNoOrigin ? nullptr : &origins_[idx];
+}
+
+const WalkEngine::OriginState* WalkEngine::find_origin(
+    NodeId origin) const noexcept {
+  const std::uint32_t idx = origin_index_[origin];
+  return idx == kNoOrigin ? nullptr : &origins_[idx];
+}
+
+WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
+                                        std::uint32_t r) {
+  std::int32_t s = os.slot_of[node];
+  if (s == kNoSlot) {
+    s = static_cast<std::int32_t>(os.slots_used);
+    os.slot_of[node] = s;
+    os.touched.push_back(node);
+    if (os.slots_used == os.slots.size())
+      os.slots.emplace_back();
+    else
+      os.slots[os.slots_used].refs.clear();  // recycled slot, warm capacity
+    ++os.slots_used;
+  }
+  NodeTrail& trail = os.slots[static_cast<std::size_t>(s)];
+  const auto it = std::lower_bound(
+      trail.refs.begin(), trail.refs.end(), r,
+      [](const std::pair<std::uint32_t, std::uint32_t>& ref,
+         std::uint32_t level) { return ref.first < level; });
+  if (it != trail.refs.end() && it->first == r) return os.pool[it->second];
+  const std::uint32_t idx = static_cast<std::uint32_t>(os.pool_used);
+  if (os.pool_used == os.pool.size()) {
+    os.pool.emplace_back();
+  } else {
+    // Recycled level: zero the bookkeeping, keep the vector capacities.
+    Level& lv = os.pool[idx];
+    lv.stay_in = lv.origin_inject = lv.stay_out = lv.sent_total = 0;
+    lv.proxy_units = 0;
+    lv.in_ports.clear();
+    lv.out_ports.clear();
+    lv.cc_got = 0;
+    lv.cc_agg.distinct_proxies = 0;
+    lv.cc_agg.proxy_nodes = 0;
+    lv.cc_agg.ids.clear();
+    lv.cc_gen = 0;
+    lv.flood_seen = 0;
+  }
+  ++os.pool_used;
+  trail.refs.insert(it, {r, idx});
+  return os.pool[idx];
+}
+
+WalkEngine::Level* WalkEngine::find_level(OriginState& os, NodeId node,
+                                          std::uint32_t r) noexcept {
+  const std::int32_t s = os.slot_of[node];
+  if (s == kNoSlot) return nullptr;
+  const NodeTrail& trail = os.slots[static_cast<std::size_t>(s)];
+  const auto it = std::lower_bound(
+      trail.refs.begin(), trail.refs.end(), r,
+      [](const std::pair<std::uint32_t, std::uint32_t>& ref,
+         std::uint32_t level) { return ref.first < level; });
+  if (it == trail.refs.end() || it->first != r) return nullptr;
+  return &os.pool[it->second];
 }
 
 void WalkEngine::clear_origin(NodeId origin) {
-  if (const auto t = touched_.find(origin); t != touched_.end()) {
-    for (NodeId node : t->second) trails_.erase(key(node, origin));
-    touched_.erase(t);
+  OriginState* os = find_origin(origin);
+  if (os == nullptr) return;
+  for (const NodeId node : os->touched) os->slot_of[node] = kNoSlot;
+  os->touched.clear();
+  os->slots_used = 0;  // trail slots recycle lazily (refs cleared on reuse)
+  os->pool_used = 0;   // levels recycle lazily (reset on reuse)
+  for (const NodeId node : os->proxies) {
+    auto& regs = registrations_[node];
+    const auto it = reg_position(regs, origin);
+    if (it != regs.end() && it->first == origin) regs.erase(it);
   }
-  if (const auto p = proxy_nodes_.find(origin); p != proxy_nodes_.end()) {
-    for (NodeId node : p->second) {
-      const auto r = registrations_.find(node);
-      if (r != registrations_.end()) {
-        r->second.erase(origin);
-        if (r->second.empty()) registrations_.erase(r);
-      }
-    }
-    proxy_nodes_.erase(p);
-  }
-  walk_length_.erase(origin);
+  os->proxies.clear();
+  os->length = 0;
 }
 
-const std::unordered_map<NodeId, std::uint64_t>& WalkEngine::registrations(
-    NodeId node) const {
-  const auto it = registrations_.find(node);
-  return it == registrations_.end() ? empty_regs_ : it->second;
+WalkEngine::RegistrationView WalkEngine::registrations(NodeId node) const {
+  const std::vector<Registration>& regs = registrations_[node];
+  return RegistrationView(regs.data(), regs.size());
 }
 
 const std::vector<NodeId>& WalkEngine::proxy_nodes(NodeId origin) const {
-  const auto it = proxy_nodes_.find(origin);
-  return it == proxy_nodes_.end() ? empty_nodes_ : it->second;
+  const OriginState* os = find_origin(origin);
+  return os == nullptr ? empty_nodes_ : os->proxies;
 }
 
-void WalkEngine::dispose_units(
-    NodeId node, NodeId origin, std::uint32_t r, std::uint64_t count,
-    std::unordered_map<std::uint64_t,
-                       std::unordered_map<std::uint32_t, std::uint64_t>>&
-        next_buckets,
-    std::vector<std::uint64_t>& next_hot) {
-  Level& lv = level_at(node, origin, r);
+void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
+                               std::uint64_t count,
+                               std::vector<Pending>& next) {
+  Level& lv = level_at(os, node, r);
   if (r == 0) {
     lv.proxy_units += count;
     auto& regs = registrations_[node];
-    auto [it, inserted] = regs.try_emplace(origin, 0);
-    if (inserted) proxy_nodes_[origin].push_back(node);
-    it->second += count;
+    const auto it = reg_position(regs, os.node);
+    if (it == regs.end() || it->first != os.node) {
+      regs.insert(it, {os.node, count});
+      os.proxies.push_back(node);
+    } else {
+      it->second += count;
+    }
     return;
   }
 
@@ -105,11 +196,8 @@ void WalkEngine::dispose_units(
   const std::uint64_t movers = count - stays;
   if (stays > 0) {
     lv.stay_out += stays;
-    level_at(node, origin, r - 1).stay_in += stays;
-    const std::uint64_t k = key(node, origin);
-    auto [bucket, fresh] = next_buckets.try_emplace(k);
-    if (fresh) next_hot.push_back(k);
-    (*bucket).second[r - 1] += stays;
+    level_at(os, node, r - 1).stay_in += stays;  // lv stays valid (deque pool)
+    next.push_back({node, os.node, r - 1, stays});
   }
   if (movers == 0) return;
 
@@ -127,7 +215,7 @@ void WalkEngine::dispose_units(
     lv.sent_total += sent;
     Message msg;
     msg.tag = kTagWalkToken;
-    msg.a = origin;
+    msg.a = os.node;
     msg.b = r - 1;
     msg.c = sent;
     // Without coalescing every walk unit pays for its own token (the naive
@@ -137,16 +225,12 @@ void WalkEngine::dispose_units(
                    : static_cast<std::uint32_t>(
                          std::min<std::uint64_t>(sent, 1u << 20) *
                          token_bits(r - 1));
-    net_->send(node, p, std::move(msg));
+    net_->send(node, p, msg);
   }
 }
 
 std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
-  using Buckets =
-      std::unordered_map<std::uint64_t,
-                         std::unordered_map<std::uint32_t, std::uint64_t>>;
-  Buckets buckets, next_buckets;
-  std::vector<std::uint64_t> hot, next_hot;
+  std::vector<Pending> cur, next;
 
   for (const WalkOrder& o : orders) {
     if (o.count == 0 || o.length == 0)
@@ -154,33 +238,39 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
     clear_origin(o.origin);
   }
   for (const WalkOrder& o : orders) {
-    level_at(o.origin, o.origin, o.length).origin_inject += o.count;
-    const std::uint64_t k = key(o.origin, o.origin);
-    auto [bucket, fresh] = buckets.try_emplace(k);
-    if (fresh) hot.push_back(k);
-    (*bucket).second[o.length] += o.count;
-    walk_length_[o.origin] =
-        std::max(walk_length_[o.origin], o.length);
+    OriginState& os = intern(o.origin);
+    os.length = std::max(os.length, o.length);
+    level_at(os, o.origin, o.length).origin_inject += o.count;
+    cur.push_back({o.origin, o.origin, o.length, o.count});
   }
 
   const std::uint64_t round0 = net_->round();
-  while (!buckets.empty() || !net_->idle()) {
-    // Deterministic processing order: sorted (node, origin) keys, then
-    // descending remaining-length within a bucket.
-    std::sort(hot.begin(), hot.end());
-    for (const std::uint64_t k : hot) {
-      const NodeId node = static_cast<NodeId>(k >> 32);
-      const NodeId origin = static_cast<NodeId>(k & 0xffffffffu);
-      auto& levels = buckets[k];
-      std::vector<std::pair<std::uint32_t, std::uint64_t>> items(
-          levels.begin(), levels.end());
-      std::sort(items.begin(), items.end(),
-                [](const auto& x, const auto& y) { return x.first > y.first; });
-      for (const auto& [r, count] : items)
-        dispose_units(node, origin, r, count, next_buckets, next_hot);
+  while (!cur.empty() || !net_->idle()) {
+    // Deterministic processing order: (node, origin) ascending, descending
+    // remaining-length within — the order the hash-map engine produced by
+    // sorting its keys. Equal (node, origin, level) buckets merge before
+    // disposal so the coalesced RNG draws are identical too.
+    std::sort(cur.begin(), cur.end(),
+              [](const Pending& x, const Pending& y) {
+                if (x.node != y.node) return x.node < y.node;
+                if (x.origin != y.origin) return x.origin < y.origin;
+                return x.level > y.level;
+              });
+    std::size_t i = 0;
+    while (i < cur.size()) {
+      std::uint64_t total = cur[i].count;
+      std::size_t j = i + 1;
+      while (j < cur.size() && cur[j].node == cur[i].node &&
+             cur[j].origin == cur[i].origin && cur[j].level == cur[i].level) {
+        total += cur[j].count;
+        ++j;
+      }
+      OriginState* os = find_origin(cur[i].origin);
+      assert(os != nullptr);
+      dispose_units(*os, cur[i].node, cur[i].level, total, next);
+      i = j;
     }
-    buckets.clear();
-    hot.clear();
+    cur.clear();
 
     const std::vector<Delivery>& delivered = net_->step();
     for (const Delivery& d : delivered) {
@@ -188,7 +278,9 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
       const NodeId origin = static_cast<NodeId>(d.msg.a);
       const std::uint32_t r = static_cast<std::uint32_t>(d.msg.b);
       const std::uint64_t count = d.msg.c;
-      Level& lv = level_at(d.dst, origin, r);
+      OriginState* os = find_origin(origin);
+      assert(os != nullptr);
+      Level& lv = level_at(*os, d.dst, r);
       const auto in = std::find_if(
           lv.in_ports.begin(), lv.in_ports.end(),
           [&](const auto& e) { return e.first == d.port; });
@@ -196,24 +288,20 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
         lv.in_ports.emplace_back(d.port, count);
       else
         in->second += count;
-      const std::uint64_t k = key(d.dst, origin);
-      auto [bucket, fresh] = next_buckets.try_emplace(k);
-      if (fresh) next_hot.push_back(k);
-      (*bucket).second[r] += count;
+      next.push_back({d.dst, origin, r, count});
     }
-    buckets.swap(next_buckets);
-    hot.swap(next_hot);
+    cur.swap(next);
   }
   return net_->round() - round0;
 }
 
 std::vector<WalkEvent> WalkEngine::begin_convergecast(
     const std::vector<NodeId>& origins, const ProxyPayloadFn& at_proxy) {
-  cc_.clear();
+  cc_gen_ += 1;  // invalidates every Level's embedded convergecast state
   std::vector<WalkEvent> events;
   for (const NodeId origin : origins) {
     for (const NodeId proxy : proxy_nodes(origin)) {
-      const auto& regs = registrations(proxy);
+      const RegistrationView regs = registrations(proxy);
       const auto it = regs.find(origin);
       assert(it != regs.end());
       ReplyPayload payload = at_proxy(proxy, origin, it->second);
@@ -227,6 +315,9 @@ std::vector<WalkEvent> WalkEngine::begin_convergecast(
 void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
                         std::uint64_t units, ReplyPayload payload,
                         std::vector<WalkEvent>& events) {
+  OriginState* osp = find_origin(origin);
+  assert(osp != nullptr);
+  OriginState& os = *osp;
   struct Work {
     NodeId node;
     std::uint32_t r;
@@ -239,7 +330,7 @@ void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
   while (!stack.empty()) {
     Work w = std::move(stack.back());
     stack.pop_back();
-    const Level* lv = find_level(w.node, origin, w.r);
+    Level* lv = find_level(os, w.node, w.r);
     assert(lv != nullptr);
 
     ReplyPayload agg;
@@ -247,13 +338,20 @@ void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
       // Terminal level: all proxy units report at once; no counting needed.
       agg = std::move(w.payload);
     } else {
-      CcState& st = cc_[key(w.node, origin)][w.r];
-      st.got += w.units;
-      st.agg.merge(w.payload);
+      if (lv->cc_gen != cc_gen_) {
+        // First credit of this convergecast generation: reset in place.
+        lv->cc_gen = cc_gen_;
+        lv->cc_got = 0;
+        lv->cc_agg.distinct_proxies = 0;
+        lv->cc_agg.proxy_nodes = 0;
+        lv->cc_agg.ids.clear();
+      }
+      lv->cc_got += w.units;
+      lv->cc_agg.merge(w.payload);
       const std::uint64_t need = lv->stay_out + lv->sent_total;
-      assert(st.got <= need);
-      if (st.got < need) continue;
-      agg = std::move(st.agg);
+      assert(lv->cc_got <= need);
+      if (lv->cc_got < need) continue;
+      agg = std::move(lv->cc_agg);
     }
 
     // Completed: partition units over the parents; the full aggregate
@@ -272,11 +370,11 @@ void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
       msg.c = cnt;
       if (first) {
         msg.d = (agg.distinct_proxies << 32) | agg.proxy_nodes;
-        msg.ids = std::move(agg.ids);
+        msg.ids = IdSpan(agg.ids);
         first = false;
       }
       msg.bits = payload_bits(msg.ids.size());
-      net_->send(w.node, port, std::move(msg));
+      net_->send(w.node, port, msg);
     }
     if (lv->origin_inject > 0) {
       WalkEvent ev;
@@ -292,32 +390,33 @@ void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
 std::vector<WalkEvent> WalkEngine::begin_flood_down(
     NodeId origin, std::vector<std::uint64_t> ids) {
   std::vector<WalkEvent> events;
-  const auto len = walk_length_.find(origin);
-  if (len == walk_length_.end()) return events;
-  const std::uint32_t gen = ++flood_gen_[origin];
-  flood_at(origin, origin, len->second, gen, ids, events);
+  OriginState* os = find_origin(origin);
+  if (os == nullptr || os->length == 0) return events;
+  const std::uint32_t gen = ++os->flood_gen;
+  flood_at(origin, origin, os->length, gen, IdSpan(ids), events);
   return events;
 }
 
 void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
-                          std::uint32_t gen,
-                          const std::vector<std::uint64_t>& ids,
+                          std::uint32_t gen, IdSpan ids,
                           std::vector<WalkEvent>& events) {
+  OriginState* osp = find_origin(origin);
+  if (osp == nullptr) return;  // stale message for a never-walked origin
+  OriginState& os = *osp;
   NodeId cur = node;
   std::uint32_t level = r;
   for (;;) {
-    std::uint32_t& seen = flood_seen_[key(cur, origin)][level];
-    if (seen == gen) return;
-    seen = gen;
-    const Level* lv = find_level(cur, origin, level);
+    Level* lv = find_level(os, cur, level);
     if (lv == nullptr) return;
+    if (lv->flood_seen == gen) return;
+    lv->flood_seen = gen;
     if (level == 0) {
       if (lv->proxy_units > 0) {
         WalkEvent ev;
         ev.kind = WalkEvent::Kind::kFloodAtProxy;
         ev.node = cur;
         ev.origin = origin;
-        ev.ids = ids;
+        ev.ids = ids.to_vector();
         events.push_back(std::move(ev));
       }
       return;
@@ -328,9 +427,9 @@ void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
       msg.a = origin;
       msg.b = level - 1;
       msg.c = gen;
-      msg.ids = ids;
+      msg.ids = ids;  // forwarded as a view; send() copies into the arena
       msg.bits = payload_bits(ids.size());
-      net_->send(cur, p, std::move(msg));
+      net_->send(cur, p, msg);
     }
     if (lv->stay_out == 0) return;
     --level;  // continue locally through the lazy self-step link
@@ -347,10 +446,13 @@ std::vector<WalkEvent> WalkEngine::begin_unicast_up(
 void WalkEngine::unicast_at(NodeId node, NodeId origin, std::uint32_t r,
                             std::vector<std::uint64_t> ids,
                             std::vector<WalkEvent>& events) {
+  OriginState* osp = find_origin(origin);
+  if (osp == nullptr) return;  // stale trail; drop
+  OriginState& os = *osp;
   NodeId cur = node;
   std::uint32_t level = r;
   for (;;) {
-    const Level* lv = find_level(cur, origin, level);
+    Level* lv = find_level(os, cur, level);
     if (lv == nullptr) return;  // stale trail; drop
     if (lv->origin_inject > 0) {
       WalkEvent ev;
@@ -370,9 +472,9 @@ void WalkEngine::unicast_at(NodeId node, NodeId origin, std::uint32_t r,
       msg.tag = kTagUnicastUp;
       msg.a = origin;
       msg.b = level + 1;
-      msg.ids = std::move(ids);
-      msg.bits = payload_bits(msg.ids.size());
-      net_->send(cur, lv->in_ports.front().first, std::move(msg));
+      msg.ids = IdSpan(ids);
+      msg.bits = payload_bits(ids.size());
+      net_->send(cur, lv->in_ports.front().first, msg);
       return;
     }
     return;  // orphan level (should not happen on complete trails)
@@ -386,7 +488,7 @@ std::vector<WalkEvent> WalkEngine::handle(const Delivery& d) {
       ReplyPayload payload;
       payload.distinct_proxies = d.msg.d >> 32;
       payload.proxy_nodes = d.msg.d & 0xffffffffu;
-      payload.ids = d.msg.ids;
+      payload.ids = d.msg.ids.to_vector();
       credit(d.dst, static_cast<NodeId>(d.msg.a),
              static_cast<std::uint32_t>(d.msg.b), d.msg.c, std::move(payload),
              events);
@@ -399,7 +501,8 @@ std::vector<WalkEvent> WalkEngine::handle(const Delivery& d) {
       break;
     case kTagUnicastUp:
       unicast_at(d.dst, static_cast<NodeId>(d.msg.a),
-                 static_cast<std::uint32_t>(d.msg.b), d.msg.ids, events);
+                 static_cast<std::uint32_t>(d.msg.b), d.msg.ids.to_vector(),
+                 events);
       break;
     default:
       assert(false && "WalkEngine::handle: unexpected tag");

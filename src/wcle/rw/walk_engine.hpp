@@ -17,11 +17,22 @@
 // persist across walk stages until that origin walks again, which is exactly
 // the lifetime the algorithm needs (inactive contenders keep their proxies;
 // active contenders re-walk with doubled length and re-register).
+//
+// State layout (the data-plane rebuild): origins are interned into a dense
+// index; each origin owns a per-node slot table (plain array lookup) whose
+// slots hold small level-sorted trail arrays referencing a recycled level
+// pool, and the convergecast/flood runtime is embedded in the Level records
+// behind generation counters. run_walk_stage's per-round token buckets are a
+// flat sorted vector. No hash table is touched anywhere on the hot path, and
+// after the first phase the engine performs no steady-state allocation;
+// executions are bit-identical to the hash-map implementation.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "wcle/graph/graph.hpp"
@@ -94,15 +105,39 @@ class WalkEngine {
   WalkEngine(const Graph& g, Network& net, Rng& rng,
              WalkConfig config = {});
 
+  /// One (origin, units) registration entry at a proxy node.
+  using Registration = std::pair<NodeId, std::uint64_t>;
+
+  /// The registrations of one node, sorted by origin id — map-like reads
+  /// (find / at / iteration as (origin, units) pairs) over a flat array.
+  class RegistrationView {
+   public:
+    using const_iterator = const Registration*;
+    RegistrationView() = default;
+    RegistrationView(const Registration* data, std::size_t size)
+        : data_(data), size_(size) {}
+    const_iterator begin() const noexcept { return data_; }
+    const_iterator end() const noexcept { return data_ + size_; }
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    /// end() when `origin` holds no registration here (binary search).
+    const_iterator find(NodeId origin) const noexcept;
+    /// Units registered by `origin`; throws std::out_of_range if absent.
+    std::uint64_t at(NodeId origin) const;
+
+   private:
+    const Registration* data_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
   /// Runs all orders' walks in parallel to completion (every token reaches
   /// remaining==0 and registers at its proxy). Returns rounds consumed.
   /// Clears previous trails and registrations of the ordered origins first.
   std::uint64_t run_walk_stage(const std::vector<WalkOrder>& orders);
 
   /// Origins registered at `node` with their unit counts (walk endpoints from
-  /// each origin's latest stage). Empty map reference if none.
-  const std::unordered_map<NodeId, std::uint64_t>& registrations(
-      NodeId node) const;
+  /// each origin's latest stage), sorted by origin. Empty view if none.
+  RegistrationView registrations(NodeId node) const;
 
   /// Proxy nodes of `origin` from its latest walk stage.
   const std::vector<NodeId>& proxy_nodes(NodeId origin) const;
@@ -137,7 +172,12 @@ class WalkEngine {
   std::vector<WalkEvent> handle(const Delivery& d);
 
  private:
-  /// Static breadcrumbs for one (node, origin, remaining-level).
+  static constexpr std::uint32_t kNoOrigin = 0xffffffffu;
+  static constexpr std::int32_t kNoSlot = -1;
+
+  /// Static breadcrumbs for one (node, origin, remaining-level), with the
+  /// convergecast and flood runtime embedded behind generation counters (no
+  /// side tables, no hashing).
   struct Level {
     std::uint64_t stay_in = 0;       ///< units arriving by a lazy self-step
     std::uint64_t origin_inject = 0; ///< units injected here (origin, r=len)
@@ -146,32 +186,58 @@ class WalkEngine {
     std::uint64_t proxy_units = 0;   ///< units terminating here (r==0)
     std::vector<std::pair<Port, std::uint64_t>> in_ports;  ///< arrivals
     std::vector<Port> out_ports;                           ///< departures
-  };
-  /// Trail of one origin at one node: remaining-level -> breadcrumbs.
-  using Trail = std::unordered_map<std::uint32_t, Level>;
-
-  /// Convergecast runtime per (node, origin, level).
-  struct CcState {
-    std::uint64_t got = 0;
-    ReplyPayload agg;
+    // Convergecast runtime, valid while cc_gen matches the engine's counter.
+    std::uint64_t cc_got = 0;
+    ReplyPayload cc_agg;
+    std::uint32_t cc_gen = 0;
+    // Last flood generation forwarded through this level.
+    std::uint32_t flood_seen = 0;
   };
 
-  static std::uint64_t key(NodeId node, NodeId origin) {
-    return (static_cast<std::uint64_t>(node) << 32) | origin;
-  }
+  /// Trail of one origin at one node: (level, pool index) sorted by level.
+  /// Typically a handful of entries — binary search beats any hash here.
+  struct NodeTrail {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> refs;
+  };
+
+  /// All engine state of one interned origin. Trail storage (slots + level
+  /// pool) is recycled via cursors on clear, so re-walking origins reuse
+  /// warm capacity instead of churning the allocator.
+  struct OriginState {
+    NodeId node = 0;
+    std::uint32_t length = 0;     ///< latest walk length (0 = no trails)
+    std::uint32_t flood_gen = 0;  ///< per-origin flood generation counter
+    std::vector<std::int32_t> slot_of;  ///< node -> slot index | kNoSlot
+    std::vector<NodeId> touched;        ///< nodes with a slot
+    std::vector<NodeTrail> slots;
+    std::size_t slots_used = 0;
+    std::deque<Level> pool;  ///< stable addresses: Level&s survive growth
+    std::size_t pool_used = 0;
+    std::vector<NodeId> proxies;
+  };
+
+  /// A pending (node, origin, level, units) token bucket of the walk stage.
+  /// Sorted by (node, origin, level desc) and merged each engine round —
+  /// the same deterministic disposal order the hash-map implementation
+  /// produced by sorting its keys.
+  struct Pending {
+    NodeId node = 0;
+    NodeId origin = 0;
+    std::uint32_t level = 0;
+    std::uint64_t count = 0;
+  };
+
+  OriginState& intern(NodeId origin);
+  OriginState* find_origin(NodeId origin) noexcept;
+  const OriginState* find_origin(NodeId origin) const noexcept;
 
   void clear_origin(NodeId origin);
-  Level& level_at(NodeId node, NodeId origin, std::uint32_t r);
-  const Level* find_level(NodeId node, NodeId origin, std::uint32_t r) const;
+  Level& level_at(OriginState& os, NodeId node, std::uint32_t r);
+  Level* find_level(OriginState& os, NodeId node, std::uint32_t r) noexcept;
 
   /// Walk-stage helper: disposes `count` units at (node, origin, r).
-  void dispose_units(NodeId node, NodeId origin, std::uint32_t r,
-                     std::uint64_t count,
-                     std::unordered_map<std::uint64_t,
-                                        std::unordered_map<std::uint32_t,
-                                                           std::uint64_t>>&
-                         next_buckets,
-                     std::vector<std::uint64_t>& next_hot);
+  void dispose_units(OriginState& os, NodeId node, std::uint32_t r,
+                     std::uint64_t count, std::vector<Pending>& next);
 
   /// Convergecast helper: credits `units`/`payload` to (node, origin, r) and
   /// cascades completions (locally through stay-links, remotely via sends).
@@ -182,8 +248,7 @@ class WalkEngine {
   /// through stay-links and remotely via out_ports. `gen` identifies the
   /// flood generation for deduplication.
   void flood_at(NodeId node, NodeId origin, std::uint32_t r, std::uint32_t gen,
-                const std::vector<std::uint64_t>& ids,
-                std::vector<WalkEvent>& events);
+                IdSpan ids, std::vector<WalkEvent>& events);
 
   /// Unicast helper: advances toward the origin from (node, origin, r).
   void unicast_at(NodeId node, NodeId origin, std::uint32_t r,
@@ -200,22 +265,14 @@ class WalkEngine {
   std::uint32_t id_bits_;
   std::uint32_t base_bits_;
 
-  std::unordered_map<std::uint64_t, Trail> trails_;  ///< key(node,origin)
-  std::unordered_map<NodeId, std::vector<NodeId>> touched_;  ///< origin->nodes
-  std::unordered_map<NodeId, std::unordered_map<NodeId, std::uint64_t>>
-      registrations_;  ///< node -> origin -> units
-  std::unordered_map<NodeId, std::vector<NodeId>> proxy_nodes_;  ///< by origin
+  std::vector<std::uint32_t> origin_index_;  ///< node -> interned index
+  std::vector<OriginState> origins_;
 
-  std::unordered_map<NodeId, std::uint32_t> walk_length_;  ///< latest length
+  /// Per-node registrations (origin -> units), sorted by origin.
+  std::vector<std::vector<Registration>> registrations_;
 
-  std::unordered_map<std::uint64_t, std::unordered_map<std::uint32_t, CcState>>
-      cc_;  ///< convergecast runtime
-  std::unordered_map<NodeId, std::uint32_t> flood_gen_;  ///< per-origin counter
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<std::uint32_t, std::uint32_t>>
-      flood_seen_;  ///< (node,origin) -> level -> last generation forwarded
+  std::uint32_t cc_gen_ = 0;  ///< bumped by begin_convergecast (state reset)
 
-  const std::unordered_map<NodeId, std::uint64_t> empty_regs_;
   const std::vector<NodeId> empty_nodes_;
 };
 

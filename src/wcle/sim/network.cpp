@@ -2,11 +2,75 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "wcle/trace/recorder.hpp"
 
 namespace wcle {
+
+// ---------------------------------------------------------------- IdArena
+
+std::uint32_t IdArena::size_class(std::uint32_t n) noexcept {
+  // Smallest c with (1 << c) >= n.
+  std::uint32_t c = 0;
+  while ((1u << c) < n) ++c;
+  return c;
+}
+
+std::uint64_t* IdArena::alloc(std::uint32_t n) {
+  assert(n >= 1);
+  ++alloc_calls_;
+  ++live_;
+  const std::uint32_t cls = size_class(n);
+  if (!free_[cls].empty()) {
+    std::uint64_t* p = free_[cls].back();
+    free_[cls].pop_back();
+    return p;
+  }
+  const std::uint32_t cap = 1u << cls;
+  if (cap > kChunkWords) {
+    // Oversized payload: a dedicated allocation outside the bump chunks
+    // (the cursor must never wander into it while it is live), recycled
+    // through its free list until the drain rewind hands it back.
+    oversized_.push_back(std::make_unique<std::uint64_t[]>(cap));
+    return oversized_.back().get();
+  }
+  // Bump-allocate; move to the next fixed-size chunk (allocating one if
+  // needed) when the current one cannot fit the slot. Skipped tails are
+  // reclaimed by the next maybe_reset rewind.
+  if (cur_used_ + cap > kChunkWords) {
+    ++cur_chunk_;
+    cur_used_ = 0;
+  }
+  if (cur_chunk_ == chunks_.size())
+    chunks_.push_back(std::make_unique<std::uint64_t[]>(kChunkWords));
+  std::uint64_t* p = chunks_[cur_chunk_].get() + cur_used_;
+  cur_used_ += cap;
+  return p;
+}
+
+void IdArena::release(const std::uint64_t* p, std::uint32_t n) {
+  assert(p != nullptr && live_ > 0);
+  --live_;
+  free_[size_class(n)].push_back(const_cast<std::uint64_t*>(p));
+  free_dirty_ = true;
+}
+
+void IdArena::maybe_reset() {
+  if (live_ != 0) return;
+  cur_chunk_ = 0;
+  cur_used_ = 0;
+  if (free_dirty_) {
+    for (auto& list : free_) list.clear();
+    free_dirty_ = false;
+  }
+  // Oversized slots are pathological (a > 2^14-word id list); hand them back
+  // to the heap rather than pinning their footprint for the rest of the run.
+  if (!oversized_.empty()) oversized_.clear();
+}
+
+// ---------------------------------------------------------------- Network
 
 Network::Network(const Graph& g, CongestConfig cfg)
     : g_(&g), cfg_(cfg), drop_rng_(cfg.drop_seed) {
@@ -16,9 +80,28 @@ Network::Network(const Graph& g, CongestConfig cfg)
     throw std::invalid_argument("Network: drop_probability must be in [0, 1]");
   if (cfg_.faults.any())
     faults_ = std::make_unique<FaultInjector>(g, cfg_.faults, cfg_.trace);
-  if (cfg_.trace) cfg_.trace->begin_segment();
+  if (cfg_.trace) {
+    cfg_.trace->set_sample_every(cfg_.trace_every);
+    cfg_.trace->begin_segment();
+  }
   first_lane_ = lane_bases(g);
   lanes_.resize(first_lane_.back());
+  lane_src_.resize(lanes_.size());
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    for (std::uint64_t lane = first_lane_[v]; lane < first_lane_[v + 1];
+         ++lane)
+      lane_src_[lane] = v;
+}
+
+Network::PoolStats Network::pool_stats() const noexcept {
+  PoolStats s;
+  s.id_heap_blocks = ids_.chunk_count();
+  s.id_alloc_calls = ids_.alloc_calls();
+  s.id_live = ids_.live();
+  s.msg_slots = msgs_.size();
+  s.msg_live = msgs_.size() - free_msgs_.size();
+  s.delivery_capacity = delivered_.capacity();
+  return s;
 }
 
 void Network::note_contender(NodeId node) {
@@ -33,7 +116,19 @@ void Network::note_phase(const char* label, std::uint64_t value) {
                       label);
 }
 
-void Network::send(NodeId from, Port port, Message msg) {
+std::uint32_t Network::alloc_msg() {
+  if (!free_msgs_.empty()) {
+    const std::uint32_t slot = free_msgs_.back();
+    free_msgs_.pop_back();
+    return slot;
+  }
+  msgs_.emplace_back();
+  return static_cast<std::uint32_t>(msgs_.size() - 1);
+}
+
+void Network::free_msg(std::uint32_t slot) { free_msgs_.push_back(slot); }
+
+void Network::send(NodeId from, Port port, const Message& msg) {
   assert(from < g_->node_count());
   assert(port < g_->degree(from));
   assert(msg.bits >= 1);
@@ -48,10 +143,34 @@ void Network::send(NodeId from, Port port, Message msg) {
   metrics_.logical_messages += 1;
   metrics_.total_bits += msg.bits;
   const std::uint64_t lane = lane_index(from, port);
+
+  const std::uint32_t slot = alloc_msg();
+  QueuedMessage& q = msgs_[slot];
+  q.a = msg.a;
+  q.b = msg.b;
+  q.c = msg.c;
+  q.d = msg.d;
+  q.bits = msg.bits;
+  q.tag = msg.tag;
+  q.next = kNil;
+  q.ids_len = msg.ids.size();
+  if (q.ids_len > 0) {
+    std::uint64_t* stored = ids_.alloc(q.ids_len);
+    std::memcpy(stored, msg.ids.data(), q.ids_len * sizeof(std::uint64_t));
+    q.ids = stored;
+  } else {
+    q.ids = nullptr;
+  }
+
   Lane& l = lanes_[lane];
-  l.fifo.push_back(std::move(msg));
+  if (l.tail == kNil)
+    l.head = slot;
+  else
+    msgs_[l.tail].next = slot;
+  l.tail = slot;
+  l.count += 1;
   metrics_.max_edge_backlog =
-      std::max<std::uint64_t>(metrics_.max_edge_backlog, l.fifo.size());
+      std::max<std::uint64_t>(metrics_.max_edge_backlog, l.count);
   if (!l.active) {
     l.active = true;
     active_.push_back(lane);
@@ -61,6 +180,14 @@ void Network::send(NodeId from, Port port, Message msg) {
 
 const std::vector<Delivery>& Network::step() {
   delivered_.clear();
+  // Views handed out by the previous step are dead now; recycle their
+  // payload slots, and rewind the arena whenever the network drained — the
+  // "reset per round-batch" that keeps one warm footprint for the whole run.
+  if (!retired_ids_.empty()) {
+    for (const auto& [p, len] : retired_ids_) ids_.release(p, len);
+    retired_ids_.clear();
+  }
+  ids_.maybe_reset();
   metrics_.rounds += 1;
   // Fault events fire at the start of their round, before any service:
   // crash_round = 1 means the victims never deliver a single message.
@@ -85,12 +212,12 @@ const std::vector<Delivery>& Network::step() {
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t lane = active_[i];
     Lane& l = lanes_[lane];
-    if (l.fifo.empty()) {
+    if (l.head == kNil) {
       l.active = false;
       --active_count_;
       continue;
     }
-    Message& head = l.fifo.front();
+    QueuedMessage& head = msgs_[l.head];
     metrics_.congest_messages += 1;
     metrics_.congest_messages_by_tag[head.tag] += 1;
     l.served_bits += B;
@@ -101,11 +228,7 @@ const std::vector<Delivery>& Network::step() {
       // endpoint, then the random drop) so the drop stream stays
       // reproducible; the p == 0 guard keeps the reliable model free of Rng
       // draws, bit-identical to the pre-fault implementation.
-      // Recover (from, port) from the lane index by binary search on bases.
-      const auto it = std::upper_bound(first_lane_.begin(),
-                                       first_lane_.end(), lane);
-      const NodeId from = static_cast<NodeId>(
-          std::distance(first_lane_.begin(), it) - 1);
+      const NodeId from = lane_src_[lane];
       const Port port = static_cast<Port>(lane - first_lane_[from]);
       bool eaten = false;
       if (faults_) {
@@ -129,13 +252,27 @@ const std::vector<Delivery>& Network::step() {
         Delivery d;
         d.dst = g_->neighbor(from, port);
         d.port = g_->mirror_port(from, port);
-        d.msg = std::move(head);
-        delivered_.push_back(std::move(d));
+        d.msg.tag = head.tag;
+        d.msg.a = head.a;
+        d.msg.b = head.b;
+        d.msg.c = head.c;
+        d.msg.d = head.d;
+        d.msg.bits = head.bits;
+        d.msg.ids = IdSpan(head.ids, head.ids_len);
+        delivered_.push_back(d);
+        // The view must outlive this step; release the payload next step.
+        if (head.ids_len > 0) retired_ids_.push_back({head.ids, head.ids_len});
+      } else if (head.ids_len > 0) {
+        ids_.release(head.ids, head.ids_len);
       }
-      l.fifo.pop_front();
+      const std::uint32_t served = l.head;
+      l.head = head.next;
+      if (l.head == kNil) l.tail = kNil;
+      l.count -= 1;
+      free_msg(served);
       l.served_bits = 0;
     }
-    if (l.fifo.empty()) {
+    if (l.head == kNil) {
       l.active = false;
       --active_count_;
     } else {

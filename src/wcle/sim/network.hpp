@@ -4,13 +4,19 @@
 // calling `step()`, which returns that round's deliveries. Congestion is
 // modeled for real: each directed edge serves one B-bit quantum per round from
 // a FIFO, so oversized or bursty traffic queues exactly as Lemma 12 assumes.
+//
+// Data plane (see README "Architecture"): queued messages live in one
+// per-Network pool; each lane (directed edge) is an index-linked FIFO through
+// that pool; variable-length payloads are copied into a chunked id arena with
+// size-class free lists that rewinds whenever the network drains. Deliveries
+// are views into those pools — the steady-state hot path performs no heap
+// allocation, and the service order (hence every metric and the drop-RNG
+// stream) is bit-identical to the pre-pool implementation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <vector>
-
 #include <memory>
+#include <vector>
 
 #include "wcle/fault/injector.hpp"
 #include "wcle/fault/plan.hpp"
@@ -45,6 +51,9 @@ struct CongestConfig {
   /// off; the transport then pays one branch per round and nothing else.
   /// Recording never perturbs the execution.
   TraceRecorder* trace = nullptr;
+  /// Sampled tracing: the recorder keeps every K-th round row (events are
+  /// always kept). 1 (or 0) = record every round, the pre-sampling format.
+  std::uint32_t trace_every = 1;
 
   /// Standard CONGEST budget for an n-node network: enough for one id from
   /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".
@@ -72,7 +81,51 @@ struct CongestConfig {
   }
 };
 
-/// The transport. Owns per-directed-edge FIFOs and all metrics.
+/// Chunked bump/free-list arena for message id payloads. Addresses are
+/// stable (chunks never move), so IdSpan views into the arena survive
+/// arbitrary later allocations. Slots are handed out in power-of-two size
+/// classes and recycled through per-class free lists; when every allocation
+/// has been released (the network drained a round-batch), the whole arena
+/// rewinds to its first chunk, so long runs reuse one footprint instead of
+/// fragmenting. Counters are exposed for the no-allocation-per-delivery
+/// tests (Network::pool_stats).
+class IdArena {
+ public:
+  /// Returns a slot of capacity >= n words (n >= 1).
+  std::uint64_t* alloc(std::uint32_t n);
+  /// Releases a slot previously returned by alloc(n) with the same n.
+  void release(const std::uint64_t* p, std::uint32_t n);
+  /// Rewinds the bump cursor and drops the free lists when nothing is live.
+  void maybe_reset();
+
+  std::uint64_t chunk_count() const noexcept {
+    return chunks_.size() + oversized_.size();
+  }
+  std::uint64_t live() const noexcept { return live_; }
+  std::uint64_t alloc_calls() const noexcept { return alloc_calls_; }
+
+ private:
+  static constexpr std::uint32_t kChunkWords = 1u << 14;  ///< 128 KiB chunks
+  static constexpr std::uint32_t kClasses = 32;
+
+  static std::uint32_t size_class(std::uint32_t n) noexcept;
+
+  /// Fixed-size bump chunks. Oversized slots (capacity > kChunkWords) live
+  /// in oversized_ — never in bump space, so the cursor cannot wander into
+  /// a live dedicated payload; they recycle through the free lists during a
+  /// busy period and are returned to the heap on the drain rewind.
+  std::vector<std::unique_ptr<std::uint64_t[]>> chunks_;
+  std::vector<std::unique_ptr<std::uint64_t[]>> oversized_;
+  std::size_t cur_chunk_ = 0;   ///< bump chunk index
+  std::uint32_t cur_used_ = 0;  ///< words used in the bump chunk
+  std::vector<std::uint64_t*> free_[kClasses];
+  bool free_dirty_ = false;  ///< any free list non-empty (cheap reset guard)
+  std::uint64_t live_ = 0;
+  std::uint64_t alloc_calls_ = 0;
+};
+
+/// The transport. Owns the shared message pool, the per-directed-edge lane
+/// rings, the payload arena, and all metrics.
 class Network {
  public:
   Network(const Graph& g, CongestConfig cfg);
@@ -80,21 +133,26 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Enqueues `msg` for transmission from `from` through its local `port`.
+  /// Enqueues `msg` for transmission from `from` through its local `port`:
+  /// scalars and the viewed id words are copied into the network's pools, so
+  /// the caller's payload storage only needs to outlive this call.
   /// Requires msg.bits >= 1 and port < degree(from).
-  void send(NodeId from, Port port, Message msg);
+  void send(NodeId from, Port port, const Message& msg);
 
   /// Advances one synchronous round: every backlogged directed edge serves one
   /// B-bit quantum; fully-served messages are delivered. Returns this round's
-  /// deliveries (valid until the next call).
+  /// deliveries as views (valid until the next call — Delivery::msg.ids
+  /// points into the network's id arena).
   const std::vector<Delivery>& step();
 
   /// True when no message is queued or in flight.
   bool idle() const noexcept { return active_count_ == 0; }
 
   /// Runs step() until idle, dispatching deliveries to `handler`
-  /// (callable as handler(const Delivery&)). Returns rounds consumed.
-  /// Stops (returning the rounds so far) if `max_rounds` elapse first.
+  /// (callable as handler(const Delivery&)). Deliveries are passed by
+  /// reference — no Message or payload copy per delivery. Returns rounds
+  /// consumed. Stops (returning the rounds so far) if `max_rounds` elapse
+  /// first.
   template <typename Handler>
   std::uint64_t run_until_idle(Handler&& handler,
                                std::uint64_t max_rounds = ~0ull) {
@@ -111,6 +169,20 @@ class Network {
   const Metrics& metrics() const noexcept { return metrics_; }
   const Graph& graph() const noexcept { return *g_; }
   const CongestConfig& config() const noexcept { return cfg_; }
+
+  /// Allocation instrumentation of the data-plane pools. Once a workload's
+  /// footprint is warmed up, heap_blocks / msg_slots / delivery_capacity stay
+  /// flat while deliveries keep flowing — the no-allocation-per-delivery
+  /// property the tests pin down.
+  struct PoolStats {
+    std::uint64_t id_heap_blocks = 0;    ///< heap blocks the arena holds
+    std::uint64_t id_alloc_calls = 0;    ///< payload slots handed out
+    std::uint64_t id_live = 0;           ///< payload slots outstanding
+    std::uint64_t msg_slots = 0;         ///< message-pool capacity (slots)
+    std::uint64_t msg_live = 0;          ///< messages queued right now
+    std::uint64_t delivery_capacity = 0; ///< delivered_ vector capacity
+  };
+  PoolStats pool_stats() const noexcept;
 
   /// True when `node` is currently alive (always true on fault-free runs).
   /// Protocols consult this to model crash-stop: a dead node takes no local
@@ -140,8 +212,25 @@ class Network {
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One queued message in the shared pool. Scalars are copied from the
+  /// sender's Message; the payload lives in the id arena; `next` threads the
+  /// lane's FIFO through the pool.
+  struct QueuedMessage {
+    std::uint64_t a = 0, b = 0, c = 0, d = 0;
+    const std::uint64_t* ids = nullptr;
+    std::uint32_t ids_len = 0;
+    std::uint32_t bits = 0;
+    std::uint32_t next = kNil;
+    std::uint8_t tag = 0;
+  };
+
+  /// Per-directed-edge FIFO: head/tail indices into msgs_.
   struct Lane {
-    std::deque<Message> fifo;
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t count = 0;        ///< queued messages (backlog metric)
     std::uint32_t served_bits = 0;  ///< bits of the head already transmitted
     bool active = false;            ///< registered in active_ list
   };
@@ -150,12 +239,22 @@ class Network {
     return first_lane_[from] + port;
   }
 
+  std::uint32_t alloc_msg();
+  void free_msg(std::uint32_t slot);
+
   const Graph* g_;
   CongestConfig cfg_;
   std::vector<std::uint64_t> first_lane_;  ///< per-node base into lanes_
+  std::vector<NodeId> lane_src_;           ///< lane -> sending node
   std::vector<Lane> lanes_;                ///< one per directed edge
   std::vector<std::uint64_t> active_;      ///< lane indices with traffic
   std::uint64_t active_count_ = 0;
+  std::vector<QueuedMessage> msgs_;        ///< shared message pool
+  std::vector<std::uint32_t> free_msgs_;   ///< free slots in msgs_
+  IdArena ids_;                            ///< payload storage
+  /// Payloads of messages delivered last step: their views must survive
+  /// until the next step() call, so they are released at its start.
+  std::vector<std::pair<const std::uint64_t*, std::uint32_t>> retired_ids_;
   std::vector<Delivery> delivered_;
   Rng drop_rng_;  ///< consulted only when cfg_.drop_probability > 0
   std::unique_ptr<FaultInjector> faults_;  ///< null when cfg_.faults inactive

@@ -16,22 +16,38 @@ const char* trace_event_kind_name(TraceEventKind kind) {
 }
 
 void TraceRecorder::begin_segment() {
-  offset_ = rounds_.empty() ? 0 : rounds_.back().round;
+  offset_ = frontier();
   events_.push_back(
       {offset_ + 1, TraceEventKind::kSegment, segments_, 0, ""});
   segments_ += 1;
 }
 
+void TraceRecorder::close_row() {
+  TraceRound& r = rounds_.back();
+  total_quanta_ += r.quanta;
+  last_round_ = r.round;
+  // Sampling: drop rows off the K-grid. K = 1 keeps everything, which makes
+  // rounds_ byte-for-byte the pre-sampling row set.
+  if (every_ > 1 && r.round % every_ != 0) rounds_.pop_back();
+  open_ = false;
+}
+
 TraceRound& TraceRecorder::row(std::uint64_t local_round) {
   const std::uint64_t absolute = offset_ + local_round;
   // Rounds advance one step() at a time, but sends can announce the upcoming
-  // round before its step runs — append rows up to the requested index.
-  while (rounds_.empty() || rounds_.back().round < absolute) {
+  // round before its step runs — open rows up to the requested index,
+  // closing (and sampling) everything the cursor passes.
+  if (open_ && rounds_.back().round >= absolute) return rounds_.back();
+  for (;;) {
+    if (open_) {
+      if (rounds_.back().round >= absolute) return rounds_.back();
+      close_row();
+    }
     TraceRound r;
-    r.round = rounds_.empty() ? absolute : rounds_.back().round + 1;
+    r.round = last_round_ == 0 ? absolute : last_round_ + 1;
     rounds_.push_back(r);
+    open_ = true;
   }
-  return rounds_.back();
 }
 
 void TraceRecorder::on_round(std::uint64_t round, std::uint32_t quanta,
@@ -47,6 +63,9 @@ void TraceRecorder::on_round(std::uint64_t round, std::uint32_t quanta,
   r.dropped_crash += dropped_crash;
   r.dropped_link += dropped_link;
   r.backlog = backlog;
+  // A round's step() is the only writer of its row (later hooks only touch
+  // later rounds) — close it so sampling applies immediately.
+  close_row();
 }
 
 void TraceRecorder::event(std::uint64_t round, TraceEventKind kind,
@@ -56,19 +75,28 @@ void TraceRecorder::event(std::uint64_t round, TraceEventKind kind,
 }
 
 void TraceRecorder::annotate(std::string label, std::uint64_t value) {
-  const std::uint64_t at = rounds_.empty() ? 1 : rounds_.back().round + 1;
+  const std::uint64_t at = frontier() == 0 ? 1 : frontier() + 1;
   events_.push_back({at, TraceEventKind::kPhase, value, 0, std::move(label)});
 }
 
+const std::vector<TraceRound>& TraceRecorder::rounds() const {
+  // A trailing open row (a send announced for a round whose step never ran)
+  // already sits at the back of rounds_ — nothing to materialize.
+  return rounds_;
+}
+
 std::uint64_t TraceRecorder::total_quanta() const {
-  std::uint64_t total = 0;
-  for (const TraceRound& r : rounds_) total += r.quanta;
-  return total;
+  // total_quanta_ counts closed rounds (sampled away or not); an open
+  // trailing row has not been billed yet.
+  return total_quanta_ + (open_ ? rounds_.back().quanta : 0);
 }
 
 void TraceRecorder::clear() {
   rounds_.clear();
   events_.clear();
+  open_ = false;
+  last_round_ = 0;
+  total_quanta_ = 0;
   offset_ = 0;
   segments_ = 0;
 }

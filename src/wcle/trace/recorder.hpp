@@ -10,6 +10,12 @@
 //   - events: discrete happenings (crashes, link failures, churn, contender
 //             announcements, protocol phase transitions).
 //
+// Sampled tracing: set_sample_every(K) keeps only every K-th round row
+// (absolute round % K == 0) while events are always kept, so traced scale-2
+// sweeps pay 1/K of the row memory and bytes. K = 1 (the default) records
+// every round and is byte-for-byte the pre-sampling format. total_quanta()
+// always sums over ALL rounds, sampled away or not.
+//
 // Composed protocols (explicit election = election + broadcast) drive several
 // Networks in sequence; each Network opens a *segment* and the recorder
 // rebases its network-local round numbers onto one absolute timeline, so a
@@ -61,6 +67,14 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
+  /// Keep every `every`-th round row (1 or 0 = all rows, the default).
+  /// Applied by the Network constructor from CongestConfig::trace_every;
+  /// changing it mid-run only affects rows closed afterwards.
+  void set_sample_every(std::uint32_t every) {
+    every_ = every == 0 ? 1 : every;
+  }
+  std::uint32_t sample_every() const noexcept { return every_; }
+
   /// Called by each Network constructor: subsequent network-local rounds are
   /// rebased past everything recorded so far, and a kSegment event marks the
   /// boundary.
@@ -69,13 +83,15 @@ class TraceRecorder {
   /// Transport hooks; `round` is network-local (the current segment's count).
   void on_send(std::uint64_t round) { row(round).sends += 1; }
   void on_muted_send(std::uint64_t round) { row(round).dropped_crash += 1; }
-  /// End-of-round flush: the per-cause deltas of one step() call.
+  /// End-of-round flush: the per-cause deltas of one step() call. Closes the
+  /// row — a step() is the only writer of its round, so the row is final.
   void on_round(std::uint64_t round, std::uint32_t quanta,
                 std::uint32_t delivered, std::uint32_t dropped_rand,
                 std::uint32_t dropped_crash, std::uint32_t dropped_link,
                 std::uint32_t backlog);
 
-  /// Records a discrete event at network-local `round`.
+  /// Records a discrete event at network-local `round`. Events are never
+  /// sampled away.
   void event(std::uint64_t round, TraceEventKind kind, std::uint64_t a,
              std::uint64_t b = 0, std::string label = "");
 
@@ -83,20 +99,33 @@ class TraceRecorder {
   /// lands one past the last recorded absolute round.
   void annotate(std::string label, std::uint64_t value);
 
-  const std::vector<TraceRound>& rounds() const { return rounds_; }
+  /// The kept rows (all rounds at K = 1, every K-th otherwise). Flushes a
+  /// trailing open row (a send announced for a round whose step never ran),
+  /// so call after the run — matching the pre-sampling row set exactly.
+  const std::vector<TraceRound>& rounds() const;
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t segments() const { return segments_; }
 
-  /// Total quanta over all rows (the run's congest-message bill).
+  /// Total quanta over ALL rounds (the run's congest-message bill),
+  /// including rows a K > 1 sampling dropped.
   std::uint64_t total_quanta() const;
 
   void clear();
 
  private:
   TraceRound& row(std::uint64_t local_round);
+  void close_row();
+  /// Highest absolute round observed so far (open row included).
+  std::uint64_t frontier() const noexcept {
+    return open_ ? rounds_.back().round : last_round_;
+  }
 
   std::vector<TraceRound> rounds_;
   std::vector<TraceEvent> events_;
+  bool open_ = false;           ///< rounds_.back() is an unflushed open row
+  std::uint64_t last_round_ = 0;  ///< highest absolute round closed
+  std::uint64_t total_quanta_ = 0;
+  std::uint32_t every_ = 1;
   std::uint64_t offset_ = 0;  ///< absolute round of the segment's local 0
   std::uint64_t segments_ = 0;
 };
