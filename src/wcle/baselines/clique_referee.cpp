@@ -70,6 +70,11 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
   // Phase B: each referee kills every dominated nominator it heard from.
   std::vector<NodeId> referee_nodes;
   referee_nodes.reserve(referees.size());
+  // Hash order provably cannot leak: this loop only collects the key set,
+  // the sort below canonicalizes it, and every send is issued from the
+  // sorted order — so neither the transport, the RNG, nor any output sees
+  // the map's iteration order.
+  // wcle-lint: unordered-iter-ok(keys collected then sorted before any send)
   for (const auto& [node, st] : referees) referee_nodes.push_back(node);
   std::sort(referee_nodes.begin(), referee_nodes.end());
   for (const NodeId node : referee_nodes) {

@@ -41,6 +41,8 @@ TerritoryElectionResult run_territory_election(const Graph& g,
   for (NodeId v = 0; v < n; ++v) rid[v] = id_rng.next_in(1, space);
 
   const double pc = params.contender_probability(n);
+  // Lookup-only reverse index (at()/find(), never iterated): hash order
+  // cannot reach the DFS token order or the leader list.
   std::unordered_map<std::uint64_t, NodeId> candidate_of_rid;
   for (NodeId v = 0; v < n; ++v) {
     if (coin_rng.next_bool(pc)) {
@@ -55,7 +57,9 @@ TerritoryElectionResult run_territory_election(const Graph& g,
   const std::uint32_t bits = id_bits(n) + ceil_log2(n) + 8;
 
   std::vector<std::uint64_t> owner(n, 0);
-  // DFS cursors keyed by (node, candidate rid).
+  // DFS cursors keyed by (node, candidate rid). Lookup-only: every access
+  // goes through operator[]/find on a key arriving from the (deterministic)
+  // delivery order, and the maps are never iterated, so hash order is inert.
   std::unordered_map<NodeId, std::unordered_map<std::uint64_t, DfsState>>
       state;
 

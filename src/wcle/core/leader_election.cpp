@@ -91,6 +91,9 @@ ElectionResult run_leader_election(const Graph& g,
   WalkEngine engine(g, net, walk_rng,
                     {params.lazy_walks, params.coalesce_tokens});
 
+  // Lookup-only contender table: iteration always runs over the sorted
+  // contender_nodes vector, never over the map, so hash order cannot reach
+  // the event order or any RNG draw.
   std::unordered_map<NodeId, Contender> state;
   for (const NodeId v : contender_nodes) {
     Contender c;
@@ -107,6 +110,9 @@ ElectionResult run_leader_election(const Graph& g,
 
   std::vector<char> winner_at(n, 0);            // node-level winner knowledge
   std::vector<std::uint64_t> winner_mark_at(n, 0);
+  // Lookup-only (find/operator[] by proxy id, never iterated); the I3 sets
+  // it stores are kept sorted by sorted_union_into, so payload order is
+  // deterministic too.
   std::unordered_map<NodeId, std::vector<std::uint64_t>> proxy_i3;
 
   Stage stage = Stage::kRound1;

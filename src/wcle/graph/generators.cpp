@@ -100,6 +100,8 @@ Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng, Rng* port_rng) {
     std::uint64_t idx = 0;
     for (NodeId u = 0; u < n; ++u)
       for (std::uint32_t k = 0; k < d; ++k) stubs[idx++] = u;
+    // Membership-only duplicate-edge filter (insert/count, never iterated):
+    // hash order cannot perturb the stub-pairing RNG stream.
     std::unordered_set<std::uint64_t> seen;
     seen.reserve(stubs_count);
     std::vector<Edge> edges;
@@ -248,6 +250,8 @@ Graph make_watts_strogatz(NodeId n, std::uint32_t k, double beta, Rng& rng,
   if (k < 1 || 2ull * k >= n)
     throw std::invalid_argument("make_watts_strogatz: need 1 <= k < n/2");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Membership-only rewire-collision filter: never iterated, so hash
+    // order stays out of the rewiring draws.
     std::unordered_set<std::uint64_t> seen;
     std::vector<Edge> edges;
     edges.reserve(static_cast<std::size_t>(n) * k);

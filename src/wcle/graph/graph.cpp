@@ -14,6 +14,9 @@ Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges,
   g.n_ = n;
   g.m_ = edges.size();
   std::vector<std::uint32_t> deg(n, 0);
+  // Membership-only duplicate detector: never iterated, so its hash order
+  // cannot reach the port layout (wcle_lint's unordered-iter rule keeps any
+  // future iteration honest).
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(edges.size() * 2);
   for (const Edge& e : edges) {

@@ -94,14 +94,23 @@ const WalkEngine::OriginState* WalkEngine::find_origin(
   return idx == kNoOrigin ? nullptr : &origins_[idx];
 }
 
+// The walk stage is the inner loop of every election phase: token disposal,
+// slot-table lookups, and the per-round pending queues all recycle pooled
+// storage (PR 5's flattened state), so the steady state allocates nothing.
+// Every suppression inside this region is a warm-up-only growth point —
+// slots, levels, and port lists are recycled across phases with their
+// capacities intact (see clear_origin and the recycled-slot branches).
+// wcle-lint: begin-no-alloc
 WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
                                         std::uint32_t r) {
   std::int32_t s = os.slot_of[node];
   if (s == kNoSlot) {
     s = static_cast<std::int32_t>(os.slots_used);
     os.slot_of[node] = s;
+    // wcle-lint: no-alloc-ok(touched-list growth; survives clear_origin)
     os.touched.push_back(node);
     if (os.slots_used == os.slots.size())
+      // wcle-lint: no-alloc-ok(slot-pool growth; recycled slots stay warm)
       os.slots.emplace_back();
     else
       os.slots[os.slots_used].refs.clear();  // recycled slot, warm capacity
@@ -115,6 +124,7 @@ WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
   if (it != trail.refs.end() && it->first == r) return os.pool[it->second];
   const std::uint32_t idx = static_cast<std::uint32_t>(os.pool_used);
   if (os.pool_used == os.pool.size()) {
+    // wcle-lint: no-alloc-ok(level-pool growth; recycled levels stay warm)
     os.pool.emplace_back();
   } else {
     // Recycled level: zero the bookkeeping, keep the vector capacities.
@@ -131,6 +141,7 @@ WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
     lv.flood_seen = 0;
   }
   ++os.pool_used;
+  // wcle-lint: no-alloc-ok(refs capacity retained across phases)
   trail.refs.insert(it, {r, idx});
   return os.pool[idx];
 }
@@ -183,7 +194,9 @@ void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
     auto& regs = registrations_[node];
     const auto it = reg_position(regs, os.node);
     if (it == regs.end() || it->first != os.node) {
+      // wcle-lint: no-alloc-ok(one entry per proxy-origin pair; stays warm)
       regs.insert(it, {os.node, count});
+      // wcle-lint: no-alloc-ok(bounded by proxies per origin; stays warm)
       os.proxies.push_back(node);
     } else {
       it->second += count;
@@ -197,6 +210,7 @@ void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
   if (stays > 0) {
     lv.stay_out += stays;
     level_at(os, node, r - 1).stay_in += stays;  // lv stays valid (deque pool)
+    // wcle-lint: no-alloc-ok(phase-local queue; warm after round one)
     next.push_back({node, os.node, r - 1, stays});
   }
   if (movers == 0) return;
@@ -211,6 +225,7 @@ void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
     left -= sent;
     if (std::find(lv.out_ports.begin(), lv.out_ports.end(), p) ==
         lv.out_ports.end())
+      // wcle-lint: no-alloc-ok(bounded by node degree; recycled capacity)
       lv.out_ports.push_back(p);
     lv.sent_total += sent;
     Message msg;
@@ -241,6 +256,7 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
     OriginState& os = intern(o.origin);
     os.length = std::max(os.length, o.length);
     level_at(os, o.origin, o.length).origin_inject += o.count;
+    // wcle-lint: no-alloc-ok(stage setup, once per phase)
     cur.push_back({o.origin, o.origin, o.length, o.count});
   }
 
@@ -285,15 +301,18 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
           lv.in_ports.begin(), lv.in_ports.end(),
           [&](const auto& e) { return e.first == d.port; });
       if (in == lv.in_ports.end())
+        // wcle-lint: no-alloc-ok(bounded by node degree; recycled capacity)
         lv.in_ports.emplace_back(d.port, count);
       else
         in->second += count;
+      // wcle-lint: no-alloc-ok(phase-local queue; warm after round one)
       next.push_back({d.dst, origin, r, count});
     }
     cur.swap(next);
   }
   return net_->round() - round0;
 }
+// wcle-lint: end-no-alloc
 
 std::vector<WalkEvent> WalkEngine::begin_convergecast(
     const std::vector<NodeId>& origins, const ProxyPayloadFn& at_proxy) {

@@ -1,0 +1,248 @@
+// wcle_lint proof obligations:
+//   1. Golden diagnostics: each fixture under tools/lint/fixtures/ produces
+//      byte-identical text output to its checked-in expected/<name>.txt.
+//   2. SEED cross-check: every `// SEED: <rule>` marker in a fixture
+//      corresponds to exactly one diagnostic of that rule (trailing marker =
+//      same line, standalone marker = next line), and no diagnostic fires on
+//      an unmarked line. The goldens and the markers must agree
+//      independently, so a stale golden cannot hide a rule regression.
+//   3. Suppression round-trip: a fully-suppressed fixture reports zero
+//      diagnostics, and every suppression reason survives verbatim into the
+//      JSON report.
+//   4. The real tree is clean: linting src/ yields zero diagnostics, and the
+//      hot-path no-alloc regions annotated in PR 5's data plane are present.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/linter.hpp"
+#include "lint/rules.hpp"
+
+namespace wcle_lint {
+namespace {
+
+#ifndef WCLE_SOURCE_DIR
+#define WCLE_SOURCE_DIR "."
+#endif
+
+std::string fixture_dir() {
+  return std::string(WCLE_SOURCE_DIR) + "/tools/lint/fixtures";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lints a fixture with its bare filename as the display path so the output
+// matches the goldens no matter where the build tree lives.
+LintReport lint_fixture(const std::string& name) {
+  return lint_source(name + ".cpp",
+                     read_file(fixture_dir() + "/" + name + ".cpp"));
+}
+
+// ---------------------------------------------------------------------------
+// 1. Golden diagnostics
+// ---------------------------------------------------------------------------
+
+class LintGolden : public testing::TestWithParam<const char*> {};
+
+TEST_P(LintGolden, TextOutputMatchesExpectedFile) {
+  const std::string name = GetParam();
+  const LintReport report = lint_fixture(name);
+  const std::string expected =
+      read_file(fixture_dir() + "/expected/" + name + ".txt");
+  EXPECT_EQ(to_text(report), expected)
+      << "fixture " << name << ".cpp diverged from its golden; if the rule "
+      << "change is intentional, regenerate expected/" << name << ".txt";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, LintGolden,
+                         testing::Values("banned_rng", "unordered_iter",
+                                         "pointer_order", "no_alloc",
+                                         "bad_directives", "suppressions"));
+
+// ---------------------------------------------------------------------------
+// 2. SEED cross-check (independent of the goldens)
+// ---------------------------------------------------------------------------
+
+// Extracts (line, rule) expectations from `// SEED: <rule>` markers. A
+// trailing marker names its own line; a standalone marker (the comment is
+// the whole line) names the next line.
+void seed_expectations(
+    const std::string& source,
+    std::set<std::pair<std::uint32_t, std::string>>& out) {
+  const LexResult lx = lex(source);
+  for (const Comment& c : lx.comments) {
+    const std::size_t pos = c.text.find("SEED:");
+    if (pos == std::string::npos) continue;
+    std::istringstream rest(c.text.substr(pos + 5));
+    std::string rule;
+    rest >> rule;
+    // Prose in fixture headers may mention "SEED:"; only a marker naming a
+    // real rule is an expectation.
+    const std::vector<std::string>& known = rule_names();
+    if (std::find(known.begin(), known.end(), rule) == known.end()) continue;
+    out.emplace(c.trailing ? c.line : c.line + 1, rule);
+  }
+}
+
+class LintSeeds : public testing::TestWithParam<const char*> {};
+
+TEST_P(LintSeeds, EveryMarkedLineFiresAndNoOtherLineDoes) {
+  const std::string name = GetParam();
+  const std::string source = read_file(fixture_dir() + "/" + name + ".cpp");
+  std::set<std::pair<std::uint32_t, std::string>> expected;
+  ASSERT_NO_FATAL_FAILURE(seed_expectations(source, expected));
+  ASSERT_FALSE(expected.empty()) << name << ".cpp has no SEED markers";
+
+  std::set<std::pair<std::uint32_t, std::string>> actual;
+  for (const Diagnostic& d : lint_fixture(name).diagnostics) {
+    actual.emplace(d.line, d.rule);
+  }
+  EXPECT_EQ(actual, expected) << "diagnostics disagree with the SEED "
+                              << "markers in " << name << ".cpp";
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededFixtures, LintSeeds,
+                         testing::Values("banned_rng", "unordered_iter",
+                                         "pointer_order", "no_alloc",
+                                         "bad_directives"));
+
+// ---------------------------------------------------------------------------
+// 3. Suppression round-trip
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressions, FullySuppressedFixtureIsCleanWithSixEntries) {
+  const LintReport report = lint_fixture("suppressions");
+  EXPECT_TRUE(report.clean()) << to_text(report);
+  ASSERT_EQ(report.suppressed.size(), 6u);
+  // Both binding forms appear: time(nullptr) suppressed by a trailing
+  // comment on its own line (12) and by a standalone comment above (18).
+  std::vector<std::uint32_t> lines;
+  for (const SuppressedDiagnostic& s : report.suppressed) {
+    lines.push_back(s.line);
+    EXPECT_FALSE(s.reason.empty());
+  }
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, (std::vector<std::uint32_t>{12, 18, 25, 31, 32, 40}));
+}
+
+TEST(LintSuppressions, ReasonsSurviveVerbatimIntoJson) {
+  const LintReport report = lint_fixture("suppressions");
+  const std::string json = to_json(report, {"suppressions.cpp"});
+  for (const SuppressedDiagnostic& s : report.suppressed) {
+    EXPECT_NE(json.find(s.reason), std::string::npos)
+        << "reason lost in JSON: " << s.reason;
+  }
+  EXPECT_NE(json.find("\"tool\":\"wcle_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\""), std::string::npos);
+}
+
+TEST(LintSuppressions, SuppressionOnlyCoversItsOwnRuleAndLine) {
+  // An unordered-iter suppression must not silence a banned-rng finding on
+  // the same line, and a standalone suppression reaches exactly one line.
+  const std::string src =
+      "#include <ctime>\n"
+      "void f() {\n"
+      "  // wcle-lint: unordered-iter-ok(wrong rule for the next line)\n"
+      "  auto t = time(nullptr);\n"
+      "  (void)t;\n"
+      "}\n"
+      "void g() {\n"
+      "  // wcle-lint: banned-rng-ok(covers line 9 only)\n"
+      "  auto a = time(nullptr);\n"
+      "  auto b = time(nullptr);\n"
+      "  (void)a, (void)b;\n"
+      "}\n";
+  const LintReport report = lint_source("mismatch.cpp", src);
+  ASSERT_EQ(report.diagnostics.size(), 2u) << to_text(report);
+  EXPECT_EQ(report.diagnostics[0].line, 4u);  // wrong-rule suppression
+  EXPECT_EQ(report.diagnostics[1].line, 10u);  // one past the covered line
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].line, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Lexer discipline: banned spellings in comments/strings never fire
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, CommentsAndStringsAreNotCode) {
+  const std::string src =
+      "// std::random_device in a comment\n"
+      "/* rand(); srand(7); std::mt19937 gen; */\n"
+      "const char* a = \"std::shuffle(v.begin(), v.end(), g)\";\n"
+      "const char* b = R\"(time(nullptr) and steady_clock::now())\";\n"
+      "const char* c = \"// wcle-lint: begin-no-alloc\";\n"
+      "char d = 't';\n";
+  const LintReport report = lint_source("strings.cpp", src);
+  EXPECT_TRUE(report.clean()) << to_text(report);
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(LintLexer, IdentifiersContainingBannedWordsAreClean) {
+  const std::string src =
+      "void f(int stationary_distribution, int time_budget) {\n"
+      "  int my_rand = stationary_distribution + time_budget;\n"
+      "  obj.rand();\n"
+      "  obj->time(3);\n"
+      "  Custom::time(4);\n"
+      "  (void)my_rand;\n"
+      "}\n";
+  const LintReport report = lint_source("lookalikes.cpp", src);
+  EXPECT_TRUE(report.clean()) << to_text(report);
+}
+
+TEST(LintOptionsFilter, RuleRestrictionDropsOtherRules) {
+  LintOptions only_pointer;
+  only_pointer.rules = {"pointer-order"};
+  const std::string source =
+      read_file(fixture_dir() + "/banned_rng.cpp");
+  const LintReport report =
+      lint_source("banned_rng.cpp", source, only_pointer);
+  EXPECT_TRUE(report.clean()) << to_text(report);
+}
+
+// ---------------------------------------------------------------------------
+// 5. The real tree is clean
+// ---------------------------------------------------------------------------
+
+TEST(LintSrcTree, SrcIsCleanUnderAllRules) {
+  const LintReport report =
+      lint_paths({std::string(WCLE_SOURCE_DIR) + "/src"});
+  EXPECT_TRUE(report.clean())
+      << "src/ has unsuppressed lint findings:\n"
+      << to_text(report);
+  EXPECT_GT(report.files_scanned, 50u);
+  // The PR-5 data plane carries audited no-alloc suppressions; their
+  // disappearance would mean the regions were deleted, not that src got
+  // cleaner.
+  EXPECT_GE(report.suppressed.size(), 20u);
+  for (const SuppressedDiagnostic& s : report.suppressed) {
+    EXPECT_FALSE(s.reason.empty()) << s.file << ":" << s.line;
+  }
+}
+
+TEST(LintSrcTree, HotPathRegionsAreAnnotated) {
+  for (const char* file :
+       {"/src/wcle/sim/network.cpp", "/src/wcle/rw/walk_engine.cpp"}) {
+    const std::string source = read_file(std::string(WCLE_SOURCE_DIR) + file);
+    EXPECT_NE(source.find("wcle-lint: begin-no-alloc"), std::string::npos)
+        << file << " lost its no-alloc region";
+    EXPECT_NE(source.find("wcle-lint: end-no-alloc"), std::string::npos)
+        << file << " lost its region close";
+  }
+}
+
+}  // namespace
+}  // namespace wcle_lint

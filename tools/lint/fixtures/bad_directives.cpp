@@ -1,0 +1,33 @@
+// wcle_lint fixture: directive rule — malformed annotations are findings.
+//
+// A standalone `// SEED: directive` marker expects the diagnostic on the
+// NEXT line (the directive comment itself). Lint input only — never
+// compiled.
+
+namespace fixture {
+
+// SEED: directive
+// wcle-lint: frobnicate-the-linter
+void unknown_directive() {}
+
+// SEED: directive
+// wcle-lint: banned-rng-ok()
+void empty_reason() {}
+
+// SEED: directive
+// wcle-lint: no-such-rule-ok(reasonable)
+void unknown_rule() {}
+
+// SEED: directive
+// wcle-lint: end-no-alloc
+void unbalanced_end() {}
+
+// SEED: directive
+// wcle-lint: begin-no-alloc
+void region_opened_but_never_closed() {}
+
+// SEED: directive
+// wcle-lint: begin-no-alloc
+void nested_begin() {}
+
+}  // namespace fixture

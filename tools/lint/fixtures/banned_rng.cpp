@@ -1,0 +1,44 @@
+// wcle_lint fixture: banned-rng (D1).
+//
+// Every line marked `// SEED: banned-rng` must produce exactly that
+// diagnostic; suppressed and commented/quoted occurrences must not. The
+// fixture is lint input only — it is never compiled.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+void nondeterminism_sources() {
+  std::random_device rd;                       // SEED: banned-rng
+  std::mt19937 gen(42);                        // SEED: banned-rng
+  std::uniform_int_distribution<int> d(0, 9);  // SEED: banned-rng
+  std::normal_distribution<double> nd;         // SEED: banned-rng
+  int x = rand();                              // SEED: banned-rng
+  srand(7);                                    // SEED: banned-rng
+  long t = time(nullptr);                      // SEED: banned-rng
+  auto s = std::chrono::steady_clock::now();   // SEED: banned-rng
+  auto w = std::chrono::system_clock::now();   // SEED: banned-rng
+  std::this_thread::yield();                   // SEED: banned-rng
+  std::shuffle(v.begin(), v.end(), gen);       // SEED: banned-rng
+  std::srand(9);                               // SEED: banned-rng
+  (void)rd, (void)d, (void)nd, (void)x, (void)t, (void)s, (void)w;
+}
+
+void clean_lookalikes() {
+  // A comment naming rand(), time(), std::shuffle and steady_clock::now()
+  // must not fire — comments never reach the token stream.
+  const char* msg = "call rand() or std::random_device at your peril";
+  double stationary_distribution = 0.25;  // unqualified: not std::*
+  int friendly_random = 0;                // substring of a banned name: fine
+  auto member = obj.rand();               // member call, not the C rand()
+  (void)msg, (void)stationary_distribution, (void)friendly_random;
+  (void)member;
+}
+
+void justified() {
+  // wcle-lint: banned-rng-ok(bench-only wall clock; never feeds simulation state)
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}
+
+}  // namespace fixture

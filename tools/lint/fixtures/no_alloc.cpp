@@ -1,0 +1,46 @@
+// wcle_lint fixture: no-alloc (A1) and region directives.
+//
+// Allocation inside a begin-no-alloc .. end-no-alloc region is flagged;
+// identical code outside a region is not. `// SEED: no-alloc` marks
+// every line that must fire. Lint input only — never compiled.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  std::vector<int> slots;
+  int* raw = nullptr;
+};
+
+// wcle-lint: begin-no-alloc
+void hot_path(Pool& pool, std::vector<int>& out) {
+  int* p = new int[16];                      // SEED: no-alloc
+  auto u = std::make_unique<int>(3);         // SEED: no-alloc
+  auto s = std::make_shared<int>(4);         // SEED: no-alloc
+  void* m = malloc(64);                      // SEED: no-alloc
+  pool.slots.push_back(7);                   // SEED: no-alloc
+  out.resize(128);                           // SEED: no-alloc
+  out.reserve(256);                          // SEED: no-alloc
+  out.emplace_back(1);                       // SEED: no-alloc
+  std::map<int, int> scratch;                // SEED: no-alloc
+  std::function<void()> cb;                  // SEED: no-alloc
+  std::string label;                         // SEED: no-alloc
+  (void)p, (void)u, (void)s, (void)m, (void)scratch, (void)cb, (void)label;
+}
+
+void warm_growth(Pool& pool) {
+  // wcle-lint: no-alloc-ok(pool growth is cold-start only; steady state recycles)
+  pool.slots.push_back(9);
+}
+// wcle-lint: end-no-alloc
+
+void outside_region_is_clean(Pool& pool, std::vector<int>& out) {
+  int* p = new int[16];
+  pool.slots.push_back(7);
+  out.resize(128);
+  auto u = std::make_unique<int>(3);
+  (void)p, (void)u;
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// wcle_lint fixture: pointer-order (D3).
+//
+// Pointer keys in ordered containers and pointer hashing/comparators are
+// run-dependent (address order changes with ASLR and allocation history).
+// `// SEED: pointer-order` marks every line that must fire. Lint input only.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node;
+
+void pointer_keys_fire() {
+  std::map<Node*, int> by_address;             // SEED: pointer-order
+  std::set<const Node*> visited;               // SEED: pointer-order
+  std::multimap<Node*, Node*> edges;           // SEED: pointer-order
+  std::set<std::pair<int, Node*>> pair_keyed;  // SEED: pointer-order
+  std::hash<Node*> hasher;                     // SEED: pointer-order
+  std::less<const Node*> cmp;                  // SEED: pointer-order
+  (void)by_address, (void)visited, (void)edges, (void)pair_keyed;
+  (void)hasher, (void)cmp;
+}
+
+void value_keys_are_clean() {
+  std::map<int, Node*> by_id;          // pointer VALUES are fine; keys order
+  std::set<long> ids;
+  std::map<std::string, int> by_name;
+  std::hash<std::string> name_hash;
+  (void)by_id, (void)ids, (void)by_name, (void)name_hash;
+}
+
+void justified() {
+  // wcle-lint: pointer-order-ok(scratch set inside one call; order never observed)
+  std::set<Node*> scratch;
+  (void)scratch;
+}
+
+}  // namespace fixture

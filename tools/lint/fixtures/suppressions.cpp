@@ -1,0 +1,44 @@
+// wcle_lint fixture: suppression syntax round-trip.
+//
+// Every violation in this file is suppressed with a justification, so the
+// linter must report zero diagnostics and exactly six suppressed entries
+// whose reasons survive into the JSON report verbatim. Lint input only.
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+void trailing_form() {
+  auto t = time(nullptr);  // wcle-lint: banned-rng-ok(trailing-comment form)
+  (void)t;
+}
+
+void standalone_form() {
+  // wcle-lint: banned-rng-ok(standalone comment binds to the next line)
+  auto t = time(nullptr);
+  (void)t;
+}
+
+void one_reason_per_rule() {
+  std::unordered_map<int, int> table;
+  // wcle-lint: unordered-iter-ok(order folded through a commutative sum)
+  for (const auto& [k, v] : table) total += v;
+}
+
+// wcle-lint: begin-no-alloc
+void suppressed_region(std::vector<int>& out) {
+  // wcle-lint: no-alloc-ok(grows once at start-up, capacity is never released)
+  out.push_back(1);
+  out.push_back(2);  // wcle-lint: no-alloc-ok(second growth point, trailing form)
+}
+// wcle-lint: end-no-alloc
+
+void engine_with_reason() {
+  // A suppression comment may be preceded by ordinary prose comments; only
+  // a comment that leads with the tool's marker is a directive.
+  // wcle-lint: banned-rng-ok(fixture: engine reason must round-trip via JSON)
+  std::mt19937 gen(42);
+  (void)gen;
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// wcle_lint fixture: unordered-iter (D2).
+//
+// Iteration over unordered containers is flagged; membership tests, lookups,
+// and sorted-copy patterns are not. `// SEED: unordered-iter` marks every
+// line that must fire. Lint input only — never compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void iteration_fires() {
+  std::unordered_map<int, int> table;
+  std::unordered_set<long> members;
+  std::unordered_map<int, std::unordered_map<int, int>> nested;
+
+  for (const auto& [k, v] : table) use(k, v);  // SEED: unordered-iter
+  for (long m : members) use(m);               // SEED: unordered-iter
+  for (auto it = table.begin(); it != end; ++it) use(*it);  // SEED: unordered-iter
+  for (const auto& [k, inner] : nested) use(k);  // SEED: unordered-iter
+}
+
+void access_only_is_clean() {
+  std::unordered_map<int, int> lookup;
+  std::unordered_set<long> seen;
+  lookup[3] = 4;
+  if (seen.count(9)) use(lookup.at(3));
+  const auto it = lookup.find(5);
+  if (it != lookup.end()) use(it->second);
+  // Iterating an ordinary vector with an unordered-ish name is fine.
+  std::vector<int> unordered_results;
+  for (int r : unordered_results) use(r);
+}
+
+void justified() {
+  std::unordered_map<int, int> histogram;
+  // wcle-lint: unordered-iter-ok(keys are copied out and sorted before any output)
+  for (const auto& [k, v] : histogram) collect(k, v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,204 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace wcle_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Raw-string introducers: the encoding prefixes the standard allows.
+bool raw_string_prefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "LR" || id == "UR";
+}
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  std::uint32_t line = 1, col = 1;
+  bool in_pp = false;          // inside a preprocessor directive line
+  bool line_has_code = false;  // non-comment token emitted on this line
+
+  auto advance = [&](std::size_t k) {
+    for (std::size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+        line_has_code = false;
+        // A preprocessor line ends at an unescaped newline.
+        if (in_pp && (i == 0 || source[i - 1] != '\\')) in_pp = false;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  auto push = [&](TokKind kind, std::string text, std::uint32_t tl,
+                  std::uint32_t tc) {
+    out.tokens.push_back({kind, std::move(text), tl, tc, in_pp});
+    line_has_code = true;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    const char c1 = i + 1 < n ? source[i + 1] : '\0';
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && c1 == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.trailing = line_has_code;
+      advance(2);
+      std::size_t start = i;
+      while (i < n && source[i] != '\n') advance(1);
+      cm.text = source.substr(start, i - start);
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && c1 == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.trailing = line_has_code;
+      advance(2);
+      std::size_t start = i;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/'))
+        advance(1);
+      cm.text = source.substr(start, (i < n ? i : n) - start);
+      advance(i + 1 < n ? 2 : n - i);  // consume "*/" or the dangling tail
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // Preprocessor directive: '#' as the first code on a line.
+    if (c == '#' && !line_has_code) {
+      in_pp = true;
+      push(TokKind::kPunct, "#", line, col);
+      advance(1);
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      push(TokKind::kString, "", line, col);
+      advance(1);
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n)
+          advance(2);
+        else if (source[i] == '\n')
+          break;  // unterminated; do not swallow the rest of the file
+        else
+          advance(1);
+      }
+      if (i < n && source[i] == '"') advance(1);
+      continue;
+    }
+
+    // Character literal (only when it cannot be a digit separator, which the
+    // number branch below consumes first).
+    if (c == '\'') {
+      push(TokKind::kChar, "", line, col);
+      advance(1);
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n)
+          advance(2);
+        else if (source[i] == '\n')
+          break;
+        else
+          advance(1);
+      }
+      if (i < n && source[i] == '\'') advance(1);
+      continue;
+    }
+
+    // Number (pp-number: digits, letters, dots, digit separators, exponent
+    // signs). Starts with a digit or '.' followed by a digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(c1)))) {
+      const std::uint32_t tl = line, tc = col;
+      std::string text;
+      while (i < n) {
+        const char d = source[i];
+        if (ident_cont(d) || d == '.' || d == '\'') {
+          text += d;
+          advance(1);
+          // Exponent: e+ e- p+ p- keep the sign inside the number.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (source[i] == '+' || source[i] == '-') && !text.empty() &&
+              std::isdigit(static_cast<unsigned char>(text[0]))) {
+            text += source[i];
+            advance(1);
+          }
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::move(text), tl, tc);
+      continue;
+    }
+
+    // Identifier / keyword — and the raw-string special case.
+    if (ident_start(c)) {
+      const std::uint32_t tl = line, tc = col;
+      std::string text;
+      while (i < n && ident_cont(source[i])) {
+        text += source[i];
+        advance(1);
+      }
+      if (i < n && source[i] == '"' && raw_string_prefix(text)) {
+        // R"delim( ... )delim"
+        advance(1);  // opening quote
+        std::string delim;
+        while (i < n && source[i] != '(' && source[i] != '\n') {
+          delim += source[i];
+          advance(1);
+        }
+        if (i < n && source[i] == '(') advance(1);
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = source.find(closer, i);
+        advance((end == std::string::npos ? n : end + closer.size()) - i);
+        push(TokKind::kString, "", tl, tc);
+        continue;
+      }
+      push(TokKind::kIdent, std::move(text), tl, tc);
+      continue;
+    }
+
+    // Punctuation. "::" and "->" matter to the rules; everything else is
+    // emitted one character at a time (so template depth counting sees each
+    // '<' and '>' of a ">>" close individually).
+    if (c == ':' && c1 == ':') {
+      push(TokKind::kPunct, "::", line, col);
+      advance(2);
+      continue;
+    }
+    if (c == '-' && c1 == '>') {
+      push(TokKind::kPunct, "->", line, col);
+      advance(2);
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c), line, col);
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace wcle_lint

@@ -1,0 +1,272 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace wcle_lint {
+
+namespace {
+
+constexpr const char* kDirectivePrefix = "wcle-lint:";
+
+struct Suppression {
+  std::uint32_t comment_line = 0;
+  std::string rule;
+  std::string reason;
+  bool trailing = false;  ///< trailing comments bind to their own line only
+
+  bool covers(std::uint32_t line) const {
+    if (line == comment_line) return true;
+    return !trailing && line == comment_line + 1;
+  }
+};
+
+struct Directives {
+  std::vector<Suppression> suppressions;
+  std::vector<Region> regions;
+  std::vector<Diagnostic> errors;  ///< rule "directive"
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t");
+  return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+}
+
+/// Parses every wcle-lint directive out of a file's comments.
+Directives parse_directives(const std::string& path,
+                            const std::vector<Comment>& comments) {
+  Directives out;
+  std::uint32_t open_begin = 0;  // line of the currently open begin marker
+
+  for (const Comment& c : comments) {
+    std::size_t pos = c.text.find(kDirectivePrefix);
+    if (pos == std::string::npos) continue;
+    const std::string body =
+        trim(c.text.substr(pos + std::string(kDirectivePrefix).size()));
+
+    if (body == "begin-no-alloc") {
+      if (open_begin != 0) {
+        out.errors.push_back({path, c.line, 1, "directive",
+                              "begin-no-alloc while the region opened on "
+                              "line " +
+                                  std::to_string(open_begin) +
+                                  " is still open (regions do not nest)"});
+      } else {
+        open_begin = c.line;
+      }
+      continue;
+    }
+    if (body == "end-no-alloc") {
+      if (open_begin == 0) {
+        out.errors.push_back({path, c.line, 1, "directive",
+                              "end-no-alloc without a matching "
+                              "begin-no-alloc"});
+      } else {
+        out.regions.push_back({open_begin, c.line});
+        open_begin = 0;
+      }
+      continue;
+    }
+
+    // <rule>-ok(reason)
+    const std::size_t ok = body.find("-ok(");
+    const std::size_t close = body.rfind(')');
+    if (ok != std::string::npos && close != std::string::npos &&
+        close > ok + 3) {
+      const std::string rule = body.substr(0, ok);
+      const std::string reason = trim(body.substr(ok + 4, close - ok - 4));
+      const auto& names = rule_names();
+      if (std::find(names.begin(), names.end(), rule) == names.end()) {
+        out.errors.push_back({path, c.line, 1, "directive",
+                              "suppression names unknown rule '" + rule +
+                                  "' (see wcle_lint --list-rules)"});
+      } else if (reason.empty()) {
+        out.errors.push_back({path, c.line, 1, "directive",
+                              "suppression of '" + rule +
+                                  "' has an empty reason: every suppression "
+                                  "must carry a written justification"});
+      } else {
+        out.suppressions.push_back({c.line, rule, reason, c.trailing});
+      }
+      continue;
+    }
+
+    out.errors.push_back(
+        {path, c.line, 1, "directive",
+         "unrecognized wcle-lint directive '" + body +
+             "': expected begin-no-alloc, end-no-alloc, or <rule>-ok(reason)"});
+  }
+
+  if (open_begin != 0)
+    out.errors.push_back({path, open_begin, 1, "directive",
+                          "begin-no-alloc region never closed (missing "
+                          "end-no-alloc before end of file)"});
+  return out;
+}
+
+bool rule_enabled(const LintOptions& options, const std::string& rule) {
+  if (options.rules.empty()) return true;
+  return std::find(options.rules.begin(), options.rules.end(), rule) !=
+         options.rules.end();
+}
+
+void lint_buffer(const std::string& display_path, const std::string& source,
+                 const LintOptions& options, LintReport& report) {
+  const LexResult lx = lex(source);
+  Directives dirs = parse_directives(display_path, lx.comments);
+
+  std::vector<Diagnostic> raw;
+  run_rules(display_path, lx, dirs.regions, raw);
+  for (Diagnostic& d : dirs.errors)
+    if (rule_enabled(options, d.rule)) raw.push_back(std::move(d));
+
+  // Stable order: by line, then column, then rule.
+  std::sort(raw.begin(), raw.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+
+  for (Diagnostic& d : raw) {
+    if (!rule_enabled(options, d.rule)) continue;
+    const Suppression* hit = nullptr;
+    for (const Suppression& s : dirs.suppressions)
+      if (s.rule == d.rule && s.covers(d.line)) {
+        hit = &s;
+        break;
+      }
+    if (hit != nullptr)
+      report.suppressed.push_back({d.file, d.line, d.rule, hit->reason});
+    else
+      report.diagnostics.push_back(std::move(d));
+  }
+  report.files_scanned += 1;
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+LintReport lint_source(const std::string& display_path,
+                       const std::string& source, const LintOptions& options) {
+  LintReport report;
+  lint_buffer(display_path, source, options, report);
+  return report;
+}
+
+LintReport lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& options) {
+  namespace fs = std::filesystem;
+  LintReport report;
+
+  // Collect the worklist first, sorted, so reports are stable regardless of
+  // directory-entry order.
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it)
+        if (it->is_regular_file() && lintable_extension(it->path()))
+          files.push_back(it->path().generic_string());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      report.diagnostics.push_back(
+          {p, 0, 0, "directive", "path does not exist or is unreadable"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      report.diagnostics.push_back({f, 0, 0, "directive", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    lint_buffer(f, buf.str(), options, report);
+  }
+  return report;
+}
+
+std::string to_text(const LintReport& report) {
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics)
+    os << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule << "] "
+       << d.message << "\n";
+  os << report.diagnostics.size() << " diagnostic(s), "
+     << report.suppressed.size() << " suppressed, " << report.files_scanned
+     << " file(s) scanned\n";
+  return os.str();
+}
+
+std::string to_json(const LintReport& report,
+                    const std::vector<std::string>& roots) {
+  std::ostringstream os;
+  os << "{\"tool\":\"wcle_lint\",\"version\":1,\"roots\":[";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) os << ",";
+    json_escape(os, roots[i]);
+  }
+  os << "],\"files_scanned\":" << report.files_scanned << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":";
+    json_escape(os, d.file);
+    os << ",\"line\":" << d.line << ",\"col\":" << d.col << ",\"rule\":";
+    json_escape(os, d.rule);
+    os << ",\"message\":";
+    json_escape(os, d.message);
+    os << "}";
+  }
+  os << "],\"suppressed\":[";
+  for (std::size_t i = 0; i < report.suppressed.size(); ++i) {
+    const SuppressedDiagnostic& s = report.suppressed[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":";
+    json_escape(os, s.file);
+    os << ",\"line\":" << s.line << ",\"rule\":";
+    json_escape(os, s.rule);
+    os << ",\"reason\":";
+    json_escape(os, s.reason);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace wcle_lint

@@ -1,0 +1,68 @@
+// wcle_lint driver: directive parsing, suppression filtering, file
+// discovery, and report formatting.
+//
+// Directive syntax (inside any comment):
+//   // wcle-lint: <rule>-ok(reason)   suppress <rule> on this line (trailing
+//                                     comment) or on the next line
+//                                     (standalone comment); the reason is
+//                                     mandatory and is carried into the
+//                                     report so reviews can audit it.
+//   // wcle-lint: begin-no-alloc      open a zero-allocation region
+//   // wcle-lint: end-no-alloc        close it
+//
+// A suppression that names an unknown rule, a reason-less suppression, or an
+// unbalanced region marker is itself a "directive" diagnostic — annotations
+// are part of the checked surface, not free-form comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace wcle_lint {
+
+/// A diagnostic that was silenced by an `-ok(reason)` annotation. Kept in
+/// the report (and the JSON output) so the justification is auditable.
+struct SuppressedDiagnostic {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+struct LintOptions {
+  /// Restrict to these rules; empty = all rules.
+  std::vector<std::string> rules;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<SuppressedDiagnostic> suppressed;
+  std::uint64_t files_scanned = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// Lints a single in-memory buffer (the unit-test entry point).
+LintReport lint_source(const std::string& display_path,
+                       const std::string& source,
+                       const LintOptions& options = {});
+
+/// Lints files and/or directories (directories are walked recursively for
+/// .cpp/.cc/.hpp/.h files). Unreadable paths produce a "directive"-rule
+/// diagnostic rather than silent omission.
+LintReport lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& options = {});
+
+/// Human-readable report: one `file:line:col: [rule] message` line per
+/// diagnostic plus a summary trailer.
+std::string to_text(const LintReport& report);
+
+/// Machine-readable report (stable schema; see README "Correctness
+/// tooling"). `roots` is echoed back for provenance.
+std::string to_json(const LintReport& report,
+                    const std::vector<std::string>& roots);
+
+}  // namespace wcle_lint

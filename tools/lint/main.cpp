@@ -1,0 +1,111 @@
+// wcle_lint CLI.
+//
+//   wcle_lint --root=src [--root=DIR]... [FILE...]
+//             [--format=text|json] [--out=FILE] [--rule=NAME]...
+//             [--list-rules]
+//
+// Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage or I/O error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: wcle_lint [--root=DIR]... [FILE...] [options]\n"
+        "\n"
+        "Static determinism & hot-path checks for the WCLE tree.\n"
+        "\n"
+        "options:\n"
+        "  --root=DIR       lint every .cpp/.cc/.hpp/.h under DIR "
+        "(repeatable)\n"
+        "  --format=FMT     text (default) or json\n"
+        "  --out=FILE       write the report to FILE instead of stdout\n"
+        "  --rule=NAME      restrict to a rule (repeatable; default: all)\n"
+        "  --list-rules     print every rule with its description and exit\n"
+        "\n"
+        "Suppressions: // wcle-lint: <rule>-ok(reason)   (same or next "
+        "line)\n"
+        "No-alloc regions: // wcle-lint: begin-no-alloc .. end-no-alloc\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  wcle_lint::LintOptions options;
+  std::string format = "text";
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : wcle_lint::rule_names())
+        std::cout << r << "\n    " << wcle_lint::rule_description(r) << "\n";
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      paths.push_back(value("--root="));
+    } else if (arg == "--root" && i + 1 < argc) {
+      paths.push_back(argv[++i]);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value("--format=");
+      if (format != "text" && format != "json") {
+        std::cerr << "wcle_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value("--out=");
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      const std::string rule = value("--rule=");
+      const auto& names = wcle_lint::rule_names();
+      bool known = false;
+      for (const std::string& r : names) known = known || r == rule;
+      if (!known) {
+        std::cerr << "wcle_lint: unknown rule '" << rule
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      options.rules.push_back(rule);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "wcle_lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (paths.empty()) {
+    std::cerr << "wcle_lint: no --root or files given\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  const wcle_lint::LintReport report = wcle_lint::lint_paths(paths, options);
+  const std::string rendered = format == "json"
+                                   ? wcle_lint::to_json(report, paths)
+                                   : wcle_lint::to_text(report);
+  if (out_path.empty()) {
+    std::cout << rendered;
+    if (format == "json") std::cout << "\n";
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "wcle_lint: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << rendered;
+    if (format == "json") out << "\n";
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,407 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace wcle_lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t k = std::string(suffix).size();
+  return s.size() >= k && s.compare(s.size() - k, k, suffix) == 0;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// std:: random engines (all banned: their streams are only as portable as
+/// the distributions fed from them, and wcle::Rng is the sanctioned source).
+const std::unordered_set<std::string>& banned_engines() {
+  static const std::unordered_set<std::string> kSet = {
+      "mt19937",       "mt19937_64",   "minstd_rand",
+      "minstd_rand0",  "knuth_b",      "default_random_engine",
+      "ranlux24",      "ranlux48",     "ranlux24_base",
+      "ranlux48_base", "random_device"};
+  return kSet;
+}
+
+/// Bare C functions whose results depend on wall clock / process state.
+const std::unordered_set<std::string>& banned_c_calls() {
+  static const std::unordered_set<std::string> kSet = {
+      "rand", "srand", "rand_r", "random",        "srandom",
+      "time", "clock", "getpid", "gettimeofday",  "timespec_get",
+      "drand48", "lrand48", "mrand48"};
+  return kSet;
+}
+
+const std::unordered_set<std::string>& unordered_container_names() {
+  static const std::unordered_set<std::string> kSet = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kSet;
+}
+
+const std::unordered_set<std::string>& ordered_container_names() {
+  static const std::unordered_set<std::string> kSet = {"map", "set", "multimap",
+                                                       "multiset"};
+  return kSet;
+}
+
+/// Member calls that can grow their receiver (allocate) — banned inside
+/// no-alloc regions unless suppressed with a justification.
+const std::unordered_set<std::string>& growth_calls() {
+  static const std::unordered_set<std::string> kSet = {
+      "resize",  "reserve", "push_back",     "emplace_back", "emplace",
+      "insert",  "assign",  "shrink_to_fit", "append",       "to_vector"};
+  return kSet;
+}
+
+/// Allocating free functions / factories.
+const std::unordered_set<std::string>& alloc_calls() {
+  static const std::unordered_set<std::string> kSet = {
+      "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup"};
+  return kSet;
+}
+
+/// std:: types whose construction allocates per element or per call —
+/// mentioning one inside a no-alloc region is a finding by itself.
+const std::unordered_set<std::string>& allocating_std_types() {
+  static const std::unordered_set<std::string> kSet = {
+      "map",           "multimap",           "set",
+      "multiset",      "list",               "forward_list",
+      "deque",         "unordered_map",      "unordered_set",
+      "unordered_multimap", "unordered_multiset", "function",
+      "string",        "ostringstream",      "stringstream"};
+  return kSet;
+}
+
+/// Index of the '>' closing the '<' at `open` (depth-aware, tolerant of
+/// parentheses inside template arguments). Returns npos when the '<' turns
+/// out to be a comparison (a ';' or unbalanced close intervenes).
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
+  int angle = 1;
+  int paren = 0;
+  for (std::size_t i = open + 1; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(")
+      ++paren;
+    else if (t.text == ")") {
+      if (--paren < 0) return std::string::npos;
+    } else if (paren == 0 && t.text == "<")
+      ++angle;
+    else if (paren == 0 && t.text == ">") {
+      if (--angle == 0) return i;
+    } else if (t.text == ";" || t.text == "{") {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+struct RuleSink {
+  const std::string& path;
+  std::vector<Diagnostic>& out;
+
+  void emit(const Token& at, const char* rule, std::string message) {
+    out.push_back({path, at.line, at.col, rule, std::move(message)});
+  }
+};
+
+// ------------------------------------------------------------- banned-rng
+
+void rule_banned_rng(const std::vector<Token>& toks, RuleSink& sink) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+
+    // std::X forms.
+    if (t.text == "std" && next && is_punct(*next, "::") &&
+        i + 2 < toks.size() && toks[i + 2].kind == TokKind::kIdent) {
+      const Token& x = toks[i + 2];
+      if (banned_engines().count(x.text)) {
+        sink.emit(x, "banned-rng",
+                  "std::" + x.text +
+                      " is banned: all randomness must flow through "
+                      "wcle::Rng (support/rng.hpp)");
+        continue;
+      }
+      if (x.text == "this_thread") {
+        sink.emit(x, "banned-rng",
+                  "std::this_thread is banned in simulation code: "
+                  "sleep/yield make timing part of the execution");
+        continue;
+      }
+      if (x.text == "shuffle" || x.text == "random_shuffle") {
+        sink.emit(x, "banned-rng",
+                  "std::" + x.text +
+                      " is banned: its draw order is implementation-defined; "
+                      "use Rng::shuffle (support/rng.hpp)");
+        continue;
+      }
+      if (ends_with(x.text, "_distribution")) {
+        sink.emit(x, "banned-rng",
+                  "std::" + x.text +
+                      " is banned: standard distributions are not "
+                      "bit-identical across implementations; use the "
+                      "explicit distributions on wcle::Rng");
+        continue;
+      }
+      if (banned_c_calls().count(x.text)) {
+        sink.emit(x, "banned-rng",
+                  "std::" + x.text +
+                      " is banned: wall-clock/process state breaks seed-fixed "
+                      "reproducibility");
+        continue;
+      }
+    }
+
+    // steady_clock::now / system_clock::now / any *_clock::now.
+    if (ends_with(t.text, "_clock") && next && is_punct(*next, "::") &&
+        i + 2 < toks.size() && is_ident(toks[i + 2], "now")) {
+      sink.emit(t, "banned-rng",
+                t.text +
+                    "::now() is banned in simulation code: wall-clock reads "
+                    "make executions time-dependent (timing belongs in "
+                    "bench/CLI layers only)");
+      continue;
+    }
+
+    // Bare C calls: rand(, time(, ... — not preceded by . -> or ::.
+    if (banned_c_calls().count(t.text) && next && is_punct(*next, "(")) {
+      if (prev && (is_punct(*prev, ".") || is_punct(*prev, "->") ||
+                   is_punct(*prev, "::")))
+        continue;  // member/qualified call of an unrelated name (std:: forms
+                   // are handled above)
+      sink.emit(t, "banned-rng",
+                t.text +
+                    "() is banned: wall-clock/process state breaks seed-fixed "
+                    "reproducibility; use wcle::Rng for randomness");
+    }
+  }
+}
+
+// --------------------------------------------------------- unordered-iter
+
+void rule_unordered_iter(const std::vector<Token>& toks, RuleSink& sink) {
+  // Pass 1: names declared with an unordered container type in this file
+  // (locals, members, parameters — anything of the form
+  // `unordered_xxx<...> [&*const]* name` where name is not a function).
+  std::unordered_set<std::string> tracked;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.pp) continue;
+    if (!unordered_container_names().count(t.text)) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "<")) continue;
+    const std::size_t close = match_angle(toks, i + 1);
+    if (close == std::string::npos) continue;
+    std::size_t k = close + 1;
+    while (k < toks.size() &&
+           (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+            is_ident(toks[k], "const")))
+      ++k;
+    if (k + 1 < toks.size() && toks[k].kind == TokKind::kIdent &&
+        !is_punct(toks[k + 1], "("))  // a '(' would make it a function decl
+      tracked.insert(toks[k].text);
+  }
+  if (tracked.empty()) return;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // Range-for whose range expression mentions a tracked name.
+    if (is_ident(t, "for") && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& u = toks[j];
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "(" || u.text == "[" || u.text == "{")
+          ++depth;
+        else if (u.text == ")" || u.text == "]" || u.text == "}") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && u.text == ";") {
+          break;  // classic for loop, not range-for
+        } else if (depth == 1 && u.text == ":" &&
+                   colon == std::string::npos) {
+          colon = j;
+        }
+      }
+      if (colon == std::string::npos || close == std::string::npos) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent && tracked.count(toks[j].text)) {
+          sink.emit(t, "unordered-iter",
+                    "range-for over unordered container '" + toks[j].text +
+                        "': hash order is nondeterministic across "
+                        "implementations — sort first, or suppress with a "
+                        "justification that the order cannot reach RNG draws "
+                        "or output");
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: tracked.begin()/cbegin()/rbegin().
+    if (t.kind == TokKind::kIdent && tracked.count(t.text) &&
+        i + 3 < toks.size() && is_punct(toks[i + 1], ".") &&
+        (is_ident(toks[i + 2], "begin") || is_ident(toks[i + 2], "cbegin") ||
+         is_ident(toks[i + 2], "rbegin")) &&
+        is_punct(toks[i + 3], "(")) {
+      sink.emit(t, "unordered-iter",
+                "iterator over unordered container '" + t.text +
+                    "': hash order is nondeterministic across "
+                    "implementations — sort first, or suppress with a "
+                    "justification");
+    }
+  }
+}
+
+// ---------------------------------------------------------- pointer-order
+
+void rule_pointer_order(const std::vector<Token>& toks, RuleSink& sink) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "std") || !is_punct(toks[i + 1], "::")) continue;
+    const Token& x = toks[i + 2];
+    if (x.kind != TokKind::kIdent || x.pp) continue;
+
+    const bool ordered = ordered_container_names().count(x.text) > 0;
+    const bool functor =
+        x.text == "hash" || x.text == "less" || x.text == "greater";
+    if (!ordered && !functor) continue;
+    if (!is_punct(toks[i + 3], "<")) continue;
+    const std::size_t close = match_angle(toks, i + 3);
+    if (close == std::string::npos) continue;
+
+    // Scan the first template argument (the key type) for a raw pointer.
+    int angle = 0;
+    for (std::size_t j = i + 4; j < close; ++j) {
+      const Token& u = toks[j];
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "<")
+        ++angle;
+      else if (u.text == ">")
+        --angle;
+      else if (angle == 0 && u.text == "," && ordered)
+        break;  // only the key type matters for map/set
+      else if (u.text == "*") {
+        sink.emit(x, "pointer-order",
+                  ordered
+                      ? "std::" + x.text +
+                            " keyed by a raw pointer: address order is "
+                            "run-dependent (ASLR), so iteration order would "
+                            "differ between executions — key by index or id "
+                            "instead"
+                      : "std::" + x.text +
+                            " over a raw pointer: address-based "
+                            "hashing/comparison is run-dependent — hash or "
+                            "compare a stable id instead");
+        break;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- no-alloc
+
+void rule_no_alloc(const std::vector<Token>& toks,
+                   const std::vector<Region>& regions, RuleSink& sink) {
+  if (regions.empty()) return;
+  auto in_region = [&](std::uint32_t line) {
+    for (const Region& r : regions)
+      if (line >= r.begin_line && line <= r.end_line) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || !in_region(t.line)) continue;
+    const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+
+    if (t.text == "new" && (!prev || !is_punct(*prev, "::"))) {
+      sink.emit(t, "no-alloc",
+                "operator new inside a no-alloc region: the steady-state hot "
+                "path must not touch the heap");
+      continue;
+    }
+    if (alloc_calls().count(t.text) && next &&
+        (is_punct(*next, "(") || is_punct(*next, "<"))) {
+      sink.emit(t, "no-alloc",
+                t.text + " inside a no-alloc region: the steady-state hot "
+                         "path must not touch the heap");
+      continue;
+    }
+    if (prev && (is_punct(*prev, ".") || is_punct(*prev, "->")) &&
+        growth_calls().count(t.text) && next && is_punct(*next, "(")) {
+      sink.emit(t, "no-alloc",
+                "." + t.text +
+                    "() inside a no-alloc region can grow its container: "
+                    "prove the capacity is warm and suppress with that "
+                    "justification, or hoist the growth out of the region");
+      continue;
+    }
+    if (t.text == "std" && next && is_punct(*next, "::") &&
+        i + 2 < toks.size() && toks[i + 2].kind == TokKind::kIdent &&
+        allocating_std_types().count(toks[i + 2].text)) {
+      sink.emit(toks[i + 2], "no-alloc",
+                "std::" + toks[i + 2].text +
+                    " referenced inside a no-alloc region: node-based / "
+                    "allocating types do not belong on the hot path");
+      ++i;  // skip past "::" so the type name is not re-examined
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "banned-rng", "unordered-iter", "pointer-order", "no-alloc",
+      "directive"};
+  return kNames;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "banned-rng")
+    return "nondeterminism sources (std::random_device, rand, time, "
+           "*_clock::now, std::this_thread, std::*_distribution, "
+           "std::shuffle) — wcle::Rng is the only sanctioned RNG surface";
+  if (rule == "unordered-iter")
+    return "iteration over unordered containers — hash order must never "
+           "reach RNG draws or output order";
+  if (rule == "pointer-order")
+    return "pointer keys in ordered containers / pointer hashing — address "
+           "order is run-dependent";
+  if (rule == "no-alloc")
+    return "allocation inside // wcle-lint: begin-no-alloc .. end-no-alloc "
+           "regions (the zero-alloc hot paths)";
+  if (rule == "directive")
+    return "malformed wcle-lint comment directives (unknown directive, "
+           "unbalanced no-alloc region)";
+  return "";
+}
+
+void run_rules(const std::string& display_path, const LexResult& lx,
+               const std::vector<Region>& regions,
+               std::vector<Diagnostic>& out) {
+  RuleSink sink{display_path, out};
+  rule_banned_rng(lx.tokens, sink);
+  rule_unordered_iter(lx.tokens, sink);
+  rule_pointer_order(lx.tokens, sink);
+  rule_no_alloc(lx.tokens, regions, sink);
+}
+
+}  // namespace wcle_lint

@@ -1,0 +1,67 @@
+// The WCLE-specific lint rules. Each rule is a lexical pass over the token
+// stream produced by lexer.hpp; diagnostics carry file:line:col positions and
+// a stable rule name that the suppression syntax references
+// (`// wcle-lint: <rule>-ok(reason)`, see linter.hpp).
+//
+// Rules:
+//   banned-rng     (D1)  nondeterminism sources outside support/rng.hpp: the
+//                        library's reproducibility contract is that every
+//                        random draw flows from a single 64-bit seed through
+//                        wcle::Rng, whose distributions are implemented
+//                        explicitly because the standard's are not
+//                        bit-identical across implementations.
+//   unordered-iter (D2)  iteration (range-for or .begin()) over a variable
+//                        declared as an unordered container: hash order is
+//                        implementation- and run-dependent, so it must never
+//                        feed RNG-relevant processing or output order.
+//   pointer-order  (D3)  pointer keys in ordered containers or pointer
+//                        hashing/comparators: address order differs between
+//                        runs, so it is nondeterminism in disguise.
+//   no-alloc       (A1)  allocation inside a region annotated
+//                        `// wcle-lint: begin-no-alloc` .. `end-no-alloc`:
+//                        operator new, make_unique/make_shared, growth calls
+//                        (resize/push_back/...), node-based container or
+//                        std::function/std::string mentions, and IdSpan
+//                        materialization (to_vector).
+//   directive            malformed wcle-lint directives: unknown directive
+//                        text, begin-no-alloc without end, end without begin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace wcle_lint {
+
+struct Diagnostic {
+  std::string file;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A no-alloc source region, in inclusive line numbers (the lines holding the
+/// begin/end markers themselves are included; markers sit on their own lines).
+struct Region {
+  std::uint32_t begin_line = 0;
+  std::uint32_t end_line = 0;
+};
+
+/// Names of every rule that can fire on source tokens (excludes "directive",
+/// which the linter emits while parsing annotations).
+const std::vector<std::string>& rule_names();
+
+/// One-line description for --list-rules.
+std::string rule_description(const std::string& rule);
+
+/// Runs every token-level rule over `lx`, appending to `out`. `regions` are
+/// the no-alloc regions parsed from the file's comments; `display_path` is
+/// stamped into each diagnostic.
+void run_rules(const std::string& display_path, const LexResult& lx,
+               const std::vector<Region>& regions,
+               std::vector<Diagnostic>& out);
+
+}  // namespace wcle_lint
