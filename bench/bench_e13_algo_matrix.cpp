@@ -27,7 +27,9 @@ void BM_RegistryElectionSweep(benchmark::State& state) {
   }
   state.counters["congest_msgs"] = static_cast<double>(msgs);
 }
-BENCHMARK(BM_RegistryElectionSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegistryElectionSweep)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   if ((static_cast<std::uint64_t>(peers) * degree) % 2 != 0) ++degree;
   Rng grng(seed);
   const Graph overlay = make_random_regular(peers, degree, grng);
-  std::cout << "overlay: " << overlay.describe() << " (degree ~ log2 peers)\n\n";
+  std::cout << "overlay: " << overlay.describe()
+            << " (degree ~ log2 peers)\n\n";
 
   // --- The paper's algorithm: implicit election + broadcast (Cor. 14).
   ElectionParams params;

@@ -3,7 +3,7 @@
 // all baselines) and every experiment (E1-E14) is runnable through one
 // surface.
 //
-//   wcle_cli list                                   algorithms + families + specs
+//   wcle_cli list                          algorithms + families + specs
 //   wcle_cli run    --algo=election --family=expander --n=1024 --seed=7
 //                   [--crash=0.2 --linkfail=0.05 --adversary=contenders]
 //   wcle_cli trials --algo=flood_max --family=hypercube --n=256 --trials=20
@@ -674,7 +674,8 @@ int cmd_bench_dataplane(const CliArgs& args) {
         },
         wall_ns, cpu_ns);
     std::ostringstream extra;
-    extra << ",\"congest_messages\":" << json_number(stats.congest_messages.mean)
+    extra << ",\"congest_messages\":"
+          << json_number(stats.congest_messages.mean)
           << ",\"rounds\":" << json_number(stats.rounds.mean)
           << ",\"success_rate\":" << json_number(stats.success_rate);
     emit(w.name, spec.trials, wall_ns / spec.trials, cpu_ns / spec.trials,
@@ -722,7 +723,8 @@ void usage() {
       "                  trials base-seed graph-seed reliable extras + any\n"
       "                  RunOptions knob)\n"
       "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
-      "  trace:    run/trials/sweep --trace=FILE [--trace-format=jsonl|binary]\n"
+      "  trace:    run/trials/sweep --trace=FILE "
+      "[--trace-format=jsonl|binary]\n"
       "            (per-round timelines; .bin/.btrace default to binary)\n"
       "            run/trials/sweep --trace-every=<k>  (sampled rows: keep\n"
       "            every k-th round row; events always kept)\n"

@@ -571,7 +571,8 @@ ExperimentSpec builtin_experiment(const std::string& name, int scale) {
     s.skip_unreliable = true;
   } else {
     throw std::invalid_argument("unknown builtin experiment '" + name +
-                                "' (known: " + join(builtin_experiment_names()) +
+                                "' (known: " +
+                                join(builtin_experiment_names()) +
                                 ")");
   }
   return s;

@@ -33,7 +33,8 @@ CandidateFloodResult run_candidate_flood(const Graph& g, std::uint64_t seed,
 
 class Algorithm;
 
-/// Factory for the `candidate_flood` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `candidate_flood` registry adapter (see
+/// wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_candidate_flood_algorithm();
 
 }  // namespace wcle

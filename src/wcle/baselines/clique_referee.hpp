@@ -45,7 +45,8 @@ CliqueRefereeResult run_clique_referee(const Graph& g,
 
 class Algorithm;
 
-/// Factory for the `clique_referee` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `clique_referee` registry adapter (see
+/// wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_clique_referee_algorithm();
 
 }  // namespace wcle

@@ -33,7 +33,8 @@ FloodBroadcastResult run_flood_broadcast(const Graph& g, NodeId source,
 
 class Algorithm;
 
-/// Factory for the `flood_broadcast` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `flood_broadcast` registry adapter (see
+/// wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_flood_broadcast_algorithm();
 
 }  // namespace wcle

@@ -42,7 +42,8 @@ TerritoryElectionResult run_territory_election(const Graph& g,
 
 class Algorithm;
 
-/// Factory for the `territory_election` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `territory_election` registry adapter (see
+/// wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_territory_election_algorithm();
 
 }  // namespace wcle

@@ -49,7 +49,8 @@ TmixEstimateResult run_tmix_estimator(const Graph& g, NodeId initiator,
 
 class Algorithm;
 
-/// Factory for the `tmix_estimator` / `estimate_then_elect` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `tmix_estimator` / `estimate_then_elect` registry
+/// adapter (see wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_tmix_estimator_algorithm();
 std::unique_ptr<Algorithm> make_estimate_then_elect_algorithm();
 

@@ -35,7 +35,8 @@ ExplicitElectionResult run_explicit_election(
 
 class Algorithm;
 
-/// Factory for the `explicit_election` registry adapter (see wcle/api/registry.hpp).
+/// Factory for the `explicit_election` registry adapter (see
+/// wcle/api/registry.hpp).
 std::unique_ptr<Algorithm> make_explicit_election_algorithm();
 
 }  // namespace wcle

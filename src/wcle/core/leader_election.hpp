@@ -62,7 +62,8 @@ struct ElectionResult {
 
 /// Runs implicit leader election on `g` (which the nodes know only through
 /// ports plus the value n, per the model). Deterministic in params.seed.
-ElectionResult run_leader_election(const Graph& g, const ElectionParams& params);
+ElectionResult run_leader_election(const Graph& g,
+                                   const ElectionParams& params);
 
 class Algorithm;
 

@@ -63,7 +63,8 @@ std::uint64_t ElectionParams::scheduled_T(NodeId n, std::uint32_t t) const {
 }
 
 std::uint64_t ElectionParams::id_space(NodeId n) const {
-  const double space = std::pow(static_cast<double>(std::max<NodeId>(n, 2)), 4.0);
+  const double space =
+      std::pow(static_cast<double>(std::max<NodeId>(n, 2)), 4.0);
   const double cap = 9.0e18;  // stay within uint64
   return static_cast<std::uint64_t>(std::min(space, cap));
 }

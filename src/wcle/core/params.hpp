@@ -77,7 +77,8 @@ struct ElectionParams {
   std::uint64_t distinct_threshold(NodeId n) const;
   /// Effective t_u cap (resolves the max_length=0 default).
   std::uint32_t effective_max_length(NodeId n) const;
-  /// The paper's congestion-padded sub-phase duration T = (25/16) c1 t log2^2 n.
+  /// The paper's congestion-padded sub-phase duration
+  /// T = (25/16) c1 t log2^2 n.
   std::uint64_t scheduled_T(NodeId n, std::uint32_t t) const;
   /// Random node ids are drawn uniformly from [1, id_space(n)] ~ n^4.
   std::uint64_t id_space(NodeId n) const;

@@ -17,7 +17,7 @@ struct DumbbellGraph {
   Graph graph;
   NodeId base_n = 0;             ///< |V(G0)|; left side is [0, base_n)
   Edge left_cut;                 ///< edge removed from the left copy
-  Edge right_cut;                ///< edge removed from the right copy (base ids)
+  Edge right_cut;                ///< edge removed from right copy (base ids)
   Edge bridge1;                  ///< (left_cut.a, base_n + right_cut.a)
   Edge bridge2;                  ///< (left_cut.b, base_n + right_cut.b)
 

@@ -34,8 +34,9 @@ class Graph {
   /// An empty graph (0 nodes); useful as a placeholder before assignment.
   Graph() = default;
 
-  /// Builds a graph on `n` nodes from an edge list. Throws std::invalid_argument
-  /// on self-loops, duplicate edges, or out-of-range endpoints. If `port_rng`
+  /// Builds a graph on `n` nodes from an edge list. Throws
+  /// std::invalid_argument on self-loops, duplicate edges, or out-of-range
+  /// endpoints. If `port_rng`
   /// is non-null each node's port order is independently shuffled (asymmetric
   /// port numbering); otherwise ports follow neighbour-id order.
   static Graph from_edges(NodeId n, const std::vector<Edge>& edges,

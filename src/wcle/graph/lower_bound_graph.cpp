@@ -81,8 +81,10 @@ LowerBoundGraph make_lower_bound_graph(NodeId n_target, double alpha, Rng& rng,
   std::vector<int> next_ext(N, 0);
   out.inter_clique_edges.reserve(2ull * N);
   for (const Edge& se : out.supernode_graph.edges()) {
-    const NodeId ua = externals[se.a][static_cast<std::size_t>(next_ext[se.a]++)];
-    const NodeId ub = externals[se.b][static_cast<std::size_t>(next_ext[se.b]++)];
+    const NodeId ua =
+        externals[se.a][static_cast<std::size_t>(next_ext[se.a]++)];
+    const NodeId ub =
+        externals[se.b][static_cast<std::size_t>(next_ext[se.b]++)];
     edges.push_back({ua, ub});
     out.inter_clique_edges.push_back({std::min(ua, ub), std::max(ua, ub)});
   }

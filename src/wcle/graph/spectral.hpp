@@ -15,7 +15,8 @@
 
 namespace wcle {
 
-/// One step of the lazy random walk: out[v] = in[v]/2 + sum_{u~v} in[u]/(2 d_u).
+/// One step of the lazy random walk:
+/// out[v] = in[v]/2 + sum_{u~v} in[u]/(2 d_u).
 /// `out` is resized to n. This is the paper's transition matrix P.
 void lazy_walk_step(const Graph& g, const std::vector<double>& in,
                     std::vector<double>& out);

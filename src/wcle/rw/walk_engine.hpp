@@ -86,8 +86,8 @@ struct WalkEvent {
 /// Builds a proxy's Round-1 payload: called once per (proxy node, origin)
 /// holding `units` walk endpoints there. Typically fills ids with the random
 /// ids of the *other* contenders registered at the proxy (the set I1).
-using ProxyPayloadFn =
-    std::function<ReplyPayload(NodeId proxy, NodeId origin, std::uint64_t units)>;
+using ProxyPayloadFn = std::function<ReplyPayload(
+    NodeId proxy, NodeId origin, std::uint64_t units)>;
 
 /// Ablation switches (DESIGN.md §5). Defaults reproduce the paper.
 struct WalkConfig {

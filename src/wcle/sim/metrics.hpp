@@ -16,7 +16,7 @@ struct Metrics {
   std::uint64_t logical_messages = 0;  ///< protocol-level send() calls
   std::uint64_t total_bits = 0;        ///< sum of declared message sizes
   std::uint64_t max_edge_backlog = 0;  ///< peak per-edge queue (congestion)
-  std::uint64_t dropped_messages = 0;  ///< messages lost to the random-drop axis
+  std::uint64_t dropped_messages = 0;  ///< messages lost to random-drop axis
   /// Messages suppressed or eaten because an endpoint was crashed/churned
   /// out (crash-stop: dead nodes neither send nor receive).
   std::uint64_t crash_dropped_messages = 0;

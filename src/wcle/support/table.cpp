@@ -30,7 +30,8 @@ void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();
-    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+    for (const auto& row : rows_)
+      widths[c] = std::max(widths[c], row[c].size());
   }
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {

@@ -85,7 +85,7 @@ TEST(AlgorithmSmoke, EveryAlgorithmElectsOneLeaderWhereReliable) {
     for (const Algorithm* a : AlgorithmRegistry::instance().all()) {
       const RunResult r = a->run(sg.graph, options);
       EXPECT_EQ(r.algorithm, a->name());
-      if (!a->reliable_on(sg.graph)) continue;  // e.g. clique_referee off-clique
+      if (!a->reliable_on(sg.graph)) continue;  // clique_referee off-clique
       EXPECT_TRUE(r.success) << a->name() << " on " << sg.label;
       EXPECT_EQ(r.leaders.size(), 1u) << a->name() << " on " << sg.label;
       EXPECT_LT(r.leaders[0], sg.graph.node_count())

@@ -38,7 +38,8 @@ std::string temp_path(const std::string& name) {
 
 TEST(DataPlaneGolden, PreRefactorTraceReplaysByteIdentically) {
   const std::string golden =
-      std::string(WCLE_SOURCE_DIR) + "/tests/golden/e14_cell_pre_refactor.btrace";
+      std::string(WCLE_SOURCE_DIR) +
+      "/tests/golden/e14_cell_pre_refactor.btrace";
   {
     std::ifstream probe(golden, std::ios::binary);
     ASSERT_TRUE(probe.is_open()) << "missing golden trace: " << golden;

@@ -73,7 +73,8 @@ TEST_P(ElectionSafetyProperty, AtMostOneLeaderAndBoundsHold) {
   EXPECT_LE(r.totals.rounds, r.scheduled_rounds);
   // Accounting: phase metrics partition the totals.
   std::uint64_t msgs = 0;
-  for (const PhaseStats& ps : r.phase_stats) msgs += ps.metrics.congest_messages;
+  for (const PhaseStats& ps : r.phase_stats)
+    msgs += ps.metrics.congest_messages;
   EXPECT_EQ(msgs, r.totals.congest_messages);
   // CONGEST accounting: every logical message costs >= 1 CONGEST message.
   EXPECT_GE(r.totals.congest_messages, r.totals.logical_messages);
