@@ -53,7 +53,7 @@
 #include "wcle/support/table.hpp"
 #include "wcle/trace/reader.hpp"
 #include "wcle/trace/recorder.hpp"
-#include "wcle/trace/replay.hpp"
+#include "wcle/api/replay.hpp"
 #include "wcle/trace/summarize.hpp"
 #include "wcle/trace/writer.hpp"
 
@@ -474,7 +474,7 @@ int cmd_sweep(const CliArgs& args) {
 }
 
 // Byte-compares a recorded trace against a fresh re-execution of its header
-// spec (trace/replay.hpp): exit 0 = byte-identical, 1 = drift. With --diff a
+// spec (api/replay.hpp): exit 0 = byte-identical, 1 = drift. With --diff a
 // mismatch also decodes the first differing record (run meta, round row, or
 // event) instead of leaving only a byte offset.
 int cmd_replay(const CliArgs& args) {

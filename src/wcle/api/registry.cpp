@@ -4,7 +4,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "wcle/analysis/probes.hpp"
 #include "wcle/baselines/bfs_tree.hpp"
 #include "wcle/baselines/candidate_flood.hpp"
 #include "wcle/baselines/clique_referee.hpp"
@@ -19,6 +18,13 @@
 #include "wcle/core/leader_election.hpp"
 
 namespace wcle {
+
+// The probe factories are defined in analysis/, which layers *above* api.
+// Forward declarations instead of an #include keep the dependency edge
+// pointing the right way: analysis supplies the definitions at link time,
+// the same adapter-beside-protocol seam the baselines use.
+std::unique_ptr<Algorithm> make_contender_stage_algorithm();
+std::unique_ptr<Algorithm> make_graph_profile_algorithm();
 
 namespace detail {
 

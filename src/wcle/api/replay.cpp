@@ -1,4 +1,4 @@
-#include "wcle/trace/replay.hpp"
+#include "wcle/api/replay.hpp"
 
 #include <algorithm>
 #include <sstream>

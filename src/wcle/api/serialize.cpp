@@ -8,29 +8,9 @@ namespace wcle {
 
 namespace {
 
-// Shortest-round-trip double rendering; JSON has no NaN/Inf, map to null.
-// Integral values render as plain integers ("10", not the equally-short but
-// unreadable "1e+01" the round-trip search would pick).
-std::string num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  if (std::floor(v) == v && std::fabs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
-  }
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lf", &parsed);
-  if (parsed == v) {
-    for (int prec = 1; prec < 17; ++prec) {
-      char shorter[32];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-      std::sscanf(shorter, "%lf", &parsed);
-      if (parsed == v) return shorter;
-    }
-  }
-  return buf;
-}
+// The rendering primitives themselves live in support/json.cpp; this file
+// only assembles the result/trial schemas on top of them.
+std::string num(double v) { return json_number(v); }
 
 void append_summary(std::ostringstream& out, const std::string& key,
                     const Summary& s) {
@@ -41,31 +21,6 @@ void append_summary(std::ostringstream& out, const std::string& key,
 }
 
 }  // namespace
-
-std::string json_number(double value) { return num(value); }
-
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string to_json(const RunResult& r) {
   std::ostringstream out;

@@ -7,6 +7,7 @@
 
 #include "wcle/api/algorithm.hpp"
 #include "wcle/api/trials.hpp"
+#include "wcle/support/json.hpp"  // re-exports json_escape / json_number
 
 namespace wcle {
 
@@ -17,11 +18,5 @@ std::string to_json(const RunResult& result);
 /// JSON object for aggregated trials: rates, per-metric summaries
 /// {count, mean, stddev, min, median, max}, and summarized extras.
 std::string to_json(const TrialStats& stats);
-
-/// JSON string escaping (quotes, backslashes, control characters).
-std::string json_escape(const std::string& raw);
-
-/// Shortest-round-trip JSON rendering of a double ("null" for NaN/Inf).
-std::string json_number(double value);
 
 }  // namespace wcle

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+// wcle-lint: layering-ok(Corollary 14 composes the push-pull baseline)
 #include "wcle/baselines/push_pull.hpp"
 #include "wcle/core/leader_election.hpp"
 

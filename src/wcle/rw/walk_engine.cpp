@@ -75,9 +75,11 @@ WalkEngine::OriginState& WalkEngine::intern(NodeId origin) {
   if (idx == kNoOrigin) {
     idx = static_cast<std::uint32_t>(origins_.size());
     origin_index_[origin] = idx;
+    // wcle-lint: no-alloc-ok(first-seen origin only; steady rounds reuse it)
     origins_.emplace_back();
     OriginState& os = origins_.back();
     os.node = origin;
+    // wcle-lint: no-alloc-ok(sized once when its origin is interned)
     os.slot_of.assign(g_->node_count(), kNoSlot);
   }
   return origins_[idx];
@@ -110,7 +112,6 @@ WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
     // wcle-lint: no-alloc-ok(touched-list growth; survives clear_origin)
     os.touched.push_back(node);
     if (os.slots_used == os.slots.size())
-      // wcle-lint: no-alloc-ok(slot-pool growth; recycled slots stay warm)
       os.slots.emplace_back();
     else
       os.slots[os.slots_used].refs.clear();  // recycled slot, warm capacity
@@ -124,7 +125,6 @@ WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
   if (it != trail.refs.end() && it->first == r) return os.pool[it->second];
   const std::uint32_t idx = static_cast<std::uint32_t>(os.pool_used);
   if (os.pool_used == os.pool.size()) {
-    // wcle-lint: no-alloc-ok(level-pool growth; recycled levels stay warm)
     os.pool.emplace_back();
   } else {
     // Recycled level: zero the bookkeeping, keep the vector capacities.
@@ -288,6 +288,7 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
     }
     cur.clear();
 
+    // wcle-lint: no-alloc-transitive-ok(reaches only fault-event scratch)
     const std::vector<Delivery>& delivered = net_->step();
     for (const Delivery& d : delivered) {
       assert(d.msg.tag == kTagWalkToken);

@@ -39,7 +39,6 @@ std::uint64_t* IdArena::alloc(std::uint32_t n) {
     // Oversized payload: a dedicated allocation outside the bump chunks
     // (the cursor must never wander into it while it is live), recycled
     // through its free list until the drain rewind hands it back.
-    // wcle-lint: no-alloc-ok(oversized payloads are rare; free-listed)
     oversized_.push_back(std::make_unique<std::uint64_t[]>(cap));
     return oversized_.back().get();
   }
@@ -51,7 +50,6 @@ std::uint64_t* IdArena::alloc(std::uint32_t n) {
     cur_used_ = 0;
   }
   if (cur_chunk_ == chunks_.size())
-    // wcle-lint: no-alloc-ok(cold-start growth; rewind keeps the warm set)
     chunks_.push_back(std::make_unique<std::uint64_t[]>(kChunkWords));
   std::uint64_t* p = chunks_[cur_chunk_].get() + cur_used_;
   cur_used_ += cap;
@@ -139,7 +137,6 @@ std::uint32_t Network::alloc_msg() {
     free_msgs_.pop_back();
     return slot;
   }
-  // wcle-lint: no-alloc-ok(pool growth; steady state hits the free list)
   msgs_.emplace_back();
   return static_cast<std::uint32_t>(msgs_.size() - 1);
 }
@@ -213,6 +210,7 @@ const std::vector<Delivery>& Network::step() {
   metrics_.rounds += 1;
   // Fault events fire at the start of their round, before any service:
   // crash_round = 1 means the victims never deliver a single message.
+  // wcle-lint: no-alloc-transitive-ok(fault rounds sit outside the contract)
   if (faults_) faults_->advance(metrics_.rounds);
   // Tracing snapshots the counters it attributes per-round so the service
   // loop below stays hook-free: the row is the delta across this step.

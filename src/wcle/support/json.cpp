@@ -1,0 +1,55 @@
+#include "wcle/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wcle {
+
+// Shortest-round-trip double rendering; JSON has no NaN/Inf, map to null.
+// Integral values render as plain integers ("10", not the equally-short but
+// unreadable "1e+01" the round-trip search would pick).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  if (std::floor(value) == value && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == value) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, value);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == value) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace wcle

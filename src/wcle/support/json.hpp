@@ -1,0 +1,18 @@
+// Dependency-free JSON primitives shared by every layer that renders JSON
+// (trace writers below the api, result serialization inside it). Lives in
+// support so the trace layer does not have to reach up into api for a
+// string-escaper.
+#pragma once
+
+#include <string>
+
+namespace wcle {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& raw);
+
+/// Shortest-round-trip JSON rendering of a double ("null" for NaN/Inf).
+/// Integral values render as plain integers ("10", not "1e+01").
+std::string json_number(double value);
+
+}  // namespace wcle

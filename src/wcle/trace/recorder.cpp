@@ -45,6 +45,7 @@ TraceRound& TraceRecorder::row(std::uint64_t local_round) {
     }
     TraceRound r;
     r.round = last_round_ == 0 ? absolute : last_round_ + 1;
+    // wcle-lint: no-alloc-ok(rows grow only under a runtime-wired recorder)
     rounds_.push_back(r);
     open_ = true;
   }

@@ -3,7 +3,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "wcle/api/serialize.hpp"
+#include "wcle/support/json.hpp"
 
 namespace wcle {
 

@@ -22,7 +22,7 @@
 #include "wcle/sim/network.hpp"
 #include "wcle/trace/reader.hpp"
 #include "wcle/trace/recorder.hpp"
-#include "wcle/trace/replay.hpp"
+#include "wcle/api/replay.hpp"
 #include "wcle/trace/writer.hpp"
 
 namespace wcle {

@@ -19,7 +19,7 @@
 #include "wcle/graph/families.hpp"
 #include "wcle/trace/reader.hpp"
 #include "wcle/trace/recorder.hpp"
-#include "wcle/trace/replay.hpp"
+#include "wcle/api/replay.hpp"
 #include "wcle/trace/summarize.hpp"
 #include "wcle/trace/writer.hpp"
 

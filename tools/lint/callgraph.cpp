@@ -1,0 +1,202 @@
+#include "lint/callgraph.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wcle_lint {
+
+namespace {
+
+/// Member calls that must never resolve by bare name. Growth members
+/// (push_back, insert, ...) are direct lexical evidence already, and the
+/// std container / smart-pointer surface (begin, end, get, ...) is called
+/// overwhelmingly on standard types — resolving `v.begin()` to some
+/// project class's own begin() would fabricate chains.
+bool unresolvable_member(const CallSite& c) {
+  static const std::unordered_set<std::string> kStdSurface = {
+      "begin",  "end",     "cbegin",   "cend",     "rbegin",   "rend",
+      "crbegin", "crend",  "size",     "empty",    "capacity", "clear",
+      "front",  "back",    "data",     "at",       "find",     "count",
+      "contains", "erase", "swap",     "reset",    "get",      "release",
+      "push",   "pop",     "top",      "first",    "second",   "length",
+      "substr", "c_str",   "lower_bound", "upper_bound", "pop_back",
+      "pop_front"};
+  if (!c.member) return false;
+  return growth_calls().count(c.callee) > 0 || kStdSurface.count(c.callee) > 0;
+}
+
+}  // namespace
+
+CallGraph::CallGraph(
+    const std::vector<FileIndex>& files,
+    const std::function<bool(std::size_t, const AllocSite&)>&
+        evidence_silenced)
+    : files_(files) {
+  // Name tables. Keys: "Qual::name" and bare "name".
+  std::unordered_map<std::string, std::vector<FunctionRef>> by_display;
+  std::unordered_map<std::string, std::vector<FunctionRef>> by_name;
+  may_alloc_.resize(files_.size());
+  direct_site_.resize(files_.size());
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    const auto& fns = files_[f].functions;
+    may_alloc_[f].assign(fns.size(), false);
+    direct_site_[f].assign(fns.size(), -1);
+    for (std::size_t k = 0; k < fns.size(); ++k) {
+      by_name[fns[k].name].push_back({f, k});
+      if (!fns[k].qualifier.empty())
+        by_display[fns[k].display].push_back({f, k});
+      for (std::size_t s = 0; s < fns[k].alloc_sites.size(); ++s) {
+        const AllocSite& site = fns[k].alloc_sites[s];
+        if (site.guarded) continue;  // machine-checked cold growth
+        if (evidence_silenced && evidence_silenced(f, site)) continue;
+        if (direct_site_[f][k] < 0) direct_site_[f][k] = static_cast<int>(s);
+        may_alloc_[f][k] = true;
+      }
+    }
+  }
+
+  resolve_ = [this, by_display = std::move(by_display),
+              by_name = std::move(by_name)](const CallSite& call) {
+    std::vector<FunctionRef> out;
+    if (call.qualifier == "std") return out;
+    if (unresolvable_member(call)) return out;
+    if (!call.qualifier.empty()) {
+      auto it = by_display.find(call.qualifier + "::" + call.callee);
+      if (it != by_display.end()) return it->second;
+    }
+    auto it = by_name.find(call.callee);
+    if (it != by_name.end()) out = it->second;
+    return out;
+  };
+
+  // May-allocate fixpoint over the resolved call edges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < files_.size(); ++f) {
+      for (std::size_t k = 0; k < files_[f].functions.size(); ++k) {
+        if (may_alloc_[f][k]) continue;
+        for (const CallSite& call : files_[f].functions[k].calls) {
+          bool hit = false;
+          for (const FunctionRef& cand : resolve_(call)) {
+            if (may_alloc_[cand.file][cand.fn]) {
+              hit = true;
+              break;
+            }
+          }
+          if (hit) {
+            may_alloc_[f][k] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool CallGraph::may_alloc(const std::string& display) const {
+  for (std::size_t f = 0; f < files_.size(); ++f)
+    for (std::size_t k = 0; k < files_[f].functions.size(); ++k)
+      if (files_[f].functions[k].display == display && may_alloc_[f][k])
+        return true;
+  return false;
+}
+
+void CallGraph::witness(const FunctionRef& start,
+                        std::vector<std::string>& chain,
+                        std::string& site_text) const {
+  // BFS over may-allocate functions, remembering the predecessor edge, until
+  // a function with direct evidence is reached. Deterministic: candidates
+  // are visited in index order.
+  struct Node {
+    FunctionRef ref;
+    int parent;  // index into `visited`
+  };
+  std::vector<Node> visited;
+  std::unordered_set<std::uint64_t> seen;
+  auto key = [](const FunctionRef& r) {
+    return (static_cast<std::uint64_t>(r.file) << 32) |
+           static_cast<std::uint64_t>(r.fn);
+  };
+  std::deque<int> queue;
+  visited.push_back({start, -1});
+  seen.insert(key(start));
+  queue.push_back(0);
+
+  int found = -1;
+  while (!queue.empty() && found < 0) {
+    const int cur = queue.front();
+    queue.pop_front();
+    const FunctionRef ref = visited[static_cast<std::size_t>(cur)].ref;
+    if (direct_site_[ref.file][ref.fn] >= 0) {
+      found = cur;
+      break;
+    }
+    for (const CallSite& call : files_[ref.file].functions[ref.fn].calls) {
+      for (const FunctionRef& cand : resolve_(call)) {
+        if (!may_alloc_[cand.file][cand.fn]) continue;
+        if (!seen.insert(key(cand)).second) continue;
+        visited.push_back({cand, cur});
+        queue.push_back(static_cast<int>(visited.size()) - 1);
+      }
+    }
+  }
+
+  chain.clear();
+  site_text.clear();
+  if (found < 0) return;
+  for (int at = found; at >= 0;
+       at = visited[static_cast<std::size_t>(at)].parent)
+    chain.push_back(
+        files_[visited[static_cast<std::size_t>(at)].ref.file]
+            .functions[visited[static_cast<std::size_t>(at)].ref.fn]
+            .display);
+  // Built leaf-to-start; flip to start-to-leaf.
+  for (std::size_t a = 0, b = chain.size(); a + 1 < b; ++a, --b)
+    std::swap(chain[a], chain[b - 1]);
+  const FunctionRef leaf = visited[static_cast<std::size_t>(found)].ref;
+  const AllocSite& site =
+      files_[leaf.file]
+          .functions[leaf.fn]
+          .alloc_sites[static_cast<std::size_t>(
+              direct_site_[leaf.file][leaf.fn])];
+  site_text = site.what + " at " + files_[leaf.file].path + ":" +
+              std::to_string(site.line);
+}
+
+void CallGraph::report_region_escapes(std::vector<Diagnostic>& out) const {
+  for (std::size_t f = 0; f < files_.size(); ++f) {
+    for (std::size_t k = 0; k < files_[f].functions.size(); ++k) {
+      const FunctionInfo& fn = files_[f].functions[k];
+      for (const CallSite& call : fn.calls) {
+        if (!call.in_no_alloc_region) continue;
+        FunctionRef hit{0, 0};
+        bool any = false;
+        for (const FunctionRef& cand : resolve_(call)) {
+          if (may_alloc_[cand.file][cand.fn]) {
+            hit = cand;
+            any = true;
+            break;
+          }
+        }
+        if (!any) continue;
+        std::vector<std::string> chain;
+        std::string site_text;
+        witness(hit, chain, site_text);
+        std::string msg = "call to '" +
+                          files_[hit.file].functions[hit.fn].display +
+                          "' inside a no-alloc region can reach an "
+                          "allocation: " +
+                          fn.display;
+        for (const std::string& step : chain) msg += " -> " + step;
+        if (!site_text.empty()) msg += " (" + site_text + ")";
+        out.push_back(
+            {files_[f].path, call.line, call.col, "no-alloc-transitive", msg});
+      }
+    }
+  }
+}
+
+}  // namespace wcle_lint

@@ -1,0 +1,67 @@
+// Whole-tree call graph and may-allocate fixpoint for wcle_lint's
+// transitive no-alloc rule (A2).
+//
+// Name resolution is deliberately modest — there is no type information, so
+// a call resolves to *every* indexed function it could plausibly name:
+//   - "Qual::f(...)" resolves to definitions whose display is "Qual::f";
+//     if none exist, it falls back to every definition named "f".
+//   - "obj.f(...)" / "obj->f(...)" and plain "f(...)" resolve to every
+//     definition named "f" (overloads and same-named methods merge).
+//   - "std::f(...)" never resolves (the standard library is covered by the
+//     lexical allocation vocabulary instead).
+// A function *may allocate* when its body holds direct allocation evidence
+// (excluding capacity-guarded cold-growth sites and sites silenced by an
+// audited `no-alloc-ok` suppression — silencing is recorded so the
+// suppression counts as used), or when any call in its body can resolve to
+// a may-allocate function. The summary propagates with a fixpoint, and each
+// diagnostic carries a concrete witness chain down to the allocation site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace wcle_lint {
+
+/// Identifies one function across the merged index set.
+struct FunctionRef {
+  std::size_t file = 0;  ///< index into the FileIndex vector
+  std::size_t fn = 0;    ///< index into FileIndex::functions
+};
+
+class CallGraph {
+ public:
+  /// `evidence_silenced(file_idx, site)` returns true when a hand-written
+  /// suppression covers this allocation site; such sites do not feed the
+  /// summary (and the callback is how the suppression is marked used).
+  CallGraph(const std::vector<FileIndex>& files,
+            const std::function<bool(std::size_t, const AllocSite&)>&
+                evidence_silenced);
+
+  /// Emits one "no-alloc-transitive" diagnostic per call site that lies
+  /// inside a no-alloc region and can reach an allocation, with the full
+  /// witness chain in the message.
+  void report_region_escapes(std::vector<Diagnostic>& out) const;
+
+  /// True when the named function's summary is may-allocate (test hook).
+  bool may_alloc(const std::string& display) const;
+
+ private:
+  /// Breadth-first witness: `start` is a may-allocate function; returns the
+  /// display chain from it down to a function with direct evidence, plus
+  /// that evidence site. Empty chain when no witness exists (cannot happen
+  /// for a fixpoint-positive function, but the caller stays defensive).
+  void witness(const FunctionRef& start, std::vector<std::string>& chain,
+               std::string& site_text) const;
+
+  const std::vector<FileIndex>& files_;
+  std::function<std::vector<FunctionRef>(const CallSite&)> resolve_;
+  std::vector<std::vector<bool>> may_alloc_;      // [file][fn]
+  std::vector<std::vector<int>> direct_site_;     // [file][fn] -> alloc_sites
+                                                  // index or -1
+};
+
+}  // namespace wcle_lint

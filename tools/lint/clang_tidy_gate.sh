@@ -1,0 +1,104 @@
+#!/bin/sh
+# Enforced clang-tidy gate for the bugprone-* / concurrency-* families.
+#
+#   tools/lint/clang_tidy_gate.sh            fail on findings not in baseline
+#   tools/lint/clang_tidy_gate.sh --update   rewrite the baseline from HEAD
+#
+# wcle_lint covers the project-specific invariants; this gate adds the two
+# generic clang-tidy families whose findings are almost always real bugs.
+# It is a ratchet, not a freeze: a finding already recorded (as a
+# "<file> <check>" pair) in tools/lint/clang_tidy_baseline.txt passes, a
+# new one fails, and a fixed one is reported so the baseline can shrink.
+# Pairs are line-insensitive on purpose — unrelated edits that shift line
+# numbers must not invalidate the baseline.
+#
+# Needs build/compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). A missing clang-tidy is a soft
+# skip so uninstrumented dev machines are not blocked; CI installs it.
+set -u
+
+root=$(git rev-parse --show-toplevel 2>/dev/null) || {
+  echo "clang_tidy_gate: not inside a git checkout" >&2
+  exit 2
+}
+cd "$root" || exit 2
+
+baseline="tools/lint/clang_tidy_baseline.txt"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang_tidy_gate: clang-tidy not installed — skipping (CI runs it)"
+  exit 0
+fi
+if [ ! -f build/compile_commands.json ]; then
+  echo "clang_tidy_gate: build/compile_commands.json missing" >&2
+  echo "clang_tidy_gate: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" \
+    >&2
+  exit 2
+fi
+
+# Checks are pinned here, not in .clang-tidy, so the enforced set cannot
+# drift with the advisory config. The two disabled checks are stylistic
+# within these families (parameter-order taste, pervasive size_t↔int in
+# simulation counters) and would bury the real signal.
+checks='-*,bugprone-*,concurrency-*'
+checks="$checks,-bugprone-easily-swappable-parameters"
+checks="$checks,-bugprone-narrowing-conversions"
+
+tmpdir=$(mktemp -d) || exit 2
+trap 'rm -rf "$tmpdir"' EXIT
+
+git ls-files 'src/wcle/*.cpp' 'tools/lint/*.cpp' > "$tmpdir/files"
+
+# shellcheck disable=SC2046  # word-splitting the file list is intended
+clang-tidy -p build --quiet --checks="$checks" \
+  $(cat "$tmpdir/files") > "$tmpdir/raw" 2> /dev/null
+tidy_status=$?
+if [ "$tidy_status" -gt 1 ]; then
+  echo "clang_tidy_gate: clang-tidy itself failed (exit $tidy_status)" >&2
+  sed -n '1,40p' "$tmpdir/raw" >&2
+  exit 2
+fi
+
+# Normalize "…/src/wcle/foo.cpp:12:3: warning: msg [check-id]" down to
+# "src/wcle/foo.cpp check-id" pairs, deduplicated and sorted.
+sed -nE \
+  's@^.*((src/wcle|tools/lint)/[^:]+):[0-9]+:[0-9]+: warning:.*\[([^]]+)\]$@\1 \3@p' \
+  "$tmpdir/raw" | sort -u > "$tmpdir/current"
+
+if [ "${1:-}" = "--update" ]; then
+  {
+    echo "# clang-tidy baseline: known bugprone-*/concurrency-* findings."
+    echo "# One '<file> <check-id>' pair per line, sorted. Regenerate with"
+    echo "#   sh tools/lint/clang_tidy_gate.sh --update"
+    echo "# New pairs fail CI; shrink this file as findings are fixed."
+    cat "$tmpdir/current"
+  } > "$baseline"
+  echo "clang_tidy_gate: baseline rewritten" \
+    "($(wc -l < "$tmpdir/current") finding(s))"
+  exit 0
+fi
+
+grep -v '^#' "$baseline" 2> /dev/null | sort -u > "$tmpdir/known"
+
+comm -13 "$tmpdir/known" "$tmpdir/current" > "$tmpdir/new"
+comm -23 "$tmpdir/known" "$tmpdir/current" > "$tmpdir/fixed"
+
+if [ -s "$tmpdir/fixed" ]; then
+  echo "clang_tidy_gate: baseline entries no longer firing (remove them):"
+  sed 's/^/  /' "$tmpdir/fixed"
+fi
+if [ -s "$tmpdir/new" ]; then
+  echo "clang_tidy_gate: NEW bugprone/concurrency findings:" >&2
+  sed 's/^/  /' "$tmpdir/new" >&2
+  echo "clang_tidy_gate: full diagnostics for the new pairs:" >&2
+  while read -r file check; do
+    grep -F "$file" "$tmpdir/raw" | grep -F "[$check]" >&2 || true
+  done < "$tmpdir/new"
+  echo "clang_tidy_gate: fix them, or record them with --update and a" >&2
+  echo "clang_tidy_gate: justification in the PR description" >&2
+  exit 1
+fi
+
+echo "clang_tidy_gate: clean ($(wc -l < "$tmpdir/current")" \
+  "baseline finding(s), 0 new)"
+exit 0

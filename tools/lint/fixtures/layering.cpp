@@ -1,0 +1,20 @@
+// wcle_lint fixture: layering (L1) — the test lints this file under the
+// display path src/wcle/trace/layering.cpp against the repo's own
+// tools/lint/layers.txt, so the trace layer's declared dependencies
+// {support, graph} apply. Includes that reach up into api or core must
+// fire; same-layer, declared-dep, std, and non-wcle includes must not.
+// Lint input only — never compiled.
+#include <vector>
+
+#include "wcle/support/json.hpp"
+#include "wcle/graph/graph.hpp"
+#include "wcle/trace/writer.hpp"
+#include "wcle/api/sweep.hpp"                   // SEED: layering
+#include "wcle/core/leader_election.hpp"        // SEED: layering
+#include "third_party/not_wcle/header.hpp"
+
+namespace fixture {
+
+inline int noop() { return 0; }
+
+}  // namespace fixture

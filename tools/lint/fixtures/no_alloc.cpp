@@ -33,6 +33,15 @@ void warm_growth(Pool& pool) {
   // wcle-lint: no-alloc-ok(pool growth is cold-start only; steady state recycles)
   pool.slots.push_back(9);
 }
+
+// Growth that is control-dependent on a capacity query is machine-proved
+// cold (the guarded-growth recognizer): no finding, no suppression needed.
+void guarded_growth(Pool& pool) {
+  if (pool.slots.size() == pool.slots.capacity()) {
+    pool.slots.push_back(1);
+  }
+  if (pool.slots.empty()) pool.slots.reserve(64);
+}
 // wcle-lint: end-no-alloc
 
 void outside_region_is_clean(Pool& pool, std::vector<int>& out) {

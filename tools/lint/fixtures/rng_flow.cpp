@@ -1,0 +1,47 @@
+// wcle_lint fixture: rng-flow (R2) — by-value Rng copies, mid-run
+// re-seeding, and draws guarded by unordered-container queries. Each
+// finding sits beside its sanctioned counterpart (pass by reference,
+// fork(key), construction-time seeding). Lint input only — never compiled.
+#include <unordered_set>
+
+#include "wcle/support/rng.hpp"
+
+namespace fixture {
+
+// (a) by-value parameters copy the stream; draws then correlate.
+int draw_by_value(wcle::Rng rng) {           // SEED: rng-flow
+  return static_cast<int>(rng.next());
+}
+int draw_by_ref(wcle::Rng& rng) { return static_cast<int>(rng.next()); }
+
+// Whole-object copy-initialization duplicates the stream too; fork() is
+// the sanctioned way to derive an independent child.
+int copy_versus_fork(wcle::Rng& parent) {
+  wcle::Rng dup = parent;                    // SEED: rng-flow
+  wcle::Rng child = parent.fork(2);
+  return static_cast<int>(dup.next() + child.next());
+}
+
+// (b) assigning a fresh Rng mid-run re-seeds; construction-time seeding
+// (a declaration with initializer) stays sanctioned.
+int reseed(wcle::Rng& rng) {
+  wcle::Rng fresh = wcle::Rng(7);
+  rng = wcle::Rng(99);                       // SEED: rng-flow
+  return static_cast<int>(fresh.next());
+}
+
+// (c) hash-table state must not decide whether a draw happens: the draw
+// sequence would become hash-order-dependent.
+int guarded_draws(wcle::Rng& rng) {
+  std::unordered_set<int> seen = {1, 2, 3};
+  int total = 0;
+  if (seen.count(2)) {
+    total += static_cast<int>(rng.next());   // SEED: rng-flow
+  }
+  if (seen.count(3))
+    total += static_cast<int>(rng.next_below(7));  // SEED: rng-flow
+  if (seen.count(4)) total += 1;  // no draw inside: clean
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// wcle_lint fixture: no-alloc-transitive (A2) — calls inside a no-alloc
+// region that reach an allocation through the call graph. The deepest
+// chain here is three hops (hot -> bump -> record -> Sink::store), so the
+// diagnostic must spell out the full path plus the leaf allocation site.
+// Lint input only — never compiled.
+#include <vector>
+
+namespace fixture {
+
+struct Sink {
+  std::vector<int> rows;
+  void store(int v);
+};
+
+// Leaf evidence: unguarded container growth (outside any region, so the
+// lexical no-alloc rule stays silent — only summaries see it).
+void Sink::store(int v) { rows.push_back(v); }
+
+void record(Sink& sink, int v) { sink.store(v); }
+
+void bump(Sink& sink) { record(sink, 1); }
+
+void leaf_safe(int& x) { x += 1; }
+
+// wcle-lint: begin-no-alloc
+void hot(Sink& sink, int& x) {
+  leaf_safe(x);
+  bump(sink);                                // SEED: no-alloc-transitive
+  record(sink, 2);                           // SEED: no-alloc-transitive
+  sink.store(3);                            // SEED: no-alloc-transitive
+}
+// wcle-lint: end-no-alloc
+
+// The same calls outside the region are fine: may-allocate is a fact, not
+// a finding, until a region boundary is crossed.
+void cold(Sink& sink) { bump(sink); }
+
+}  // namespace fixture

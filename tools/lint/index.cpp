@@ -1,0 +1,460 @@
+#include "lint/index.hpp"
+
+#include <unordered_set>
+
+namespace wcle_lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Keywords that can never start a function-definition name. Control
+/// statements are the important entries (an `if (...) {` must not be read as
+/// a definition of a function named "if"); the rest are cheap insurance.
+const std::unordered_set<std::string>& non_def_keywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",        "else",     "for",       "while",     "do",
+      "switch",    "case",     "default",   "return",    "break",
+      "continue",  "goto",     "new",       "delete",    "operator",
+      "sizeof",    "alignof",  "alignas",   "decltype",  "typeid",
+      "static_assert",         "throw",     "catch",     "try",
+      "namespace", "using",    "typedef",   "template",  "typename",
+      "struct",    "class",    "union",     "enum",      "public",
+      "private",   "protected","friend",    "requires",  "concept",
+      "co_return", "co_await", "co_yield",  "asm",       "noexcept"};
+  return kSet;
+}
+
+/// Identifiers followed by '(' that are statements/expressions, not calls.
+const std::unordered_set<std::string>& non_call_keywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",     "for",      "while",   "switch",        "return",
+      "catch",  "sizeof",   "alignof", "alignas",       "decltype",
+      "typeid", "noexcept", "throw",   "static_assert", "assert",
+      "new",    "delete",   "defined", "co_return",     "co_await"};
+  return kSet;
+}
+
+/// Index of the ')' matching the '(' at `open` (paren counting only; braces
+/// and angles inside are opaque). npos when unbalanced.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 1;
+  for (std::size_t i = open + 1; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(")
+      ++depth;
+    else if (toks[i].text == ")" && --depth == 0)
+      return i;
+  }
+  return std::string::npos;
+}
+
+/// Index of the '}' matching the '{' at `open`. npos when unbalanced.
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 1;
+  for (std::size_t i = open + 1; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{")
+      ++depth;
+    else if (toks[i].text == "}" && --depth == 0)
+      return i;
+  }
+  return std::string::npos;
+}
+
+/// True when the token range (open, close) contains a pool-capacity query:
+/// a member call to size()/capacity()/empty(). This is the shape every
+/// cold-start growth guard in the data plane takes.
+bool has_capacity_query(const std::vector<Token>& toks, std::size_t open,
+                        std::size_t close) {
+  for (std::size_t i = open + 1; i + 1 < close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "size" && t.text != "capacity" && t.text != "empty")
+      continue;
+    if (i == 0) continue;
+    const Token& prev = toks[i - 1];
+    if ((is_punct(prev, ".") || is_punct(prev, "->")) &&
+        is_punct(toks[i + 1], "("))
+      return true;
+  }
+  return false;
+}
+
+bool in_any_region(const std::vector<Region>& regions, std::uint32_t line) {
+  for (const Region& r : regions)
+    if (line >= r.begin_line && line <= r.end_line) return true;
+  return false;
+}
+
+/// Guard-aware scan of one function body: records every call site and every
+/// allocation-evidence site, classifying the latter as guarded when it is
+/// control-dependent on a capacity query (directly, via the else branch of a
+/// capacity `if`, or after a capacity `if` that early-returns).
+void scan_body(const std::vector<Token>& toks, std::size_t body_open,
+               std::size_t body_close, const std::vector<Region>& regions,
+               FunctionInfo& fn) {
+  struct Scope {
+    bool guarded = false;      // every site in this scope is guarded
+    bool cap_if = false;       // this scope is a capacity-if block
+    bool saw_return = false;   // return anywhere inside (propagates up)
+    bool saw_breakish = false; // break/continue at this scope's direct level
+    bool last_if_cap = false;  // most recently closed if at this level was
+                               // capacity-guarded (binds a following else)
+  };
+  std::vector<Scope> sc(1);
+  int paren = 0;
+
+  // Pending branch: set when the token just closed an if/else header, so the
+  // next token decides between a block and a single-statement branch.
+  bool pend_if = false, pend_else = false, pend_cap = false;
+  // Open if-conditions awaiting their ')': (close index, capacity flag).
+  std::vector<std::pair<std::size_t, bool>> if_stack;
+  // Single-statement guard, active until ';' at the recorded depth.
+  bool sg_active = false, sg_cap = false, sg_breakish = false;
+  std::size_t sg_scopes = 0;
+  int sg_paren = 0;
+
+  auto guarded_here = [&]() {
+    return sc.back().guarded || (sg_active && sg_cap);
+  };
+
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& t = toks[i];
+
+    // Resolve a pending branch head first: the current token is the first
+    // token after `if (...)` or `else`.
+    if (pend_if || pend_else) {
+      const bool cap = pend_cap;
+      pend_if = pend_else = false;
+      pend_cap = false;
+      if (is_punct(t, "{")) {
+        Scope s;
+        s.guarded = guarded_here() || cap;
+        s.cap_if = cap;
+        sc.push_back(s);
+        continue;
+      }
+      if (!is_ident(t, "if")) {  // `else if` re-derives its own guard below
+        sg_active = true;
+        sg_cap = cap;
+        sg_breakish = is_ident(t, "return") || is_ident(t, "break") ||
+                      is_ident(t, "continue");
+        sg_scopes = sc.size();
+        sg_paren = paren;
+      }
+      // fall through: the token itself may open a condition / be a call.
+    }
+
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") {
+        ++paren;
+      } else if (t.text == ")") {
+        --paren;
+        if (!if_stack.empty() && if_stack.back().first == i) {
+          pend_if = true;
+          pend_cap = if_stack.back().second;
+          if_stack.pop_back();
+        }
+      } else if (t.text == "{") {
+        Scope s;
+        s.guarded = guarded_here();
+        sc.push_back(s);
+      } else if (t.text == "}") {
+        if (sc.size() > 1) {
+          const Scope closed = sc.back();
+          sc.pop_back();
+          sc.back().saw_return |= closed.saw_return;
+          sc.back().last_if_cap = closed.cap_if;
+          if (closed.cap_if && (closed.saw_return || closed.saw_breakish))
+            sc.back().guarded = true;  // early-return pool hit: the rest of
+                                       // this scope is the cold path
+          if (sg_active && sc.size() == sg_scopes) sg_active = false;
+        }
+      } else if (t.text == ";") {
+        if (sg_active && paren == sg_paren && sc.size() == sg_scopes) {
+          if (sg_cap && sg_breakish) sc.back().guarded = true;
+          sg_active = false;
+        }
+      }
+      continue;
+    }
+
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "if") {
+      std::size_t p = i + 1;
+      if (p < toks.size() && is_ident(toks[p], "constexpr")) ++p;
+      if (p < toks.size() && is_punct(toks[p], "(")) {
+        const std::size_t close = match_paren(toks, p);
+        if (close != std::string::npos && close < body_close)
+          if_stack.push_back({close, has_capacity_query(toks, p, close)});
+      }
+      continue;
+    }
+    if (t.text == "else") {
+      pend_else = true;
+      pend_cap = sc.back().last_if_cap;
+      continue;
+    }
+    if (t.text == "return") {
+      sc.back().saw_return = true;
+      continue;
+    }
+    if (t.text == "break" || t.text == "continue") {
+      sc.back().saw_breakish = true;
+      continue;
+    }
+
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+    const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+
+    // ---- allocation evidence (same vocabulary as the lexical no-alloc
+    // rule, but everywhere in the body, with guard classification).
+    if (t.text == "new" && (!prev || !is_punct(*prev, "::"))) {
+      fn.alloc_sites.push_back(
+          {t.line, t.col, "operator new", guarded_here()});
+      continue;
+    }
+    if (alloc_calls().count(t.text) && next &&
+        (is_punct(*next, "(") || is_punct(*next, "<"))) {
+      fn.alloc_sites.push_back({t.line, t.col, t.text, guarded_here()});
+      continue;
+    }
+    if (prev && (is_punct(*prev, ".") || is_punct(*prev, "->")) &&
+        growth_calls().count(t.text) && next && is_punct(*next, "(")) {
+      fn.alloc_sites.push_back(
+          {t.line, t.col, "." + t.text + "()", guarded_here()});
+      continue;
+    }
+    if (t.text == "std" && next && is_punct(*next, "::") &&
+        i + 2 < toks.size() && toks[i + 2].kind == TokKind::kIdent &&
+        allocating_std_types().count(toks[i + 2].text)) {
+      fn.alloc_sites.push_back({toks[i + 2].line, toks[i + 2].col,
+                                "std::" + toks[i + 2].text, guarded_here()});
+      ++i;  // skip "::" so the type name is not re-read as a call
+      continue;
+    }
+
+    // ---- call sites: ident '(' or ident '<...>' '('.
+    if (non_call_keywords().count(t.text)) continue;
+    std::size_t after = i + 1;
+    if (after < toks.size() && is_punct(toks[after], "<")) {
+      const std::size_t close = match_angle(toks, after);
+      if (close != std::string::npos) after = close + 1;
+    }
+    if (after >= toks.size() || !is_punct(toks[after], "(")) continue;
+
+    CallSite cs;
+    cs.callee = t.text;
+    cs.line = t.line;
+    cs.col = t.col;
+    cs.in_no_alloc_region = in_any_region(regions, t.line);
+    if (prev && (is_punct(*prev, ".") || is_punct(*prev, "->"))) {
+      cs.member = true;
+    } else if (prev && is_punct(*prev, "::")) {
+      // Immediate qualifier, plus the chain head for the std:: check:
+      // wcle::trace::f -> qualifier "trace"; std::move -> qualifier "std".
+      std::size_t q = i - 1;  // the "::"
+      std::string immediate, head;
+      while (q >= 1 && is_punct(toks[q], "::") &&
+             toks[q - 1].kind == TokKind::kIdent) {
+        head = toks[q - 1].text;
+        if (immediate.empty()) immediate = head;
+        if (q < 2) break;
+        q -= 2;
+      }
+      cs.qualifier = (head == "std") ? "std" : immediate;
+    }
+    fn.calls.push_back(std::move(cs));
+  }
+}
+
+}  // namespace
+
+FileIndex build_index(const std::string& path, const LexResult& lx,
+                      const std::vector<Region>& regions) {
+  FileIndex out;
+  out.path = path;
+  out.includes = lx.includes;
+
+  const std::vector<Token>& toks = lx.tokens;
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.pp) {
+      ++i;
+      continue;
+    }
+    if (non_def_keywords().count(t.text)) {
+      ++i;
+      continue;
+    }
+    // A member-access expression can never head a definition.
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      ++i;
+      continue;
+    }
+
+    // Qualified-id: ident ('<'...'>')? ("::" ident ('<'...'>')?)* .
+    std::vector<std::string> parts;
+    std::size_t j = i;
+    bool bad_part = false;
+    while (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      if (non_def_keywords().count(toks[j].text)) {
+        bad_part = true;
+        break;
+      }
+      parts.push_back(toks[j].text);
+      ++j;
+      if (j < toks.size() && is_punct(toks[j], "<")) {
+        const std::size_t close = match_angle(toks, j);
+        if (close == std::string::npos) break;
+        j = close + 1;
+      }
+      if (j < toks.size() && is_punct(toks[j], "::"))
+        ++j;
+      else
+        break;
+    }
+    if (bad_part || parts.empty() || j >= toks.size() ||
+        !is_punct(toks[j], "(")) {
+      i = (j > i) ? j : i + 1;
+      continue;
+    }
+
+    const std::size_t close_paren = match_paren(toks, j);
+    if (close_paren == std::string::npos) {
+      i = j + 1;
+      continue;
+    }
+
+    // Post-parameter decorations: cv/ref qualifiers, noexcept(...),
+    // override/final, trailing return type.
+    std::size_t k = close_paren + 1;
+    while (k < toks.size()) {
+      const Token& d = toks[k];
+      if (is_ident(d, "const") || is_ident(d, "override") ||
+          is_ident(d, "final") || is_ident(d, "mutable") ||
+          is_punct(d, "&") || is_punct(d, "*")) {
+        ++k;
+        continue;
+      }
+      if (is_ident(d, "noexcept")) {
+        ++k;
+        if (k < toks.size() && is_punct(toks[k], "(")) {
+          const std::size_t nc = match_paren(toks, k);
+          if (nc == std::string::npos) break;
+          k = nc + 1;
+        }
+        continue;
+      }
+      if (is_punct(d, "->")) {  // trailing return type
+        ++k;
+        while (k < toks.size() &&
+               (toks[k].kind == TokKind::kIdent || is_punct(toks[k], "::") ||
+                is_punct(toks[k], "*") || is_punct(toks[k], "&"))) {
+          ++k;
+          if (k < toks.size() && is_punct(toks[k], "<")) {
+            const std::size_t ac = match_angle(toks, k);
+            if (ac == std::string::npos) break;
+            k = ac + 1;
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (k >= toks.size()) {
+      i = close_paren + 1;
+      continue;
+    }
+
+    // Constructor init list: `: member(init), base{init} ... {`.
+    if (is_punct(toks[k], ":")) {
+      ++k;
+      bool ok = true;
+      while (ok && k < toks.size() && !is_punct(toks[k], "{")) {
+        // qualified, possibly templated initializer name
+        if (toks[k].kind != TokKind::kIdent) {
+          ok = false;
+          break;
+        }
+        while (k < toks.size() && toks[k].kind == TokKind::kIdent) {
+          ++k;
+          if (k < toks.size() && is_punct(toks[k], "<")) {
+            const std::size_t ac = match_angle(toks, k);
+            if (ac == std::string::npos) {
+              ok = false;
+              break;
+            }
+            k = ac + 1;
+          }
+          if (k < toks.size() && is_punct(toks[k], "::"))
+            ++k;
+          else
+            break;
+        }
+        if (!ok || k >= toks.size()) {
+          ok = false;
+          break;
+        }
+        if (is_punct(toks[k], "(")) {
+          const std::size_t pc = match_paren(toks, k);
+          if (pc == std::string::npos) {
+            ok = false;
+            break;
+          }
+          k = pc + 1;
+        } else if (is_punct(toks[k], "{")) {
+          const std::size_t bc = match_brace(toks, k);
+          if (bc == std::string::npos) {
+            ok = false;
+            break;
+          }
+          k = bc + 1;
+        } else {
+          ok = false;
+          break;
+        }
+        if (k < toks.size() && is_punct(toks[k], ",")) ++k;
+      }
+      if (!ok || k >= toks.size() || !is_punct(toks[k], "{")) {
+        i = close_paren + 1;
+        continue;
+      }
+    }
+
+    if (!is_punct(toks[k], "{")) {
+      i = close_paren + 1;
+      continue;
+    }
+
+    const std::size_t body_close = match_brace(toks, k);
+    if (body_close == std::string::npos) {
+      i = k + 1;
+      continue;
+    }
+
+    FunctionInfo fn;
+    fn.name = parts.back();
+    if (parts.size() >= 2) fn.qualifier = parts[parts.size() - 2];
+    fn.display = fn.qualifier.empty() ? fn.name : fn.qualifier + "::" + fn.name;
+    fn.line = t.line;
+    scan_body(toks, k, body_close, regions, fn);
+    out.functions.push_back(std::move(fn));
+
+    // Re-scan inside the body so nested class methods are indexed too.
+    i = k + 1;
+  }
+
+  return out;
+}
+
+}  // namespace wcle_lint

@@ -77,6 +77,7 @@ LexResult lex(const std::string& source) {
       Comment cm;
       cm.line = line;
       cm.trailing = line_has_code;
+      cm.block = true;
       advance(2);
       std::size_t start = i;
       while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/'))
@@ -95,10 +96,19 @@ LexResult lex(const std::string& source) {
       continue;
     }
 
-    // String literal.
+    // String literal. The contents never reach the token stream, but a
+    // quoted `#include "..."` path is captured for the layering rule.
     if (c == '"') {
+      const std::size_t k = out.tokens.size();
+      const bool is_include =
+          k >= 2 && in_pp && out.tokens[k - 1].kind == TokKind::kIdent &&
+          out.tokens[k - 1].text == "include" &&
+          out.tokens[k - 2].kind == TokKind::kPunct &&
+          out.tokens[k - 2].text == "#" && out.tokens[k - 1].line == line;
+      const std::uint32_t tl = line;
       push(TokKind::kString, "", line, col);
       advance(1);
+      const std::size_t body = i;
       while (i < n && source[i] != '"') {
         if (source[i] == '\\' && i + 1 < n)
           advance(2);
@@ -107,6 +117,8 @@ LexResult lex(const std::string& source) {
         else
           advance(1);
       }
+      if (is_include)
+        out.includes.push_back({source.substr(body, i - body), tl});
       if (i < n && source[i] == '"') advance(1);
       continue;
     }

@@ -37,11 +37,20 @@ struct Comment {
   std::string text;        ///< body without the // or /* */ framing
   std::uint32_t line = 0;  ///< line the comment starts on
   bool trailing = false;   ///< code tokens precede it on the same line
+  bool block = false;      ///< a /* */ comment (directives only bind in //)
+};
+
+/// A quoted `#include "path"` directive. Angle includes are not captured:
+/// only intra-project includes participate in the layering rule.
+struct IncludeDirective {
+  std::string path;        ///< the text between the quotes
+  std::uint32_t line = 0;  ///< line of the #include
 };
 
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
 };
 
 /// Tokenizes a C++ source buffer. Never fails: unterminated literals and

@@ -1,12 +1,20 @@
 #include "lint/linter.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "lint/callgraph.hpp"
+#include "lint/index.hpp"
 
 namespace wcle_lint {
+
+const char kLintVersion[] = "2.0.0";
 
 namespace {
 
@@ -20,6 +28,8 @@ struct Suppression {
 
   bool covers(std::uint32_t line) const {
     if (line == comment_line) return true;
+    // A standalone suppression binds to the next line exactly: a blank line
+    // (or anything else) between annotation and finding breaks the binding.
     return !trailing && line == comment_line + 1;
   }
 };
@@ -36,13 +46,16 @@ std::string trim(const std::string& s) {
   return b == std::string::npos ? "" : s.substr(b, e - b + 1);
 }
 
-/// Parses every wcle-lint directive out of a file's comments.
+/// Parses every wcle-lint directive out of a file's comments. Only line
+/// comments participate: a directive-looking string inside a /* */ block is
+/// prose (and string literals never reach the comment list at all).
 Directives parse_directives(const std::string& path,
                             const std::vector<Comment>& comments) {
   Directives out;
   std::uint32_t open_begin = 0;  // line of the currently open begin marker
 
   for (const Comment& c : comments) {
+    if (c.block) continue;
     std::size_t pos = c.text.find(kDirectivePrefix);
     if (pos == std::string::npos) continue;
     const std::string body =
@@ -114,38 +127,344 @@ bool rule_enabled(const LintOptions& options, const std::string& rule) {
          options.rules.end();
 }
 
-void lint_buffer(const std::string& display_path, const std::string& source,
-                 const LintOptions& options, LintReport& report) {
+/// Everything the per-file pass produces. Cacheable: depends only on the
+/// file's content (every rule runs; the --rule filter applies at merge).
+struct FileAnalysis {
+  std::string display;
+  std::vector<Diagnostic> raw;  ///< lexical findings + directive errors
+  std::vector<Suppression> sups;
+  std::vector<Region> regions;
+  FileIndex index;
+};
+
+FileAnalysis analyze_source(const std::string& display,
+                            const std::string& source) {
+  FileAnalysis a;
+  a.display = display;
   const LexResult lx = lex(source);
-  Directives dirs = parse_directives(display_path, lx.comments);
+  Directives dirs = parse_directives(display, lx.comments);
+  a.sups = std::move(dirs.suppressions);
+  a.regions = std::move(dirs.regions);
+  run_rules(display, lx, a.regions, a.raw);
+  for (Diagnostic& d : dirs.errors) a.raw.push_back(std::move(d));
+  a.index = build_index(display, lx, a.regions);
+  return a;
+}
 
-  std::vector<Diagnostic> raw;
-  run_rules(display_path, lx, dirs.regions, raw);
-  for (Diagnostic& d : dirs.errors)
-    if (rule_enabled(options, d.rule)) raw.push_back(std::move(d));
+// ------------------------------------------------------------------ cache
 
-  // Stable order: by line, then column, then rule.
-  std::sort(raw.begin(), raw.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.line != b.line) return a.line < b.line;
-              if (a.col != b.col) return a.col < b.col;
-              return a.rule < b.rule;
-            });
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
-  for (Diagnostic& d : raw) {
-    if (!rule_enabled(options, d.rule)) continue;
-    const Suppression* hit = nullptr;
-    for (const Suppression& s : dirs.suppressions)
-      if (s.rule == d.rule && s.covers(d.line)) {
-        hit = &s;
+std::string cache_key(const std::string& display, const std::string& source) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(kLintVersion, h);
+  h = fnv1a(display, h);
+  h = fnv1a(source, h);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf) + ".wlc";
+}
+
+/// One record per line: a tag, fixed numeric/identifier fields, and — when
+/// the record carries free text — a '\t' followed by the text to the end of
+/// the line (diagnostic messages and reasons never contain newlines).
+std::string serialize_analysis(const FileAnalysis& a) {
+  std::ostringstream os;
+  os << "wcle_lint_cache " << kLintVersion << "\n";
+  for (const Diagnostic& d : a.raw)
+    os << "D " << d.line << " " << d.col << " " << d.rule << "\t" << d.message
+       << "\n";
+  for (const Suppression& s : a.sups)
+    os << "S " << s.comment_line << " " << (s.trailing ? 1 : 0) << " "
+       << s.rule << "\t" << s.reason << "\n";
+  for (const Region& r : a.regions)
+    os << "R " << r.begin_line << " " << r.end_line << "\n";
+  for (const IncludeDirective& inc : a.index.includes)
+    os << "I " << inc.line << "\t" << inc.path << "\n";
+  for (const FunctionInfo& fn : a.index.functions) {
+    os << "F " << fn.line << " " << fn.name << " "
+       << (fn.qualifier.empty() ? "-" : fn.qualifier) << "\n";
+    for (const CallSite& c : fn.calls)
+      os << "C " << c.line << " " << c.col << " " << (c.member ? 1 : 0) << " "
+         << (c.in_no_alloc_region ? 1 : 0) << " " << c.callee << " "
+         << (c.qualifier.empty() ? "-" : c.qualifier) << "\n";
+    for (const AllocSite& s : fn.alloc_sites)
+      os << "A " << s.line << " " << s.col << " " << (s.guarded ? 1 : 0)
+         << "\t" << s.what << "\n";
+  }
+  return os.str();
+}
+
+bool deserialize_analysis(const std::string& text, const std::string& display,
+                          FileAnalysis& a) {
+  // Hand-rolled scanner: this runs once per cache hit over ~90 files, so the
+  // warm path must not pay istringstream construction per record.
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  auto line_end = [&](const char* q) {
+    while (q < end && *q != '\n') ++q;
+    return q;
+  };
+  auto parse_u32 = [](const char*& q, const char* stop,
+                      std::uint32_t& v) -> bool {
+    if (q >= stop || *q < '0' || *q > '9') return false;
+    std::uint64_t acc = 0;
+    while (q < stop && *q >= '0' && *q <= '9') acc = acc * 10 + (*q++ - '0');
+    if (q < stop && *q == ' ') ++q;
+    v = static_cast<std::uint32_t>(acc);
+    return true;
+  };
+  auto parse_word = [](const char*& q, const char* stop,
+                       std::string& w) -> bool {
+    const char* s = q;
+    while (q < stop && *q != ' ' && *q != '\t') ++q;
+    if (q == s) return false;
+    w.assign(s, q);
+    if (q < stop && *q == ' ') ++q;
+    return true;
+  };
+
+  const std::string header = std::string("wcle_lint_cache ") + kLintVersion;
+  const char* eol = line_end(p);
+  if (static_cast<std::size_t>(eol - p) != header.size() ||
+      !std::equal(header.begin(), header.end(), p))
+    return false;
+  p = eol < end ? eol + 1 : end;
+
+  a.display = display;
+  FunctionInfo* fn = nullptr;
+  while (p < end) {
+    eol = line_end(p);
+    if (eol - p < 2 || p[1] != ' ') return false;
+    const char tag = p[0];
+    const char* q = p + 2;
+    // Fixed fields stop at the first '\t'; free text follows it.
+    const char* tab = q;
+    while (tab < eol && *tab != '\t') ++tab;
+    auto text_field = [&]() {
+      return tab < eol ? std::string(tab + 1, eol) : std::string();
+    };
+    bool ok = true;
+    switch (tag) {
+      case 'D': {
+        Diagnostic d;
+        d.file = display;
+        ok = parse_u32(q, tab, d.line) && parse_u32(q, tab, d.col) &&
+             parse_word(q, tab, d.rule);
+        d.message = text_field();
+        if (ok) a.raw.push_back(std::move(d));
         break;
       }
+      case 'S': {
+        Suppression s;
+        std::uint32_t trailing = 0;
+        ok = parse_u32(q, tab, s.comment_line) &&
+             parse_u32(q, tab, trailing) && parse_word(q, tab, s.rule);
+        s.trailing = trailing != 0;
+        s.reason = text_field();
+        if (ok) a.sups.push_back(std::move(s));
+        break;
+      }
+      case 'R': {
+        Region r;
+        ok = parse_u32(q, tab, r.begin_line) && parse_u32(q, tab, r.end_line);
+        if (ok) a.regions.push_back(r);
+        break;
+      }
+      case 'I': {
+        IncludeDirective inc;
+        ok = parse_u32(q, tab, inc.line);
+        inc.path = text_field();
+        if (ok) a.index.includes.push_back(std::move(inc));
+        break;
+      }
+      case 'F': {
+        FunctionInfo f;
+        ok = parse_u32(q, tab, f.line) && parse_word(q, tab, f.name) &&
+             parse_word(q, tab, f.qualifier);
+        if (f.qualifier == "-") f.qualifier.clear();
+        f.display =
+            f.qualifier.empty() ? f.name : f.qualifier + "::" + f.name;
+        if (!ok) return false;
+        a.index.functions.push_back(std::move(f));
+        fn = &a.index.functions.back();
+        break;
+      }
+      case 'C': {
+        if (fn == nullptr) return false;
+        CallSite c;
+        std::uint32_t member = 0, inreg = 0;
+        ok = parse_u32(q, tab, c.line) && parse_u32(q, tab, c.col) &&
+             parse_u32(q, tab, member) && parse_u32(q, tab, inreg) &&
+             parse_word(q, tab, c.callee) && parse_word(q, tab, c.qualifier);
+        c.member = member != 0;
+        c.in_no_alloc_region = inreg != 0;
+        if (c.qualifier == "-") c.qualifier.clear();
+        if (ok) fn->calls.push_back(std::move(c));
+        break;
+      }
+      case 'A': {
+        if (fn == nullptr) return false;
+        AllocSite s;
+        std::uint32_t guarded = 0;
+        ok = parse_u32(q, tab, s.line) && parse_u32(q, tab, s.col) &&
+             parse_u32(q, tab, guarded);
+        s.guarded = guarded != 0;
+        s.what = text_field();
+        if (ok) fn->alloc_sites.push_back(std::move(s));
+        break;
+      }
+      default:
+        return false;
+    }
+    if (!ok) return false;
+    p = eol < end ? eol + 1 : end;
+  }
+  a.index.path = display;
+  return true;
+}
+
+// ------------------------------------------------------------------ merge
+
+/// Combines per-file analyses into the final report: interprocedural rules,
+/// the capacity-guard exemption, rule filtering, suppression matching, and
+/// stale-suppression detection. Deterministic given the analysis order.
+void merge(std::vector<FileAnalysis>& analyses, const LintOptions& options,
+           LintReport& report) {
+  report.files_scanned += analyses.size();
+
+  std::vector<std::vector<bool>> used(analyses.size());
+  for (std::size_t i = 0; i < analyses.size(); ++i)
+    used[i].assign(analyses[i].sups.size(), false);
+
+  // Guarded allocation positions, per file, before the indexes move out.
+  std::vector<std::vector<std::uint64_t>> guarded_pos(analyses.size());
+  for (std::size_t i = 0; i < analyses.size(); ++i)
+    for (const FunctionInfo& fn : analyses[i].index.functions)
+      for (const AllocSite& s : fn.alloc_sites)
+        if (s.guarded)
+          guarded_pos[i].push_back(
+              (static_cast<std::uint64_t>(s.line) << 32) | s.col);
+
+  std::vector<Diagnostic> all;
+
+  // Layering: config diagnostics plus per-file include checks.
+  if (!options.layers_file.empty() && rule_enabled(options, "layering")) {
+    std::ifstream in(options.layers_file, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read layers file '" +
+                              options.layers_file + "'");
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      LayerConfig cfg = parse_layer_config(options.layers_file, buf.str());
+      for (Diagnostic& d : cfg.errors) all.push_back(std::move(d));
+      for (const FileAnalysis& a : analyses)
+        check_layering(a.display, a.index.includes, cfg, all);
+    }
+  }
+
+  // Transitive no-alloc over the merged call graph. A hand-written
+  // `no-alloc-ok` covering an allocation site silences its summary evidence
+  // and counts as used — the audit note stands in for the analysis.
+  if (rule_enabled(options, "no-alloc-transitive")) {
+    std::vector<FileIndex> indexes;
+    indexes.reserve(analyses.size());
+    for (FileAnalysis& a : analyses) indexes.push_back(std::move(a.index));
+    CallGraph graph(indexes, [&](std::size_t f, const AllocSite& site) {
+      for (std::size_t j = 0; j < analyses[f].sups.size(); ++j) {
+        const Suppression& s = analyses[f].sups[j];
+        if ((s.rule == "no-alloc" || s.rule == "no-alloc-transitive") &&
+            s.covers(site.line)) {
+          used[f][j] = true;
+          return true;
+        }
+      }
+      return false;
+    });
+    graph.report_region_escapes(all);
+  }
+
+  // Lexical findings, minus no-alloc findings at capacity-guarded sites
+  // (those are machine-checked cold growth, not findings).
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    for (Diagnostic& d : analyses[i].raw) {
+      if (d.rule == "no-alloc") {
+        const std::uint64_t pos =
+            (static_cast<std::uint64_t>(d.line) << 32) | d.col;
+        if (std::find(guarded_pos[i].begin(), guarded_pos[i].end(), pos) !=
+            guarded_pos[i].end())
+          continue;
+      }
+      all.push_back(d);
+    }
+  }
+
+  // Rule filter + suppression matching.
+  std::unordered_map<std::string, std::size_t> file_of;
+  for (std::size_t i = 0; i < analyses.size(); ++i)
+    file_of[analyses[i].display] = i;
+
+  for (Diagnostic& d : all) {
+    if (!rule_enabled(options, d.rule)) continue;
+    const Suppression* hit = nullptr;
+    auto at = file_of.find(d.file);
+    if (at != file_of.end()) {
+      FileAnalysis& a = analyses[at->second];
+      for (std::size_t j = 0; j < a.sups.size(); ++j)
+        if (a.sups[j].rule == d.rule && a.sups[j].covers(d.line)) {
+          hit = &a.sups[j];
+          used[at->second][j] = true;
+          break;
+        }
+    }
     if (hit != nullptr)
       report.suppressed.push_back({d.file, d.line, d.rule, hit->reason});
     else
       report.diagnostics.push_back(std::move(d));
   }
-  report.files_scanned += 1;
+
+  // Stale suppressions: the rule is enabled, yet nothing was silenced.
+  if (rule_enabled(options, "directive")) {
+    for (std::size_t i = 0; i < analyses.size(); ++i)
+      for (std::size_t j = 0; j < analyses[i].sups.size(); ++j) {
+        const Suppression& s = analyses[i].sups[j];
+        if (used[i][j] || !rule_enabled(options, s.rule)) continue;
+        // Without a layer config the layering rule never runs, so its
+        // suppressions cannot prove themselves useful — not staleness.
+        if (s.rule == "layering" && options.layers_file.empty()) continue;
+        // On a partial file set the call graph is incomplete: a transitive
+        // suppression can only be judged stale by a whole-tree run.
+        if (s.rule == "no-alloc-transitive" && options.partial) continue;
+        report.diagnostics.push_back(
+            {analyses[i].display, s.comment_line, 1, "directive",
+             "stale suppression: '" + s.rule +
+                 "-ok' silences nothing here — the finding it covered is "
+                 "gone, so delete the annotation (or re-justify it against "
+                 "a real finding)"});
+      }
+  }
+
+  auto diag_less = [](const Diagnostic& x, const Diagnostic& y) {
+    if (x.file != y.file) return x.file < y.file;
+    if (x.line != y.line) return x.line < y.line;
+    if (x.col != y.col) return x.col < y.col;
+    return x.rule < y.rule;
+  };
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(), diag_less);
+  std::sort(report.suppressed.begin(), report.suppressed.end(),
+            [](const SuppressedDiagnostic& x, const SuppressedDiagnostic& y) {
+              if (x.file != y.file) return x.file < y.file;
+              if (x.line != y.line) return x.line < y.line;
+              return x.rule < y.rule;
+            });
 }
 
 bool lintable_extension(const std::filesystem::path& p) {
@@ -154,34 +473,23 @@ bool lintable_extension(const std::filesystem::path& p) {
          ext == ".h";
 }
 
-void json_escape(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
 }  // namespace
+
+LintReport lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LintOptions& options) {
+  LintReport report;
+  std::vector<FileAnalysis> analyses;
+  analyses.reserve(sources.size());
+  for (const auto& s : sources)
+    analyses.push_back(analyze_source(s.first, s.second));
+  merge(analyses, options, report);
+  return report;
+}
 
 LintReport lint_source(const std::string& display_path,
                        const std::string& source, const LintOptions& options) {
-  LintReport report;
-  lint_buffer(display_path, source, options, report);
-  return report;
+  return lint_sources({{display_path, source}}, options);
 }
 
 LintReport lint_paths(const std::vector<std::string>& paths,
@@ -190,7 +498,7 @@ LintReport lint_paths(const std::vector<std::string>& paths,
   LintReport report;
 
   // Collect the worklist first, sorted, so reports are stable regardless of
-  // directory-entry order.
+  // directory-entry order or thread scheduling.
   std::vector<std::string> files;
   for (const std::string& p : paths) {
     std::error_code ec;
@@ -202,28 +510,97 @@ LintReport lint_paths(const std::vector<std::string>& paths,
     } else if (fs::is_regular_file(p, ec)) {
       files.push_back(p);
     } else {
-      report.diagnostics.push_back(
-          {p, 0, 0, "directive", "path does not exist or is unreadable"});
+      report.errors.push_back("cannot read '" + p +
+                              "': no such file or directory");
     }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  for (const std::string& f : files) {
-    std::ifstream in(f, std::ios::binary);
+  const bool use_cache = !options.cache_dir.empty();
+  if (use_cache) {
+    std::error_code ec;
+    fs::create_directories(options.cache_dir, ec);
+    if (ec)
+      report.errors.push_back("cannot create cache directory '" +
+                              options.cache_dir + "'");
+  }
+
+  std::vector<FileAnalysis> analyses(files.size());
+  std::vector<char> ok(files.size(), 0);
+  std::vector<char> from_cache(files.size(), 0);
+  std::vector<std::string> io_errors(files.size());
+
+  auto work = [&](std::size_t i) {
+    std::ifstream in(files[i], std::ios::binary);
     if (!in) {
-      report.diagnostics.push_back({f, 0, 0, "directive", "cannot open file"});
-      continue;
+      io_errors[i] = "cannot open file '" + files[i] + "'";
+      return;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    lint_buffer(f, buf.str(), options, report);
+    const std::string source = buf.str();
+
+    std::string entry_path;
+    if (use_cache) {
+      entry_path = options.cache_dir + "/" + cache_key(files[i], source);
+      std::ifstream centry(entry_path, std::ios::binary);
+      if (centry) {
+        std::ostringstream cbuf;
+        cbuf << centry.rdbuf();
+        FileAnalysis cached;
+        if (deserialize_analysis(cbuf.str(), files[i], cached)) {
+          analyses[i] = std::move(cached);
+          ok[i] = 1;
+          from_cache[i] = 1;
+          return;
+        }
+      }
+    }
+    analyses[i] = analyze_source(files[i], source);
+    ok[i] = 1;
+    if (use_cache && !entry_path.empty()) {
+      std::ofstream centry(entry_path, std::ios::binary | std::ios::trunc);
+      if (centry) centry << serialize_analysis(analyses[i]);
+    }
+  };
+
+  unsigned jobs = options.jobs != 0 ? options.jobs
+                                    : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (files.size() < jobs) jobs = static_cast<unsigned>(files.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) work(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size();
+             i = next.fetch_add(1))
+          work(i);
+      });
+    for (std::thread& t : pool) t.join();
   }
+
+  std::vector<FileAnalysis> good;
+  good.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (ok[i]) {
+      if (from_cache[i]) ++report.cache_hits;
+      good.push_back(std::move(analyses[i]));
+    } else {
+      report.errors.push_back(io_errors[i]);
+    }
+  }
+  merge(good, options, report);
   return report;
 }
 
 std::string to_text(const LintReport& report) {
   std::ostringstream os;
+  for (const std::string& e : report.errors) os << "error: " << e << "\n";
   for (const Diagnostic& d : report.diagnostics)
     os << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule << "] "
        << d.message << "\n";
@@ -236,12 +613,17 @@ std::string to_text(const LintReport& report) {
 std::string to_json(const LintReport& report,
                     const std::vector<std::string>& roots) {
   std::ostringstream os;
-  os << "{\"tool\":\"wcle_lint\",\"version\":1,\"roots\":[";
+  os << "{\"tool\":\"wcle_lint\",\"version\":2,\"roots\":[";
   for (std::size_t i = 0; i < roots.size(); ++i) {
     if (i > 0) os << ",";
     json_escape(os, roots[i]);
   }
-  os << "],\"files_scanned\":" << report.files_scanned << ",\"diagnostics\":[";
+  os << "],\"files_scanned\":" << report.files_scanned << ",\"errors\":[";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i > 0) os << ",";
+    json_escape(os, report.errors[i]);
+  }
+  os << "],\"diagnostics\":[";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
     if (i > 0) os << ",";
@@ -267,6 +649,27 @@ std::string to_json(const LintReport& report,
   }
   os << "]}";
   return os.str();
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
 }
 
 }  // namespace wcle_lint

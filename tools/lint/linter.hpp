@@ -1,7 +1,9 @@
-// wcle_lint driver: directive parsing, suppression filtering, file
-// discovery, and report formatting.
+// wcle_lint driver: directive parsing, the per-file lexical pass, the
+// whole-tree interprocedural passes (transitive no-alloc, layering), the
+// incremental cache, suppression filtering, and report formatting.
 //
-// Directive syntax (inside any comment):
+// Directive syntax (inside a // comment; block comments never carry
+// directives, and string literals never reach the parser):
 //   // wcle-lint: <rule>-ok(reason)   suppress <rule> on this line (trailing
 //                                     comment) or on the next line
 //                                     (standalone comment); the reason is
@@ -11,20 +13,37 @@
 //   // wcle-lint: end-no-alloc        close it
 //
 // A suppression that names an unknown rule, a reason-less suppression, or an
-// unbalanced region marker is itself a "directive" diagnostic — annotations
-// are part of the checked surface, not free-form comments.
+// unbalanced region marker is itself a "directive" diagnostic — and so is a
+// *stale* suppression (one whose rule produces no finding on the line it
+// covers): annotations are part of the checked surface, not free-form
+// comments.
+//
+// Pipeline: each file is lexed, directive-parsed, rule-checked, and indexed
+// independently (in parallel when options.jobs > 1); per-file results are
+// cached keyed by content hash when options.cache_dir is set. The merge
+// stage then runs the interprocedural rules over every file's index at
+// once, applies the capacity-guard exemption to lexical no-alloc findings,
+// matches suppressions, and reports stale ones. Output order is
+// deterministic regardless of thread count or cache state.
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/rules.hpp"
 
 namespace wcle_lint {
 
+/// Tool version: stamped into reports and the cache key (bumping it
+/// invalidates every cache entry, which is exactly right after a rule
+/// change).
+extern const char kLintVersion[];
+
 /// A diagnostic that was silenced by an `-ok(reason)` annotation. Kept in
-/// the report (and the JSON output) so the justification is auditable.
+/// the report (and the JSON/SARIF output) so the justification is auditable.
 struct SuppressedDiagnostic {
   std::string file;
   std::uint32_t line = 0;
@@ -35,34 +54,60 @@ struct SuppressedDiagnostic {
 struct LintOptions {
   /// Restrict to these rules; empty = all rules.
   std::vector<std::string> rules;
+  /// Worker threads for the per-file pass; 0 = hardware concurrency.
+  unsigned jobs = 0;
+  /// Per-file result cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Layering DAG config (tools/lint/layers.txt); empty disables the
+  /// layering rule.
+  std::string layers_file;
+  /// The file set is a subset of the tree (--changed): the call graph is
+  /// incomplete, so a no-alloc-transitive suppression whose chain runs
+  /// through unseen files must not be reported stale.
+  bool partial = false;
 };
 
 struct LintReport {
   std::vector<Diagnostic> diagnostics;
   std::vector<SuppressedDiagnostic> suppressed;
+  /// Infrastructure failures (unreadable root, bad layers file): these are
+  /// not code findings and map to exit code 2, never to a "clean" pass.
+  std::vector<std::string> errors;
   std::uint64_t files_scanned = 0;
+  std::uint64_t cache_hits = 0;
 
-  bool clean() const { return diagnostics.empty(); }
+  bool clean() const { return diagnostics.empty() && errors.empty(); }
 };
 
-/// Lints a single in-memory buffer (the unit-test entry point).
+/// Lints in-memory buffers (the unit-test entry point): each pair is
+/// (display path, source). The interprocedural passes see all buffers
+/// together, so multi-TU call chains can be tested hermetically.
+LintReport lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LintOptions& options = {});
+
+/// Single-buffer convenience wrapper over lint_sources.
 LintReport lint_source(const std::string& display_path,
                        const std::string& source,
                        const LintOptions& options = {});
 
 /// Lints files and/or directories (directories are walked recursively for
-/// .cpp/.cc/.hpp/.h files). Unreadable paths produce a "directive"-rule
-/// diagnostic rather than silent omission.
+/// .cpp/.cc/.cxx/.hpp/.h files). A missing or unreadable path is an entry in
+/// LintReport::errors, not a silent empty pass.
 LintReport lint_paths(const std::vector<std::string>& paths,
                       const LintOptions& options = {});
 
 /// Human-readable report: one `file:line:col: [rule] message` line per
-/// diagnostic plus a summary trailer.
+/// diagnostic plus a summary trailer (errors, if any, come first).
 std::string to_text(const LintReport& report);
 
-/// Machine-readable report (stable schema; see README "Correctness
-/// tooling"). `roots` is echoed back for provenance.
+/// Machine-readable report (stable schema; see tools/lint/README.md).
+/// `roots` is echoed back for provenance.
 std::string to_json(const LintReport& report,
                     const std::vector<std::string>& roots);
+
+/// Writes `s` as a JSON string literal, with escaping. Shared with the
+/// SARIF writer.
+void json_escape(std::ostream& os, const std::string& s);
 
 }  // namespace wcle_lint

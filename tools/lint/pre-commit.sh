@@ -1,0 +1,46 @@
+#!/bin/sh
+# wcle_lint pre-commit hook (and its installer).
+#
+#   tools/lint/pre-commit.sh install   copy this script to .git/hooks/pre-commit
+#   tools/lint/pre-commit.sh          run the lint gate (what the hook does)
+#
+# The gate lints only the files changed vs. HEAD (wcle_lint --changed), with
+# the incremental cache, so a clean commit costs milliseconds. A missing
+# build is a soft skip — the hook must never block a commit on an unbuilt
+# tree — but findings are a hard stop.
+set -u
+
+repo_root=$(git rev-parse --show-toplevel 2>/dev/null) || {
+  echo "pre-commit: not inside a git checkout" >&2
+  exit 1
+}
+
+if [ "${1:-}" = "install" ]; then
+  hooks_dir="$repo_root/.git/hooks"
+  mkdir -p "$hooks_dir"
+  cp "$repo_root/tools/lint/pre-commit.sh" "$hooks_dir/pre-commit"
+  chmod +x "$hooks_dir/pre-commit"
+  echo "pre-commit: installed wcle_lint gate into .git/hooks/pre-commit"
+  exit 0
+fi
+
+cd "$repo_root" || exit 1
+
+lint_bin="$repo_root/build/wcle_lint"
+if [ ! -x "$lint_bin" ]; then
+  echo "pre-commit: build/wcle_lint not built — skipping lint gate" >&2
+  echo "pre-commit: (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 0
+fi
+
+# Scope to src/: that is the enforced surface (fixtures and docs contain
+# directive-looking text on purpose).
+"$lint_bin" --changed=HEAD --root=src --cache --jobs=0
+status=$?
+if [ "$status" -eq 1 ]; then
+  echo "pre-commit: wcle_lint found problems in the files this commit" >&2
+  echo "pre-commit: touches — fix them or add an audited suppression" >&2
+  echo "pre-commit: (// wcle-lint: <rule>-ok(reason)); see" >&2
+  echo "pre-commit: tools/lint/README.md" >&2
+fi
+exit "$status"

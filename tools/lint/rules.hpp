@@ -1,9 +1,11 @@
-// The WCLE-specific lint rules. Each rule is a lexical pass over the token
-// stream produced by lexer.hpp; diagnostics carry file:line:col positions and
-// a stable rule name that the suppression syntax references
+// The WCLE-specific lint rules. The lexical rules are passes over the token
+// stream produced by lexer.hpp; the interprocedural rules (no-alloc
+// transitive, layering) additionally consume the function index
+// (index.hpp/callgraph.hpp). Diagnostics carry file:line:col positions and a
+// stable rule name that the suppression syntax references
 // (`// wcle-lint: <rule>-ok(reason)`, see linter.hpp).
 //
-// Rules:
+// Lexical rules:
 //   banned-rng     (D1)  nondeterminism sources outside support/rng.hpp: the
 //                        library's reproducibility contract is that every
 //                        random draw flows from a single 64-bit seed through
@@ -22,13 +24,33 @@
 //                        operator new, make_unique/make_shared, growth calls
 //                        (resize/push_back/...), node-based container or
 //                        std::function/std::string mentions, and IdSpan
-//                        materialization (to_vector).
+//                        materialization (to_vector). Sites that are
+//                        capacity-guarded (control-dependent on a
+//                        size/capacity/empty query — the cold-start growth
+//                        shape) are machine-checked facts, not findings.
+//   rng-flow       (D4)  wcle::Rng misuse: by-value Rng parameters or
+//                        copy-initialization (a copy replays the stream),
+//                        mid-run re-seeding via `x = Rng(...)` (fork() is
+//                        the sanctioned way to derive a stream), and RNG
+//                        draws control-dependent on unordered-container
+//                        queries (hash-table state deciding whether a draw
+//                        happens is how hash-order bugs reach the stream).
 //   directive            malformed wcle-lint directives: unknown directive
-//                        text, begin-no-alloc without end, end without begin.
+//                        text, begin-no-alloc without end, end without
+//                        begin, and suppressions that never fire (stale).
+//
+// Interprocedural rules (driven from linter.cpp over the merged index):
+//   no-alloc-transitive (A2)  a call chain from inside a no-alloc region
+//                        that can reach an allocation in another function,
+//                        reported with the full chain.
+//   layering       (L1)  an include edge between src/wcle/<layer> modules
+//                        that the declared DAG (tools/lint/layers.txt) does
+//                        not permit.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "lint/lexer.hpp"
@@ -50,8 +72,8 @@ struct Region {
   std::uint32_t end_line = 0;
 };
 
-/// Names of every rule that can fire on source tokens (excludes "directive",
-/// which the linter emits while parsing annotations).
+/// Names of every rule that can fire (excludes "directive", which the linter
+/// emits while parsing annotations).
 const std::vector<std::string>& rule_names();
 
 /// One-line description for --list-rules.
@@ -63,5 +85,60 @@ std::string rule_description(const std::string& rule);
 void run_rules(const std::string& display_path, const LexResult& lx,
                const std::vector<Region>& regions,
                std::vector<Diagnostic>& out);
+
+// ---------------------------------------------------------------------------
+// Shared token vocabulary (used by the rules and the index scanner).
+// ---------------------------------------------------------------------------
+
+/// Member calls that can grow their receiver (allocate).
+const std::unordered_set<std::string>& growth_calls();
+
+/// Allocating free functions / factories (make_unique, malloc, ...).
+const std::unordered_set<std::string>& alloc_calls();
+
+/// std:: types whose construction allocates per element or per call.
+const std::unordered_set<std::string>& allocating_std_types();
+
+/// unordered_map/set/multimap/multiset.
+const std::unordered_set<std::string>& unordered_container_names();
+
+/// Index of the '>' closing the '<' at `open` (depth-aware, tolerant of
+/// parentheses inside template arguments). Returns npos when the '<' turns
+/// out to be a comparison (a ';' or unbalanced close intervenes).
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open);
+
+// ---------------------------------------------------------------------------
+// Layering (L1): the declared dependency DAG of src/wcle.
+// ---------------------------------------------------------------------------
+
+/// Parsed tools/lint/layers.txt. Format, one entry per line:
+///   <layer>: <allowed dep> <allowed dep> ...
+///   allow-header <layer> <include path>   # named exception (e.g. the
+///                                         # adapter seam on api/algorithm.hpp)
+/// `#` starts a comment. The declared edges must form a DAG; cycles and
+/// malformed lines surface as "layering" diagnostics against the config
+/// file itself.
+struct LayerConfig {
+  /// layer -> layers it may include (self always allowed).
+  std::vector<std::pair<std::string, std::vector<std::string>>> allowed;
+  /// (layer, exact include path) exceptions.
+  std::vector<std::pair<std::string, std::string>> allow_headers;
+  /// Parse/validation errors (rule "layering", stamped at the config file).
+  std::vector<Diagnostic> errors;
+  bool loaded = false;
+
+  const std::vector<std::string>* deps_of(const std::string& layer) const;
+  bool header_allowed(const std::string& layer, const std::string& path) const;
+};
+
+/// Parses and validates a layers file (acyclicity included).
+LayerConfig parse_layer_config(const std::string& display_path,
+                               const std::string& content);
+
+/// Checks one file's quoted includes against the DAG. Only files whose path
+/// contains "src/wcle/<layer>/" participate; others are exempt.
+void check_layering(const std::string& display_path,
+                    const std::vector<IncludeDirective>& includes,
+                    const LayerConfig& config, std::vector<Diagnostic>& out);
 
 }  // namespace wcle_lint

@@ -1,0 +1,86 @@
+#include "lint/sarif.hpp"
+
+#include <sstream>
+
+namespace wcle_lint {
+
+namespace {
+
+void result_location(std::ostream& os, const std::string& file,
+                     std::uint32_t line, std::uint32_t col) {
+  os << "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+  json_escape(os, file);
+  // SARIF regions are 1-based; the linter uses 0 for whole-file findings,
+  // which SARIF does not allow.
+  os << "},\"region\":{\"startLine\":" << (line == 0 ? 1 : line)
+     << ",\"startColumn\":" << (col == 0 ? 1 : col) << "}}}]";
+}
+
+}  // namespace
+
+std::string to_sarif(const LintReport& report,
+                     const std::vector<std::string>& roots) {
+  std::ostringstream os;
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{";
+
+  // Tool + rule metadata.
+  os << "\"tool\":{\"driver\":{\"name\":\"wcle_lint\",\"version\":";
+  json_escape(os, kLintVersion);
+  os << ",\"informationUri\":"
+        "\"https://github.com/wcle/wcle/blob/main/tools/lint/README.md\","
+        "\"rules\":[";
+  const auto& names = rule_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"id\":";
+    json_escape(os, names[i]);
+    os << ",\"shortDescription\":{\"text\":";
+    json_escape(os, rule_description(names[i]));
+    os << "}}";
+  }
+  os << "]}},";
+
+  // Provenance: the roots the run was invoked over.
+  os << "\"invocations\":[{\"executionSuccessful\":"
+     << (report.errors.empty() ? "true" : "false") << ",\"arguments\":[";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) os << ",";
+    json_escape(os, roots[i]);
+  }
+  os << "]}],";
+
+  // Findings: active ones as errors, suppressed ones carrying their audited
+  // justification (kind inSource keeps them out of default views).
+  os << "\"results\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ruleId\":";
+    json_escape(os, d.rule);
+    os << ",\"level\":\"error\",\"message\":{\"text\":";
+    json_escape(os, d.message);
+    os << "},";
+    result_location(os, d.file, d.line, d.col);
+    os << "}";
+  }
+  for (const SuppressedDiagnostic& s : report.suppressed) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ruleId\":";
+    json_escape(os, s.rule);
+    os << ",\"level\":\"note\",\"message\":{\"text\":";
+    json_escape(os, "suppressed in source: " + s.reason);
+    os << "},";
+    result_location(os, s.file, s.line, 1);
+    os << ",\"suppressions\":[{\"kind\":\"inSource\",\"justification\":";
+    json_escape(os, s.reason);
+    os << "}]}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+}  // namespace wcle_lint

@@ -1,0 +1,21 @@
+// SARIF 2.1.0 writer for wcle_lint, so CI findings surface as GitHub code
+// scanning annotations. One run, one driver ("wcle_lint"), one rule entry
+// per lint rule; active findings become `results` at level "error",
+// suppressed findings are emitted with an inSource suppression carrying the
+// audited justification (SARIF viewers hide them by default but the
+// justification stays reviewable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace wcle_lint {
+
+/// Serializes the report as a SARIF 2.1.0 log. `roots` are echoed into the
+/// run's invocation arguments for provenance.
+std::string to_sarif(const LintReport& report,
+                     const std::vector<std::string>& roots);
+
+}  // namespace wcle_lint
