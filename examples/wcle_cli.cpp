@@ -50,6 +50,9 @@
 #include "wcle/core/leader_election.hpp"
 #include "wcle/graph/families.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
+#include "wcle/obs/congestion.hpp"
+#include "wcle/obs/perfetto.hpp"
+#include "wcle/obs/walks.hpp"
 #include "wcle/support/table.hpp"
 #include "wcle/trace/reader.hpp"
 #include "wcle/trace/recorder.hpp"
@@ -140,6 +143,18 @@ TraceOutput open_trace(const CliArgs& args) {
   return t;
 }
 
+/// --trace-walks[=K]: the bare flag means K = 1 (record every walk);
+/// absent means 0 (walk tracing off).
+std::uint32_t get_trace_walks(const CliArgs& args) {
+  if (!args.has("trace-walks")) return 0;
+  if (args.get("trace-walks", "").empty()) return 1;
+  const std::uint32_t k = get_u32(args, "trace-walks", 0);
+  if (k == 0)
+    throw std::invalid_argument(
+        "--trace-walks=0 (use 1 for every walk, or omit the flag)");
+  return k;
+}
+
 RunOptions options_from(const CliArgs& args) {
   RunOptions opt;
   opt.params.seed = args.get_u64("seed", 1);
@@ -150,6 +165,9 @@ RunOptions options_from(const CliArgs& args) {
   opt.params.trace_every = get_u32(args, "trace-every", 1);
   if (opt.params.trace_every == 0)
     throw std::invalid_argument("--trace-every=0 (use 1 for every round)");
+  // Per-walk token tracing (schema v2): emit walk_hop records for sampled
+  // origins. Observational like trace-every.
+  opt.params.trace_walks = get_trace_walks(args);
   opt.params.wide_messages = args.get_bool("wide", false);
   opt.params.paper_schedule = args.get_bool("paper-schedule", false);
   opt.source = get_u32(args, "source", 0);
@@ -303,6 +321,12 @@ int cmd_trials(const CliArgs& args) {
   row("crash-dropped messages", s.crash_dropped_messages);
   row("link-dropped messages", s.link_dropped_messages);
   row("agreement", s.agreement);
+  // Data-plane pool gauges (obs): footprint and high-water occupancy of the
+  // shared message pool and the IdArena across the trials.
+  row("pool msg slots", s.pool_msg_slots);
+  row("pool msg live high", s.pool_msg_live_high);
+  row("pool id blocks", s.pool_id_blocks);
+  row("pool id live high", s.pool_id_live_high);
   for (const auto& [key, summary] : s.extras) row(key, summary);
   if (format == "csv") {
     // Rate rows only carry a mean; the spread columns stay empty.
@@ -463,6 +487,11 @@ int cmd_sweep(const CliArgs& args) {
     throw std::invalid_argument("--trace-every=0 (use 1 for every round)");
   if (trace_every > 1 && !spec.knobs.count("trace-every"))
     spec.knobs["trace-every"] = {std::to_string(trace_every)};
+  // --trace-walks[=K] likewise lifts into the trace-walks grid knob, so the
+  // sampling rides in the header spec and traced sweeps replay identically.
+  const std::uint32_t trace_walks = get_trace_walks(args);
+  if (trace_walks > 0 && !spec.knobs.count("trace-walks"))
+    spec.knobs["trace-walks"] = {std::to_string(trace_walks)};
   const std::unique_ptr<Sink> sink =
       make_sink(parse_format(args, {"text", "csv", "jsonl", "json"}),
                 std::cout);
@@ -514,8 +543,12 @@ int cmd_trace_summary(const CliArgs& args) {
   }
   std::cout << "run " << r.meta.run << ": " << r.meta.algorithm << " on "
             << r.meta.family << " n=" << r.meta.n << " seed=" << r.meta.seed
-            << " (cell " << r.meta.cell << ", trial " << r.meta.trial << ")\n"
-            << "rounds=" << summary.rounds
+            << " (cell " << r.meta.cell << ", trial " << r.meta.trial << ")\n";
+  if (summary.sampled)
+    std::cout << "sampled trace (row stride " << summary.stride
+              << "): cumulative series are stride-scaled estimates; "
+              << "messages= is the run_end exact total when present\n";
+  std::cout << "rounds=" << summary.rounds
             << " quiet_after=" << summary.rounds_to_quiet
             << " messages=" << summary.total_messages
             << " dropped=" << summary.total_dropped << " peak_backlog="
@@ -527,6 +560,155 @@ int cmd_trace_summary(const CliArgs& args) {
             << summary.phase_marks << " segments=" << summary.segments
             << "\n";
   table.print(std::cout);
+  return 0;
+}
+
+/// Shared by the obs commands: reload --trace=FILE and select --run=<i>.
+const TraceRunData& select_run(const TraceFileData& data,
+                               const CliArgs& args) {
+  const std::uint64_t run = args.get_u64("run", 0);
+  if (run >= data.runs.size())
+    throw std::invalid_argument(
+        "--run=" + std::to_string(run) + " out of range (trace holds " +
+        std::to_string(data.runs.size()) + " runs)");
+  return data.runs[run];
+}
+
+/// Rebuilds the graph a recorded run executed on, the same way run_sweep
+/// builds it: expand the header spec and rebuild the run's cell at the
+/// spec's graph seed. The trace header is a replayable identity, so this is
+/// exact, not a reconstruction.
+Graph graph_for_run(const TraceHeader& header, const TraceRunMeta& meta) {
+  const ExperimentSpec spec = parse_spec(header.spec);
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  if (meta.cell >= cells.size())
+    throw std::runtime_error("trace run " + std::to_string(meta.run) +
+                             " names cell " + std::to_string(meta.cell) +
+                             " but the header spec expands to " +
+                             std::to_string(cells.size()) + " cells");
+  const SweepCell& cell = cells[meta.cell];
+  return make_family(cell.family, static_cast<NodeId>(cell.requested_n),
+                     spec.graph_seed);
+}
+
+// Lemma 12 made visible: per-round max-edge walk-token load from the
+// walk_hop stream of a traced run, next to the sqrt(n/phi)*log^2(n)
+// envelope with phi bounds computed from the run's actual graph.
+int cmd_congestion_report(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty())
+    throw std::invalid_argument("congestion-report needs --trace=FILE");
+  const TraceFileData data = read_trace_file(path);
+  const TraceRunData& r = select_run(data, args);
+  if (r.hops.empty())
+    throw std::runtime_error(
+        "run " + std::to_string(r.meta.run) +
+        " holds no walk_hop records — record the trace with --trace-walks "
+        "(schema v2) to enable congestion accounting");
+  const CongestionReport report = analyze_congestion(r.hops);
+  const Graph g = graph_for_run(data.header, r.meta);
+  const Lemma12Envelope env = lemma12_envelope(g);
+
+  Table table({"round", "messages", "walkers", "busy-edges",
+               "max-edge(msgs)", "max-edge(walkers)", "envelope", "ratio"});
+  for (const RoundCongestion& rc : report.rounds)
+    table.add_row({std::to_string(rc.round), std::to_string(rc.messages),
+                   std::to_string(rc.walkers), std::to_string(rc.busy_edges),
+                   std::to_string(rc.max_edge_messages),
+                   std::to_string(rc.max_edge_walkers), Table::num(env.bound),
+                   Table::num(env.bound > 0.0
+                                  ? static_cast<double>(rc.max_edge_walkers) /
+                                        env.bound
+                                  : 0.0)});
+  const std::string format = parse_format(args, {"text", "csv"});
+  if (format == "csv") {
+    table.write_csv(std::cout);
+    return 0;
+  }
+  std::cout << "run " << r.meta.run << ": " << r.meta.algorithm << " on "
+            << r.meta.family << " n=" << r.meta.n << " seed=" << r.meta.seed
+            << "\nconductance: phi in [" << Table::num(env.phi_lower) << ", "
+            << Table::num(env.phi_upper)
+            << "] (Cheeger lower / sweep-cut upper)"
+            << "\nLemma 12 envelope: sqrt(n/phi)*log2(n)^2 = "
+            << Table::num(env.bound) << " (phi = " << Table::num(env.phi)
+            << ", the conservative upper bound)"
+            << "\ntotals: " << report.total_messages << " token messages, "
+            << report.total_walkers << " walker moves, max edge load "
+            << report.max_edge_messages << " msgs / "
+            << report.max_edge_walkers << " walkers in one round\n";
+  std::cout << "by tag:";
+  for (const auto& [tag, count] : report.messages_by_tag)
+    std::cout << " 0x" << std::hex << static_cast<unsigned>(tag) << std::dec
+              << "=" << count;
+  std::cout << "\nper-round max-edge load (msgs): mean="
+            << Table::num(report.round_max_messages.mean)
+            << " median=" << Table::num(report.round_max_messages.median)
+            << " max=" << Table::num(report.round_max_messages.max) << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+// Per-walk path/lifetime statistics over the sampled origins of one run.
+int cmd_trace_walks_summary(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty())
+    throw std::invalid_argument("trace-walks-summary needs --trace=FILE");
+  const TraceFileData data = read_trace_file(path);
+  const TraceRunData& r = select_run(data, args);
+  if (r.hops.empty())
+    throw std::runtime_error(
+        "run " + std::to_string(r.meta.run) +
+        " holds no walk_hop records — record the trace with --trace-walks "
+        "(schema v2) to enable per-walk summaries");
+  const std::vector<WalkSummary> walks = summarize_walks(r.hops);
+
+  Table table({"origin", "hops", "walkers", "first", "last", "lifetime",
+               "max-count", "uniq-edges", "uniq-nodes"});
+  for (const WalkSummary& w : walks)
+    table.add_row({std::to_string(w.origin), std::to_string(w.hops),
+                   std::to_string(w.walkers), std::to_string(w.first_round),
+                   std::to_string(w.last_round),
+                   std::to_string(w.last_round - w.first_round + 1),
+                   std::to_string(w.max_count), std::to_string(w.unique_edges),
+                   std::to_string(w.unique_nodes)});
+  const std::string format = parse_format(args, {"text", "csv"});
+  if (format == "csv") {
+    table.write_csv(std::cout);
+    return 0;
+  }
+  // Hop sampling is by origin: name the stride so a sparse origin column
+  // reads as sampling, not as missing walks.
+  std::string stride = "1";
+  const ExperimentSpec spec = parse_spec(data.header.spec);
+  const auto knob = spec.knobs.find("trace-walks");
+  if (knob != spec.knobs.end() && !knob->second.empty())
+    stride = knob->second.front();
+  std::cout << "run " << r.meta.run << ": " << r.meta.algorithm << " on "
+            << r.meta.family << " n=" << r.meta.n << " seed=" << r.meta.seed
+            << "\n" << walks.size()
+            << " traced walk origins (sampled: origin % " << stride
+            << " == 0), " << r.hops.size() << " hop records\n";
+  table.print(std::cout);
+  return 0;
+}
+
+// Renders a trace as Chrome trace-event JSON for chrome://tracing or the
+// Perfetto UI (obs/perfetto.hpp). Exports every run in the file.
+int cmd_trace_export(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty())
+    throw std::invalid_argument("trace-export needs --trace=FILE");
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty())
+    throw std::invalid_argument("trace-export needs --out=FILE.json");
+  const TraceFileData data = read_trace_file(path);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open --out=" + out_path);
+  write_chrome_trace(out, data);
+  std::cout << "wrote " << out_path << ": " << data.runs.size()
+            << " run(s) as trace-event JSON (load in ui.perfetto.dev or "
+               "chrome://tracing)\n";
   return 0;
 }
 
@@ -704,6 +886,36 @@ int cmd_bench_dataplane(const CliArgs& args) {
     emit("dataplane/smoke/e1_traced", /*iterations=*/1, wall_ns, cpu_ns,
          extra.str());
   }
+
+  // The same smoke sweep with per-walk token tracing (--trace-walks=1): not
+  // guarded, but recorded so the hop-record overhead stays visible next to
+  // the walks-off cost the CI guard pins. The walks-off guard above is the
+  // one that catches a hot-path regression from the hop check itself.
+  {
+    ExperimentSpec smoke = builtin_experiment("e1", /*scale=*/0);
+    smoke.knobs["trace-walks"] = {"1"};
+    double wall_ns = 0, cpu_ns = 0;
+    std::uint64_t trace_bytes = 0, hop_records = 0;
+    std::string bytes;
+    timed(
+        [&] {
+          std::ostringstream trace_buf;
+          const std::unique_ptr<TraceWriter> writer =
+              make_trace_writer(TraceFormat::kBinary, trace_buf);
+          writer->header({kTraceVersion, "bench", smoke.to_string()});
+          run_sweep(smoke, /*sinks=*/{}, /*threads=*/1, writer.get());
+          bytes = trace_buf.str();
+        },
+        wall_ns, cpu_ns);
+    trace_bytes = static_cast<std::uint64_t>(bytes.size());
+    const TraceFileData data = parse_trace(bytes);
+    for (const TraceRunData& run : data.runs) hop_records += run.hops.size();
+    std::ostringstream extra;
+    extra << ",\"trace_bytes\":" << trace_bytes
+          << ",\"walk_hop_records\":" << hop_records;
+    emit("dataplane/smoke/e1_traced_walks", /*iterations=*/1, wall_ns, cpu_ns,
+         extra.str());
+  }
   out << "]}\n";
   out.flush();
   return 0;
@@ -733,6 +945,15 @@ void usage() {
       "             --diff decodes the first differing record on mismatch)\n"
       "            trace-summary --trace=FILE [--run=<i>] [--every=<k>]\n"
       "                          [--format=text|csv]\n"
+      "  obs:      run/trials/sweep --trace-walks[=K]  (schema v2: record\n"
+      "            walk_hop records for origins with origin % K == 0)\n"
+      "            congestion-report --trace=FILE [--run=<i>]\n"
+      "                [--format=text|csv]  (per-round max-edge load vs the\n"
+      "                 Lemma 12 sqrt(n/phi)*log2(n)^2 envelope)\n"
+      "            trace-walks-summary --trace=FILE [--run=<i>]\n"
+      "                [--format=text|csv]  (per-walk path/lifetime stats)\n"
+      "            trace-export --trace=FILE --out=FILE.json\n"
+      "                (Chrome trace-event JSON for Perfetto)\n"
       "  bench:    bench-baseline [--out=BENCH_sweep.json]\n"
       "            (fixed-scale election sweep, google-benchmark JSON)\n"
       "            bench-dataplane [--out=BENCH_dataplane.json]\n"
@@ -770,6 +991,11 @@ int main(int argc, char** argv) {
     else if (args.command() == "sweep") rc = cmd_sweep(args);
     else if (args.command() == "replay") rc = cmd_replay(args);
     else if (args.command() == "trace-summary") rc = cmd_trace_summary(args);
+    else if (args.command() == "congestion-report")
+      rc = cmd_congestion_report(args);
+    else if (args.command() == "trace-walks-summary")
+      rc = cmd_trace_walks_summary(args);
+    else if (args.command() == "trace-export") rc = cmd_trace_export(args);
     else if (args.command() == "bench-baseline") rc = cmd_bench_baseline(args);
     else if (args.command() == "bench-dataplane")
       rc = cmd_bench_dataplane(args);

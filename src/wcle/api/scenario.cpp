@@ -112,6 +112,11 @@ void apply_knob(RunOptions& options, const std::string& key,
     if (options.params.trace_every == 0)
       throw std::invalid_argument(
           "spec: trace-every=0 (use 1 for every round)");
+  } else if (key == "trace-walks") {
+    options.params.trace_walks = parse_u32(key, value);
+    if (options.params.trace_walks == 0)
+      throw std::invalid_argument(
+          "spec: trace-walks=0 (use 1 for every walk, or omit the knob)");
   } else
     throw std::invalid_argument(
         "spec: unknown key '" + key + "' (axes: algo family n bandwidth drop "
@@ -140,8 +145,8 @@ std::vector<std::string> knob_names() {
           "churn-end",  "churn-start",  "coalesce",      "crash-round",
           "initial-length", "lazy-walks", "linkfail-round", "max-length",
           "max-phases", "max-rounds",   "paper-schedule", "source",
-          "tmix",       "tmix-mult",    "trace-every",   "value-bits",
-          "wide"};
+          "tmix",       "tmix-mult",    "trace-every",   "trace-walks",
+          "value-bits", "wide"};
 }
 
 ExperimentSpec single_run_spec(const std::string& algorithm,
@@ -220,6 +225,8 @@ ExperimentSpec single_run_spec(const std::string& algorithm,
        std::to_string(p.faults.churn_end));
   knob("trace-every", p.trace_every != def.params.trace_every,
        std::to_string(p.trace_every));
+  knob("trace-walks", p.trace_walks != def.params.trace_walks,
+       std::to_string(p.trace_walks));
   return spec;
 }
 

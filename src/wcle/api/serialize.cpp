@@ -36,6 +36,10 @@ std::string to_json(const RunResult& r) {
       << ",\"dropped_messages\":" << r.totals.dropped_messages
       << ",\"crash_dropped_messages\":" << r.totals.crash_dropped_messages
       << ",\"link_dropped_messages\":" << r.totals.link_dropped_messages
+      << ",\"pool_msg_slots\":" << r.totals.pool_msg_slots
+      << ",\"pool_msg_live_high\":" << r.totals.pool_msg_live_high
+      << ",\"pool_id_blocks\":" << r.totals.pool_id_blocks
+      << ",\"pool_id_live_high\":" << r.totals.pool_id_live_high
       << ",\"verdict\":{\"evaluated\":"
       << (r.verdict.evaluated ? "true" : "false")
       << ",\"safe\":" << (r.verdict.safe ? "true" : "false")
@@ -81,6 +85,14 @@ std::string to_json(const TrialStats& s) {
   append_summary(out, "link_dropped_messages", s.link_dropped_messages);
   out << ",";
   append_summary(out, "agreement", s.agreement);
+  out << ",";
+  append_summary(out, "pool_msg_slots", s.pool_msg_slots);
+  out << ",";
+  append_summary(out, "pool_msg_live_high", s.pool_msg_live_high);
+  out << ",";
+  append_summary(out, "pool_id_blocks", s.pool_id_blocks);
+  out << ",";
+  append_summary(out, "pool_id_live_high", s.pool_id_live_high);
   out << "},\"extras\":{";
   bool first = true;
   for (const auto& [key, summary] : s.extras) {

@@ -58,6 +58,10 @@ void TableSink::begin(const ExperimentSpec& spec,
   }
   for (const std::string& key : extras_columns_)
     headers_.push_back(key + "(mean)");
+  // Data-plane pool gauges (obs): worst-case message-pool occupancy and
+  // footprint across the cell's trials — the zero-allocation evidence.
+  headers_.push_back("pool-live(max)");
+  headers_.push_back("pool-slots(max)");
   headers_.push_back("success");
   rows_.clear();
   (void)cells;
@@ -94,6 +98,8 @@ void TableSink::cell(const CellResult& r) {
     row.push_back(it == r.stats.extras.end() ? "-"
                                              : Table::num(it->second.mean));
   }
+  row.push_back(Table::num(r.stats.pool_msg_live_high.max));
+  row.push_back(Table::num(r.stats.pool_msg_slots.max));
   row.push_back(Table::num(r.stats.success_rate, 2));
   rows_.push_back(std::move(row));
 }

@@ -69,7 +69,8 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
 
   int ok = 0, zero = 0, multi = 0, safe = 0, live = 0;
   std::vector<double> msgs, logical, bits, rounds, leaders, dropped,
-      crash_dropped, link_dropped, agree;
+      crash_dropped, link_dropped, agree, pool_slots, pool_live, pool_blocks,
+      pool_ids;
   std::map<std::string, std::vector<double>> extra_samples;
   for (const RunResult& r : results) {
     if (r.success) ++ok;
@@ -88,6 +89,10 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
     link_dropped.push_back(
         static_cast<double>(r.totals.link_dropped_messages));
     agree.push_back(r.verdict.agreement);
+    pool_slots.push_back(static_cast<double>(r.totals.pool_msg_slots));
+    pool_live.push_back(static_cast<double>(r.totals.pool_msg_live_high));
+    pool_blocks.push_back(static_cast<double>(r.totals.pool_id_blocks));
+    pool_ids.push_back(static_cast<double>(r.totals.pool_id_live_high));
     for (const auto& [key, value] : r.extras)
       extra_samples[key].push_back(value);
   }
@@ -106,6 +111,10 @@ TrialStats run_trials(const Algorithm& algorithm, const Graph& g,
   stats.crash_dropped_messages = summarize(std::move(crash_dropped));
   stats.link_dropped_messages = summarize(std::move(link_dropped));
   stats.agreement = summarize(std::move(agree));
+  stats.pool_msg_slots = summarize(std::move(pool_slots));
+  stats.pool_msg_live_high = summarize(std::move(pool_live));
+  stats.pool_id_blocks = summarize(std::move(pool_blocks));
+  stats.pool_id_live_high = summarize(std::move(pool_ids));
   for (auto& [key, samples] : extra_samples)
     stats.extras[key] = summarize(std::move(samples));
   return stats;

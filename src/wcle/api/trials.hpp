@@ -38,6 +38,13 @@ struct TrialStats {
   Summary crash_dropped_messages;  ///< crash-stop losses
   Summary link_dropped_messages;   ///< failed-link losses
   Summary agreement;  ///< surviving-coverage fraction per run
+  /// Data-plane pool gauges promoted from Network::pool_stats() via Metrics
+  /// (obs): message-pool footprint and occupancy high-water marks, so every
+  /// sink carries the zero-allocation evidence alongside the message bill.
+  Summary pool_msg_slots;
+  Summary pool_msg_live_high;
+  Summary pool_id_blocks;
+  Summary pool_id_live_high;
   /// Per-key summaries of RunResult::extras. A key missing from some trial's
   /// extras is summarized over the trials that reported it.
   std::map<std::string, Summary> extras;

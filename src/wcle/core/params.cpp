@@ -84,6 +84,7 @@ CongestConfig congest_config_for(const ElectionParams& params, NodeId n) {
   if (cfg.faults.seed == 0) cfg.faults.seed = params.seed ^ 0xFA017C4A5Dull;
   cfg.trace = params.trace;
   cfg.trace_every = params.trace_every;
+  cfg.trace_walks = params.trace_walks;
   return cfg;
 }
 

@@ -65,6 +65,12 @@ struct ElectionParams {
   /// into CongestConfig::trace_every via congest_config_for; purely
   /// observational like `trace` itself.
   std::uint32_t trace_every = 1;
+  /// Per-walk token tracing (schema v2): record a walk_hop for every
+  /// delivered walk-token message whose origin id is on the K-grid
+  /// (origin % K == 0; K = 1 records every walk). 0 = off (the default).
+  /// Rides into CongestConfig::trace_walks via congest_config_for; requires
+  /// `trace` to be wired and is purely observational like it.
+  std::uint32_t trace_walks = 0;
   /// Root seed; all ids, coin flips, and walks derive from it.
   std::uint64_t seed = 1;
 

@@ -1,0 +1,84 @@
+#include "wcle/obs/congestion.hpp"
+
+#include <cmath>
+
+#include "wcle/graph/spectral.hpp"
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+namespace {
+
+/// Directed edge key: src in the high word, dst in the low word — ordered
+/// map iteration is then deterministic and src-major.
+std::uint64_t edge_key(std::uint32_t src, std::uint32_t dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+struct EdgeLoad {
+  std::uint64_t messages = 0;
+  std::uint64_t walkers = 0;
+};
+
+}  // namespace
+
+CongestionReport analyze_congestion(const std::vector<TraceWalkHop>& hops) {
+  CongestionReport report;
+  std::vector<double> round_maxima;
+  std::map<std::uint64_t, EdgeLoad> edges;  // one round at a time
+
+  std::size_t i = 0;
+  while (i < hops.size()) {
+    const std::uint64_t round = hops[i].round;
+    edges.clear();
+    RoundCongestion rc;
+    rc.round = round;
+    for (; i < hops.size() && hops[i].round == round; ++i) {
+      const TraceWalkHop& h = hops[i];
+      EdgeLoad& load = edges[edge_key(h.src, h.dst)];
+      load.messages += 1;
+      load.walkers += h.count;
+      rc.messages += 1;
+      rc.walkers += h.count;
+      report.messages_by_tag[h.tag] += 1;
+    }
+    rc.busy_edges = edges.size();
+    for (const auto& [key, load] : edges) {
+      (void)key;
+      if (load.messages > rc.max_edge_messages)
+        rc.max_edge_messages = load.messages;
+      if (load.walkers > rc.max_edge_walkers)
+        rc.max_edge_walkers = load.walkers;
+    }
+    report.total_messages += rc.messages;
+    report.total_walkers += rc.walkers;
+    if (rc.max_edge_messages > report.max_edge_messages)
+      report.max_edge_messages = rc.max_edge_messages;
+    if (rc.max_edge_walkers > report.max_edge_walkers)
+      report.max_edge_walkers = rc.max_edge_walkers;
+    round_maxima.push_back(static_cast<double>(rc.max_edge_messages));
+    report.rounds.push_back(rc);
+  }
+  report.round_max_messages = summarize(std::move(round_maxima));
+  return report;
+}
+
+double lemma12_bound(std::uint64_t n, double phi) {
+  if (n == 0 || phi <= 0.0) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double lg = std::log2(dn > 2.0 ? dn : 2.0);
+  return std::sqrt(dn / phi) * lg * lg;
+}
+
+Lemma12Envelope lemma12_envelope(const Graph& g, std::uint32_t iters) {
+  Lemma12Envelope env;
+  const double gap = spectral_gap(g, iters);
+  const CheegerBounds cheeger = cheeger_bounds(gap);
+  env.phi_lower = cheeger.lower;
+  env.phi_upper = conductance_sweep(g, iters);
+  env.phi = env.phi_upper;
+  env.bound = lemma12_bound(g.node_count(), env.phi);
+  return env;
+}
+
+}  // namespace wcle

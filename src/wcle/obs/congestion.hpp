@@ -1,0 +1,71 @@
+// Congestion accounting over recorded walk-hop streams (`--trace-walks`):
+// per-round directed-edge load aggregation, the distribution of per-round
+// maximum edge loads, and the paper's Lemma 12 envelope sqrt(n/phi) *
+// polylog(n) with phi taken from graph/spectral. This is the offline half of
+// the obs tentpole — the recorder collects hops without perturbing the run,
+// and this pass makes the whp congestion bound visible next to the data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "wcle/graph/graph.hpp"
+#include "wcle/support/stats.hpp"
+#include "wcle/trace/recorder.hpp"
+
+namespace wcle {
+
+/// Aggregated walk-token load of one transport round.
+struct RoundCongestion {
+  std::uint64_t round = 0;
+  std::uint64_t messages = 0;    ///< coalesced token messages delivered
+  std::uint64_t walkers = 0;     ///< walker multiplicity (sum of counts)
+  std::uint64_t busy_edges = 0;  ///< distinct directed edges carrying tokens
+  /// Lemma 12 quantities: the heaviest directed edge this round, in
+  /// messages (= B-bit quanta at standard bandwidth) and in walkers.
+  std::uint64_t max_edge_messages = 0;
+  std::uint64_t max_edge_walkers = 0;
+};
+
+/// Whole-run congestion report derived from a hop stream.
+struct CongestionReport {
+  std::vector<RoundCongestion> rounds;  ///< rounds with traffic, ascending
+  std::uint64_t total_messages = 0;     ///< == hop record count
+  std::uint64_t total_walkers = 0;
+  std::uint64_t max_edge_messages = 0;  ///< max over all rounds
+  std::uint64_t max_edge_walkers = 0;
+  /// Hop records per transport tag; at `--trace-walks=1` each per-tag total
+  /// reconciles exactly with Metrics::congest_messages_by_tag[tag].
+  std::map<std::uint8_t, std::uint64_t> messages_by_tag;
+  /// Distribution of per-round max-edge load (messages), over traffic rounds.
+  Summary round_max_messages;
+};
+
+/// Builds the report. Hops must be in recording order (rounds
+/// non-decreasing) — exactly what TraceRecorder::walk_hops() and
+/// TraceRunData::hops provide.
+CongestionReport analyze_congestion(const std::vector<TraceWalkHop>& hops);
+
+/// The Lemma 12 congestion envelope evaluated for a concrete graph:
+/// sqrt(n/phi) * log2(n)^2 walkers per edge per round, with the polylog
+/// factor fixed at log2(n)^2 (the paper leaves the exponent inside polylog;
+/// squaring keeps the envelope safely above the whp bound at the sizes the
+/// harness runs while preserving the sqrt(n/phi) shape the plot is about).
+struct Lemma12Envelope {
+  double phi = 0.0;        ///< conductance estimate actually used (upper)
+  double phi_lower = 0.0;  ///< Cheeger lower bound from the spectral gap
+  double phi_upper = 0.0;  ///< sweep-cut upper bound
+  double bound = 0.0;      ///< sqrt(n/phi) * log2(n)^2
+};
+
+/// Evaluates sqrt(n/phi) * log2(n)^2 (0 when n == 0 or phi <= 0).
+double lemma12_bound(std::uint64_t n, double phi);
+
+/// Computes conductance bounds for `g` via graph/spectral (power iteration
+/// with `iters` steps + sweep cut) and evaluates the envelope at the
+/// sweep-cut upper bound — the conservative choice: a larger phi gives a
+/// smaller envelope, so load under this line is under every candidate line.
+Lemma12Envelope lemma12_envelope(const Graph& g, std::uint32_t iters = 2000);
+
+}  // namespace wcle

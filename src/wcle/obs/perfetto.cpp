@@ -1,0 +1,120 @@
+#include "wcle/obs/perfetto.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "wcle/obs/congestion.hpp"
+#include "wcle/support/json.hpp"
+
+namespace wcle {
+
+namespace {
+
+/// Emits one event object, managing the comma between array elements.
+class EventStream {
+ public:
+  explicit EventStream(std::ostream& out) : out_(&out) {}
+
+  std::ostream& begin() {
+    *out_ << (first_ ? "\n  " : ",\n  ");
+    first_ = false;
+    return *out_;
+  }
+
+ private:
+  std::ostream* out_;
+  bool first_ = true;
+};
+
+void thread_name(EventStream& ev, std::uint64_t pid, std::uint64_t tid,
+                 const char* name) {
+  ev.begin() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+             << "\"}}";
+}
+
+void counter(EventStream& ev, std::uint64_t pid, std::uint64_t ts,
+             const char* name, const char* key, std::uint64_t value) {
+  ev.begin() << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ts
+             << ",\"name\":\"" << name << "\",\"args\":{\"" << key
+             << "\":" << value << "}}";
+}
+
+void export_run(EventStream& ev, const TraceRunData& run) {
+  // Process = run; its ordinal keeps distinct runs side by side in the UI.
+  const std::uint64_t pid = run.meta.run + 1;
+  ev.begin() << "{\"ph\":\"M\",\"pid\":" << pid
+             << ",\"name\":\"process_name\",\"args\":{\"name\":\"run "
+             << run.meta.run << ": " << json_escape(run.meta.algorithm)
+             << " on " << json_escape(run.meta.family) << " n=" << run.meta.n
+             << " seed=" << run.meta.seed << "\"}}";
+  thread_name(ev, pid, 0, "transport");
+  thread_name(ev, pid, 1, "phases");
+  if (!run.hops.empty()) thread_name(ev, pid, 2, "walks");
+
+  for (const TraceRound& r : run.rounds) {
+    counter(ev, pid, r.round, "sends", "sends", r.sends);
+    counter(ev, pid, r.round, "quanta", "quanta", r.quanta);
+    counter(ev, pid, r.round, "delivered", "delivered", r.delivered);
+    counter(ev, pid, r.round, "backlog", "backlog", r.backlog);
+  }
+
+  // Phases: each kPhase event opens a slice that the next kPhase (or the
+  // last recorded round) closes. Other events render as instants.
+  const std::uint64_t end_round =
+      run.rounds.empty() ? 0 : run.rounds.back().round;
+  const TraceEvent* open_phase = nullptr;
+  for (const TraceEvent& e : run.events) {
+    if (e.kind == TraceEventKind::kPhase) {
+      if (open_phase) {
+        const std::uint64_t dur = e.round > open_phase->round
+                                      ? e.round - open_phase->round
+                                      : 1;
+        ev.begin() << "{\"ph\":\"X\",\"pid\":" << pid
+                   << ",\"tid\":1,\"ts\":" << open_phase->round
+                   << ",\"dur\":" << dur << ",\"name\":\""
+                   << json_escape(open_phase->label) << "\",\"args\":{\"a\":"
+                   << open_phase->a << "}}";
+      }
+      open_phase = &e;
+      continue;
+    }
+    ev.begin() << "{\"ph\":\"i\",\"pid\":" << pid
+               << ",\"tid\":1,\"ts\":" << e.round << ",\"s\":\"t\",\"name\":\""
+               << trace_event_kind_name(e.kind) << "\",\"args\":{\"a\":" << e.a
+               << ",\"b\":" << e.b << "}}";
+  }
+  if (open_phase) {
+    const std::uint64_t dur =
+        end_round > open_phase->round ? end_round - open_phase->round : 1;
+    ev.begin() << "{\"ph\":\"X\",\"pid\":" << pid
+               << ",\"tid\":1,\"ts\":" << open_phase->round
+               << ",\"dur\":" << dur << ",\"name\":\""
+               << json_escape(open_phase->label)
+               << "\",\"args\":{\"a\":" << open_phase->a << "}}";
+  }
+
+  if (run.hops.empty()) return;
+  const CongestionReport congestion = analyze_congestion(run.hops);
+  for (const RoundCongestion& rc : congestion.rounds) {
+    ev.begin() << "{\"ph\":\"C\",\"pid\":" << pid
+               << ",\"tid\":2,\"ts\":" << rc.round
+               << ",\"name\":\"walk_load\",\"args\":{\"messages\":"
+               << rc.messages << ",\"walkers\":" << rc.walkers
+               << ",\"max_edge\":" << rc.max_edge_messages << "}}";
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceFileData& trace) {
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\""
+      << json_escape(trace.header.tool) << "\",\"spec\":\""
+      << json_escape(trace.header.spec)
+      << "\",\"version\":" << trace.header.version << "},\"traceEvents\":[";
+  EventStream ev(out);
+  for (const TraceRunData& run : trace.runs) export_run(ev, run);
+  out << "\n]}\n";
+}
+
+}  // namespace wcle

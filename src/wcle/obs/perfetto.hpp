@@ -1,0 +1,26 @@
+// Chrome trace-event exporter: renders a reloaded wcle trace as the JSON
+// object format that chrome://tracing and the Perfetto UI load directly.
+// The timeline axis is the absolute transport round (1 round = 1 "us" on
+// the viewer's clock) — there are no wall clocks anywhere in the pipeline,
+// so the exported profile is a deterministic function of the trace bytes.
+//
+// Track layout, one process per recorded run:
+//   tid 0 "transport"  counter tracks from the per-round rows (sends,
+//                      quanta, delivered, backlog)
+//   tid 1 "phases"     duration slices between successive kPhase events
+//                      (the last phase closes at the final recorded round),
+//                      instants for every other discrete event
+//   tid 2 "walks"      counter tracks from the walk-hop stream (messages,
+//                      walkers, max edge load per round; schema v2 only)
+#pragma once
+
+#include <iosfwd>
+
+#include "wcle/trace/reader.hpp"
+
+namespace wcle {
+
+/// Writes `trace` as Chrome trace-event JSON ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& out, const TraceFileData& trace);
+
+}  // namespace wcle

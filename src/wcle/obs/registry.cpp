@@ -1,0 +1,78 @@
+#include "wcle/obs/registry.hpp"
+
+#include <utility>
+
+#include "wcle/support/bits.hpp"
+
+namespace wcle {
+
+namespace {
+constexpr std::size_t kLog2Buckets = 65;  // bucket 0 + bit widths 1..64
+}  // namespace
+
+std::size_t StatRegistry::counter(std::string name) {
+  counter_names_.push_back(std::move(name));
+  counters_.push_back(0);
+  return counters_.size() - 1;
+}
+
+std::size_t StatRegistry::gauge(std::string name) {
+  gauge_names_.push_back(std::move(name));
+  gauges_.push_back(0);
+  return gauges_.size() - 1;
+}
+
+std::size_t StatRegistry::histogram(std::string name) {
+  histogram_names_.push_back(std::move(name));
+  Histogram h;
+  h.buckets.assign(kLog2Buckets, 0);
+  histograms_.push_back(std::move(h));
+  return histograms_.size() - 1;
+}
+
+void StatRegistry::observe(std::size_t histogram_handle, std::uint64_t value) {
+  Histogram& h = histograms_[histogram_handle];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (value > h.max) h.max = value;
+  h.count += 1;
+  h.sum += value;
+  h.buckets[value == 0 ? 0 : floor_log2(value) + 1] += 1;
+}
+
+std::vector<ScalarSnapshot> StatRegistry::counters() const {
+  std::vector<ScalarSnapshot> out;
+  out.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    out.push_back({counter_names_[i], counters_[i]});
+  return out;
+}
+
+std::vector<ScalarSnapshot> StatRegistry::gauges() const {
+  std::vector<ScalarSnapshot> out;
+  out.reserve(gauges_.size());
+  for (std::size_t i = 0; i < gauges_.size(); ++i)
+    out.push_back({gauge_names_[i], gauges_[i]});
+  return out;
+}
+
+std::vector<HistogramSnapshot> StatRegistry::histograms() const {
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    out.push_back(
+        {histogram_names_[i], h.count, h.sum, h.min, h.max, h.buckets});
+  }
+  return out;
+}
+
+void StatRegistry::reset() {
+  for (std::uint64_t& c : counters_) c = 0;
+  for (std::uint64_t& g : gauges_) g = 0;
+  for (Histogram& h : histograms_) {
+    h.count = h.sum = h.min = h.max = 0;
+    for (std::uint64_t& b : h.buckets) b = 0;
+  }
+}
+
+}  // namespace wcle

@@ -1,0 +1,40 @@
+#include "wcle/obs/walks.hpp"
+
+#include <map>
+#include <set>
+
+namespace wcle {
+
+std::vector<WalkSummary> summarize_walks(
+    const std::vector<TraceWalkHop>& hops) {
+  struct Accum {
+    WalkSummary sum;
+    std::set<std::uint64_t> edges;
+    std::set<std::uint32_t> nodes;
+  };
+  std::map<std::uint32_t, Accum> by_origin;
+  for (const TraceWalkHop& h : hops) {
+    Accum& a = by_origin[h.origin];
+    if (a.sum.hops == 0) {
+      a.sum.origin = h.origin;
+      a.sum.first_round = h.round;
+    }
+    a.sum.hops += 1;
+    a.sum.walkers += h.count;
+    a.sum.last_round = h.round;
+    if (h.count > a.sum.max_count) a.sum.max_count = h.count;
+    a.edges.insert((static_cast<std::uint64_t>(h.src) << 32) | h.dst);
+    a.nodes.insert(h.dst);
+  }
+  std::vector<WalkSummary> out;
+  out.reserve(by_origin.size());
+  for (auto& [origin, a] : by_origin) {
+    (void)origin;
+    a.sum.unique_edges = a.edges.size();
+    a.sum.unique_nodes = a.nodes.size();
+    out.push_back(a.sum);
+  }
+  return out;
+}
+
+}  // namespace wcle

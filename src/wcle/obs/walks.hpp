@@ -1,0 +1,30 @@
+// Per-walk path and lifetime statistics over a recorded hop stream. Hop
+// sampling is by origin (`--trace-walks=K` keeps origins with origin % K ==
+// 0), so every walk that appears here appears with its complete path — the
+// per-walk numbers are exact for the sampled origins, not estimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wcle/trace/recorder.hpp"
+
+namespace wcle {
+
+/// Lifetime statistics of one traced walk origin.
+struct WalkSummary {
+  std::uint32_t origin = 0;
+  std::uint64_t hops = 0;          ///< token messages carrying this origin
+  std::uint64_t walkers = 0;       ///< walker multiplicity moved in total
+  std::uint64_t first_round = 0;   ///< round of the first delivery
+  std::uint64_t last_round = 0;    ///< round of the last delivery
+  std::uint64_t max_count = 0;     ///< coalescing high-water (walkers/message)
+  std::uint64_t unique_edges = 0;  ///< distinct directed edges used
+  std::uint64_t unique_nodes = 0;  ///< distinct nodes visited (dst endpoints)
+};
+
+/// Groups a hop stream by origin; output is sorted by origin ascending.
+std::vector<WalkSummary> summarize_walks(
+    const std::vector<TraceWalkHop>& hops);
+
+}  // namespace wcle

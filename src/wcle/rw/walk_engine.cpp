@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "wcle/support/bits.hpp"
+#include "wcle/trace/recorder.hpp"
 
 namespace wcle {
 
@@ -261,6 +262,12 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
   }
 
   const std::uint64_t round0 = net_->round();
+  // Per-walk token tracing (--trace-walks): one hop record per delivered
+  // token message, emitted into the recorder's pre-sized buffer. Purely
+  // observational — the check is hoisted so the walks-off path pays one
+  // branch per delivery and the recorder is never consulted.
+  TraceRecorder* const rec = net_->config().trace;
+  const bool trace_walks = rec != nullptr && rec->trace_walks() != 0;
   while (!cur.empty() || !net_->idle()) {
     // Deterministic processing order: (node, origin) ascending, descending
     // remaining-length within — the order the hash-map engine produced by
@@ -295,6 +302,16 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
       const NodeId origin = static_cast<NodeId>(d.msg.a);
       const std::uint32_t r = static_cast<std::uint32_t>(d.msg.b);
       const std::uint64_t count = d.msg.c;
+      if (trace_walks)
+        // d.port is the receiver's mirror port, so its neighbor view names
+        // the sender: the hop's directed edge is src -> dst.
+        rec->on_walk_hop(
+            net_->round(), static_cast<std::uint32_t>(origin),
+            static_cast<std::uint32_t>(g_->neighbor(d.dst, d.port)),
+            static_cast<std::uint32_t>(d.dst),
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(count, 0xffffffffull)),
+            d.msg.tag);
       OriginState* os = find_origin(origin);
       assert(os != nullptr);
       Level& lv = level_at(*os, d.dst, r);

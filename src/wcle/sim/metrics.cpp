@@ -17,6 +17,10 @@ Metrics Metrics::since(const Metrics& earlier) const {
       crash_dropped_messages - earlier.crash_dropped_messages;
   d.link_dropped_messages =
       link_dropped_messages - earlier.link_dropped_messages;
+  d.pool_msg_slots = pool_msg_slots;
+  d.pool_msg_live_high = pool_msg_live_high;
+  d.pool_id_blocks = pool_id_blocks;
+  d.pool_id_live_high = pool_id_live_high;
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     d.congest_messages_by_tag[i] =
         congest_messages_by_tag[i] - earlier.congest_messages_by_tag[i];
@@ -32,6 +36,10 @@ Metrics& Metrics::operator+=(const Metrics& other) {
   dropped_messages += other.dropped_messages;
   crash_dropped_messages += other.crash_dropped_messages;
   link_dropped_messages += other.link_dropped_messages;
+  pool_msg_slots = std::max(pool_msg_slots, other.pool_msg_slots);
+  pool_msg_live_high = std::max(pool_msg_live_high, other.pool_msg_live_high);
+  pool_id_blocks = std::max(pool_id_blocks, other.pool_id_blocks);
+  pool_id_live_high = std::max(pool_id_live_high, other.pool_id_live_high);
   for (std::size_t i = 0; i < congest_messages_by_tag.size(); ++i)
     congest_messages_by_tag[i] += other.congest_messages_by_tag[i];
   return *this;

@@ -22,6 +22,14 @@ struct Metrics {
   std::uint64_t crash_dropped_messages = 0;
   /// Messages eaten by failed links (which still paid the congestion bill).
   std::uint64_t link_dropped_messages = 0;
+  /// Data-plane pool gauges (obs): the Network promotes its pool_stats()
+  /// footprint and occupancy high-water marks here so every serialization
+  /// carries the zero-allocation evidence, not just the tests. Gauge
+  /// semantics: since() copies, operator+= takes the max.
+  std::uint64_t pool_msg_slots = 0;      ///< message-pool capacity (slots)
+  std::uint64_t pool_msg_live_high = 0;  ///< peak messages queued at once
+  std::uint64_t pool_id_blocks = 0;      ///< peak arena heap blocks held
+  std::uint64_t pool_id_live_high = 0;   ///< peak payload slots outstanding
   std::array<std::uint64_t, 256> congest_messages_by_tag{};
 
   /// Component-wise difference (this - earlier); used for stage breakdowns.

@@ -90,6 +90,7 @@ Network::Network(const Graph& g, CongestConfig cfg)
     faults_ = std::make_unique<FaultInjector>(g, cfg_.faults, cfg_.trace);
   if (cfg_.trace) {
     cfg_.trace->set_sample_every(cfg_.trace_every);
+    cfg_.trace->set_trace_walks(cfg_.trace_walks);
     cfg_.trace->begin_segment();
   }
   first_lane_ = lane_bases(g);
@@ -207,6 +208,18 @@ const std::vector<Delivery>& Network::step() {
     retired_ids_.clear();
   }
   ids_.maybe_reset();
+  // Pool gauges (obs): occupancy peaks right here — every send of the
+  // inter-step window is queued, nothing has been served yet — so this is
+  // where the high-water marks are sampled. Scalar maxes only; the gauges
+  // never feed back into service order.
+  metrics_.pool_msg_live_high = std::max<std::uint64_t>(
+      metrics_.pool_msg_live_high, msgs_.size() - free_msgs_.size());
+  metrics_.pool_id_live_high =
+      std::max<std::uint64_t>(metrics_.pool_id_live_high, ids_.live());
+  metrics_.pool_msg_slots =
+      std::max<std::uint64_t>(metrics_.pool_msg_slots, msgs_.size());
+  metrics_.pool_id_blocks =
+      std::max<std::uint64_t>(metrics_.pool_id_blocks, ids_.chunk_count());
   metrics_.rounds += 1;
   // Fault events fire at the start of their round, before any service:
   // crash_round = 1 means the victims never deliver a single message.

@@ -54,6 +54,10 @@ struct CongestConfig {
   /// Sampled tracing: the recorder keeps every K-th round row (events are
   /// always kept). 1 (or 0) = record every round, the pre-sampling format.
   std::uint32_t trace_every = 1;
+  /// Per-walk token tracing (schema v2): the recorder keeps walk_hop records
+  /// for origins with id % K == 0 (1 = every walk). 0 = off, the default —
+  /// the walk engine then never calls the recorder's hop hook.
+  std::uint32_t trace_walks = 0;
 
   /// Standard CONGEST budget for an n-node network: enough for one id from
   /// [1, n^4] plus O(log n) control bits — a single "O(log n)-bit message".

@@ -102,7 +102,9 @@ TraceEventKind kind_from_name(const std::string& name) {
 TraceHeader header_from_line(const std::string& line) {
   TraceHeader h;
   h.version = static_cast<std::uint32_t>(require_u64(line, "version"));
-  if (h.version != kTraceVersion)
+  // v1 is a strict subset of v2 (no walk_hop records), so every supported
+  // version parses with one reader.
+  if (h.version < kTraceVersionMin || h.version > kTraceVersion)
     throw std::runtime_error("trace: unsupported version " +
                              std::to_string(h.version));
   h.tool = require_str(line, "tool");
@@ -158,8 +160,23 @@ TraceFileData parse_jsonl(const std::string& contents) {
       e.b = require_u64(line, "b");
       e.label = require_str(line, "label");
       data.runs.back().events.push_back(std::move(e));
+    } else if (type == "walk_hop") {
+      if (data.runs.empty())
+        throw std::runtime_error("trace: walk_hop line before any run line");
+      TraceWalkHop h;
+      h.round = require_u64(line, "round");
+      h.origin = static_cast<std::uint32_t>(require_u64(line, "origin"));
+      h.src = static_cast<std::uint32_t>(require_u64(line, "src"));
+      h.dst = static_cast<std::uint32_t>(require_u64(line, "dst"));
+      h.count = static_cast<std::uint32_t>(require_u64(line, "count"));
+      h.tag = static_cast<std::uint8_t>(require_u64(line, "tag"));
+      data.runs.back().hops.push_back(h);
     } else if (type == "run_end") {
-      // Summary is re-derivable; nothing to keep.
+      // Rows and events are re-derivable; only the declared quanta total is
+      // kept — it bills rounds a --trace-every sampling dropped, which the
+      // summarize pass needs to report sampled traces honestly.
+      if (!data.runs.empty())
+        data.runs.back().declared_quanta = require_u64(line, "quanta");
     } else if (type == "trace_end") {
       data.declared_runs = require_u64(line, "runs");
     } else {
@@ -262,9 +279,21 @@ TraceFileData parse_binary(const std::string& contents) {
     } else if (tag == 4) {  // run_end
       rec.u64();
       rec.u64();
-      rec.u64();
+      const std::uint64_t quanta = rec.u64();
+      if (!data.runs.empty()) data.runs.back().declared_quanta = quanta;
     } else if (tag == 5) {  // trace_end
       data.declared_runs = rec.u64();
+    } else if (tag == 6) {  // walk_hop (schema v2)
+      if (data.runs.empty())
+        throw std::runtime_error("trace: walk_hop record before any run");
+      TraceWalkHop h;
+      h.round = rec.u64();
+      h.origin = rec.u32();
+      h.src = rec.u32();
+      h.dst = rec.u32();
+      h.count = rec.u32();
+      h.tag = rec.u8();
+      data.runs.back().hops.push_back(h);
     } else {
       throw std::runtime_error("trace: unknown binary record tag " +
                                std::to_string(tag));

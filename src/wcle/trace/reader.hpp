@@ -18,6 +18,10 @@ struct TraceRunData {
   TraceRunMeta meta;
   std::vector<TraceRound> rounds;
   std::vector<TraceEvent> events;
+  std::vector<TraceWalkHop> hops;  ///< schema v2 (`--trace-walks`), else empty
+  /// The run_end record's quanta total: bills ALL rounds, including rows a
+  /// --trace-every sampling dropped (0 for a truncated trace).
+  std::uint64_t declared_quanta = 0;
 };
 
 /// A fully reloaded trace file.

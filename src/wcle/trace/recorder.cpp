@@ -15,6 +15,36 @@ const char* trace_event_kind_name(TraceEventKind kind) {
   return "unknown";
 }
 
+namespace {
+/// Initial hop-buffer capacity: one warm chunk big enough that short runs
+/// never grow it, small enough to be free when walk tracing is off (the
+/// vector stays unallocated until set_trace_walks enables the stream).
+constexpr std::size_t kWalkHopReserve = 1 << 14;
+}  // namespace
+
+void TraceRecorder::set_trace_walks(std::uint32_t every) {
+  walks_every_ = every;
+  if (every != 0 && hops_.capacity() == 0) hops_.reserve(kWalkHopReserve);
+}
+
+void TraceRecorder::on_walk_hop(std::uint64_t round, std::uint32_t origin,
+                                std::uint32_t src, std::uint32_t dst,
+                                std::uint32_t count, std::uint8_t tag) {
+  if (walks_every_ == 0) return;
+  if (walks_every_ > 1 && origin % walks_every_ != 0) return;
+  const TraceWalkHop hop{offset_ + round, origin, src, dst, count, tag};
+  // Capacity-guarded cold growth: the buffer is pre-sized by
+  // set_trace_walks, so the steady state of the walk-stage no-alloc region
+  // never reaches the allocator; doubling happens O(log hops) times.
+  if (hops_.size() == hops_.capacity()) {
+    hops_.reserve(hops_.capacity() == 0 ? kWalkHopReserve
+                                        : hops_.capacity() * 2);
+    hops_.push_back(hop);
+    return;
+  }
+  hops_.push_back(hop);
+}
+
 void TraceRecorder::begin_segment() {
   offset_ = frontier();
   events_.push_back(
@@ -95,6 +125,7 @@ std::uint64_t TraceRecorder::total_quanta() const {
 void TraceRecorder::clear() {
   rounds_.clear();
   events_.clear();
+  hops_.clear();
   open_ = false;
   last_round_ = 0;
   total_quanta_ = 0;

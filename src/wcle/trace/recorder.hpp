@@ -65,6 +65,20 @@ struct TraceEvent {
   std::string label;
 };
 
+/// One walk-token delivery (schema v2, `--trace-walks`): a coalesced token
+/// message for walk origin `origin` crossed directed edge `src -> dst` in
+/// `round`, carrying `count` walkers under transport tag `tag`. One record
+/// per delivered token message, so at `--trace-walks=1` the record count of
+/// a run reconciles exactly with `congest_messages_by_tag[tag]`.
+struct TraceWalkHop {
+  std::uint64_t round = 0;   ///< absolute round of the delivery
+  std::uint32_t origin = 0;  ///< walk origin node id
+  std::uint32_t src = 0;     ///< sending endpoint of the directed edge
+  std::uint32_t dst = 0;     ///< receiving endpoint
+  std::uint32_t count = 0;   ///< coalesced walker multiplicity
+  std::uint8_t tag = 0;      ///< transport tag (kTagWalkToken)
+};
+
 class TraceRecorder {
  public:
   /// Keep every `every`-th round row (1 or 0 = all rows, the default).
@@ -74,6 +88,15 @@ class TraceRecorder {
     every_ = every == 0 ? 1 : every;
   }
   std::uint32_t sample_every() const noexcept { return every_; }
+
+  /// Enables per-walk token tracing: keep hop records for walk origins with
+  /// `origin % K == 0` (K = 1 records every walk; 0 = off, the default).
+  /// Sampling by origin — not by round — keeps every sampled walk's path
+  /// complete, which the per-walk summary pass depends on. Applied by the
+  /// Network constructor from CongestConfig::trace_walks; pre-sizes the hop
+  /// buffer so the steady state of a traced run stays allocation-free.
+  void set_trace_walks(std::uint32_t every);
+  std::uint32_t trace_walks() const noexcept { return walks_every_; }
 
   /// Called by each Network constructor: subsequent network-local rounds are
   /// rebased past everything recorded so far, and a kSegment event marks the
@@ -94,6 +117,18 @@ class TraceRecorder {
   /// sampled away.
   void event(std::uint64_t round, TraceEventKind kind, std::uint64_t a,
              std::uint64_t b = 0, std::string label = "");
+
+  /// Records one walk-token delivery at network-local `round` (the walk
+  /// engine's hook; a no-op unless set_trace_walks enabled the stream and
+  /// `origin` is on the sampling grid). Called from inside the walk-stage
+  /// no-alloc region: growth is capacity-guarded cold-path only.
+  void on_walk_hop(std::uint64_t round, std::uint32_t origin,
+                   std::uint32_t src, std::uint32_t dst, std::uint32_t count,
+                   std::uint8_t tag);
+
+  /// The kept hop records, in delivery order (round-major). Independent of
+  /// the row sampling grid: `--trace-every` thins rows, not hops.
+  const std::vector<TraceWalkHop>& walk_hops() const { return hops_; }
 
   /// Protocol-level annotation between networks (no local round available):
   /// lands one past the last recorded absolute round.
@@ -122,10 +157,12 @@ class TraceRecorder {
 
   std::vector<TraceRound> rounds_;
   std::vector<TraceEvent> events_;
+  std::vector<TraceWalkHop> hops_;
   bool open_ = false;           ///< rounds_.back() is an unflushed open row
   std::uint64_t last_round_ = 0;  ///< highest absolute round closed
   std::uint64_t total_quanta_ = 0;
   std::uint32_t every_ = 1;
+  std::uint32_t walks_every_ = 0;  ///< 0 = walk tracing off
   std::uint64_t offset_ = 0;  ///< absolute round of the segment's local 0
   std::uint64_t segments_ = 0;
 };

@@ -12,6 +12,16 @@ TraceSummary summarize_trace(const TraceRunData& run) {
   std::uint64_t cum_messages = 0, cum_dropped = 0;
   std::size_t e = 0;
   s.series.reserve(run.rounds.size());
+  // Detect --trace-every sampling: rows of a sampled trace sit a fixed
+  // stride apart. The smallest observed gap is that stride (the last round
+  // is always kept, so the final gap can be shorter — min handles it).
+  std::uint64_t stride = 0;
+  for (std::size_t i = 1; i < run.rounds.size(); ++i) {
+    const std::uint64_t gap = run.rounds[i].round - run.rounds[i - 1].round;
+    if (gap > 0 && (stride == 0 || gap < stride)) stride = gap;
+  }
+  s.stride = stride == 0 ? 1 : stride;
+  s.sampled = s.stride > 1;
   for (const TraceRound& r : run.rounds) {
     // Apply events up to and including this round before sampling live
     // counts — fault batches fire at the start of their round.
@@ -38,8 +48,11 @@ TraceSummary summarize_trace(const TraceRunData& run) {
     }
     const std::uint32_t dropped =
         r.dropped_rand + r.dropped_crash + r.dropped_link;
-    cum_messages += r.quanta;
-    cum_dropped += dropped;
+    // A sampled trace keeps one row per stride: scale each kept row's
+    // deltas by the stride so the cumulative series estimate the whole
+    // bill rather than the kept rows' share of it.
+    cum_messages += static_cast<std::uint64_t>(r.quanta) * s.stride;
+    cum_dropped += static_cast<std::uint64_t>(dropped) * s.stride;
     TraceSeriesPoint p;
     p.round = r.round;
     p.sends = r.sends;
@@ -64,7 +77,10 @@ TraceSummary summarize_trace(const TraceRunData& run) {
     if (ev.kind == TraceEventKind::kSegment) s.segments += 1;
   }
   s.rounds = run.rounds.empty() ? 0 : run.rounds.back().round;
-  s.total_messages = cum_messages;
+  // The run_end record bills ALL rounds, including rows sampling dropped —
+  // prefer that exact figure over the stride-scaled estimate when present.
+  s.total_messages =
+      run.declared_quanta > 0 ? run.declared_quanta : cum_messages;
   s.total_dropped = cum_dropped;
   s.final_live = live;
   return s;
@@ -72,8 +88,11 @@ TraceSummary summarize_trace(const TraceRunData& run) {
 
 Table trace_summary_table(const TraceSummary& s, std::uint64_t every) {
   if (every == 0) every = 1;
+  // Sampled traces get their estimate columns labelled as such: the
+  // cumulative values are stride-scaled reconstructions, not exact sums.
   Table t({"round", "sends", "quanta", "delivered", "dropped", "backlog",
-           "live", "cum_msgs", "cum_dropped"});
+           "live", s.sampled ? "cum_msgs(est)" : "cum_msgs",
+           s.sampled ? "cum_dropped(est)" : "cum_dropped"});
   for (std::size_t i = 0; i < s.series.size(); ++i) {
     if (i % every != 0 && i + 1 != s.series.size()) continue;
     const TraceSeriesPoint& p = s.series[i];

@@ -29,6 +29,14 @@ struct TraceSeriesPoint {
 
 struct TraceSummary {
   std::vector<TraceSeriesPoint> series;
+  /// Row stride of a `--trace-every=K` sampled trace, inferred as the
+  /// smallest gap between consecutive recorded rounds (1 = every round).
+  /// When sampled, per-row quanta/drop deltas are scaled by the stride
+  /// before accumulating, so the cumulative series estimate the full bill
+  /// instead of summing only the kept rows; total_messages prefers the
+  /// run_end record's exact all-rounds figure when the trace carries one.
+  std::uint64_t stride = 1;
+  bool sampled = false;  ///< stride > 1: cumulative series are estimates
   std::uint64_t rounds = 0;           ///< timeline length
   std::uint64_t rounds_to_quiet = 0;  ///< last round with any traffic
   std::uint64_t peak_backlog = 0;

@@ -46,6 +46,13 @@ void JsonlTraceWriter::event(const TraceEvent& e) {
         << "\"}\n";
 }
 
+void JsonlTraceWriter::walk_hop(const TraceWalkHop& h) {
+  *out_ << "{\"type\":\"walk_hop\",\"run\":" << run_ << ",\"round\":"
+        << h.round << ",\"origin\":" << h.origin << ",\"src\":" << h.src
+        << ",\"dst\":" << h.dst << ",\"count\":" << h.count
+        << ",\"tag\":" << static_cast<std::uint32_t>(h.tag) << "}\n";
+}
+
 void JsonlTraceWriter::end_run(std::uint64_t rounds, std::uint64_t events,
                                std::uint64_t quanta) {
   *out_ << "{\"type\":\"run_end\",\"run\":" << run_ << ",\"rounds\":" << rounds
@@ -67,6 +74,7 @@ constexpr std::uint8_t kRecRound = 2;
 constexpr std::uint8_t kRecEvent = 3;
 constexpr std::uint8_t kRecRunEnd = 4;
 constexpr std::uint8_t kRecEnd = 5;
+constexpr std::uint8_t kRecWalkHop = 6;  // schema v2
 
 void put_u8(std::ostream& out, std::uint8_t v) {
   out.put(static_cast<char>(v));
@@ -132,6 +140,16 @@ void BinaryTraceWriter::event(const TraceEvent& e) {
   put_str(*out_, e.label);
 }
 
+void BinaryTraceWriter::walk_hop(const TraceWalkHop& h) {
+  put_u8(*out_, kRecWalkHop);
+  put_u64(*out_, h.round);
+  put_u32(*out_, h.origin);
+  put_u32(*out_, h.src);
+  put_u32(*out_, h.dst);
+  put_u32(*out_, h.count);
+  put_u8(*out_, h.tag);
+}
+
 void BinaryTraceWriter::end_run(std::uint64_t rounds, std::uint64_t events,
                                 std::uint64_t quanta) {
   put_u8(*out_, kRecRunEnd);
@@ -170,22 +188,32 @@ void write_run(TraceWriter& w, const TraceRunMeta& meta,
   w.begin_run(meta);
   const std::vector<TraceRound>& rounds = rec.rounds();
   const std::vector<TraceEvent>& events = rec.events();
+  const std::vector<TraceWalkHop>& hops = rec.walk_hops();
   // Merge in round order: events land before the row that closes their
-  // round (fault batches fire at the start of a round, before service).
-  // Event rounds are non-decreasing except across segment rebases, so the
-  // cursor only ever advances — trailing events (post-run annotations) are
-  // flushed after the last row.
+  // round (fault batches fire at the start of a round, before service),
+  // walk hops after the events of their round. Event and hop rounds are
+  // non-decreasing except across segment rebases, so both cursors only ever
+  // advance — trailing records are flushed after the last row.
   std::size_t e = 0;
+  std::size_t h = 0;
   for (const TraceRound& r : rounds) {
     while (e < events.size() && events[e].round <= r.round) {
       w.event(events[e]);
       ++e;
+    }
+    while (h < hops.size() && hops[h].round <= r.round) {
+      w.walk_hop(hops[h]);
+      ++h;
     }
     w.round(r);
   }
   while (e < events.size()) {
     w.event(events[e]);
     ++e;
+  }
+  while (h < hops.size()) {
+    w.walk_hop(hops[h]);
+    ++h;
   }
   w.end_run(rounds.size(), events.size(), rec.total_quanta());
 }

@@ -24,7 +24,16 @@
 
 namespace wcle {
 
-inline constexpr std::uint32_t kTraceVersion = 1;
+// Version history:
+//   1 — header/run/round/event/run_end/trace_end.
+//   2 — adds the optional `walk_hop` record stream (`--trace-walks`); every
+//       v1 record shape is unchanged, so v1 traces parse and replay
+//       byte-identically (replay regenerates with the parsed header's own
+//       version, and walk_hop records only exist when the trace-walks knob
+//       rides in the header spec).
+inline constexpr std::uint32_t kTraceVersion = 2;
+/// Oldest header version the reader still accepts.
+inline constexpr std::uint32_t kTraceVersionMin = 1;
 /// First 8 bytes of a binary trace (no terminating NUL on the wire).
 inline constexpr char kTraceMagic[] = "WCLETR01";
 
@@ -56,6 +65,8 @@ class TraceWriter {
   virtual void begin_run(const TraceRunMeta& meta) = 0;
   virtual void round(const TraceRound& r) = 0;
   virtual void event(const TraceEvent& e) = 0;
+  /// Schema v2 walk-token record; defaulted so v1-era writers stay valid.
+  virtual void walk_hop(const TraceWalkHop& h) { (void)h; }
   virtual void end_run(std::uint64_t rounds, std::uint64_t events,
                        std::uint64_t quanta) = 0;
   virtual void finish(std::uint64_t runs) = 0;
@@ -68,6 +79,7 @@ class JsonlTraceWriter final : public TraceWriter {
   void begin_run(const TraceRunMeta& meta) override;
   void round(const TraceRound& r) override;
   void event(const TraceEvent& e) override;
+  void walk_hop(const TraceWalkHop& h) override;
   void end_run(std::uint64_t rounds, std::uint64_t events,
                std::uint64_t quanta) override;
   void finish(std::uint64_t runs) override;
@@ -84,6 +96,7 @@ class BinaryTraceWriter final : public TraceWriter {
   void begin_run(const TraceRunMeta& meta) override;
   void round(const TraceRound& r) override;
   void event(const TraceEvent& e) override;
+  void walk_hop(const TraceWalkHop& h) override;
   void end_run(std::uint64_t rounds, std::uint64_t events,
                std::uint64_t quanta) override;
   void finish(std::uint64_t runs) override;
@@ -105,9 +118,9 @@ std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
 /// embedded in the binary framing, so one parser serves both formats.
 std::string trace_header_line(const TraceHeader& h);
 
-/// Streams one recorded run through `w`: the meta line, then rounds and
-/// events merged in round order (an event precedes the row that closes its
-/// round), then the run summary.
+/// Streams one recorded run through `w`: the meta line, then rounds, events,
+/// and walk hops merged in round order (events, then hops, precede the row
+/// that closes their round), then the run summary.
 void write_run(TraceWriter& w, const TraceRunMeta& meta,
                const TraceRecorder& rec);
 

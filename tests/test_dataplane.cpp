@@ -52,6 +52,25 @@ TEST(DataPlaneGolden, PreRefactorTraceReplaysByteIdentically) {
   EXPECT_EQ(rep.format, TraceFormat::kBinary);
 }
 
+TEST(DataPlaneGolden, PreObsE1TraceReplaysByteIdentically) {
+  // Recorded at trace schema v1, before the wcle::obs layer landed: the
+  // fault-free e1 slice must keep replaying byte-identically — walk-hop
+  // tracing, pool gauges, and the schema v2 writer must all be invisible
+  // when --trace-walks is off and the header says version 1.
+  const std::string golden =
+      std::string(WCLE_SOURCE_DIR) + "/tests/golden/e1_pre_obs.btrace";
+  {
+    std::ifstream probe(golden, std::ios::binary);
+    ASSERT_TRUE(probe.is_open()) << "missing golden trace: " << golden;
+  }
+  const ReplayReport rep = verify_replay(golden, /*threads=*/1);
+  EXPECT_TRUE(rep.ok) << rep.detail << "\n"
+                      << "the obs layer perturbed the pre-obs execution "
+                         "or the v1 trace encoding";
+  EXPECT_EQ(rep.runs, 4u);
+  EXPECT_EQ(rep.format, TraceFormat::kBinary);
+}
+
 TEST(DataPlaneSampling, RecorderKeepsEveryKthRowAndAllEvents) {
   // Identical runs, traced at K = 1 and K = 4: the sampled row set must be
   // exactly the K-grid restriction of the full one, events identical, and

@@ -8,8 +8,11 @@
 
 #include "wcle/core/leader_election.hpp"
 #include "wcle/graph/generators.hpp"
+#include "wcle/obs/congestion.hpp"
+#include "wcle/obs/walks.hpp"
 #include "wcle/rw/walk_engine.hpp"
 #include "wcle/sim/network.hpp"
+#include "wcle/trace/recorder.hpp"
 
 namespace wcle {
 namespace {
@@ -74,6 +77,114 @@ TEST(Observability, PhaseMetricsRoundsArePositive) {
     EXPECT_GT(ps.metrics.congest_messages, 0u);
     EXPECT_GE(ps.metrics.congest_messages, ps.metrics.logical_messages);
   }
+}
+
+TEST(Observability, WalkHopTracingNeverPerturbsExecution) {
+  // Identical seeds with walk tracing off, at K = 1, and at K = 2: the
+  // election outcome, the message bill, and the per-round trace timeline
+  // must be bit-identical — hop recording is purely observational.
+  const Graph g = make_hypercube(6);
+  const auto run_with = [&](std::uint32_t trace_walks, TraceRecorder* rec) {
+    ElectionParams p;
+    p.seed = 26;
+    p.trace = rec;
+    p.trace_walks = trace_walks;
+    return run_leader_election(g, p);
+  };
+  TraceRecorder off, all, sampled;
+  const ElectionResult r_off = run_with(0, &off);
+  const ElectionResult r_all = run_with(1, &all);
+  const ElectionResult r_sampled = run_with(2, &sampled);
+  EXPECT_TRUE(off.walk_hops().empty());
+  EXPECT_FALSE(all.walk_hops().empty());
+
+  for (const ElectionResult* r : {&r_all, &r_sampled}) {
+    EXPECT_EQ(r->leaders, r_off.leaders);
+    EXPECT_EQ(r->phases, r_off.phases);
+    EXPECT_EQ(r->totals.congest_messages, r_off.totals.congest_messages);
+    EXPECT_EQ(r->totals.rounds, r_off.totals.rounds);
+  }
+  for (const TraceRecorder* rec : {&all, &sampled}) {
+    ASSERT_EQ(rec->rounds().size(), off.rounds().size());
+    for (std::size_t i = 0; i < off.rounds().size(); ++i) {
+      EXPECT_EQ(rec->rounds()[i].round, off.rounds()[i].round);
+      EXPECT_EQ(rec->rounds()[i].sends, off.rounds()[i].sends);
+      EXPECT_EQ(rec->rounds()[i].quanta, off.rounds()[i].quanta);
+      EXPECT_EQ(rec->rounds()[i].delivered, off.rounds()[i].delivered);
+      EXPECT_EQ(rec->rounds()[i].backlog, off.rounds()[i].backlog);
+    }
+    EXPECT_EQ(rec->events().size(), off.events().size());
+  }
+  // Origin sampling keeps exactly the origin % K == 0 subsequence, in
+  // order — each sampled walk's path stays complete.
+  std::vector<TraceWalkHop> expect_sampled;
+  for (const TraceWalkHop& h : all.walk_hops())
+    if (h.origin % 2 == 0) expect_sampled.push_back(h);
+  ASSERT_EQ(sampled.walk_hops().size(), expect_sampled.size());
+  for (std::size_t i = 0; i < expect_sampled.size(); ++i) {
+    EXPECT_EQ(sampled.walk_hops()[i].round, expect_sampled[i].round);
+    EXPECT_EQ(sampled.walk_hops()[i].origin, expect_sampled[i].origin);
+    EXPECT_EQ(sampled.walk_hops()[i].src, expect_sampled[i].src);
+    EXPECT_EQ(sampled.walk_hops()[i].dst, expect_sampled[i].dst);
+    EXPECT_EQ(sampled.walk_hops()[i].count, expect_sampled[i].count);
+  }
+}
+
+TEST(Observability, WalkHopsReconcileWithTheTagBill) {
+  // At K = 1 every delivered token message leaves one hop record, so the
+  // congestion report's per-tag totals must equal the transport's own
+  // congest_messages_by_tag bill for the walk-token tag (standard
+  // bandwidth: one coalesced token message = one B-bit quantum).
+  const Graph g = make_hypercube(6);
+  ElectionParams p;
+  p.seed = 27;
+  TraceRecorder rec;
+  p.trace = &rec;
+  p.trace_walks = 1;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  const CongestionReport report = analyze_congestion(rec.walk_hops());
+  ASSERT_EQ(report.messages_by_tag.size(), 1u);
+  EXPECT_EQ(report.messages_by_tag.at(kTagWalkToken),
+            r.totals.congest_messages_by_tag[kTagWalkToken]);
+  EXPECT_EQ(report.total_messages,
+            r.totals.congest_messages_by_tag[kTagWalkToken]);
+  // The report's shape is internally consistent.
+  std::uint64_t msgs = 0;
+  for (const RoundCongestion& rc : report.rounds) {
+    msgs += rc.messages;
+    EXPECT_GE(rc.messages, rc.busy_edges);
+    EXPECT_GE(rc.walkers, rc.messages);  // every message moves >= 1 walker
+    EXPECT_LE(rc.max_edge_messages, rc.messages);
+    EXPECT_LE(rc.max_edge_walkers, rc.walkers);
+  }
+  EXPECT_EQ(msgs, report.total_messages);
+
+  // Per-walk summaries cover every hop exactly once.
+  const std::vector<WalkSummary> walks = summarize_walks(rec.walk_hops());
+  std::uint64_t walk_hops = 0;
+  for (const WalkSummary& w : walks) {
+    walk_hops += w.hops;
+    EXPECT_LE(w.first_round, w.last_round);
+    EXPECT_GE(w.walkers, w.hops);
+    EXPECT_LE(w.unique_nodes, g.node_count());
+  }
+  EXPECT_EQ(walk_hops, rec.walk_hops().size());
+}
+
+TEST(Observability, PoolGaugesSurfaceInMetrics) {
+  // The pool_stats() probe promoted into Metrics: every election run must
+  // report a positive pool footprint and a high-water mark within it.
+  const Graph g = make_hypercube(6);
+  ElectionParams p;
+  p.seed = 28;
+  const ElectionResult r = run_leader_election(g, p);
+  ASSERT_TRUE(r.success());
+  EXPECT_GT(r.totals.pool_msg_slots, 0u);
+  EXPECT_GT(r.totals.pool_msg_live_high, 0u);
+  EXPECT_LE(r.totals.pool_msg_live_high, r.totals.pool_msg_slots);
+  EXPECT_GT(r.totals.pool_id_blocks, 0u);
+  EXPECT_GT(r.totals.pool_id_live_high, 0u);
 }
 
 TEST(Observability, BacklogReflectsCongestion) {

@@ -27,6 +27,10 @@ TEST(SerializeGolden, RunResultFullSchema) {
   r.totals.dropped_messages = 2;
   r.totals.crash_dropped_messages = 4;
   r.totals.link_dropped_messages = 1;
+  r.totals.pool_msg_slots = 512;
+  r.totals.pool_msg_live_high = 80;
+  r.totals.pool_id_blocks = 2;
+  r.totals.pool_id_live_high = 33;
   r.verdict.evaluated = true;
   r.verdict.safe = true;
   r.verdict.live = false;
@@ -41,6 +45,8 @@ TEST(SerializeGolden, RunResultFullSchema) {
             "\"total_bits\":4096,\"max_edge_backlog\":6,"
             "\"dropped_messages\":2,\"crash_dropped_messages\":4,"
             "\"link_dropped_messages\":1,"
+            "\"pool_msg_slots\":512,\"pool_msg_live_high\":80,"
+            "\"pool_id_blocks\":2,\"pool_id_live_high\":33,"
             "\"verdict\":{\"evaluated\":true,\"safe\":true,\"live\":false,"
             "\"agreement\":0.75,\"surviving\":30,\"surviving_leaders\":1},"
             "\"extras\":{\"phases\":3,\"ratio\":0.5}}");
@@ -54,6 +60,8 @@ TEST(SerializeGolden, RunResultEmpty) {
             "\"rounds\":0,\"congest_messages\":0,\"logical_messages\":0,"
             "\"total_bits\":0,\"max_edge_backlog\":0,\"dropped_messages\":0,"
             "\"crash_dropped_messages\":0,\"link_dropped_messages\":0,"
+            "\"pool_msg_slots\":0,\"pool_msg_live_high\":0,"
+            "\"pool_id_blocks\":0,\"pool_id_live_high\":0,"
             "\"verdict\":{\"evaluated\":false,\"safe\":true,\"live\":true,"
             "\"agreement\":0,\"surviving\":0,\"surviving_leaders\":0},"
             "\"extras\":{}}");
@@ -92,6 +100,14 @@ TEST(SerializeGolden, TrialStatsFullSchema) {
             "\"link_dropped_messages\":{\"count\":0,\"mean\":0,\"stddev\":0,"
             "\"min\":0,\"median\":0,\"max\":0},"
             "\"agreement\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"pool_msg_slots\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"pool_msg_live_high\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"pool_id_blocks\":{\"count\":0,\"mean\":0,\"stddev\":0,"
+            "\"min\":0,\"median\":0,\"max\":0},"
+            "\"pool_id_live_high\":{\"count\":0,\"mean\":0,\"stddev\":0,"
             "\"min\":0,\"median\":0,\"max\":0}},\"extras\":{}}");
 }
 

@@ -350,5 +350,98 @@ TEST(TraceSummarize, SeriesTrackLiveNodesAndCumulativeBill) {
             std::string::npos);
 }
 
+TEST(TraceWriter, WalkHopsRoundTripBothFramings) {
+  // A v2 trace with walk_hop records must reload identically from the JSONL
+  // and the binary framing, hop for hop.
+  const Graph g = make_family("expander", 32, 1);
+  RunOptions options;
+  options.params.seed = 11;
+  options.params.max_length = 64;
+  options.params.trace_walks = 1;
+  options.max_rounds = 4000;
+  auto [json, rec] = traced_run("election", g, options);
+  (void)json;
+  ASSERT_FALSE(rec.walk_hops().empty());
+
+  TraceRunMeta meta;
+  meta.run = 0;
+  meta.seed = 11;
+  meta.n = 32;
+  meta.algorithm = "election";
+  meta.family = "expander";
+  std::ostringstream jout, bout;
+  JsonlTraceWriter jw(jout);
+  BinaryTraceWriter bw(bout);
+  for (TraceWriter* w : {static_cast<TraceWriter*>(&jw),
+                         static_cast<TraceWriter*>(&bw)}) {
+    w->header({kTraceVersion, "run",
+               "name=single algo=election family=expander n=32 "
+               "max-length=64 trace-walks=1 trials=1 base-seed=11"});
+    write_run(*w, meta, rec);
+    w->finish(1);
+  }
+  for (const std::string& bytes : {jout.str(), bout.str()}) {
+    const TraceFileData data = parse_trace(bytes);
+    ASSERT_EQ(data.runs.size(), 1u);
+    const std::vector<TraceWalkHop>& got = data.runs[0].hops;
+    const std::vector<TraceWalkHop>& want = rec.walk_hops();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].round, want[i].round);
+      EXPECT_EQ(got[i].origin, want[i].origin);
+      EXPECT_EQ(got[i].src, want[i].src);
+      EXPECT_EQ(got[i].dst, want[i].dst);
+      EXPECT_EQ(got[i].count, want[i].count);
+      EXPECT_EQ(got[i].tag, want[i].tag);
+    }
+    // v2 run_end still carries the all-rounds quanta bill.
+    EXPECT_EQ(data.runs[0].declared_quanta, rec.total_quanta());
+  }
+}
+
+TEST(TraceSummarize, SampledTraceScalesCumulativeSeriesAndLabelsThem) {
+  // A --trace-every=5 trace keeps rows 5, 10, 15, 20. The summarize pass
+  // must infer the stride, scale the cumulative series by it, prefer the
+  // run_end exact total, and label the estimate columns.
+  TraceRunData run;
+  run.meta.n = 8;
+  for (std::uint64_t round = 5; round <= 20; round += 5) {
+    TraceRound r;
+    r.round = round;
+    r.quanta = 2;
+    r.sends = 2;
+    run.rounds.push_back(r);
+  }
+  run.declared_quanta = 43;  // all 20 rounds, not 4 * 2 * 5 = 40
+  const TraceSummary s = summarize_trace(run);
+  EXPECT_EQ(s.stride, 5u);
+  EXPECT_TRUE(s.sampled);
+  ASSERT_EQ(s.series.size(), 4u);
+  EXPECT_EQ(s.series[0].cum_messages, 10u);  // 2 quanta * stride 5
+  EXPECT_EQ(s.series[3].cum_messages, 40u);
+  EXPECT_EQ(s.total_messages, 43u);  // run_end exact figure wins
+  const Table t = trace_summary_table(s);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("cum_msgs(est)"), std::string::npos);
+
+  // An unsampled timeline keeps the exact semantics and plain labels.
+  TraceRunData dense;
+  dense.meta.n = 8;
+  for (std::uint64_t round = 1; round <= 4; ++round) {
+    TraceRound r;
+    r.round = round;
+    r.quanta = 3;
+    dense.rounds.push_back(r);
+  }
+  const TraceSummary d = summarize_trace(dense);
+  EXPECT_EQ(d.stride, 1u);
+  EXPECT_FALSE(d.sampled);
+  EXPECT_EQ(d.total_messages, 12u);
+  std::ostringstream dense_csv;
+  trace_summary_table(d).write_csv(dense_csv);
+  EXPECT_EQ(dense_csv.str().find("cum_msgs(est)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wcle
