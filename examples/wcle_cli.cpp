@@ -24,7 +24,10 @@
 // Common options: --family=<see `wcle_cli list`> --n= --seed= --c1= --c2=
 //                 --wide --paper-schedule --source= --tmix= --budget=
 // Unrecognized options produce a warning on stderr (typo protection).
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <ctime>
 #include <fstream>
@@ -51,6 +54,7 @@
 #include "wcle/graph/families.hpp"
 #include "wcle/graph/lower_bound_graph.hpp"
 #include "wcle/obs/congestion.hpp"
+#include "wcle/serve/server.hpp"
 #include "wcle/obs/perfetto.hpp"
 #include "wcle/obs/walks.hpp"
 #include "wcle/support/table.hpp"
@@ -921,6 +925,50 @@ int cmd_bench_dataplane(const CliArgs& args) {
   return 0;
 }
 
+void warn_unconsumed(const CliArgs& args);
+
+// The daemon's drain trigger must be async-signal-safe: the handler writes
+// one byte to the event loop's self-pipe (write(2) is on the safe list) and
+// the loop does the actual shutdown on its own thread.
+int g_serve_wake_fd = -1;
+
+extern "C" void serve_drain_signal(int) {
+  if (g_serve_wake_fd >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = write(g_serve_wake_fd, &byte, 1);
+  }
+}
+
+// The long-running sweep service: POST specs, poll job status, stream
+// results. SIGTERM/SIGINT drain gracefully (stop accepting, finish accepted
+// jobs and open streams, then exit 0).
+int cmd_serve(const CliArgs& args) {
+  ServeConfig config;
+  const HostPort listen =
+      args.get_host_port("listen", config.host, config.port);
+  config.host = listen.host;
+  config.port = listen.port;
+  config.workers = get_u32(args, "workers", 0);
+  config.cache_max_bytes = args.get_u64("cache-mb", 64) * 1024 * 1024;
+
+  Server server(config);
+  server.listen();
+  g_serve_wake_fd = server.wake_fd();
+  std::signal(SIGTERM, serve_drain_signal);
+  std::signal(SIGINT, serve_drain_signal);
+  warn_unconsumed(args);
+  // Flushed before serving so wrappers can wait for readiness on stdout.
+  std::cout << "wcle serve: listening on " << config.host << ":"
+            << server.port() << " (workers="
+            << (config.workers == 0 ? std::thread::hardware_concurrency()
+                                    : config.workers)
+            << ", cache=" << config.cache_max_bytes / (1024 * 1024) << "MB)"
+            << std::endl;
+  const int rc = server.run();
+  std::cout << "wcle serve: drained, exiting\n";
+  return rc;
+}
+
 void usage() {
   std::cout <<
       "usage: wcle_cli <command> [options]\n"
@@ -935,6 +983,12 @@ void usage() {
       "                  trials base-seed graph-seed reliable extras + any\n"
       "                  RunOptions knob)\n"
       "            sweep --from= --to= --trials= [--algo=]  (doubling sugar)\n"
+      "  serve:    serve [--listen=HOST:PORT] [--workers=<t>]\n"
+      "                  [--cache-mb=<m>]   (default 127.0.0.1:8080; sweep\n"
+      "            daemon: POST /sweep with spec tokens, GET /jobs/<id>,\n"
+      "            GET /jobs/<id>/results streams JSONL byte-identical to\n"
+      "            `sweep --format=jsonl`; /cache /metricz /healthz;\n"
+      "            SIGTERM drains gracefully)\n"
       "  trace:    run/trials/sweep --trace=FILE "
       "[--trace-format=jsonl|binary]\n"
       "            (per-round timelines; .bin/.btrace default to binary)\n"
@@ -989,6 +1043,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "profile") rc = cmd_profile(args);
     else if (args.command() == "lowerbound") rc = cmd_lowerbound(args);
     else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else if (args.command() == "serve") rc = cmd_serve(args);
     else if (args.command() == "replay") rc = cmd_replay(args);
     else if (args.command() == "trace-summary") rc = cmd_trace_summary(args);
     else if (args.command() == "congestion-report")

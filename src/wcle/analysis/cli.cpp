@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "wcle/support/strict_parse.hpp"
+
 namespace wcle {
 
 CliArgs CliArgs::parse(int argc, const char* const* argv) {
@@ -81,6 +83,48 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
     return true;
   if (it->second == "false" || it->second == "0") return false;
   throw std::invalid_argument("CliArgs: bad boolean for --" + key);
+}
+
+HostPort CliArgs::get_host_port(const std::string& key,
+                                const std::string& fallback_host,
+                                std::uint16_t fallback_port) const {
+  consumed_.insert(key);
+  HostPort hp{fallback_host, fallback_port};
+  const auto it = options_.find(key);
+  if (it == options_.end()) return hp;
+  const std::string& value = it->second;
+  if (value.empty())
+    throw std::invalid_argument("CliArgs: --" + key +
+                                " expects HOST:PORT, got an empty value");
+
+  const auto parse_port = [&key](const std::string& text) {
+    if (const auto v = strict_u64(text); v && *v <= 65535)
+      return static_cast<std::uint16_t>(*v);
+    throw std::invalid_argument("CliArgs: --" + key + " port '" + text +
+                                "' is not in 0..65535");
+  };
+
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    // "8080" is a port, anything else is a host (IPv4 hosts contain dots).
+    if (value.find_first_not_of("0123456789") == std::string::npos)
+      hp.port = parse_port(value);
+    else
+      hp.host = value;
+    return hp;
+  }
+  const std::string host = value.substr(0, colon);
+  const std::string port = value.substr(colon + 1);
+  if (host.empty() && port.empty())
+    throw std::invalid_argument("CliArgs: --" + key +
+                                " expects HOST:PORT, got ':'");
+  if (port.find(':') != std::string::npos)
+    throw std::invalid_argument("CliArgs: --" + key + "=" + value +
+                                " holds more than one ':' (IPv6 literals are "
+                                "not supported)");
+  if (!host.empty()) hp.host = host;
+  if (!port.empty()) hp.port = parse_port(port);
+  return hp;
 }
 
 std::vector<std::string> CliArgs::keys() const {

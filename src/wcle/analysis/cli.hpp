@@ -12,6 +12,12 @@
 
 namespace wcle {
 
+/// A parsed --listen=HOST:PORT pair (CliArgs::get_host_port).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 /// Parsed command line: one optional positional command followed by options.
 class CliArgs {
  public:
@@ -33,6 +39,14 @@ class CliArgs {
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+
+  /// HOST:PORT accessor (--listen=127.0.0.1:8080). A bare ":8080" or all-
+  /// digit "8080" keeps `fallback_host`; a bare "HOST" or "HOST:" keeps
+  /// `fallback_port`. Throws std::invalid_argument for an empty or ":"-only
+  /// value, a non-numeric port, or a port out of the 16-bit range.
+  HostPort get_host_port(const std::string& key,
+                         const std::string& fallback_host,
+                         std::uint16_t fallback_port) const;
 
   /// All option keys present on the command line, sorted.
   std::vector<std::string> keys() const;

@@ -9,6 +9,7 @@
 
 #include "wcle/api/registry.hpp"
 #include "wcle/api/serialize.hpp"
+#include "wcle/api/sweep.hpp"
 #include "wcle/fault/adversary.hpp"
 #include "wcle/support/strict_parse.hpp"
 
@@ -228,6 +229,18 @@ ExperimentSpec single_run_spec(const std::string& algorithm,
   knob("trace-walks", p.trace_walks != def.params.trace_walks,
        std::to_string(p.trace_walks));
   return spec;
+}
+
+std::string canonical_cell_key(const ExperimentSpec& spec,
+                               const SweepCell& cell) {
+  // cell.options is fully resolved (bandwidth regime + knobs applied), so
+  // the reverse-mapping in single_run_spec reconstructs exactly the knobs
+  // that differ from defaults — cells from different grids that resolve to
+  // the same computation collapse onto one key.
+  return single_run_spec(cell.algorithm, cell.family, cell.requested_n,
+                         spec.trials, spec.base_seed, spec.graph_seed,
+                         cell.options)
+      .to_string();
 }
 
 ExperimentSpec parse_spec_onto(ExperimentSpec spec,

@@ -112,6 +112,19 @@ ExperimentSpec single_run_spec(const std::string& algorithm,
                                std::uint64_t graph_seed,
                                const RunOptions& options);
 
+struct SweepCell;
+
+/// The canonical identity of one sweep cell: the one-cell replayable spec
+/// (single_run_spec over the cell's resolved options, carrying the parent
+/// spec's trials/base_seed/graph_seed) rendered by ExperimentSpec::
+/// to_string(). Two cells share a key exactly when they are the same
+/// computation — same algorithm, graph family/size/seed, resolved knobs,
+/// trial count, and trial seeds — regardless of which grid they came from
+/// or their position in it. This string is what trace headers record for
+/// single runs and what the serve CellCache keys on.
+std::string canonical_cell_key(const ExperimentSpec& spec,
+                               const SweepCell& cell);
+
 /// All recognized knob keys, sorted.
 std::vector<std::string> knob_names();
 

@@ -66,7 +66,11 @@ class CsvSink final : public TableSink {
 
 /// One JSON object per cell, streamed as cells complete. Lines are
 /// byte-identical for any worker-thread count, which is what the CI
-/// determinism job diffs.
+/// determinism job diffs. Each cell() call writes its full line and then
+/// flushes the stream — a contract, not an implementation detail: consumers
+/// tailing a live sweep (the serve daemon's result streams, `tail -f` on a
+/// redirected file) see whole lines the moment their cell completes, never
+/// a torn or buffered-back prefix.
 class JsonlSink final : public Sink {
  public:
   explicit JsonlSink(std::ostream& out) : out_(&out) {}

@@ -92,13 +92,20 @@ std::vector<SweepCell> expand_cells(const ExperimentSpec& spec) {
   return cells;
 }
 
-std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
-                                  const std::vector<Sink*>& sinks,
-                                  unsigned threads, TraceWriter* trace) {
+namespace {
+
+using GraphMap = std::map<std::pair<std::string, std::uint64_t>, Graph>;
+
+/// expand_cells + the skip_unreliable filter, sharing the graph map with
+/// the caller so run_sweep builds each distinct (family, n) graph exactly
+/// once. This is THE cell list: run_sweep and the serve job queue both get
+/// their cells (and cell indices) from here, which is what keeps their
+/// output bytes identical.
+std::vector<SweepCell> cells_with_graphs(const ExperimentSpec& spec,
+                                         GraphMap& graphs) {
   std::vector<SweepCell> cells = expand_cells(spec);
 
   // Build each distinct (family, n) graph once, in expansion order.
-  std::map<std::pair<std::string, std::uint64_t>, Graph> graphs;
   for (const SweepCell& cell : cells) {
     const auto key = std::make_pair(cell.family, cell.requested_n);
     if (!graphs.count(key))
@@ -119,6 +126,35 @@ std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
     }
     cells = std::move(kept);
   }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<SweepCell> sweep_cells(const ExperimentSpec& spec) {
+  GraphMap graphs;
+  return cells_with_graphs(spec, graphs);
+}
+
+CellResult run_sweep_cell(const ExperimentSpec& spec, const SweepCell& cell) {
+  const Graph g = make_family(cell.family,
+                              static_cast<NodeId>(cell.requested_n),
+                              spec.graph_seed);
+  CellResult r;
+  r.cell = cell;
+  r.n = g.node_count();
+  r.m = g.edge_count();
+  r.stats = run_trials(AlgorithmRegistry::instance().at(cell.algorithm), g,
+                       cell.options, spec.trials, spec.base_seed,
+                       /*threads=*/1);
+  return r;
+}
+
+std::vector<CellResult> run_sweep(const ExperimentSpec& spec,
+                                  const std::vector<Sink*>& sinks,
+                                  unsigned threads, TraceWriter* trace) {
+  GraphMap graphs;
+  std::vector<SweepCell> cells = cells_with_graphs(spec, graphs);
 
   for (Sink* sink : sinks)
     if (sink) sink->begin(spec, cells);

@@ -51,6 +51,21 @@ struct CellResult {
 /// validated when the graphs are built.
 std::vector<SweepCell> expand_cells(const ExperimentSpec& spec);
 
+/// The exact cell list run_sweep executes: expand_cells plus the
+/// skip_unreliable filter (which needs the graphs — an election algorithm
+/// that is unreliable on a given family/size is dropped and the survivors
+/// re-indexed). Anything that schedules cells independently of run_sweep
+/// (the serve job queue) MUST use this, not expand_cells, or its cell
+/// indices — and therefore its output bytes — drift from the CLI's.
+std::vector<SweepCell> sweep_cells(const ExperimentSpec& spec);
+
+/// Runs one cell exactly as run_sweep would: builds the (family, n) graph
+/// with spec.graph_seed, runs spec.trials seeded trials on the
+/// single-threaded trial path. Deterministic: depends only on (spec, cell),
+/// so results are safe to cache under canonical_cell_key and bit-identical
+/// to the same cell inside a full run_sweep.
+CellResult run_sweep_cell(const ExperimentSpec& spec, const SweepCell& cell);
+
 /// Runs the sweep: builds each distinct (family, n) graph once, filters
 /// unreliable (algorithm, graph) cells when spec.skip_unreliable is set,
 /// executes the remaining cells on `threads` workers (0 = hardware

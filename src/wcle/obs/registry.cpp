@@ -1,8 +1,10 @@
 #include "wcle/obs/registry.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "wcle/support/bits.hpp"
+#include "wcle/support/json.hpp"
 
 namespace wcle {
 
@@ -64,6 +66,35 @@ std::vector<HistogramSnapshot> StatRegistry::histograms() const {
         {histogram_names_[i], h.count, h.sum, h.min, h.max, h.buckets});
   }
   return out;
+}
+
+std::string to_json(const StatRegistry& registry) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const ScalarSnapshot& c : registry.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(c.name) << "\":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const ScalarSnapshot& g : registry.gauges()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(g.name) << "\":" << g.value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+        << "}";
+  }
+  out << "}}";
+  return out.str();
 }
 
 void StatRegistry::reset() {

@@ -83,6 +83,12 @@ class StatRegistry {
   std::vector<Histogram> histograms_;
 };
 
+/// JSON object over a registry snapshot: {"counters":{name:value,...},
+/// "gauges":{...},"histograms":{name:{count,sum,min,max},...}} with entries
+/// in registration order. Histogram buckets are folded to the four scalar
+/// aggregates — the /metricz surface, not the Perfetto exporter.
+std::string to_json(const StatRegistry& registry);
+
 /// RAII phase timer over a caller-supplied monotone tick (typically the
 /// absolute transport round): records `*clock - start` into a registry
 /// histogram when the scope closes. Rounds, not wall time — the recorded

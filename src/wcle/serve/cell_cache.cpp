@@ -1,0 +1,105 @@
+#include "wcle/serve/cell_cache.hpp"
+
+#include <sstream>
+
+#include "wcle/support/json.hpp"
+
+namespace wcle {
+
+namespace {
+
+/// Rough resident footprint of one entry: the key bytes plus the TrialStats
+/// payload. TrialStats is a fixed frame of Summary structs plus the extras
+/// map, so size it structurally rather than serializing on every insert.
+std::uint64_t entry_bytes(const std::string& key,
+                          const CellCache::Value& value) {
+  std::uint64_t bytes = key.size() + sizeof(CellCache::Value);
+  for (const auto& [name, summary] : value.stats.extras)
+    bytes += name.size() + sizeof(summary);
+  bytes += value.stats.algorithm.size();
+  return bytes;
+}
+
+}  // namespace
+
+CellCache::CellCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+bool CellCache::lookup(const std::string& key, Value* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  it->second.last_use = ++tick_;
+  *out = it->second.value;
+  return true;
+}
+
+void CellCache::insert(const std::string& key, const Value& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_bytes_ == 0) return;  // caching disabled
+  const std::uint64_t bytes = entry_bytes(key, value);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Deterministic cells make a same-key refresh a no-op payload-wise;
+    // just bump recency.
+    it->second.last_use = ++tick_;
+    return;
+  }
+  ++insertions_;
+  entries_[key] = Entry{value, bytes, ++tick_};
+  bytes_ += bytes;
+  if (bytes_ > bytes_high_) bytes_high_ = bytes_;
+  evict_locked();
+}
+
+void CellCache::evict_locked() {
+  while (bytes_ > max_bytes_ && entries_.size() > 1) {
+    // Scan for the least-recently-used entry. The cache holds finished
+    // sweep cells — hundreds, not millions — so a linear scan beats the
+    // bookkeeping of a second index.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+CellCache::Stats CellCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.bytes_high = bytes_high_;
+  s.max_bytes = max_bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  return s;
+}
+
+std::string CellCache::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"entries\":" << entries_.size() << ",\"bytes\":" << bytes_
+      << ",\"bytes_high\":" << bytes_high_ << ",\"max_bytes\":" << max_bytes_
+      << ",\"hits\":" << hits_ << ",\"misses\":" << misses_
+      << ",\"insertions\":" << insertions_ << ",\"evictions\":" << evictions_
+      << ",\"cells\":[";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"key\":\"" << json_escape(key) << "\",\"bytes\":" << entry.bytes
+        << ",\"trials\":" << entry.value.stats.trials << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace wcle

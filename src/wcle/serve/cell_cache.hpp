@@ -1,0 +1,82 @@
+// The canonical-spec cell cache: finished sweep cells keyed by
+// canonical_cell_key(spec, cell) — the same one-cell replayable spec string
+// the trace header writes — so a repeat request for an overlapping grid
+// serves shared cells from memory instead of re-simulating them. Safe by
+// construction: the key is the complete computational identity of a cell
+// (algorithm, graph family + size + graph seed, every resolved knob, trial
+// count, base seed), and cell execution is deterministic, so a hit is
+// bit-identical to a fresh run. Byte-capped with least-recently-used
+// eviction; thread-safe (job workers populate it, the event loop reads
+// stats). Shaped after pazpar2's normalization cache: normalize once, reuse
+// across sessions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "wcle/api/trials.hpp"
+
+namespace wcle {
+
+class CellCache {
+ public:
+  /// `max_bytes` caps the (estimated) resident footprint; 0 disables
+  /// caching entirely (every lookup misses, inserts are dropped).
+  explicit CellCache(std::uint64_t max_bytes);
+
+  /// What a cell computation produces, minus its position in any particular
+  /// grid: the snapped graph shape and the aggregated trials. The caller
+  /// re-attaches its own SweepCell to rebuild a CellResult.
+  struct Value {
+    std::uint64_t n = 0;
+    std::uint64_t m = 0;
+    TrialStats stats;
+  };
+
+  /// True + *out filled on a hit (refreshes recency). Counts hit/miss.
+  bool lookup(const std::string& key, Value* out);
+
+  /// Inserts (or refreshes) `key`, then evicts least-recently-used entries
+  /// until the byte estimate fits the cap.
+  void insert(const std::string& key, const Value& value);
+
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;       ///< current estimated footprint
+    std::uint64_t bytes_high = 0;  ///< footprint high-water mark
+    std::uint64_t max_bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  /// The GET /cache body: stats plus every resident key (sorted — the map
+  /// order) with its byte estimate and trial count.
+  std::string to_json() const;
+
+ private:
+  struct Entry {
+    Value value;
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;  ///< recency tick, not wall time
+  };
+
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t max_bytes_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t bytes_high_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace wcle

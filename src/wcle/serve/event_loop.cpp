@@ -1,0 +1,247 @@
+#include "wcle/serve/event_loop.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace wcle {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop(std::string host, std::uint16_t port,
+                     EventLoopHandler* handler)
+    : host_(std::move(host)), port_(port), handler_(handler) {}
+
+EventLoop::~EventLoop() {
+  for (auto& [id, c] : conns_)
+    if (c->fd >= 0) ::close(c->fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void EventLoop::listen() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (host_ == "*" || host_ == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else {
+    const std::string numeric = host_ == "localhost" ? "127.0.0.1" : host_;
+    if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error(
+          "serve: listen host '" + host_ +
+          "' is not an IPv4 address (use a dotted quad, localhost, or *)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    fail("bind " + host_ + ":" + std::to_string(port_));
+  if (::listen(listen_fd_, 64) < 0) fail("listen");
+  set_nonblocking(listen_fd_);
+
+  // Recover the ephemeral port when the caller asked for 0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) fail("pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+}
+
+void EventLoop::wake() {
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+void EventLoop::begin_drain() {
+  const char byte = 'd';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+std::vector<Conn*> EventLoop::connections() {
+  std::vector<Conn*> out;
+  out.reserve(conns_.size());
+  for (auto& [id, c] : conns_) out.push_back(c.get());
+  return out;
+}
+
+void EventLoop::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: retry on the next poll round
+    }
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_id_++;
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void EventLoop::read_ready(Conn& c) {
+  char buf[8192];
+  bool got_bytes = false;
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.in.append(buf, static_cast<std::size_t>(n));
+      got_bytes = true;
+      continue;
+    }
+    if (n == 0) {
+      c.input_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c.input_closed = true;  // reset: whatever is buffered is all there is
+    c.close_after_flush = true;
+    break;
+  }
+  if (got_bytes || c.input_closed) handler_->on_input(c);
+}
+
+void EventLoop::write_ready(Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    // Peer gone (EPIPE/ECONNRESET): drop the rest.
+    c.out.clear();
+    c.close_after_flush = true;
+    return;
+  }
+}
+
+void EventLoop::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  handler_->on_close(*it->second);
+  ::close(it->second->fd);
+  conns_.erase(it);
+}
+
+void EventLoop::start_drain_on_loop() {
+  if (draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  handler_->on_drain();
+}
+
+int EventLoop::run() {
+  if (wake_read_ < 0)
+    throw std::logic_error("serve: EventLoop::run before listen()");
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (or ~0 marker)
+  while (!(draining_ && conns_.empty())) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read_, POLLIN, 0});
+    fd_conn.push_back(~0ull);
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(~0ull - 1);
+    }
+    for (auto& [id, c] : conns_) {
+      short events = 0;
+      if (!c->input_closed) events |= POLLIN;
+      if (!c->out.empty()) events |= POLLOUT;
+      if (events == 0) {
+        // Nothing to wait for: either close now or idle-park on errors.
+        if (c->close_after_flush) continue;  // swept below
+        events = POLLIN;                     // watch for peer close
+      }
+      fds.push_back({c->fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+
+    bool woke = false, drain_requested = false;
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      for (;;) {
+        const ssize_t n = ::read(wake_read_, buf, sizeof(buf));
+        if (n <= 0) break;
+        for (ssize_t i = 0; i < n; ++i)
+          if (buf[i] == 'd') drain_requested = true;
+      }
+      woke = true;
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fd_conn[i] == ~0ull - 1) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end()) continue;
+      Conn& c = *it->second;
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_ready(c);
+      if (conns_.count(fd_conn[i]) && (fds[i].revents & POLLOUT))
+        write_ready(c);
+    }
+
+    if (drain_requested) start_drain_on_loop();
+    if (woke) handler_->on_wake();
+
+    // Opportunistic flush (handlers just appended bytes), then sweep
+    // connections whose work is done.
+    std::vector<std::uint64_t> to_close;
+    for (auto& [id, c] : conns_) {
+      if (!c->out.empty()) write_ready(*c);
+      const bool flushed = c->out.empty();
+      if (flushed && c->close_after_flush) to_close.push_back(id);
+      else if (flushed && c->input_closed && !c->streaming)
+        to_close.push_back(id);
+    }
+    for (const std::uint64_t id : to_close) close_conn(id);
+  }
+  return 0;
+}
+
+}  // namespace wcle

@@ -1,0 +1,112 @@
+// The daemon's reactor: one poll()-based loop over non-blocking sockets,
+// shaped after the classic metasearch-daemon select loop (pazpar2's eventl)
+// but with the modern trimmings — a self-pipe so worker threads (and signal
+// handlers: write(2) is async-signal-safe) can wake the loop, buffered
+// per-connection I/O, and an explicit drain protocol for graceful SIGTERM
+// shutdown. The loop owns every socket; all connection state is touched only
+// from the loop thread. Cross-thread interaction is exactly two calls:
+// wake() and begin_drain().
+//
+// There are deliberately no wall clocks here (the repo-wide banned-rng lint
+// rule): the loop blocks in poll() until a socket or the self-pipe is ready,
+// so nothing in serve ever reads time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wcle/serve/http.hpp"
+
+namespace wcle {
+
+/// Per-connection state. I/O buffers belong to the loop; the fields below
+/// the marker belong to the request handler (server.cpp) and ride along so
+/// the handler needs no side table keyed by connection.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;      ///< monotone accept counter (stable identity)
+  std::string in;            ///< bytes read, not yet parsed
+  std::string out;           ///< bytes to write
+  bool input_closed = false;      ///< peer half-closed (read returned 0)
+  bool close_after_flush = false; ///< close once `out` drains
+
+  // ---- handler state (serve/server.cpp) ----
+  bool streaming = false;         ///< chunked results stream in progress
+  std::uint64_t stream_job = 0;   ///< job id the stream follows
+  std::size_t stream_cursor = 0;  ///< next cell index to emit
+};
+
+/// Loop callbacks. All methods run on the loop thread.
+class EventLoopHandler {
+ public:
+  virtual ~EventLoopHandler() = default;
+  /// New input bytes (or EOF) on `c`: parse c.in, append responses to c.out,
+  /// set c.close_after_flush / streaming state as needed.
+  virtual void on_input(Conn& c) = 0;
+  /// The self-pipe was written (worker progress): advance streams.
+  virtual void on_wake() = 0;
+  /// Drain has begun: listen socket is closed; mark idle connections
+  /// close_after_flush. Streaming connections are left to finish.
+  virtual void on_drain() = 0;
+  /// `c` is about to be destroyed (peer reset, flush complete, ...).
+  virtual void on_close(Conn& c) = 0;
+};
+
+class EventLoop {
+ public:
+  /// `host` must be a dotted-quad IPv4 address, "localhost", or "*"
+  /// (0.0.0.0). Port 0 binds an ephemeral port (see port()).
+  EventLoop(std::string host, std::uint16_t port, EventLoopHandler* handler);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Binds + listens (throws std::runtime_error on failure) and opens the
+  /// self-pipe. After this, port() reports the actual bound port.
+  void listen();
+  std::uint16_t port() const { return port_; }
+
+  /// Runs until drained: begin_drain() (or a 'd' byte on the self-pipe,
+  /// e.g. from a signal handler via wake_fd()) closes the listen socket,
+  /// lets in-flight responses and streams finish, and returns 0 when the
+  /// last connection is gone.
+  int run();
+
+  /// Thread-safe: schedules an on_wake() on the loop thread.
+  void wake();
+  /// Thread-safe and signal-safe (one pipe write): starts the drain.
+  void begin_drain();
+  /// Write end of the self-pipe, for async-signal-safe drain requests:
+  /// write(wake_fd(), "d", 1) from a SIGTERM handler == begin_drain().
+  int wake_fd() const { return wake_write_; }
+
+  bool draining() const { return draining_; }
+
+  /// Live connections in accept order (loop thread only). The handler uses
+  /// this to push stream chunks on worker progress.
+  std::vector<Conn*> connections();
+
+ private:
+  void accept_ready();
+  void read_ready(Conn& c);
+  void write_ready(Conn& c);
+  void close_conn(std::uint64_t id);
+  void start_drain_on_loop();
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  EventLoopHandler* handler_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  bool draining_ = false;
+  std::uint64_t next_id_ = 0;
+  /// Keyed by the accept counter, not the fd: ordered iteration is
+  /// deterministic and ids are never reused within a process.
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace wcle

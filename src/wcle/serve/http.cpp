@@ -1,0 +1,219 @@
+#include "wcle/serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace wcle {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+HttpParseResult parse_error(int status, std::string reason) {
+  HttpParseResult r;
+  r.status = HttpParseStatus::kError;
+  r.error_status = status;
+  r.error = std::move(reason);
+  return r;
+}
+
+/// Splits "a=1&b=2" into decoded pairs; a bare "flag" token maps to "".
+void parse_query(const std::string& raw,
+                 std::map<std::string, std::string>* out) {
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t amp = raw.find('&', start);
+    if (amp == std::string::npos) amp = raw.size();
+    const std::string pair = raw.substr(start, amp - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos)
+        (*out)[http_unescape(pair)] = "";
+      else
+        (*out)[http_unescape(pair.substr(0, eq))] =
+            http_unescape(pair.substr(eq + 1));
+    }
+    start = amp + 1;
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers)
+    if (key == name) return value;
+  return "";
+}
+
+bool HttpRequest::wants_close() const {
+  const std::string conn = lowercase(header("connection"));
+  if (conn == "close") return true;
+  if (version == "HTTP/1.0") return conn != "keep-alive";
+  return false;
+}
+
+std::string http_unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               hex_digit(text[i + 1]) >= 0 && hex_digit(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex_digit(text[i + 1]) * 16 +
+                                      hex_digit(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+HttpParseResult http_parse(std::string& in) {
+  HttpParseResult r;
+  const std::size_t head_end = in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (in.size() > kHttpMaxHeaderBytes)
+      return parse_error(431, "request header exceeds " +
+                                  std::to_string(kHttpMaxHeaderBytes) +
+                                  " bytes");
+    return r;  // kNeedMore
+  }
+  if (head_end > kHttpMaxHeaderBytes)
+    return parse_error(431, "request header exceeds " +
+                                std::to_string(kHttpMaxHeaderBytes) +
+                                " bytes");
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string head = in.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos)
+    return parse_error(400, "malformed request line");
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/')
+    return parse_error(400, "malformed request line");
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0")
+    return parse_error(505, "unsupported protocol version '" + req.version +
+                                "'");
+
+  // Headers: "Name: value" per line, names lowercased.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string header_line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header_line.find(':');
+    if (colon == std::string::npos || colon == 0)
+      return parse_error(400, "malformed header line");
+    req.headers.emplace_back(lowercase(trim(header_line.substr(0, colon))),
+                             trim(header_line.substr(colon + 1)));
+  }
+
+  // Body framing: Content-Length only. Chunked *requests* are refused (the
+  // daemon streams chunked responses, it never needs chunked uploads).
+  if (lowercase(req.header("transfer-encoding")).find("chunked") !=
+      std::string::npos)
+    return parse_error(501, "chunked request bodies are not supported");
+  std::size_t body_len = 0;
+  const std::string length = req.header("content-length");
+  if (!length.empty()) {
+    if (length.find_first_not_of("0123456789") != std::string::npos ||
+        length.size() > 9)
+      return parse_error(400, "malformed Content-Length");
+    body_len = static_cast<std::size_t>(std::stoul(length));
+    if (body_len > kHttpMaxBodyBytes)
+      return parse_error(413, "request body exceeds " +
+                                  std::to_string(kHttpMaxBodyBytes) +
+                                  " bytes");
+  }
+  const std::size_t total = head_end + 4 + body_len;
+  if (in.size() < total) return r;  // kNeedMore (body still arriving)
+  req.body = in.substr(head_end + 4, body_len);
+
+  // Split the target into decoded path + query map.
+  const std::size_t qmark = req.target.find('?');
+  req.path = http_unescape(req.target.substr(0, qmark));
+  if (qmark != std::string::npos)
+    parse_query(req.target.substr(qmark + 1), &req.query);
+
+  in.erase(0, total);
+  r.status = HttpParseStatus::kRequest;
+  r.request = std::move(req);
+  return r;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body, bool close) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << http_status_reason(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n";
+  if (close) out << "Connection: close\r\n";
+  out << "\r\n" << body;
+  return out.str();
+}
+
+std::string http_stream_head(int status, const std::string& content_type) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << http_status_reason(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Transfer-Encoding: chunked\r\n"
+      << "Connection: close\r\n\r\n";
+  return out.str();
+}
+
+std::string http_chunk(const std::string& data) {
+  if (data.empty()) return "";
+  std::ostringstream out;
+  out << std::hex << data.size() << "\r\n" << data << "\r\n";
+  return out.str();
+}
+
+}  // namespace wcle

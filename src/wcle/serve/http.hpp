@@ -1,0 +1,82 @@
+// Minimal dependency-free HTTP/1.1 for the sweep daemon (serve/server.hpp):
+// an incremental request parser over a byte buffer (the event loop appends
+// raw socket reads, the parser consumes complete requests) and response
+// writers for both framings the daemon emits — Content-Length bodies for
+// the JSON command surface and chunked transfer coding for the streaming
+// results endpoint. Deliberately small: GET/POST, Content-Length request
+// bodies, percent-decoded paths and query strings. Anything outside that
+// subset is a 4xx, never undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wcle {
+
+/// One parsed request. Header names are lowercased; values keep their bytes
+/// (outer whitespace trimmed). `path` and every query key/value are
+/// percent-decoded; `target` is the raw request target.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string path;
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::map<std::string, std::string> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or "" when absent.
+  std::string header(const std::string& name) const;
+  /// True when the client asked for (or its HTTP version implies) closing
+  /// the connection after this response.
+  bool wants_close() const;
+};
+
+/// Incremental parser outcome: a buffer can hold zero, one, or several
+/// pipelined requests; errors name the status the server must answer with
+/// before closing (400 malformed, 413 too large, 501 unsupported framing).
+enum class HttpParseStatus { kNeedMore, kRequest, kError };
+
+struct HttpParseResult {
+  HttpParseStatus status = HttpParseStatus::kNeedMore;
+  HttpRequest request;   ///< valid when status == kRequest
+  int error_status = 0;  ///< valid when status == kError
+  std::string error;     ///< one-line reason, rendered into the error body
+};
+
+/// Hard limits the parser enforces before buffering more input.
+inline constexpr std::size_t kHttpMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kHttpMaxBodyBytes = 1024 * 1024;
+
+/// Consumes at most one complete request from the front of `in` (erasing
+/// the consumed bytes). kNeedMore leaves `in` untouched unless the buffered
+/// prefix already violates a limit, which reports kError. After kError the
+/// connection must be closed: the buffer is left unusable by design.
+HttpParseResult http_parse(std::string& in);
+
+/// Reason phrase for the status codes the daemon emits.
+const char* http_status_reason(int status);
+
+/// A complete Content-Length response. `close` adds "Connection: close".
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body, bool close);
+
+/// Response head opening a chunked stream (always "Connection: close" —
+/// stream ends are signaled by the terminal chunk and the close).
+std::string http_stream_head(int status, const std::string& content_type);
+
+/// One chunk of a chunked body. Empty data yields the empty string (a
+/// zero-length chunk would terminate the stream).
+std::string http_chunk(const std::string& data);
+
+/// The terminal chunk ending a chunked body.
+inline constexpr const char* kHttpStreamEnd = "0\r\n\r\n";
+
+/// Percent-decoding ("%41" -> "A", "+" -> " "); malformed escapes are kept
+/// verbatim so decoding never fails.
+std::string http_unescape(const std::string& text);
+
+}  // namespace wcle

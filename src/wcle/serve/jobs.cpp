@@ -1,0 +1,190 @@
+#include "wcle/serve/jobs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "wcle/api/sink.hpp"
+
+namespace wcle {
+
+JobQueue::JobQueue(CellCache* cache, unsigned workers,
+                   std::function<void()> on_progress)
+    : cache_(cache), on_progress_(std::move(on_progress)) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned count = workers == 0 ? hw : workers;
+  threads_.reserve(count);
+  for (unsigned w = 0; w < count; ++w)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+JobQueue::~JobQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+std::uint64_t JobQueue::submit(const ExperimentSpec& spec) {
+  // Expansion validates the whole spec (axes, algorithm names, graph
+  // families — sweep_cells builds the graphs) before the job is visible,
+  // so a job never fails on malformed input after being accepted.
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  job->spec_string = spec.to_string();
+  job->cells = sweep_cells(spec);
+  job->keys.reserve(job->cells.size());
+  for (const SweepCell& cell : job->cells)
+    job->keys.push_back(canonical_cell_key(spec, cell));
+  job->lines.resize(job->cells.size());
+  job->done.assign(job->cells.size(), 0);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (draining_ || stopping_)
+    throw std::runtime_error("serve: draining, not accepting new jobs");
+  job->id = next_id_++;
+  const std::uint64_t id = job->id;
+  const bool has_cells = !job->cells.empty();
+  jobs_.emplace(id, std::move(job));
+  if (has_cells) {
+    ready_.push_back(id);
+    cv_.notify_all();
+  }
+  return id;
+}
+
+void JobQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return !ready_.empty() || stopping_; });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::uint64_t id = ready_.front();
+    ready_.pop_front();
+    Job& job = *jobs_.at(id);
+    const std::size_t i = job.next_unclaimed++;
+    // Round-robin fairness: one cell per turn, back of the ring if more.
+    if (job.next_unclaimed < job.cells.size()) ready_.push_back(id);
+
+    const ExperimentSpec spec = job.spec;
+    const SweepCell cell = job.cells[i];
+    const std::string key = job.keys[i];
+    lock.unlock();
+
+    std::string line;
+    bool hit = false;
+    bool failed = false;
+    std::string error;
+    CellCache::Value value;
+    if (cache_ && cache_->lookup(key, &value)) {
+      hit = true;
+    } else {
+      try {
+        const CellResult result = run_sweep_cell(spec, cell);
+        value.n = result.n;
+        value.m = result.m;
+        value.stats = result.stats;
+        if (cache_) cache_->insert(key, value);
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      }
+    }
+    if (!failed) {
+      // Re-render under THIS job's cell (its own index and axes): a cache
+      // hit from a different grid still yields the exact CLI line.
+      CellResult result;
+      result.cell = cell;
+      result.n = value.n;
+      result.m = value.m;
+      result.stats = value.stats;
+      line = to_json(result);
+      line.push_back('\n');
+    }
+
+    lock.lock();
+    if (failed) {
+      if (!job.failed) {
+        job.failed = true;
+        job.error = error;
+      }
+    } else {
+      job.lines[i] = std::move(line);
+      job.done[i] = 1;
+      job.completed += 1;
+      if (hit) job.cache_hits += 1;
+    }
+    lock.unlock();
+    if (on_progress_) on_progress_();
+    lock.lock();
+  }
+}
+
+JobQueue::Status JobQueue::status_locked(const Job& job) const {
+  Status s;
+  s.exists = true;
+  s.id = job.id;
+  s.spec = job.spec_string;
+  s.cells = job.cells.size();
+  s.completed = job.completed;
+  s.cache_hits = job.cache_hits;
+  s.error = job.error;
+  if (job.failed)
+    s.state = "failed";
+  else if (job.completed == job.cells.size())
+    s.state = "done";
+  else if (job.next_unclaimed > 0)
+    s.state = "running";
+  else
+    s.state = "queued";
+  return s;
+}
+
+JobQueue::Status JobQueue::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status{};
+  return status_locked(*it->second);
+}
+
+std::vector<JobQueue::Status> JobQueue::statuses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Status> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(status_locked(*job));
+  return out;
+}
+
+bool JobQueue::stream(std::uint64_t id, std::size_t* cursor,
+                      std::string* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return true;  // vanished: end the stream
+  const Job& job = *it->second;
+  while (*cursor < job.done.size() && job.done[*cursor]) {
+    out->append(job.lines[*cursor]);
+    ++*cursor;
+  }
+  if (*cursor >= job.done.size()) return true;
+  // A failed job never completes its remaining cells: end after the
+  // contiguous prefix so the client is not left hanging.
+  return job.failed;
+}
+
+void JobQueue::begin_drain() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool JobQueue::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, job] : jobs_)
+    if (!job->failed && job->completed < job->cells.size()) return false;
+  return true;
+}
+
+}  // namespace wcle

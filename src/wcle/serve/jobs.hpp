@@ -1,0 +1,112 @@
+// The sweep job queue: each submitted ExperimentSpec becomes a job whose
+// cells (the exact run_sweep cell list, via sweep_cells) are executed by a
+// fixed pool of worker threads. Scheduling is cell-granular round-robin
+// across jobs — a 10,000-cell sweep cannot starve a 4-cell probe submitted
+// after it — and every cell consults the CellCache under its canonical spec
+// key before simulating. Completed cells are rendered to the same JSONL
+// bytes the CLI's JsonlSink writes, in cell order, so streaming a job's
+// results is byte-identical to `wcle_cli sweep --format=jsonl` of the same
+// spec. Thread-safe throughout; the queue never touches sockets — it calls
+// one injected wake callback so the event loop can advance streams.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wcle/api/sweep.hpp"
+#include "wcle/serve/cell_cache.hpp"
+
+namespace wcle {
+
+class JobQueue {
+ public:
+  /// `workers` threads start immediately (0 picks hardware concurrency).
+  /// `cache` may be null (no caching). `on_progress` is invoked — from
+  /// worker threads — after every completed cell and must be cheap and
+  /// thread-safe (the server passes EventLoop::wake).
+  JobQueue(CellCache* cache, unsigned workers,
+           std::function<void()> on_progress);
+  /// Drains: started cells finish, unstarted cells of accepted jobs still
+  /// run to completion, then workers exit.
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Accepts a job. Expands and validates the spec eagerly (unknown
+  /// algorithms, empty axes, unknown graph families all throw
+  /// std::invalid_argument here, so the client gets a 400 at submit time,
+  /// not a failed job later). Returns the job id.
+  std::uint64_t submit(const ExperimentSpec& spec);
+
+  struct Status {
+    bool exists = false;
+    std::uint64_t id = 0;
+    std::string state;  ///< "queued" | "running" | "done" | "failed"
+    std::string spec;   ///< canonical spec string (ExperimentSpec::to_string)
+    std::uint64_t cells = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cache_hits = 0;
+    std::string error;  ///< set when state == "failed"
+  };
+  Status status(std::uint64_t id) const;
+
+  /// All job statuses, ascending id (the GET /jobs listing).
+  std::vector<Status> statuses() const;
+
+  /// Appends to `*out` the JSONL lines of every cell that is complete AND
+  /// contiguous from `cursor` (cell order — exactly the CLI byte stream),
+  /// advancing `*cursor` past them. Returns true when the stream is
+  /// finished: the cursor reached the end (or the job failed — a failed
+  /// job's stream ends after the last contiguous completed cell).
+  bool stream(std::uint64_t id, std::size_t* cursor, std::string* out) const;
+
+  /// Stops accepting submissions (submit throws std::runtime_error) but
+  /// keeps executing everything already accepted.
+  void begin_drain();
+
+  /// True when every accepted job has finished (done or failed).
+  bool idle() const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    ExperimentSpec spec;
+    std::string spec_string;
+    std::vector<SweepCell> cells;
+    std::vector<std::string> keys;   ///< canonical_cell_key per cell
+    std::vector<std::string> lines;  ///< rendered JSONL, filled per cell
+    std::vector<char> done;
+    std::size_t next_unclaimed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cache_hits = 0;
+    bool failed = false;
+    std::string error;
+  };
+
+  void worker_loop();
+  Status status_locked(const Job& job) const;
+
+  CellCache* cache_;
+  std::function<void()> on_progress_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  /// Round-robin ring of job ids with unclaimed cells: a worker pops the
+  /// front, claims ONE cell, and re-appends the id if cells remain.
+  std::deque<std::uint64_t> ready_;
+  std::uint64_t next_id_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace wcle

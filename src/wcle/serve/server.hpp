@@ -1,0 +1,93 @@
+// wcle::serve — the long-running sweep daemon behind `wcle_cli serve`.
+// One poll()-based event loop (event_loop.hpp) owns the sockets and the
+// HTTP surface; a JobQueue (jobs.hpp) executes submitted sweeps on a worker
+// pool with per-job round-robin fairness; a CellCache (cell_cache.hpp)
+// short-circuits cells already computed under the same canonical spec key.
+// The streamed results of a job are byte-identical to
+// `wcle_cli sweep --format=jsonl` of the same spec, for any worker count —
+// the same determinism contract run_sweep gives, lifted across the network
+// boundary.
+//
+// Endpoints:
+//   POST /sweep               body = spec tokens (grid grammar; a spec=e1
+//                             token selects a builtin, scale=K sizes it)
+//                             -> 202 {"job":id,"cells":n,"spec":"..."}
+//   GET  /jobs                -> all job statuses
+//   GET  /jobs/<id>           -> one job status
+//   GET  /jobs/<id>/results   -> chunked JSONL stream, cells in order as
+//                             they complete (ends when the job does)
+//   GET  /cache               -> cell-cache stats + resident keys
+//   GET  /metricz             -> StatRegistry dump (obs to_json)
+//   GET  /healthz             -> liveness + drain state
+//
+// Graceful drain: begin_drain() (or a 'd' byte on wake_fd(), which is what
+// the SIGTERM handler writes) stops accepting connections and submissions,
+// finishes accepted jobs, lets open streams run to completion, and run()
+// returns once the last connection closes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wcle/serve/cell_cache.hpp"
+#include "wcle/serve/event_loop.hpp"
+#include "wcle/serve/jobs.hpp"
+
+namespace wcle {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;
+  unsigned workers = 0;  ///< sweep workers; 0 = hardware concurrency
+  std::uint64_t cache_max_bytes = 64ull * 1024 * 1024;
+};
+
+class Server final : public EventLoopHandler {
+ public:
+  explicit Server(const ServeConfig& config);
+
+  /// Binds the listen socket (throws on failure). port() is then the
+  /// actual port — config.port == 0 binds an ephemeral one (tests).
+  void listen();
+  std::uint16_t port() const { return loop_.port(); }
+
+  /// Serves until drained. Returns run()'s exit code (0).
+  int run();
+
+  /// Thread-safe drain trigger; wake_fd() is the async-signal-safe spelling
+  /// (write a 'd' byte from a signal handler).
+  void begin_drain() { loop_.begin_drain(); }
+  int wake_fd() const { return loop_.wake_fd(); }
+
+  // EventLoopHandler (loop thread only).
+  void on_input(Conn& c) override;
+  void on_wake() override;
+  void on_drain() override;
+  void on_close(Conn& c) override;
+
+ private:
+  void handle_request(Conn& c, const HttpRequest& req);
+  void respond(Conn& c, const HttpRequest& req, int status,
+               const std::string& content_type, const std::string& body);
+  void start_stream(Conn& c, std::uint64_t job);
+  void advance_stream(Conn& c);
+  std::string metricz_json();
+
+  ServeConfig config_;
+  CellCache cache_;
+  EventLoop loop_;
+  /// Declared after loop_ (so it is destroyed first): worker threads call
+  /// loop_.wake() through on_progress until the queue is gone.
+  std::unique_ptr<JobQueue> jobs_;
+
+  // Request counters (loop thread only; /metricz snapshots them into a
+  // fresh StatRegistry per request — the registry update path is not
+  // thread-safe, so no registry is ever shared across threads).
+  std::uint64_t requests_ = 0;
+  std::uint64_t bad_requests_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t streams_opened_ = 0;
+};
+
+}  // namespace wcle

@@ -116,5 +116,73 @@ TEST(Cli, ConsumingAbsentKeysLeavesPresentOnesUnconsumed) {
   EXPECT_EQ(a.unconsumed(), (std::vector<std::string>{"present"}));
 }
 
+TEST(Cli, HostPortFullForm) {
+  const HostPort hp = parse({"serve", "--listen=0.0.0.0:9000"})
+                          .get_host_port("listen", "127.0.0.1", 8080);
+  EXPECT_EQ(hp.host, "0.0.0.0");
+  EXPECT_EQ(hp.port, 9000);
+}
+
+TEST(Cli, HostPortAbsentKeepsFallbacks) {
+  const HostPort hp =
+      parse({"serve"}).get_host_port("listen", "127.0.0.1", 8080);
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 8080);
+}
+
+TEST(Cli, HostPortPartialForms) {
+  // ":9000" and a bare all-digit value keep the fallback host.
+  EXPECT_EQ(parse({"s", "--listen=:9000"}).get_host_port("listen", "h", 1)
+                .host,
+            "h");
+  EXPECT_EQ(parse({"s", "--listen=:9000"}).get_host_port("listen", "h", 1)
+                .port,
+            9000);
+  EXPECT_EQ(parse({"s", "--listen=9000"}).get_host_port("listen", "h", 1)
+                .port,
+            9000);
+  // "HOST" and "HOST:" keep the fallback port.
+  EXPECT_EQ(parse({"s", "--listen=localhost"}).get_host_port("listen", "h", 7)
+                .host,
+            "localhost");
+  EXPECT_EQ(parse({"s", "--listen=localhost"}).get_host_port("listen", "h", 7)
+                .port,
+            7);
+  EXPECT_EQ(parse({"s", "--listen=10.0.0.2:"}).get_host_port("listen", "h", 7)
+                .host,
+            "10.0.0.2");
+  EXPECT_EQ(parse({"s", "--listen=10.0.0.2:"}).get_host_port("listen", "h", 7)
+                .port,
+            7);
+}
+
+TEST(Cli, HostPortRejectsMalformedValues) {
+  const auto hp = [](const char* value) {
+    return parse({"s", value}).get_host_port("listen", "h", 1);
+  };
+  EXPECT_THROW(hp("--listen="), std::invalid_argument);    // empty
+  EXPECT_THROW(hp("--listen=:"), std::invalid_argument);   // ":" alone
+  EXPECT_THROW(hp("--listen=h:abc"), std::invalid_argument);
+  EXPECT_THROW(hp("--listen=h:12abc"), std::invalid_argument);
+  EXPECT_THROW(hp("--listen=h:-1"), std::invalid_argument);
+  EXPECT_THROW(hp("--listen=h:65536"), std::invalid_argument);  // > 16-bit
+  EXPECT_THROW(hp("--listen=h:99999999999999999999"), std::invalid_argument);
+  EXPECT_THROW(hp("--listen=::1"), std::invalid_argument);  // IPv6 literal
+}
+
+TEST(Cli, HostPortEdgePortsParse) {
+  EXPECT_EQ(parse({"s", "--listen=h:0"}).get_host_port("listen", "x", 1).port,
+            0);
+  EXPECT_EQ(
+      parse({"s", "--listen=h:65535"}).get_host_port("listen", "x", 1).port,
+      65535);
+}
+
+TEST(Cli, HostPortMarksConsumption) {
+  const CliArgs a = parse({"serve", "--listen=h:1"});
+  a.get_host_port("listen", "x", 2);
+  EXPECT_TRUE(a.unconsumed().empty());
+}
+
 }  // namespace
 }  // namespace wcle

@@ -8,6 +8,7 @@
 
 #include "wcle/api/registry.hpp"
 #include "wcle/api/scenario.hpp"
+#include "wcle/api/sweep.hpp"
 
 namespace wcle {
 namespace {
@@ -154,6 +155,73 @@ TEST(Builtins, ScaleZeroStaysSmall) {
     const ExperimentSpec spec = builtin_experiment(name, 0);
     EXPECT_LE(spec.cell_count(), 64u) << name;
   }
+}
+
+// canonical_cell_key is a persistence format: trace headers record it for
+// single runs and the serve CellCache keys on it, so the exact bytes are
+// pinned here. A deliberate grammar change must update these strings (and
+// invalidates old caches — which is correct, the key IS the identity).
+TEST(CanonicalCellKey, GoldenStrings) {
+  const ExperimentSpec spec = parse_spec(
+      "algo=election,flood_max family=expander n=32,64 trials=3 "
+      "base-seed=500 graph-seed=9");
+  const std::vector<SweepCell> cells = sweep_cells(spec);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(canonical_cell_key(spec, cells[0]),
+            "name=single algo=election family=expander n=32 "
+            "bandwidth=standard drop=0 trials=3 base-seed=500 graph-seed=9");
+  EXPECT_EQ(canonical_cell_key(spec, cells[1]),
+            "name=single algo=flood_max family=expander n=32 "
+            "bandwidth=standard drop=0 trials=3 base-seed=500 graph-seed=9");
+  EXPECT_EQ(canonical_cell_key(spec, cells[3]),
+            "name=single algo=flood_max family=expander n=64 "
+            "bandwidth=standard drop=0 trials=3 base-seed=500 graph-seed=9");
+}
+
+TEST(CanonicalCellKey, ResolvedKnobsAndFaultAxesSurvive) {
+  // c1=3 is deliberately non-default (ElectionParams defaults c1 to 4): the
+  // key canonicalizes default-valued knobs away, so only a non-default value
+  // can demonstrate that knobs survive into the key.
+  const ExperimentSpec spec = parse_spec(
+      "algo=election family=hypercube n=64 bandwidth=wide crash=0.1 "
+      "linkfail=0.05 adversary=contenders c1=3 max-length=256 trials=2");
+  const std::vector<SweepCell> cells = sweep_cells(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(canonical_cell_key(spec, cells[0]),
+            "name=single algo=election family=hypercube n=64 bandwidth=wide "
+            "drop=0 crash=0.1 linkfail=0.05 adversary=contenders c1=3 "
+            "max-length=256 trials=2 base-seed=1000 graph-seed=1");
+}
+
+TEST(CanonicalCellKey, SameComputationFromDifferentGridsSharesKey) {
+  // A cell reached via a grid axis and the same cell written directly must
+  // collapse onto one key — that is what makes the serve cache correct
+  // across overlapping submissions.
+  const ExperimentSpec grid =
+      parse_spec("algo=election family=expander n=32,64 c1=2,3 trials=2");
+  const ExperimentSpec direct =
+      parse_spec("algo=election family=expander n=64 c1=3 trials=2");
+  const std::vector<SweepCell> grid_cells = sweep_cells(grid);
+  const std::vector<SweepCell> direct_cells = sweep_cells(direct);
+  ASSERT_EQ(grid_cells.size(), 4u);
+  ASSERT_EQ(direct_cells.size(), 1u);
+  EXPECT_EQ(canonical_cell_key(grid, grid_cells[3]),
+            canonical_cell_key(direct, direct_cells[0]));
+  // And distinct computations stay distinct.
+  EXPECT_NE(canonical_cell_key(grid, grid_cells[0]),
+            canonical_cell_key(grid, grid_cells[1]));
+}
+
+TEST(CanonicalCellKey, RoundTripsThroughTheGrammar) {
+  // The key is itself a valid spec whose only cell is the keyed cell: parse
+  // it back and the (single) expanded cell re-keys to the same string.
+  const ExperimentSpec spec = parse_spec(
+      "algo=election family=expander n=32 bandwidth=wide c2=8 trials=2");
+  const std::string key = canonical_cell_key(spec, sweep_cells(spec)[0]);
+  const ExperimentSpec reparsed = parse_spec(key);
+  const std::vector<SweepCell> cells = sweep_cells(reparsed);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(canonical_cell_key(reparsed, cells[0]), key);
 }
 
 }  // namespace

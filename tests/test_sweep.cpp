@@ -5,7 +5,9 @@
 // count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <streambuf>
 #include <string>
 
 #include "wcle/api/scenario.hpp"
@@ -254,6 +256,105 @@ TEST(Sweep, CustomBandwidthAxisChangesTheBill) {
   // 8-bit links need many more B-bit quanta than 1024-bit links.
   EXPECT_GT(results[0].stats.congest_messages.mean,
             results[1].stats.congest_messages.mean);
+}
+
+TEST(Sweep, SweepCellsMatchesRunSweepCellList) {
+  // sweep_cells is the cell list the serve job queue schedules from; it must
+  // agree with what run_sweep executes — including the reliable_on filter
+  // and its re-indexing — or served bytes drift from CLI bytes.
+  const ExperimentSpec spec = parse_spec(
+      "algo=clique_referee,flood_max family=ring,clique n=16 trials=1 "
+      "reliable=1");
+  const std::vector<SweepCell> cells = sweep_cells(spec);
+  const std::vector<CellResult> results = run_sweep(spec);
+  ASSERT_EQ(cells.size(), results.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, results[i].cell.index);
+    EXPECT_EQ(cells[i].algorithm, results[i].cell.algorithm);
+    EXPECT_EQ(cells[i].family, results[i].cell.family);
+    EXPECT_EQ(cells[i].requested_n, results[i].cell.requested_n);
+  }
+}
+
+TEST(Sweep, RunSweepCellReproducesRunSweepBytes) {
+  // One cell at a time through run_sweep_cell must serialize to exactly the
+  // whole-sweep lines: this is the determinism contract the serve daemon's
+  // cache and streaming rest on.
+  const ExperimentSpec spec = parse_spec(
+      "algo=flood_max,push_pull family=clique,hypercube n=16,32 trials=2 "
+      "drop=0,0.25");
+  const std::string whole = jsonl_of(spec, 4);
+  std::string cellwise;
+  for (const SweepCell& cell : sweep_cells(spec)) {
+    cellwise += to_json(run_sweep_cell(spec, cell));
+    cellwise += "\n";
+  }
+  EXPECT_EQ(whole, cellwise);
+}
+
+// A streambuf that holds written bytes invisible until sync(): what a
+// downstream pipe/file reader would see only materializes on flush. (An
+// ostringstream cannot observe this — it has no buffer distinct from its
+// visible string.)
+class FlushVisibleBuf final : public std::streambuf {
+ public:
+  const std::string& visible() const { return visible_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) pending_.push_back(traits_type::to_char_type(ch));
+    return ch;
+  }
+  int sync() override {
+    visible_ += pending_;
+    pending_.clear();
+    return 0;
+  }
+
+ private:
+  std::string pending_;
+  std::string visible_;
+};
+
+TEST(Sweep, JsonlSinkFlushesEveryLineAsItCompletes) {
+  // The per-line flush contract (sink.hpp): after each cell() call the full
+  // line — terminator included — is already flushed through the stream, so
+  // a live consumer (the serve daemon's result streams, tail -f) sees whole
+  // lines the moment their cell completes, without waiting for sweep end.
+  class FlushObserver final : public Sink {
+   public:
+    FlushObserver(JsonlSink& inner, const FlushVisibleBuf& buf)
+        : inner_(&inner), buf_(&buf) {}
+    void cell(const CellResult& result) override {
+      inner_->cell(result);
+      const std::string& visible = buf_->visible();
+      ++cells_seen_;
+      std::size_t lines = 0;
+      for (const char ch : visible)
+        if (ch == '\n') ++lines;
+      EXPECT_EQ(lines, cells_seen_);
+      ASSERT_FALSE(visible.empty());
+      EXPECT_EQ(visible.back(), '\n');  // never a torn line
+      EXPECT_NE(visible.rfind("\"cell\":" + std::to_string(result.cell.index)),
+                std::string::npos);
+    }
+
+   private:
+    JsonlSink* inner_;
+    const FlushVisibleBuf* buf_;
+    std::size_t cells_seen_ = 0;
+  };
+
+  const ExperimentSpec spec =
+      parse_spec("algo=flood_max family=clique n=16,32 trials=1 drop=0,0.5");
+  FlushVisibleBuf buf;
+  std::ostream out(&buf);
+  JsonlSink sink(out);
+  FlushObserver observer(sink, buf);
+  const std::vector<CellResult> results =
+      run_sweep(spec, {&observer}, /*threads=*/2);
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(std::count(buf.visible().begin(), buf.visible().end(), '\n'), 4);
 }
 
 }  // namespace
