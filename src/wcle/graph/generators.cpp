@@ -1,9 +1,11 @@
 #include "wcle/graph/generators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "wcle/graph/flat_edge_set.hpp"
 
 namespace wcle {
 
@@ -44,14 +46,42 @@ Graph make_hypercube(std::uint32_t dim, Rng* port_rng) {
   if (dim < 1 || dim > 30)
     throw std::invalid_argument("make_hypercube: dim must be in [1,30]");
   const NodeId n = NodeId{1} << dim;
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
-  for (NodeId i = 0; i < n; ++i)
+  // Direct CSR construction: every node has degree `dim`, and the port
+  // layout from_edges would produce (edges pushed in (min endpoint, bit)
+  // order) is closed-form, so no edge list or dedup table is ever built.
+  // Node v's ports are its down-neighbours v - 2^b for set bits b in
+  // DESCENDING order, then its up-neighbours v + 2^b for clear bits b in
+  // ASCENDING order. That keeps a direct build byte-identical (adjacency,
+  // mirrors, and any port-shuffle RNG stream) to the old edge-list build.
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(n) + 1);
+  for (std::uint64_t v = 0; v <= n; ++v) offset[v] = v * dim;
+  std::vector<NodeId> adj(static_cast<std::size_t>(n) * dim);
+  std::vector<std::uint64_t> pair_slot(adj.size());
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t base = static_cast<std::uint64_t>(v) * dim;
     for (std::uint32_t b = 0; b < dim; ++b) {
-      const NodeId j = i ^ (NodeId{1} << b);
-      if (i < j) edges.push_back({i, j});
+      const NodeId bit = NodeId{1} << b;
+      const NodeId u = v ^ bit;
+      const NodeId low = v & (bit - 1);  // bits of v strictly below b
+      std::uint32_t my_idx, partner_idx;
+      if ((v & bit) != 0) {
+        // Down-edge to u = v - 2^b: position among set bits, descending.
+        my_idx = static_cast<std::uint32_t>(std::popcount(v >> (b + 1)));
+        partner_idx = static_cast<std::uint32_t>(std::popcount(u)) +
+                      (b - static_cast<std::uint32_t>(std::popcount(low)));
+      } else {
+        // Up-edge to u = v + 2^b: after all down-ports, clear bits ascending.
+        my_idx = static_cast<std::uint32_t>(std::popcount(v)) +
+                 (b - static_cast<std::uint32_t>(std::popcount(low)));
+        partner_idx = static_cast<std::uint32_t>(std::popcount(v >> (b + 1)));
+      }
+      adj[base + my_idx] = u;
+      pair_slot[base + my_idx] =
+          static_cast<std::uint64_t>(u) * dim + partner_idx;
     }
-  return Graph::from_edges(n, edges, port_rng);
+  }
+  return Graph::from_adjacency(n, std::move(offset), std::move(adj),
+                               std::move(pair_slot), port_rng);
 }
 
 Graph make_torus(NodeId rows, NodeId cols, Rng* port_rng) {
@@ -100,10 +130,9 @@ Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng, Rng* port_rng) {
     std::uint64_t idx = 0;
     for (NodeId u = 0; u < n; ++u)
       for (std::uint32_t k = 0; k < d; ++k) stubs[idx++] = u;
-    // Membership-only duplicate-edge filter (insert/count, never iterated):
-    // hash order cannot perturb the stub-pairing RNG stream.
-    std::unordered_set<std::uint64_t> seen;
-    seen.reserve(stubs_count);
+    // Membership-only duplicate-edge filter: FlatEdgeSet exposes no
+    // iteration at all, so hash order cannot perturb the pairing RNG stream.
+    FlatEdgeSet seen(stubs_count / 2);
     std::vector<Edge> edges;
     edges.reserve(stubs_count / 2);
 
@@ -120,7 +149,7 @@ Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng, Rng* port_rng) {
         std::uint64_t j = rng.next_below(stubs.size() - 1);
         if (j >= i) ++j;
         const NodeId a = stubs[i], b = stubs[j];
-        if (a == b || !seen.insert(edge_key(a, b)).second) continue;
+        if (a == b || !seen.insert(edge_key(a, b))) continue;
         edges.push_back({a, b});
         remove_stub(std::max(i, j));
         remove_stub(std::min(i, j));
@@ -131,7 +160,7 @@ Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng, Rng* port_rng) {
       for (std::uint64_t i = 0; i < stubs.size() && !matched; ++i) {
         for (std::uint64_t j = i + 1; j < stubs.size() && !matched; ++j) {
           const NodeId a = stubs[i], b = stubs[j];
-          if (a == b || !seen.insert(edge_key(a, b)).second) continue;
+          if (a == b || !seen.insert(edge_key(a, b))) continue;
           edges.push_back({a, b});
           remove_stub(j);
           remove_stub(i);
@@ -250,9 +279,9 @@ Graph make_watts_strogatz(NodeId n, std::uint32_t k, double beta, Rng& rng,
   if (k < 1 || 2ull * k >= n)
     throw std::invalid_argument("make_watts_strogatz: need 1 <= k < n/2");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    // Membership-only rewire-collision filter: never iterated, so hash
-    // order stays out of the rewiring draws.
-    std::unordered_set<std::uint64_t> seen;
+    // Membership-only rewire-collision filter: FlatEdgeSet cannot be
+    // iterated, so hash order stays out of the rewiring draws.
+    FlatEdgeSet seen(static_cast<std::uint64_t>(n) * k);
     std::vector<Edge> edges;
     edges.reserve(static_cast<std::size_t>(n) * k);
     bool ok = true;

@@ -4,21 +4,17 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "wcle/graph/flat_edge_set.hpp"
 
 namespace wcle {
 
 Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges,
                         Rng* port_rng) {
-  Graph g;
-  g.n_ = n;
-  g.m_ = edges.size();
   std::vector<std::uint32_t> deg(n, 0);
-  // Membership-only duplicate detector: never iterated, so its hash order
-  // cannot reach the port layout (wcle_lint's unordered-iter rule keeps any
-  // future iteration honest).
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(edges.size() * 2);
+  // Membership-only duplicate detector: FlatEdgeSet has no iteration surface,
+  // so its hash order cannot reach the port layout by construction.
+  FlatEdgeSet seen(edges.size());
   for (const Edge& e : edges) {
     if (e.a >= n || e.b >= n)
       throw std::invalid_argument("Graph::from_edges: endpoint out of range");
@@ -27,29 +23,50 @@ Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges,
     const std::uint64_t key =
         (static_cast<std::uint64_t>(std::min(e.a, e.b)) << 32) |
         std::max(e.a, e.b);
-    if (!seen.insert(key).second)
+    if (!seen.insert(key))
       throw std::invalid_argument("Graph::from_edges: duplicate edge");
     ++deg[e.a];
     ++deg[e.b];
   }
 
-  g.offset_.assign(n + 1, 0);
-  for (NodeId u = 0; u < n; ++u) g.offset_[u + 1] = g.offset_[u] + deg[u];
-  g.adj_.assign(2 * g.m_, 0);
-  g.mirror_.assign(2 * g.m_, 0);
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offset[u + 1] = offset[u] + deg[u];
+  std::vector<NodeId> adj(2 * edges.size(), 0);
 
-  // First lay out neighbours, remembering for each slot the paired slot on the
-  // other endpoint so mirror ports survive the shuffle below.
-  std::vector<std::uint64_t> cursor(g.offset_.begin(), g.offset_.end() - 1);
-  std::vector<std::uint64_t> pair_slot(2 * g.m_, 0);
+  // Lay out neighbours, remembering for each slot the paired slot on the
+  // other endpoint so mirror ports survive the shuffle in from_adjacency.
+  std::vector<std::uint64_t> cursor(offset.begin(), offset.end() - 1);
+  std::vector<std::uint64_t> pair_slot(2 * edges.size(), 0);
   for (const Edge& e : edges) {
     const std::uint64_t sa = cursor[e.a]++;
     const std::uint64_t sb = cursor[e.b]++;
-    g.adj_[sa] = e.b;
-    g.adj_[sb] = e.a;
+    adj[sa] = e.b;
+    adj[sb] = e.a;
     pair_slot[sa] = sb;
     pair_slot[sb] = sa;
   }
+  return from_adjacency(n, std::move(offset), std::move(adj),
+                        std::move(pair_slot), port_rng);
+}
+
+Graph Graph::from_adjacency(NodeId n, std::vector<std::uint64_t> offset,
+                            std::vector<NodeId> adj,
+                            std::vector<std::uint64_t> pair_slot,
+                            Rng* port_rng) {
+  if (offset.size() != static_cast<std::size_t>(n) + 1 || offset[0] != 0 ||
+      offset[n] != adj.size() || pair_slot.size() != adj.size() ||
+      adj.size() % 2 != 0)
+    throw std::invalid_argument("Graph::from_adjacency: inconsistent arrays");
+  for (NodeId u = 0; u < n; ++u)
+    if (offset[u] > offset[u + 1])
+      throw std::invalid_argument(
+          "Graph::from_adjacency: offsets not monotone");
+
+  Graph g;
+  g.n_ = n;
+  g.m_ = adj.size() / 2;
+  g.offset_ = std::move(offset);
+  g.adj_ = std::move(adj);
 
   if (port_rng != nullptr) {
     // Shuffle each node's slots independently: asymmetric port numbering.
@@ -67,10 +84,16 @@ Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges,
     }
   }
 
+  g.mirror_.assign(g.adj_.size(), 0);
   for (NodeId u = 0; u < n; ++u) {
     for (std::uint64_t s = g.offset_[u]; s < g.offset_[u + 1]; ++s) {
       const NodeId v = g.adj_[s];
-      g.mirror_[s] = static_cast<Port>(pair_slot[s] - g.offset_[v]);
+      const std::uint64_t ps = pair_slot[s];
+      if (v >= n || ps >= g.adj_.size() || pair_slot[ps] != s ||
+          g.adj_[ps] != u || ps < g.offset_[v] || ps >= g.offset_[v + 1])
+        throw std::invalid_argument(
+            "Graph::from_adjacency: pairing is not a port involution");
+      g.mirror_[s] = static_cast<Port>(ps - g.offset_[v]);
     }
   }
   return g;

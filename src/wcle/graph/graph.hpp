@@ -42,6 +42,21 @@ class Graph {
   static Graph from_edges(NodeId n, const std::vector<Edge>& edges,
                           Rng* port_rng = nullptr);
 
+  /// Builds a graph directly from CSR arrays, bypassing the edge-list path:
+  /// `offset` has n+1 entries, `adj[offset[u]..offset[u+1])` lists u's
+  /// neighbours in port order, and `pair_slot[s]` is the global slot of the
+  /// reverse direction of slot s's edge (an involution). Structured families
+  /// (hypercube) use this to construct million-node graphs without ever
+  /// materializing an edge list or a dedup table. Port shuffling draws from
+  /// `port_rng` exactly as from_edges does, so a direct build and an
+  /// edge-list build of the same layout are RNG-stream identical. Throws
+  /// std::invalid_argument when the arrays are inconsistent (sizes, slot
+  /// range, pairing not an involution across a real edge).
+  static Graph from_adjacency(NodeId n, std::vector<std::uint64_t> offset,
+                              std::vector<NodeId> adj,
+                              std::vector<std::uint64_t> pair_slot,
+                              Rng* port_rng = nullptr);
+
   NodeId node_count() const noexcept { return n_; }
   std::uint64_t edge_count() const noexcept { return m_; }
 
@@ -82,6 +97,14 @@ class Graph {
 
   /// Human-readable one-line description (for logging in benches/examples).
   std::string describe() const;
+
+  /// Heap bytes held by the CSR arrays (offsets + adjacency + mirror ports)
+  /// — the graph's whole footprint beyond sizeof(Graph). Lets benches and
+  /// the million-node footprint test assert the build stays lean.
+  std::uint64_t memory_bytes() const noexcept {
+    return offset_.capacity() * sizeof(std::uint64_t) +
+           adj_.capacity() * sizeof(NodeId) + mirror_.capacity() * sizeof(Port);
+  }
 
  private:
   NodeId n_ = 0;

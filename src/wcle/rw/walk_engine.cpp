@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "wcle/support/bits.hpp"
@@ -37,6 +38,71 @@ void ReplyPayload::add_id(std::uint64_t id) {
   if (it == ids.end() || *it != id) ids.insert(it, id);
 }
 
+// ---------------------------------------------------------------- WordPool
+
+std::uint32_t WordPool::size_class(std::uint32_t n) noexcept {
+  return ceil_log2(n > 1 ? n : 1);
+}
+
+std::uint32_t WordPool::alloc(std::uint32_t n) {
+  const std::uint32_t cls = size_class(n);
+  const std::uint32_t cap = 1u << cls;
+  if (free_head_[cls] != kNull) {
+    const std::uint32_t h = free_head_[cls];
+    free_head_[cls] = static_cast<std::uint32_t>(*data(h));
+    return h;
+  }
+  if (cap > kChunkWords) {
+    // Oversized: a dedicated chunk at offset 0. Never bump-reused; rewind
+    // hands the slot back through its class free list instead.
+    if (chunks_.size() > (kNull >> kChunkBits))
+      throw std::length_error("WordPool: chunk index space exhausted");
+    const std::uint32_t h = static_cast<std::uint32_t>(chunks_.size())
+                            << kChunkBits;
+    // wcle-lint: no-alloc-ok(oversized id set; warms once, recycled forever)
+    chunks_.push_back(std::make_unique<std::uint64_t[]>(cap));
+    // wcle-lint: no-alloc-ok(one entry per oversized slot ever created)
+    dedicated_.push_back({h, cls});
+    return h;
+  }
+  if (bump_at_ < bump_order_.size() && cur_used_ + cap > kChunkWords) {
+    ++bump_at_;
+    cur_used_ = 0;
+  }
+  if (bump_at_ == bump_order_.size()) {
+    if (chunks_.size() > (kNull >> kChunkBits))
+      throw std::length_error("WordPool: chunk index space exhausted");
+    bump_order_.push_back(static_cast<std::uint32_t>(chunks_.size()));
+    chunks_.push_back(std::make_unique<std::uint64_t[]>(kChunkWords));
+    cur_used_ = 0;
+  }
+  const std::uint32_t h =
+      (bump_order_[bump_at_] << kChunkBits) | cur_used_;
+  cur_used_ += cap;
+  return h;
+}
+
+void WordPool::free(std::uint32_t h, std::uint32_t n) {
+  // The class is derived from the *logical* length, which can undershoot the
+  // allocated class after a shrinking set-union; the slot is then merely
+  // larger than its new class requires, never smaller, so reuse stays safe.
+  const std::uint32_t cls = size_class(n);
+  *data(h) = free_head_[cls];
+  free_head_[cls] = h;
+}
+
+void WordPool::rewind() {
+  for (std::uint32_t c = 0; c < kClasses; ++c) free_head_[c] = kNull;
+  bump_at_ = 0;
+  cur_used_ = 0;
+  for (const auto& [h, cls] : dedicated_) {
+    *data(h) = free_head_[cls];
+    free_head_[cls] = h;
+  }
+}
+
+// -------------------------------------------------------- RegistrationView
+
 WalkEngine::RegistrationView::const_iterator
 WalkEngine::RegistrationView::find(NodeId origin) const noexcept {
   const Registration* lo = data_;
@@ -71,6 +137,68 @@ std::uint32_t WalkEngine::payload_bits(std::size_t id_count) const {
   return base_bits_ + static_cast<std::uint32_t>(id_count) * id_bits_;
 }
 
+// ----------------------------------------------------------------- SlotMap
+
+void WalkEngine::SlotMap::init(std::uint64_t n) {
+  const std::uint64_t chunk = std::uint64_t{1} << kChunkBits;
+  // wcle-lint: no-alloc-ok(pointer table only — n/65536 entries, no chunks)
+  chunks_.resize(static_cast<std::size_t>((n + chunk - 1) >> kChunkBits));
+}
+
+void WalkEngine::SlotMap::set(NodeId node, std::int32_t v) {
+  std::unique_ptr<std::int32_t[]>& chunk = chunks_[node >> kChunkBits];
+  if (chunk == nullptr) {
+    constexpr std::size_t kWords = std::size_t{1} << kChunkBits;
+    // wcle-lint: no-alloc-ok(one 256 KiB chunk per 65536 touched nodes, warm)
+    chunk = std::make_unique<std::int32_t[]>(kWords);
+    std::memset(chunk.get(), 0xff, kWords * sizeof(std::int32_t));  // kNoSlot
+  }
+  chunk[node & ((1u << kChunkBits) - 1)] = v;
+}
+
+// --------------------------------------------------------------- LevelPool
+
+std::uint32_t WalkEngine::LevelPool::acquire() {
+  const std::uint32_t idx = static_cast<std::uint32_t>(used);
+  if (used == stay_in.size()) {
+    // Cold growth, capacity-guarded: every column gains its slot exactly
+    // once; recycled slots take the else branch with warm storage.
+    stay_in.push_back(0);
+    origin_inject.push_back(0);
+    stay_out.push_back(0);
+    sent_total.push_back(0);
+    proxy_units.push_back(0);
+    in_head.push_back(kNil);
+    out_head.push_back(kNil);
+    cc_got.push_back(0);
+    cc_distinct.push_back(0);
+    cc_proxy_nodes.push_back(0);
+    cc_ids.push_back(WordPool::kNull);
+    cc_ids_len.push_back(0);
+    cc_gen.push_back(0);
+    flood_seen.push_back(0);
+  } else {
+    stay_in[idx] = 0;
+    origin_inject[idx] = 0;
+    stay_out[idx] = 0;
+    sent_total[idx] = 0;
+    proxy_units[idx] = 0;
+    in_head[idx] = kNil;
+    out_head[idx] = kNil;
+    cc_got[idx] = 0;
+    cc_distinct[idx] = 0;
+    cc_proxy_nodes[idx] = 0;
+    cc_ids[idx] = WordPool::kNull;  // stale handles died with their generation
+    cc_ids_len[idx] = 0;
+    cc_gen[idx] = 0;
+    flood_seen[idx] = 0;
+  }
+  ++used;
+  return idx;
+}
+
+// ------------------------------------------------------------ origin state
+
 WalkEngine::OriginState& WalkEngine::intern(NodeId origin) {
   std::uint32_t idx = origin_index_[origin];
   if (idx == kNoOrigin) {
@@ -80,8 +208,7 @@ WalkEngine::OriginState& WalkEngine::intern(NodeId origin) {
     origins_.emplace_back();
     OriginState& os = origins_.back();
     os.node = origin;
-    // wcle-lint: no-alloc-ok(sized once when its origin is interned)
-    os.slot_of.assign(g_->node_count(), kNoSlot);
+    os.slot_of.init(g_->node_count());
   }
   return origins_[idx];
 }
@@ -99,17 +226,18 @@ const WalkEngine::OriginState* WalkEngine::find_origin(
 
 // The walk stage is the inner loop of every election phase: token disposal,
 // slot-table lookups, and the per-round pending queues all recycle pooled
-// storage (PR 5's flattened state), so the steady state allocates nothing.
-// Every suppression inside this region is a warm-up-only growth point —
-// slots, levels, and port lists are recycled across phases with their
+// storage — SoA level columns, chunked slot maps, port lists threaded
+// through per-origin arenas — so the steady state allocates nothing. Every
+// suppression inside this region is a warm-up-only growth point; slots,
+// levels, and arena entries are recycled across phases with their
 // capacities intact (see clear_origin and the recycled-slot branches).
 // wcle-lint: begin-no-alloc
-WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
-                                        std::uint32_t r) {
-  std::int32_t s = os.slot_of[node];
+std::uint32_t WalkEngine::level_at(OriginState& os, NodeId node,
+                                   std::uint32_t r) {
+  std::int32_t s = os.slot_of.get(node);
   if (s == kNoSlot) {
     s = static_cast<std::int32_t>(os.slots_used);
-    os.slot_of[node] = s;
+    os.slot_of.set(node, s);
     // wcle-lint: no-alloc-ok(touched-list growth; survives clear_origin)
     os.touched.push_back(node);
     if (os.slots_used == os.slots.size())
@@ -123,50 +251,35 @@ WalkEngine::Level& WalkEngine::level_at(OriginState& os, NodeId node,
       trail.refs.begin(), trail.refs.end(), r,
       [](const std::pair<std::uint32_t, std::uint32_t>& ref,
          std::uint32_t level) { return ref.first < level; });
-  if (it != trail.refs.end() && it->first == r) return os.pool[it->second];
-  const std::uint32_t idx = static_cast<std::uint32_t>(os.pool_used);
-  if (os.pool_used == os.pool.size()) {
-    os.pool.emplace_back();
-  } else {
-    // Recycled level: zero the bookkeeping, keep the vector capacities.
-    Level& lv = os.pool[idx];
-    lv.stay_in = lv.origin_inject = lv.stay_out = lv.sent_total = 0;
-    lv.proxy_units = 0;
-    lv.in_ports.clear();
-    lv.out_ports.clear();
-    lv.cc_got = 0;
-    lv.cc_agg.distinct_proxies = 0;
-    lv.cc_agg.proxy_nodes = 0;
-    lv.cc_agg.ids.clear();
-    lv.cc_gen = 0;
-    lv.flood_seen = 0;
-  }
-  ++os.pool_used;
+  if (it != trail.refs.end() && it->first == r) return it->second;
+  const std::uint32_t idx = os.pool.acquire();
   // wcle-lint: no-alloc-ok(refs capacity retained across phases)
   trail.refs.insert(it, {r, idx});
-  return os.pool[idx];
+  return idx;
 }
 
-WalkEngine::Level* WalkEngine::find_level(OriginState& os, NodeId node,
-                                          std::uint32_t r) noexcept {
-  const std::int32_t s = os.slot_of[node];
-  if (s == kNoSlot) return nullptr;
+std::uint32_t WalkEngine::find_level(const OriginState& os, NodeId node,
+                                     std::uint32_t r) const noexcept {
+  const std::int32_t s = os.slot_of.get(node);
+  if (s == kNoSlot) return kNil;
   const NodeTrail& trail = os.slots[static_cast<std::size_t>(s)];
   const auto it = std::lower_bound(
       trail.refs.begin(), trail.refs.end(), r,
       [](const std::pair<std::uint32_t, std::uint32_t>& ref,
          std::uint32_t level) { return ref.first < level; });
-  if (it == trail.refs.end() || it->first != r) return nullptr;
-  return &os.pool[it->second];
+  if (it == trail.refs.end() || it->first != r) return kNil;
+  return it->second;
 }
 
 void WalkEngine::clear_origin(NodeId origin) {
   OriginState* os = find_origin(origin);
   if (os == nullptr) return;
-  for (const NodeId node : os->touched) os->slot_of[node] = kNoSlot;
+  for (const NodeId node : os->touched) os->slot_of.set(node, kNoSlot);
   os->touched.clear();
-  os->slots_used = 0;  // trail slots recycle lazily (refs cleared on reuse)
-  os->pool_used = 0;   // levels recycle lazily (reset on reuse)
+  os->slots_used = 0;   // trail slots recycle lazily (refs cleared on reuse)
+  os->pool.used = 0;    // levels recycle lazily (reset on reuse in acquire)
+  os->in_arena.clear();  // port-list entries die with their levels
+  os->out_arena.clear();
   for (const NodeId node : os->proxies) {
     auto& regs = registrations_[node];
     const auto it = reg_position(regs, origin);
@@ -174,6 +287,26 @@ void WalkEngine::clear_origin(NodeId origin) {
   }
   os->proxies.clear();
   os->length = 0;
+}
+
+void WalkEngine::note_arrival(OriginState& os, std::uint32_t lv, Port port,
+                              std::uint64_t count) {
+  std::uint32_t tail = kNil;
+  for (std::uint32_t e = os.pool.in_head[lv]; e != kNil;
+       e = os.in_arena[e].next) {
+    if (os.in_arena[e].port == port) {
+      os.in_arena[e].count += count;
+      return;
+    }
+    tail = e;
+  }
+  const std::uint32_t e = static_cast<std::uint32_t>(os.in_arena.size());
+  // wcle-lint: no-alloc-ok(arena entry, bounded by degree; stays warm)
+  os.in_arena.push_back({count, port, kNil});
+  if (tail == kNil)
+    os.pool.in_head[lv] = e;
+  else
+    os.in_arena[tail].next = e;
 }
 
 WalkEngine::RegistrationView WalkEngine::registrations(NodeId node) const {
@@ -189,9 +322,10 @@ const std::vector<NodeId>& WalkEngine::proxy_nodes(NodeId origin) const {
 void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
                                std::uint64_t count,
                                std::vector<Pending>& next) {
-  Level& lv = level_at(os, node, r);
+  const std::uint32_t li = level_at(os, node, r);
+  LevelPool& pool = os.pool;
   if (r == 0) {
-    lv.proxy_units += count;
+    pool.proxy_units[li] += count;
     auto& regs = registrations_[node];
     const auto it = reg_position(regs, os.node);
     if (it == regs.end() || it->first != os.node) {
@@ -209,8 +343,9 @@ void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
       config_.lazy ? rng_->next_binomial(count, 0.5) : 0;
   const std::uint64_t movers = count - stays;
   if (stays > 0) {
-    lv.stay_out += stays;
-    level_at(os, node, r - 1).stay_in += stays;  // lv stays valid (deque pool)
+    pool.stay_out[li] += stays;
+    // level_at may grow the columns; li-indexed access stays valid.
+    pool.stay_in[level_at(os, node, r - 1)] += stays;
     // wcle-lint: no-alloc-ok(phase-local queue; warm after round one)
     next.push_back({node, os.node, r - 1, stays});
   }
@@ -224,11 +359,22 @@ void WalkEngine::dispose_units(OriginState& os, NodeId node, std::uint32_t r,
                        : rng_->next_binomial(left, 1.0 / double(deg - p));
     if (sent == 0) continue;
     left -= sent;
-    if (std::find(lv.out_ports.begin(), lv.out_ports.end(), p) ==
-        lv.out_ports.end())
-      // wcle-lint: no-alloc-ok(bounded by node degree; recycled capacity)
-      lv.out_ports.push_back(p);
-    lv.sent_total += sent;
+    std::uint32_t tail = kNil;
+    std::uint32_t e = pool.out_head[li];
+    while (e != kNil && os.out_arena[e].port != p) {
+      tail = e;
+      e = os.out_arena[e].next;
+    }
+    if (e == kNil) {  // port not yet on the departure list: append at tail
+      const std::uint32_t ne = static_cast<std::uint32_t>(os.out_arena.size());
+      // wcle-lint: no-alloc-ok(arena entry, bounded by degree; stays warm)
+      os.out_arena.push_back({p, kNil});
+      if (tail == kNil)
+        pool.out_head[li] = ne;
+      else
+        os.out_arena[tail].next = ne;
+    }
+    pool.sent_total[li] += sent;
     Message msg;
     msg.tag = kTagWalkToken;
     msg.a = os.node;
@@ -256,10 +402,40 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
   for (const WalkOrder& o : orders) {
     OriginState& os = intern(o.origin);
     os.length = std::max(os.length, o.length);
-    level_at(os, o.origin, o.length).origin_inject += o.count;
+    os.pool.origin_inject[level_at(os, o.origin, o.length)] += o.count;
     // wcle-lint: no-alloc-ok(stage setup, once per phase)
     cur.push_back({o.origin, o.origin, o.length, o.count});
   }
+
+  const std::uint32_t nshards = net_->shard_count();
+  if (shard_pending_.size() < nshards) shard_pending_.resize(nshards);
+
+  // Deterministic processing order: (node, origin) ascending, descending
+  // remaining-length within — the order the hash-map engine produced by
+  // sorting its keys. Equal (node, origin, level) buckets merge before
+  // disposal so the coalesced RNG draws are identical too.
+  const auto by_token = [](const Pending& x, const Pending& y) {
+    if (x.node != y.node) return x.node < y.node;
+    if (x.origin != y.origin) return x.origin < y.origin;
+    return x.level > y.level;
+  };
+  const auto dispose_sorted = [&](const std::vector<Pending>& bucket) {
+    std::size_t i = 0;
+    while (i < bucket.size()) {
+      std::uint64_t total = bucket[i].count;
+      std::size_t j = i + 1;
+      while (j < bucket.size() && bucket[j].node == bucket[i].node &&
+             bucket[j].origin == bucket[i].origin &&
+             bucket[j].level == bucket[i].level) {
+        total += bucket[j].count;
+        ++j;
+      }
+      OriginState* os = find_origin(bucket[i].origin);
+      assert(os != nullptr);
+      dispose_units(*os, bucket[i].node, bucket[i].level, total, next);
+      i = j;
+    }
+  };
 
   const std::uint64_t round0 = net_->round();
   // Per-walk token tracing (--trace-walks): one hop record per delivered
@@ -269,29 +445,26 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
   TraceRecorder* const rec = net_->config().trace;
   const bool trace_walks = rec != nullptr && rec->trace_walks() != 0;
   while (!cur.empty() || !net_->idle()) {
-    // Deterministic processing order: (node, origin) ascending, descending
-    // remaining-length within — the order the hash-map engine produced by
-    // sorting its keys. Equal (node, origin, level) buckets merge before
-    // disposal so the coalesced RNG draws are identical too.
-    std::sort(cur.begin(), cur.end(),
-              [](const Pending& x, const Pending& y) {
-                if (x.node != y.node) return x.node < y.node;
-                if (x.origin != y.origin) return x.origin < y.origin;
-                return x.level > y.level;
-              });
-    std::size_t i = 0;
-    while (i < cur.size()) {
-      std::uint64_t total = cur[i].count;
-      std::size_t j = i + 1;
-      while (j < cur.size() && cur[j].node == cur[i].node &&
-             cur[j].origin == cur[i].origin && cur[j].level == cur[i].level) {
-        total += cur[j].count;
-        ++j;
+    if (nshards == 1) {
+      std::sort(cur.begin(), cur.end(), by_token);
+      dispose_sorted(cur);
+    } else {
+      // Sharded sort: buckets partition by the transport's contiguous node
+      // ranges and the comparator leads with the node, so walking the sorted
+      // buckets in shard order IS the global sorted order — the per-shard
+      // sorts run concurrently, the RNG-consuming disposal stays sequential.
+      for (const Pending& p : cur)
+        // wcle-lint: no-alloc-ok(per-shard buckets stay warm across rounds)
+        shard_pending_[net_->shard_of(p.node)].push_back(p);
+      // wcle-lint: no-alloc-transitive-ok(fork/join handoff, not per-message)
+      net_->run_on_shards([this, &by_token](std::uint32_t s) {
+        std::sort(shard_pending_[s].begin(), shard_pending_[s].end(),
+                  by_token);
+      });
+      for (std::uint32_t s = 0; s < nshards; ++s) {
+        dispose_sorted(shard_pending_[s]);
+        shard_pending_[s].clear();
       }
-      OriginState* os = find_origin(cur[i].origin);
-      assert(os != nullptr);
-      dispose_units(*os, cur[i].node, cur[i].level, total, next);
-      i = j;
     }
     cur.clear();
 
@@ -314,15 +487,7 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
             d.msg.tag);
       OriginState* os = find_origin(origin);
       assert(os != nullptr);
-      Level& lv = level_at(*os, d.dst, r);
-      const auto in = std::find_if(
-          lv.in_ports.begin(), lv.in_ports.end(),
-          [&](const auto& e) { return e.first == d.port; });
-      if (in == lv.in_ports.end())
-        // wcle-lint: no-alloc-ok(bounded by node degree; recycled capacity)
-        lv.in_ports.emplace_back(d.port, count);
-      else
-        in->second += count;
+      note_arrival(*os, level_at(*os, d.dst, r), d.port, count);
       // wcle-lint: no-alloc-ok(phase-local queue; warm after round one)
       next.push_back({d.dst, origin, r, count});
     }
@@ -332,9 +497,71 @@ std::uint64_t WalkEngine::run_walk_stage(const std::vector<WalkOrder>& orders) {
 }
 // wcle-lint: end-no-alloc
 
+// ------------------------------------------------------------ convergecast
+
+WalkEngine::PooledReply WalkEngine::intern_reply(const std::uint64_t* ids,
+                                                 std::uint32_t len,
+                                                 std::uint64_t distinct,
+                                                 std::uint64_t proxies) {
+  PooledReply r;
+  r.distinct_proxies = distinct;
+  r.proxy_nodes = proxies;
+  if (len > 0) {
+    r.ids = cc_pool_.alloc(len);
+    r.len = len;
+    std::memcpy(cc_pool_.data(r.ids), ids,
+                std::size_t{len} * sizeof(std::uint64_t));
+  }
+  return r;
+}
+
+ReplyPayload WalkEngine::materialize(PooledReply& r) {
+  ReplyPayload out;
+  out.distinct_proxies = r.distinct_proxies;
+  out.proxy_nodes = r.proxy_nodes;
+  if (r.len > 0) {
+    const std::uint64_t* d = cc_pool_.data(r.ids);
+    out.ids.assign(d, d + r.len);
+  }
+  free_reply(r);
+  return out;
+}
+
+void WalkEngine::free_reply(PooledReply& r) {
+  if (r.ids != WordPool::kNull) cc_pool_.free(r.ids, r.len);
+  r.ids = WordPool::kNull;
+  r.len = 0;
+}
+
+void WalkEngine::merge_reply(PooledReply& into, PooledReply& from) {
+  into.distinct_proxies += from.distinct_proxies;
+  into.proxy_nodes += from.proxy_nodes;
+  if (from.len == 0) return;  // nothing pooled to fold in
+  if (into.len == 0) {        // adopt from's buffer wholesale
+    into.ids = from.ids;
+    into.len = from.len;
+    from.ids = WordPool::kNull;
+    from.len = 0;
+    return;
+  }
+  const std::uint32_t dst = cc_pool_.alloc(into.len + from.len);
+  const std::uint64_t* a = cc_pool_.data(into.ids);
+  const std::uint64_t* b = cc_pool_.data(from.ids);
+  std::uint64_t* out = cc_pool_.data(dst);
+  std::uint64_t* end =
+      std::set_union(a, a + into.len, b, b + from.len, out);
+  cc_pool_.free(into.ids, into.len);
+  cc_pool_.free(from.ids, from.len);
+  into.ids = dst;
+  into.len = static_cast<std::uint32_t>(end - out);
+  from.ids = WordPool::kNull;
+  from.len = 0;
+}
+
 std::vector<WalkEvent> WalkEngine::begin_convergecast(
     const std::vector<NodeId>& origins, const ProxyPayloadFn& at_proxy) {
-  cc_gen_ += 1;  // invalidates every Level's embedded convergecast state
+  cc_gen_ += 1;        // invalidates every level's embedded convergecast state
+  cc_pool_.rewind();   // every outstanding id-set handle died with it
   std::vector<WalkEvent> events;
   for (const NodeId origin : origins) {
     for (const NodeId proxy : proxy_nodes(origin)) {
@@ -342,87 +569,114 @@ std::vector<WalkEvent> WalkEngine::begin_convergecast(
       const auto it = regs.find(origin);
       assert(it != regs.end());
       ReplyPayload payload = at_proxy(proxy, origin, it->second);
+      const PooledReply pooled = intern_reply(
+          payload.ids.data(), static_cast<std::uint32_t>(payload.ids.size()),
+          payload.distinct_proxies, payload.proxy_nodes);
       // Seed distribution from the trail's terminal level.
-      credit(proxy, origin, 0, it->second, std::move(payload), events);
+      credit(proxy, origin, 0, it->second, pooled, events);
     }
   }
   return events;
 }
 
 void WalkEngine::credit(NodeId node, NodeId origin, std::uint32_t r,
-                        std::uint64_t units, ReplyPayload payload,
+                        std::uint64_t units, PooledReply payload,
                         std::vector<WalkEvent>& events) {
   OriginState* osp = find_origin(origin);
   assert(osp != nullptr);
   OriginState& os = *osp;
+  LevelPool& pool = os.pool;
   struct Work {
     NodeId node;
     std::uint32_t r;
     std::uint64_t units;
-    ReplyPayload payload;
+    PooledReply payload;
   };
   std::vector<Work> stack;
-  stack.push_back({node, r, units, std::move(payload)});
+  stack.push_back({node, r, units, payload});
 
   while (!stack.empty()) {
-    Work w = std::move(stack.back());
+    Work w = stack.back();
     stack.pop_back();
-    Level* lv = find_level(os, w.node, w.r);
-    assert(lv != nullptr);
+    const std::uint32_t li = find_level(os, w.node, w.r);
+    assert(li != kNil);
 
-    ReplyPayload agg;
+    PooledReply agg;
     if (w.r == 0) {
       // Terminal level: all proxy units report at once; no counting needed.
-      agg = std::move(w.payload);
+      agg = w.payload;
     } else {
-      if (lv->cc_gen != cc_gen_) {
-        // First credit of this convergecast generation: reset in place.
-        lv->cc_gen = cc_gen_;
-        lv->cc_got = 0;
-        lv->cc_agg.distinct_proxies = 0;
-        lv->cc_agg.proxy_nodes = 0;
-        lv->cc_agg.ids.clear();
+      if (pool.cc_gen[li] != cc_gen_) {
+        // First credit of this convergecast generation: reset in place. The
+        // previous generation's handle is NOT freed — its storage died in
+        // the rewind, so freeing it would corrupt the fresh pool.
+        pool.cc_gen[li] = cc_gen_;
+        pool.cc_got[li] = 0;
+        pool.cc_distinct[li] = 0;
+        pool.cc_proxy_nodes[li] = 0;
+        pool.cc_ids[li] = WordPool::kNull;
+        pool.cc_ids_len[li] = 0;
       }
-      lv->cc_got += w.units;
-      lv->cc_agg.merge(w.payload);
-      const std::uint64_t need = lv->stay_out + lv->sent_total;
-      assert(lv->cc_got <= need);
-      if (lv->cc_got < need) continue;
-      agg = std::move(lv->cc_agg);
+      pool.cc_got[li] += w.units;
+      PooledReply cur{pool.cc_distinct[li], pool.cc_proxy_nodes[li],
+                      pool.cc_ids[li], pool.cc_ids_len[li]};
+      merge_reply(cur, w.payload);
+      pool.cc_distinct[li] = cur.distinct_proxies;
+      pool.cc_proxy_nodes[li] = cur.proxy_nodes;
+      pool.cc_ids[li] = cur.ids;
+      pool.cc_ids_len[li] = cur.len;
+      const std::uint64_t need = pool.stay_out[li] + pool.sent_total[li];
+      assert(pool.cc_got[li] <= need);
+      if (pool.cc_got[li] < need) continue;
+      agg = cur;  // completed: take the aggregate out of the level
+      pool.cc_distinct[li] = 0;
+      pool.cc_proxy_nodes[li] = 0;
+      pool.cc_ids[li] = WordPool::kNull;
+      pool.cc_ids_len[li] = 0;
     }
 
     // Completed: partition units over the parents; the full aggregate
     // travels with the first parent, the rest carry unit counts only.
     bool first = true;
-    if (lv->stay_in > 0) {
-      stack.push_back({w.node, w.r + 1, lv->stay_in,
-                       first ? std::move(agg) : ReplyPayload{}});
+    if (pool.stay_in[li] > 0) {
+      stack.push_back({w.node, w.r + 1, pool.stay_in[li],
+                       first ? agg : PooledReply{}});
+      if (first) agg = PooledReply{};  // ownership moved to the stack entry
       first = false;
     }
-    for (const auto& [port, cnt] : lv->in_ports) {
+    for (std::uint32_t e = pool.in_head[li]; e != kNil;
+         e = os.in_arena[e].next) {
       Message msg;
       msg.tag = kTagReplyUp;
       msg.a = origin;
       msg.b = w.r + 1;
-      msg.c = cnt;
-      if (first) {
+      msg.c = os.in_arena[e].count;
+      const bool carried = first;
+      if (carried) {
         msg.d = (agg.distinct_proxies << 32) | agg.proxy_nodes;
-        msg.ids = IdSpan(agg.ids);
+        if (agg.len > 0) msg.ids = IdSpan(cc_pool_.data(agg.ids), agg.len);
         first = false;
       }
       msg.bits = payload_bits(msg.ids.size());
-      net_->send(w.node, port, msg);
+      net_->send(w.node, os.in_arena[e].port, msg);
+      if (carried) free_reply(agg);  // send() copied the ids into its arena
     }
-    if (lv->origin_inject > 0) {
+    if (pool.origin_inject[li] > 0) {
       WalkEvent ev;
       ev.kind = WalkEvent::Kind::kConvergecastDone;
       ev.node = w.node;
       ev.origin = origin;
-      if (first) ev.reply = std::move(agg);
+      if (first) {
+        ev.reply = materialize(agg);
+        first = false;
+      }
       events.push_back(std::move(ev));
     }
+    free_reply(agg);  // no-op unless no parent consumed the aggregate
   }
 }
+
+// ------------------------------------------------------- flood and unicast
 
 std::vector<WalkEvent> WalkEngine::begin_flood_down(
     NodeId origin, std::vector<std::uint64_t> ids) {
@@ -440,15 +694,16 @@ void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
   OriginState* osp = find_origin(origin);
   if (osp == nullptr) return;  // stale message for a never-walked origin
   OriginState& os = *osp;
+  LevelPool& pool = os.pool;
   NodeId cur = node;
   std::uint32_t level = r;
   for (;;) {
-    Level* lv = find_level(os, cur, level);
-    if (lv == nullptr) return;
-    if (lv->flood_seen == gen) return;
-    lv->flood_seen = gen;
+    const std::uint32_t li = find_level(os, cur, level);
+    if (li == kNil) return;
+    if (pool.flood_seen[li] == gen) return;
+    pool.flood_seen[li] = gen;
     if (level == 0) {
-      if (lv->proxy_units > 0) {
+      if (pool.proxy_units[li] > 0) {
         WalkEvent ev;
         ev.kind = WalkEvent::Kind::kFloodAtProxy;
         ev.node = cur;
@@ -458,7 +713,8 @@ void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
       }
       return;
     }
-    for (const Port p : lv->out_ports) {
+    for (std::uint32_t e = pool.out_head[li]; e != kNil;
+         e = os.out_arena[e].next) {
       Message msg;
       msg.tag = kTagFloodDown;
       msg.a = origin;
@@ -466,9 +722,9 @@ void WalkEngine::flood_at(NodeId node, NodeId origin, std::uint32_t r,
       msg.c = gen;
       msg.ids = ids;  // forwarded as a view; send() copies into the arena
       msg.bits = payload_bits(ids.size());
-      net_->send(cur, p, msg);
+      net_->send(cur, os.out_arena[e].port, msg);
     }
-    if (lv->stay_out == 0) return;
+    if (pool.stay_out[li] == 0) return;
     --level;  // continue locally through the lazy self-step link
   }
 }
@@ -486,12 +742,13 @@ void WalkEngine::unicast_at(NodeId node, NodeId origin, std::uint32_t r,
   OriginState* osp = find_origin(origin);
   if (osp == nullptr) return;  // stale trail; drop
   OriginState& os = *osp;
+  LevelPool& pool = os.pool;
   NodeId cur = node;
   std::uint32_t level = r;
   for (;;) {
-    Level* lv = find_level(os, cur, level);
-    if (lv == nullptr) return;  // stale trail; drop
-    if (lv->origin_inject > 0) {
+    const std::uint32_t li = find_level(os, cur, level);
+    if (li == kNil) return;  // stale trail; drop
+    if (pool.origin_inject[li] > 0) {
       WalkEvent ev;
       ev.kind = WalkEvent::Kind::kUnicastAtOrigin;
       ev.node = cur;
@@ -500,18 +757,18 @@ void WalkEngine::unicast_at(NodeId node, NodeId origin, std::uint32_t r,
       events.push_back(std::move(ev));
       return;
     }
-    if (lv->stay_in > 0) {
+    if (pool.stay_in[li] > 0) {
       ++level;  // lazy self-step: ascend locally
       continue;
     }
-    if (!lv->in_ports.empty()) {
+    if (pool.in_head[li] != kNil) {
       Message msg;
       msg.tag = kTagUnicastUp;
       msg.a = origin;
       msg.b = level + 1;
       msg.ids = IdSpan(ids);
       msg.bits = payload_bits(ids.size());
-      net_->send(cur, lv->in_ports.front().first, msg);
+      net_->send(cur, os.in_arena[pool.in_head[li]].port, msg);
       return;
     }
     return;  // orphan level (should not happen on complete trails)
@@ -522,13 +779,11 @@ std::vector<WalkEvent> WalkEngine::handle(const Delivery& d) {
   std::vector<WalkEvent> events;
   switch (d.msg.tag) {
     case kTagReplyUp: {
-      ReplyPayload payload;
-      payload.distinct_proxies = d.msg.d >> 32;
-      payload.proxy_nodes = d.msg.d & 0xffffffffu;
-      payload.ids = d.msg.ids.to_vector();
+      const PooledReply payload =
+          intern_reply(d.msg.ids.data(), d.msg.ids.size(), d.msg.d >> 32,
+                       d.msg.d & 0xffffffffu);
       credit(d.dst, static_cast<NodeId>(d.msg.a),
-             static_cast<std::uint32_t>(d.msg.b), d.msg.c, std::move(payload),
-             events);
+             static_cast<std::uint32_t>(d.msg.b), d.msg.c, payload, events);
       break;
     }
     case kTagFloodDown:

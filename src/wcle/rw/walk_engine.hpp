@@ -18,19 +18,27 @@
 // the lifetime the algorithm needs (inactive contenders keep their proxies;
 // active contenders re-walk with doubled length and re-register).
 //
-// State layout (the data-plane rebuild): origins are interned into a dense
-// index; each origin owns a per-node slot table (plain array lookup) whose
-// slots hold small level-sorted trail arrays referencing a recycled level
-// pool, and the convergecast/flood runtime is embedded in the Level records
-// behind generation counters. run_walk_stage's per-round token buckets are a
-// flat sorted vector. No hash table is touched anywhere on the hot path, and
-// after the first phase the engine performs no steady-state allocation;
+// State layout (the data-plane rebuild, grown for million-node runs): origins
+// are interned into a dense index; each origin owns a chunked, lazily
+// materialized node->slot map (a dense per-origin array would cost O(n) per
+// contender at n = 10^6), slots hold small level-sorted trail arrays, and the
+// level records live in a structure-of-arrays pool — parallel scalar columns
+// plus port lists threaded through per-origin arenas, so a trail level costs
+// a fixed few words in flat storage instead of a struct with two heap-backed
+// vectors. Convergecast id sets live in an engine-owned WordPool whose
+// size-class free lists are threaded through the freed storage itself, so
+// the merge-heavy aggregation recycles buffers without touching the heap.
+// run_walk_stage's per-round token buckets partition by the transport's node
+// shards and sort per shard (concatenating sorted shard buckets reproduces
+// the global order, since shards are contiguous node ranges and the sort key
+// leads with the node). No hash table is touched anywhere on the hot path,
+// and after the first phase the engine performs no steady-state allocation;
 // executions are bit-identical to the hash-map implementation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -57,7 +65,9 @@ struct WalkOrder {
 
 /// Aggregate carried by convergecast replies (Rounds 1 and 3 of Algorithm 2).
 /// Sums are partitioned exactly over the trail DAG (each proxy contributes
-/// once); id sets are unions.
+/// once); id sets are unions. This is the *materialized* form protocols see
+/// (events, the at_proxy callback); in flight the engine keeps the id set in
+/// its WordPool and only builds the vector at the API boundary.
 struct ReplyPayload {
   std::uint64_t distinct_proxies = 0; ///< sum of the per-proxy booleans d
   std::uint64_t proxy_nodes = 0;      ///< distinct proxy nodes covered
@@ -98,6 +108,60 @@ struct WalkConfig {
   /// Lemma 12's device. When false, each walk unit is charged as its own
   /// O(log n)-bit token, modelling the naive per-walk transport: ablation 1.
   bool coalesce = true;
+};
+
+/// Chunked bump/free-list pool for the sorted id sets convergecast replies
+/// carry. Slots are handed out in power-of-two size classes; each class's
+/// free list is threaded *through the freed storage itself* (the first word
+/// of a freed slot holds the next-free handle), so recycling costs zero side
+/// memory. rewind() reclaims everything at once — called per convergecast
+/// generation, when every outstanding handle is dead by construction.
+/// Addresses are stable (chunks never move), so IdSpan views over pooled
+/// buffers stay valid across later allocations.
+class WordPool {
+ public:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  /// Returns a handle to a slot of capacity >= n words (n >= 1).
+  std::uint32_t alloc(std::uint32_t n);
+  /// Releases a slot previously allocated with the same n.
+  void free(std::uint32_t h, std::uint32_t n);
+  /// Drops every allocation and rewinds to the first chunk.
+  void rewind();
+
+  std::uint64_t* data(std::uint32_t h) noexcept {
+    return chunks_[h >> kChunkBits].get() + (h & (kChunkWords - 1));
+  }
+  const std::uint64_t* data(std::uint32_t h) const noexcept {
+    return chunks_[h >> kChunkBits].get() + (h & (kChunkWords - 1));
+  }
+  std::uint64_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  static constexpr std::uint32_t kChunkBits = 16;
+  static constexpr std::uint32_t kChunkWords = 1u << kChunkBits;
+  static constexpr std::uint32_t kClasses = 32;
+
+  static std::uint32_t size_class(std::uint32_t n) noexcept;
+
+  std::vector<std::unique_ptr<std::uint64_t[]>> chunks_;
+  /// Chunk indices eligible for bump allocation, in fill order. Dedicated
+  /// whole-chunk slots are excluded, so rewinding the bump cursor can never
+  /// alias storage that a recycled oversized handle still names.
+  std::vector<std::uint32_t> bump_order_;
+  std::uint32_t bump_at_ = 0;
+  std::uint32_t cur_used_ = 0;
+  /// Head handle per size class; links live in the freed words themselves.
+  std::uint32_t free_head_[kClasses];
+  /// Dedicated whole-chunk slots (capacity > kChunkWords): returned to their
+  /// class free list on rewind instead of being dropped, so a pathological
+  /// id-set burst warms once.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dedicated_;
+
+ public:
+  WordPool() {
+    for (std::uint32_t c = 0; c < kClasses; ++c) free_head_[c] = kNull;
+  }
 };
 
 class WalkEngine {
@@ -173,25 +237,71 @@ class WalkEngine {
 
  private:
   static constexpr std::uint32_t kNoOrigin = 0xffffffffu;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::int32_t kNoSlot = -1;
 
-  /// Static breadcrumbs for one (node, origin, remaining-level), with the
-  /// convergecast and flood runtime embedded behind generation counters (no
-  /// side tables, no hashing).
-  struct Level {
-    std::uint64_t stay_in = 0;       ///< units arriving by a lazy self-step
-    std::uint64_t origin_inject = 0; ///< units injected here (origin, r=len)
-    std::uint64_t stay_out = 0;      ///< units leaving by a lazy self-step
-    std::uint64_t sent_total = 0;    ///< units forwarded over out_ports
-    std::uint64_t proxy_units = 0;   ///< units terminating here (r==0)
-    std::vector<std::pair<Port, std::uint64_t>> in_ports;  ///< arrivals
-    std::vector<Port> out_ports;                           ///< departures
-    // Convergecast runtime, valid while cc_gen matches the engine's counter.
-    std::uint64_t cc_got = 0;
-    ReplyPayload cc_agg;
-    std::uint32_t cc_gen = 0;
+  /// node -> slot map, chunked and lazily materialized: a chunk is allocated
+  /// (and memset to kNoSlot — all 0xff bytes) the first time a node in its
+  /// range is assigned. An origin's walks touch O(walks * length) nodes, a
+  /// small fraction of a million-node id space, so the dense array this
+  /// replaces would be almost entirely untouched -1s.
+  class SlotMap {
+   public:
+    void init(std::uint64_t n);
+    std::int32_t get(NodeId node) const noexcept {
+      const std::int32_t* chunk = chunks_[node >> kChunkBits].get();
+      return chunk == nullptr ? kNoSlot
+                              : chunk[node & ((1u << kChunkBits) - 1)];
+    }
+    void set(NodeId node, std::int32_t v);
+
+   private:
+    static constexpr std::uint32_t kChunkBits = 16;
+    std::vector<std::unique_ptr<std::int32_t[]>> chunks_;
+  };
+
+  /// The level records of one origin, structure-of-arrays: parallel scalar
+  /// columns indexed by pool slot, with the per-level port lists threaded
+  /// through the owning OriginState's arenas (in_head/out_head are arena
+  /// indices, kNil = empty). Slots recycle via the `used` cursor — acquire()
+  /// zeroes a recycled slot in place, so re-walking origins reuse warm
+  /// storage. Replaces the AoS Level struct whose two heap-backed vectors
+  /// per record dominated footprint and allocator traffic at n = 10^6.
+  struct LevelPool {
+    std::vector<std::uint64_t> stay_in;       ///< units arriving by self-step
+    std::vector<std::uint64_t> origin_inject; ///< units injected (r = len)
+    std::vector<std::uint64_t> stay_out;      ///< units leaving by self-step
+    std::vector<std::uint64_t> sent_total;    ///< units forwarded over ports
+    std::vector<std::uint64_t> proxy_units;   ///< units terminating (r == 0)
+    std::vector<std::uint32_t> in_head;       ///< arrivals list head (arena)
+    std::vector<std::uint32_t> out_head;      ///< departures list head
+    // Convergecast runtime, valid while cc_gen matches the engine counter;
+    // the id-set union lives in the engine's WordPool as (handle, len).
+    std::vector<std::uint64_t> cc_got;
+    std::vector<std::uint64_t> cc_distinct;
+    std::vector<std::uint64_t> cc_proxy_nodes;
+    std::vector<std::uint32_t> cc_ids;
+    std::vector<std::uint32_t> cc_ids_len;
+    std::vector<std::uint32_t> cc_gen;
     // Last flood generation forwarded through this level.
-    std::uint32_t flood_seen = 0;
+    std::vector<std::uint32_t> flood_seen;
+    std::size_t used = 0;
+
+    std::size_t size() const noexcept { return stay_in.size(); }
+    /// Next slot index: recycles (reset in place) or grows every column.
+    std::uint32_t acquire();
+  };
+
+  /// One entry of a level's arrival list: `count` units came in over `port`.
+  struct InEntry {
+    std::uint64_t count;
+    Port port;
+    std::uint32_t next;  ///< arena index of the next entry | kNil
+  };
+  /// One entry of a level's departure list.
+  struct OutEntry {
+    Port port;
+    std::uint32_t next;
   };
 
   /// Trail of one origin at one node: (level, pool index) sorted by level.
@@ -201,25 +311,37 @@ class WalkEngine {
   };
 
   /// All engine state of one interned origin. Trail storage (slots + level
-  /// pool) is recycled via cursors on clear, so re-walking origins reuse
-  /// warm capacity instead of churning the allocator.
+  /// pool + port arenas) is recycled via cursors on clear, so re-walking
+  /// origins reuse warm capacity instead of churning the allocator.
   struct OriginState {
     NodeId node = 0;
     std::uint32_t length = 0;     ///< latest walk length (0 = no trails)
     std::uint32_t flood_gen = 0;  ///< per-origin flood generation counter
-    std::vector<std::int32_t> slot_of;  ///< node -> slot index | kNoSlot
-    std::vector<NodeId> touched;        ///< nodes with a slot
+    SlotMap slot_of;              ///< node -> slot index | kNoSlot
+    std::vector<NodeId> touched;  ///< nodes with a slot
     std::vector<NodeTrail> slots;
     std::size_t slots_used = 0;
-    std::deque<Level> pool;  ///< stable addresses: Level&s survive growth
-    std::size_t pool_used = 0;
+    LevelPool pool;
+    std::vector<InEntry> in_arena;    ///< arrival-list entries, all levels
+    std::vector<OutEntry> out_arena;  ///< departure-list entries
     std::vector<NodeId> proxies;
   };
 
+  /// In-flight convergecast aggregate: the counters plus the id set as a
+  /// WordPool (handle, len). The engine's internal currency; materialized
+  /// into a ReplyPayload only at the protocol boundary.
+  struct PooledReply {
+    std::uint64_t distinct_proxies = 0;
+    std::uint64_t proxy_nodes = 0;
+    std::uint32_t ids = WordPool::kNull;
+    std::uint32_t len = 0;
+  };
+
   /// A pending (node, origin, level, units) token bucket of the walk stage.
-  /// Sorted by (node, origin, level desc) and merged each engine round —
-  /// the same deterministic disposal order the hash-map implementation
-  /// produced by sorting its keys.
+  /// Partitioned by the node's transport shard and sorted per shard by
+  /// (node, origin, level desc); concatenating the shard buckets in shard
+  /// order is the same global order the unsharded engine sorted into, so the
+  /// coalesced RNG draws are identical.
   struct Pending {
     NodeId node = 0;
     NodeId origin = 0;
@@ -232,17 +354,33 @@ class WalkEngine {
   const OriginState* find_origin(NodeId origin) const noexcept;
 
   void clear_origin(NodeId origin);
-  Level& level_at(OriginState& os, NodeId node, std::uint32_t r);
-  Level* find_level(OriginState& os, NodeId node, std::uint32_t r) noexcept;
+  /// Pool slot of (node, r), creating the level if absent.
+  std::uint32_t level_at(OriginState& os, NodeId node, std::uint32_t r);
+  /// Pool slot of (node, r) | kNil.
+  std::uint32_t find_level(const OriginState& os, NodeId node,
+                           std::uint32_t r) const noexcept;
 
   /// Walk-stage helper: disposes `count` units at (node, origin, r).
   void dispose_units(OriginState& os, NodeId node, std::uint32_t r,
                      std::uint64_t count, std::vector<Pending>& next);
 
+  /// Records `count` units arriving at level slot `lv` over `port`.
+  void note_arrival(OriginState& os, std::uint32_t lv, Port port,
+                    std::uint64_t count);
+
+  /// Convergecast plumbing between the pooled and materialized forms.
+  PooledReply intern_reply(const std::uint64_t* ids, std::uint32_t len,
+                           std::uint64_t distinct, std::uint64_t proxies);
+  ReplyPayload materialize(PooledReply& r);  ///< frees r's pooled buffer
+  void free_reply(PooledReply& r);
+  /// Folds `from` into `into` (sorted set-union of the id buffers, counter
+  /// sums); both source buffers are recycled.
+  void merge_reply(PooledReply& into, PooledReply& from);
+
   /// Convergecast helper: credits `units`/`payload` to (node, origin, r) and
   /// cascades completions (locally through stay-links, remotely via sends).
   void credit(NodeId node, NodeId origin, std::uint32_t r, std::uint64_t units,
-              ReplyPayload payload, std::vector<WalkEvent>& events);
+              PooledReply payload, std::vector<WalkEvent>& events);
 
   /// Flood helper: processes payload at (node, origin, r) cascading locally
   /// through stay-links and remotely via out_ports. `gen` identifies the
@@ -272,6 +410,11 @@ class WalkEngine {
   std::vector<std::vector<Registration>> registrations_;
 
   std::uint32_t cc_gen_ = 0;  ///< bumped by begin_convergecast (state reset)
+  WordPool cc_pool_;          ///< id-set buffers, rewound per generation
+
+  /// Walk-stage scratch: one token bucket per transport shard, sorted in
+  /// parallel via Network::run_on_shards.
+  std::vector<std::vector<Pending>> shard_pending_;
 
   const std::vector<NodeId> empty_nodes_;
 };

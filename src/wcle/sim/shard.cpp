@@ -1,0 +1,95 @@
+#include "wcle/sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcle {
+
+ShardPlan ShardPlan::make(std::uint64_t n, std::uint32_t shards) {
+  ShardPlan plan;
+  const std::uint64_t limit = n == 0 ? 1 : n;
+  plan.shards = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(std::max<std::uint32_t>(shards, 1), limit));
+  plan.begin.resize(plan.shards + 1);
+  for (std::uint32_t s = 0; s <= plan.shards; ++s)
+    plan.begin[s] = n * s / plan.shards;
+  return plan;
+}
+
+std::uint32_t ShardPlan::shard_of(std::uint64_t node) const noexcept {
+  assert(!begin.empty() && node < begin.back());
+  // upper_bound over the monotone boundaries: the shard whose range holds
+  // `node` is the predecessor of the first boundary strictly above it.
+  const auto it = std::upper_bound(begin.begin(), begin.end(), node);
+  return static_cast<std::uint32_t>(it - begin.begin()) - 1;
+}
+
+ShardExecutor::ShardExecutor(std::uint32_t lanes) {
+  assert(lanes >= 1);
+  threads_.reserve(lanes - 1);
+  for (std::uint32_t lane = 1; lane < lanes; ++lane)
+    threads_.emplace_back([this, lane] { worker(lane); });
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardExecutor::run(const std::function<void(std::uint32_t)>& fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    pending_ = static_cast<std::uint32_t>(threads_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // Lane 0 is the caller: run it inline while the workers run theirs. A
+  // caller-lane exception still waits for the join (workers may hold
+  // references into shared state) before propagating.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr error = error_ ? error_ : caller_error;
+  error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardExecutor::worker(std::uint32_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(lane);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error && !error_) error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace wcle

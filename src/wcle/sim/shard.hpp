@@ -1,0 +1,77 @@
+// Sharding primitives for the round engine: a contiguous node partition
+// (ShardPlan) and a persistent fork/join worker pool (ShardExecutor).
+//
+// The transport partitions nodes into contiguous ranges; every per-node
+// resource (lanes, message pool, id arena) is owned by exactly one shard, so
+// within a round each worker serves its own shard's lanes with no shared
+// mutable state. Cross-shard effects (deliveries, the drop-RNG stream) are
+// resolved at the round barrier in a canonical merge order — see
+// Network::step() — which is what keeps seed-fixed runs bit-identical at any
+// shard count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcle {
+
+/// A contiguous partition of the node id space [0, n) into `shards` ranges
+/// of near-equal size. Contiguity matters: concatenating per-shard node
+/// ranges in shard order reproduces global node order, which is what lets
+/// per-shard sorted structures merge back into the exact sequential order.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// shards + 1 monotone boundaries; shard s owns [begin[s], begin[s + 1]).
+  std::vector<std::uint64_t> begin;
+
+  /// Builds a plan over n nodes, silently clamping `shards` to [1, max(n,1)].
+  /// (The CLI layer owns the user-facing clamp warning; the transport stays
+  /// quiet so library callers can pass a machine-derived count.)
+  static ShardPlan make(std::uint64_t n, std::uint32_t shards);
+
+  /// The shard owning `node` (binary search over the boundaries).
+  std::uint32_t shard_of(std::uint64_t node) const noexcept;
+};
+
+/// A persistent fork/join pool: `lanes` logical workers, of which lanes - 1
+/// are real threads and lane 0 is the calling thread. run(fn) executes
+/// fn(0..lanes-1) concurrently and returns after all lanes finish; the first
+/// exception thrown by any lane is rethrown on the caller after the join.
+/// Spawned once per Network (not per round) so the per-round cost is one
+/// condition-variable broadcast, not thread creation.
+class ShardExecutor {
+ public:
+  explicit ShardExecutor(std::uint32_t lanes);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  std::uint32_t lanes() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size()) + 1;
+  }
+
+  /// Runs fn(lane) on every lane; lane 0 executes on the calling thread.
+  /// Not reentrant: one run() at a time.
+  void run(const std::function<void(std::uint32_t)>& fn);
+
+ private:
+  void worker(std::uint32_t lane);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint32_t)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); workers wait on it
+  std::uint32_t pending_ = 0;     ///< worker lanes still inside fn this run
+  bool stop_ = false;
+  std::exception_ptr error_;  ///< first exception of the current run
+};
+
+}  // namespace wcle

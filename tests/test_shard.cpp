@@ -1,0 +1,262 @@
+// Sharded round engine proof obligations:
+//   1. ShardPlan partitions the node space into contiguous near-equal ranges
+//      and clamps degenerate shard counts.
+//   2. ShardExecutor is a real fork/join pool: every lane runs, the caller
+//      observes all side effects after run(), and a lane's exception is
+//      rethrown on the caller without wedging the pool.
+//   3. Bit-identity at ANY shard count: the pre-refactor golden e14 trace
+//      replays byte-identically at shards 1, 2, 4, and 8, and sweep
+//      aggregates of faulty cells match between shards=1 and shards=4 on
+//      every statistic except the per-shard footprint gauges (capacity is
+//      the one thing that legitimately scales with the shard count).
+//   4. The steady-state no-allocation property holds per shard, not just in
+//      aggregate: once warm, every shard's pool stops growing.
+//   5. Knob hygiene: shards=0 and non-numeric shard counts are rejected at
+//      parse time; shards > node count clamps inside the transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wcle/api/replay.hpp"
+#include "wcle/api/scenario.hpp"
+#include "wcle/api/sweep.hpp"
+#include "wcle/graph/generators.hpp"
+#include "wcle/sim/network.hpp"
+#include "wcle/sim/shard.hpp"
+
+namespace wcle {
+namespace {
+
+#ifndef WCLE_SOURCE_DIR
+#define WCLE_SOURCE_DIR "."
+#endif
+#ifndef WCLE_BINARY_DIR
+#define WCLE_BINARY_DIR "."
+#endif
+
+TEST(ShardPlan, PartitionIsContiguousAndCoversAllNodes) {
+  const ShardPlan plan = ShardPlan::make(100, 3);
+  EXPECT_EQ(plan.shards, 3u);
+  ASSERT_EQ(plan.begin.size(), 4u);
+  EXPECT_EQ(plan.begin.front(), 0u);
+  EXPECT_EQ(plan.begin.back(), 100u);
+  for (std::uint32_t s = 0; s < plan.shards; ++s) {
+    EXPECT_LT(plan.begin[s], plan.begin[s + 1]);
+    for (std::uint64_t v = plan.begin[s]; v < plan.begin[s + 1]; ++v)
+      EXPECT_EQ(plan.shard_of(v), s);
+  }
+}
+
+TEST(ShardPlan, ClampsToNodeCountAndToOne) {
+  EXPECT_EQ(ShardPlan::make(3, 16).shards, 3u);  // more shards than nodes
+  EXPECT_EQ(ShardPlan::make(100, 0).shards, 1u);
+  EXPECT_EQ(ShardPlan::make(0, 8).shards, 1u);  // empty graph still valid
+}
+
+TEST(ShardExecutor, EveryLaneRunsAndJoins) {
+  ShardExecutor pool(4);
+  EXPECT_EQ(pool.lanes(), 4u);
+  std::vector<std::uint32_t> hits(4, 0);
+  for (int repeat = 0; repeat < 50; ++repeat)
+    pool.run([&](std::uint32_t lane) { hits[lane] += 1; });
+  for (std::uint32_t lane = 0; lane < 4; ++lane)
+    EXPECT_EQ(hits[lane], 50u) << "lane " << lane;
+}
+
+TEST(ShardExecutor, LaneExceptionRethrowsOnCallerAndPoolSurvives) {
+  ShardExecutor pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run([&](std::uint32_t lane) {
+        ran.fetch_add(1);
+        if (lane == 1) throw std::runtime_error("lane 1 failed");
+      }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);  // the join still waited for every lane
+  // The pool is reusable after an exceptional run.
+  std::atomic<int> again{0};
+  pool.run([&](std::uint32_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 3);
+}
+
+TEST(ShardGolden, E14TraceReplaysByteIdenticallyAtEveryShardCount) {
+  // The headline invariant: the SAME golden bytes, recorded by the
+  // sequential pre-refactor engine, regenerate byte-for-byte whether the
+  // round engine runs 1, 2, 4, or 8 worker shards. This pins the canonical
+  // stamp-merge order through the full faulty stack.
+  const std::string golden =
+      std::string(WCLE_SOURCE_DIR) +
+      "/tests/golden/e14_cell_pre_refactor.btrace";
+  {
+    std::ifstream probe(golden, std::ios::binary);
+    ASSERT_TRUE(probe.is_open()) << "missing golden trace: " << golden;
+  }
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const ReplayReport rep =
+        verify_replay(golden, /*threads=*/1, /*diff=*/false, shards);
+    EXPECT_TRUE(rep.ok) << "shards=" << shards << ": " << rep.detail
+                        << "\nthe sharded engine diverged from the "
+                           "sequential execution";
+    EXPECT_EQ(rep.runs, 2u);
+  }
+}
+
+void expect_same_summary(const Summary& a, const Summary& b,
+                         const char* what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.median, b.median) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+}
+
+void expect_shard_invariant_stats(const TrialStats& a, const TrialStats& b) {
+  EXPECT_EQ(a.success_rate, b.success_rate);
+  EXPECT_EQ(a.zero_leader_rate, b.zero_leader_rate);
+  EXPECT_EQ(a.multi_leader_rate, b.multi_leader_rate);
+  EXPECT_EQ(a.safety_rate, b.safety_rate);
+  EXPECT_EQ(a.liveness_rate, b.liveness_rate);
+  expect_same_summary(a.congest_messages, b.congest_messages, "congest");
+  expect_same_summary(a.logical_messages, b.logical_messages, "logical");
+  expect_same_summary(a.total_bits, b.total_bits, "bits");
+  expect_same_summary(a.rounds, b.rounds, "rounds");
+  expect_same_summary(a.leader_count, b.leader_count, "leaders");
+  expect_same_summary(a.dropped_messages, b.dropped_messages, "dropped");
+  expect_same_summary(a.crash_dropped_messages, b.crash_dropped_messages,
+                      "crash_dropped");
+  expect_same_summary(a.link_dropped_messages, b.link_dropped_messages,
+                      "link_dropped");
+  expect_same_summary(a.agreement, b.agreement, "agreement");
+  // Occupancy gauges are shard-invariant: the same messages are live at the
+  // same times regardless of which pool holds them. Capacity gauges
+  // (pool_msg_slots, pool_id_blocks) are deliberately NOT compared — every
+  // shard warms its own pool, so footprint legitimately varies.
+  expect_same_summary(a.pool_msg_live_high, b.pool_msg_live_high,
+                      "msg_live_high");
+  expect_same_summary(a.pool_id_live_high, b.pool_id_live_high,
+                      "id_live_high");
+  ASSERT_EQ(a.extras.size(), b.extras.size());
+  for (const auto& [key, summary] : a.extras) {
+    const auto it = b.extras.find(key);
+    ASSERT_NE(it, b.extras.end()) << key;
+    expect_same_summary(summary, it->second, key.c_str());
+  }
+}
+
+TEST(ShardAggregates, FaultyCellsMatchBetweenOneAndFourShards) {
+  // e13/e14-style cells (drop fault axis; crash + link failures + adversary)
+  // aggregated at shards=1 and shards=4: every statistic except the
+  // footprint gauges must be bit-equal.
+  const char* cells[] = {
+      "algo=election family=expander n=64 drop=0.05 trials=2 base-seed=1000 "
+      "graph-seed=1 max-length=128 max-rounds=4000",
+      "algo=election family=expander n=64 crash=0.1 linkfail=0.05 "
+      "adversary=contenders trials=2 base-seed=1000 graph-seed=1 "
+      "max-length=128 max-rounds=4000",
+  };
+  for (const char* cell : cells) {
+    const std::vector<CellResult> seq =
+        run_sweep(parse_spec(std::string(cell) + " shards=1"), {}, 1);
+    const std::vector<CellResult> par =
+        run_sweep(parse_spec(std::string(cell) + " shards=4"), {}, 1);
+    ASSERT_EQ(seq.size(), 1u) << cell;
+    ASSERT_EQ(par.size(), 1u) << cell;
+    EXPECT_EQ(seq[0].n, par[0].n);
+    EXPECT_EQ(seq[0].m, par[0].m);
+    expect_shard_invariant_stats(seq[0].stats, par[0].stats);
+  }
+}
+
+TEST(ShardPools, SteadyStateNoAllocationHoldsPerShard) {
+  // The no-allocation-per-delivery property, refined per shard: after a
+  // warmup burst, repeat the identical workload and require EVERY shard's
+  // capacity gauges — not just the cross-shard sum — to stay flat.
+  const Graph g = make_clique(8);
+  CongestConfig cfg;
+  cfg.bandwidth_bits = 16;
+  cfg.shards = 4;
+  Network net(g, cfg);
+  ASSERT_EQ(net.shard_count(), 4u);
+  const std::vector<std::uint64_t> payload{1, 2, 3, 4};
+  const auto burst = [&] {
+    for (NodeId u = 0; u < g.node_count(); ++u)
+      for (Port p = 0; p < g.degree(u); ++p) {
+        Message m;
+        m.tag = 1;
+        m.bits = 48;
+        m.a = u;
+        m.ids = payload;
+        net.send(u, p, m);
+      }
+    net.run_until_idle([](const Delivery&) {});
+  };
+  burst();  // warmup: every shard grows to its own workload footprint
+  std::vector<Network::PoolStats> warm;
+  for (std::uint32_t s = 0; s < net.shard_count(); ++s)
+    warm.push_back(net.shard_pool_stats(s));
+  for (int repeat = 0; repeat < 10; ++repeat) burst();
+  for (std::uint32_t s = 0; s < net.shard_count(); ++s) {
+    const Network::PoolStats after = net.shard_pool_stats(s);
+    EXPECT_GT(after.id_alloc_calls, warm[s].id_alloc_calls) << "shard " << s;
+    EXPECT_EQ(after.id_heap_blocks, warm[s].id_heap_blocks) << "shard " << s;
+    EXPECT_EQ(after.msg_slots, warm[s].msg_slots) << "shard " << s;
+  }
+}
+
+TEST(ShardKnob, RejectsZeroAndNonNumericAtParseTime) {
+  EXPECT_THROW(
+      parse_spec("algo=election family=clique n=8 trials=1 shards=0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec("algo=election family=clique n=8 trials=1 shards=lots"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec("algo=election family=clique n=8 trials=1 shards=-2"),
+      std::invalid_argument);
+}
+
+TEST(ShardKnob, CliWarnsWhenShardsExceedNodeCount) {
+  // The transport clamps silently (library callers pass machine-derived
+  // counts); the CLI is where a human typed the number, so it must say so
+  // on stderr while the run itself still succeeds.
+  const std::string err = testing::TempDir() + "wcle_shard_warn.txt";
+  const std::string cmd =
+      std::string(WCLE_BINARY_DIR) +
+      "/wcle_cli run --algo=election --family=ring --n=8 --seed=1 "
+      "--shards=64 >/dev/null 2>" +
+      err;
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::ifstream in(err);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("warning: --shards=64 exceeds n=8"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("clamps"), std::string::npos) << text;
+}
+
+TEST(ShardKnob, TransportClampsShardsAboveNodeCount) {
+  const Graph g = make_ring(5);
+  CongestConfig cfg;
+  cfg.bandwidth_bits = 64;
+  cfg.shards = 64;  // far more workers than nodes
+  Network net(g, cfg);
+  EXPECT_EQ(net.shard_count(), 5u);
+  // The clamped engine still runs a round correctly.
+  Message m;
+  m.tag = 1;
+  m.bits = 32;
+  net.send(0, 0, m);
+  std::uint64_t got = 0;
+  net.run_until_idle([&](const Delivery&) { ++got; });
+  EXPECT_EQ(got, 1u);
+}
+
+}  // namespace
+}  // namespace wcle

@@ -1,0 +1,51 @@
+// wcle_lint fixture: cross-shard merge that violates canonical order.
+//
+// The sharded round engine's barrier merge must consume per-shard candidate
+// buffers in a canonical order (shard index ascending, then stamp) or the
+// drop-RNG draw sequence — and with it the whole execution — diverges
+// between shard counts. This fixture sketches the two ways to get it wrong:
+// keying the buffers by shard in an unordered_map and walking it (hash
+// order reaches the RNG), and ordering candidates by payload address
+// (allocation order reaches the RNG). `// SEED:` marks every line that must
+// fire. Lint input only — never compiled.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Candidate {
+  unsigned long long stamp;
+  const unsigned long long* payload;
+};
+
+void broken_merge(std::unordered_map<unsigned, std::vector<Candidate>>& per_shard) {
+  // Hash order decides which shard's candidates meet the drop RNG first:
+  // bit-identity across shard counts is gone.
+  for (auto& [shard, candidates] : per_shard)  // SEED: unordered-iter
+    dispose(candidates);
+}
+
+void broken_tiebreak(std::vector<Candidate>& merged) {
+  // Payload addresses depend on pool warm-up history, not on the execution;
+  // sorting by them makes the merge order run-dependent.
+  std::map<const unsigned long long*, Candidate> by_payload;  // SEED: pointer-order
+  for (Candidate& c : merged) by_payload.emplace(c.payload, c);
+}
+
+void canonical_merge(std::vector<std::vector<Candidate>>& shard_buckets,
+                     std::vector<Candidate>& merged) {
+  // The correct shape: shard buffers indexed by shard id, concatenated
+  // ascending, then stamp-sorted — the activation order the sequential
+  // engine would have used.
+  for (auto& bucket : shard_buckets)
+    merged.insert(merged.end(), bucket.begin(), bucket.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.stamp < b.stamp;
+            });
+  dispose(merged);
+}
+
+}  // namespace fixture
